@@ -1,0 +1,57 @@
+"""Workload characterization: dynamic instruction mix per benchmark.
+
+Validates DESIGN.md's substitution claim that each substitute guest
+preserves the *instruction-mix character* of the paper's original
+workload: primes is division-heavy, sha512 is ALU/rotate-heavy, qsort is
+compare-and-call heavy, dhrystone is string/branch heavy, simple-sensor
+is load/store (MMIO) heavy.
+"""
+
+import pytest
+
+from repro.bench.instmix import (
+    format_mix_table,
+    profile_workload,
+)
+from repro.bench.workloads import TABLE2_ORDER
+
+_STEPS = 40_000
+_MIXES = {}
+
+
+@pytest.mark.parametrize("name", TABLE2_ORDER)
+def test_profile(benchmark, name):
+    benchmark.group = "instruction-mix"
+    mix = benchmark.pedantic(profile_workload, args=(name, _STEPS),
+                             rounds=1, iterations=1)
+    assert mix.total > 1_000
+    benchmark.extra_info.update(
+        {cat: round(100 * mix.fraction(cat), 1)
+         for cat in mix.counts})
+    _MIXES[name] = mix
+
+
+def test_workload_characters(benchmark, capsys):
+    """The claims the substitutions rest on, asserted."""
+    benchmark.group = "instruction-mix"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_MIXES) < len(TABLE2_ORDER):
+        pytest.skip("run the full module so all workloads are profiled")
+
+    # primes is the div/rem workload
+    assert _MIXES["primes"].fraction("muldiv") > \
+        max(_MIXES[n].fraction("muldiv") for n in TABLE2_ORDER
+            if n != "primes")
+    # sha512 is the ALU-dominated workload
+    assert _MIXES["sha512"].fraction("alu") > 0.5
+    # qsort makes the most calls (recursion)
+    assert _MIXES["qsort"].fraction("jump") > \
+        _MIXES["dhrystone"].fraction("jump")
+    # the sensor app is memory/MMIO dominated
+    sensor = _MIXES["simple-sensor"]
+    assert sensor.fraction("load") + sensor.fraction("store") > 0.3
+
+    with capsys.disabled():
+        print()
+        print("DYNAMIC INSTRUCTION MIX (quick scale)")
+        print(format_mix_table([_MIXES[n] for n in TABLE2_ORDER]))

@@ -1,0 +1,51 @@
+"""Table I reproduction: Wilander–Kamkar code-injection detection.
+
+Regenerates the paper's Table I: every applicable attack must (a) succeed
+on the unprotected VP and (b) be *Detected* on VP+ under the Section VI-B
+code-injection policy; the 8 RISC-V-inapplicable forms are reported N/A.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s`` to see
+the rendered table.
+"""
+
+import pytest
+
+from repro.bench import table1
+from repro.sw import wk_suite
+
+_APPLICABLE = [spec.number for spec in wk_suite.SPECS if spec.applicable]
+
+_PAPER = {
+    3: "Detected", 5: "Detected", 6: "Detected", 7: "Detected",
+    9: "Detected", 10: "Detected", 11: "Detected", 13: "Detected",
+    14: "Detected", 17: "Detected",
+}
+
+
+@pytest.mark.parametrize("number", _APPLICABLE)
+def test_attack_detection(benchmark, number):
+    """Per-attack: measure the full exploit+detect cycle, assert Table I."""
+    spec = wk_suite.spec(number)
+    benchmark.group = "table1-attack"
+    benchmark.extra_info.update(
+        location=spec.location, target=spec.target,
+        technique=spec.technique, paper_result=_PAPER[number])
+
+    result = benchmark.pedantic(table1.run_attack, args=(number,),
+                                rounds=2, iterations=1)
+    assert result.exploit_works
+    assert result.detected
+    assert result.result == _PAPER[number]
+
+
+def test_full_table1(benchmark, capsys):
+    """The whole 18-row table, printed in the paper's layout."""
+    benchmark.group = "table1-full"
+    results = benchmark.pedantic(table1.run_suite, rounds=1, iterations=1)
+    detected = sum(1 for r in results if r.result == "Detected")
+    na = sum(1 for r in results if r.result == "N/A")
+    assert (detected, na) == (10, 8)
+    with capsys.disabled():
+        print()
+        print("TABLE I -- Buffer-overflow test-suite results")
+        print(table1.format_table(results))

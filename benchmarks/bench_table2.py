@@ -1,0 +1,76 @@
+"""Table II reproduction: DIFT performance overhead (VP vs VP+).
+
+For every paper benchmark this measures the identical guest binary on the
+plain VP and the DIFT-instrumented VP+ and reports the overhead factor.
+The headline claim to reproduce is the *shape*: VP+ is uniformly slower,
+by roughly 1.2x (I/O-bound simple-sensor) up to ~2-3x (compute/trap-heavy
+workloads), averaging around 2x in the paper.
+
+``pytest benchmarks/bench_table2.py --benchmark-only -s`` prints the
+rendered table; add ``--benchmark-scale=full`` for paper-sized runs
+(minutes of host time on the pure-Python ISS).
+"""
+
+import pytest
+
+from repro.bench.runner import run_workload
+from repro.bench.table2 import (
+    Comparison,
+    format_against_paper,
+    format_table,
+)
+from repro.bench.workloads import TABLE2_ORDER, WORKLOADS
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("mode", ["VP", "VP+"])
+@pytest.mark.parametrize("name", TABLE2_ORDER)
+def test_workload(benchmark, scale, name, mode):
+    """One (benchmark, platform) cell of Table II."""
+    workload = WORKLOADS[name]
+    dift = mode == "VP+"
+    benchmark.group = f"table2-{name}"
+
+    measurement = benchmark.pedantic(
+        run_workload, args=(workload, scale, dift), rounds=1, iterations=1)
+
+    assert measurement.violations == 0
+    benchmark.extra_info.update(
+        instructions=measurement.instructions,
+        loc_asm=measurement.loc_asm,
+        mips=round(measurement.mips, 3),
+    )
+    _ROWS.setdefault(name, {})[mode] = measurement
+
+
+def test_render_table2(benchmark, capsys, scale):
+    """Assemble the Table II rows measured above and print the table."""
+    benchmark.group = "table2-render"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name in TABLE2_ORDER:
+        cells = _ROWS.get(name)
+        if not cells or "VP" not in cells or "VP+" not in cells:
+            pytest.skip("run the full module so all cells are measured")
+        vp, vp_plus = cells["VP"], cells["VP+"]
+        rows.append(Comparison(
+            workload=name,
+            instructions=vp.instructions,
+            loc_asm=vp.loc_asm,
+            vp_seconds=vp.host_seconds,
+            vp_plus_seconds=vp_plus.host_seconds,
+            vp_mips=vp.mips,
+            vp_plus_mips=vp_plus.mips,
+        ))
+    # the reproducible shape: every workload pays a DIFT overhead
+    assert all(row.overhead > 0.9 for row in rows)
+    overheads = {row.workload: row.overhead for row in rows}
+    # simple-sensor is the lightest-overhead workload family in the paper
+    assert overheads["simple-sensor"] <= max(overheads.values())
+    with capsys.disabled():
+        print()
+        print(f"TABLE II -- DIFT performance overhead (scale={scale})")
+        print(format_table(rows))
+        print()
+        print(format_against_paper(rows))

@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark rebuilds its platform per round (a halted guest cannot be
+re-run), so round counts are kept low via ``benchmark.pedantic``.  The
+``--benchmark-scale=full`` option switches the Table II workloads from
+the quick (test-sized) scales to the paper-sized reproduction scales.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-scale",
+        action="store",
+        default="quick",
+        choices=("quick", "full"),
+        help="workload scale for the Table II reproduction benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config.getoption("--benchmark-scale")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Code-injection detection (paper Section VI-B / Table I).
+
+Shows one Wilander–Kamkar attack in slow motion — stack buffer overflow
+over the saved return address (attack #3) — first succeeding on the
+unprotected VP, then being stopped by VP+'s High-Integrity fetch
+clearance.  Finishes by regenerating the full 18-row Table I.
+
+Run:  python examples/code_injection_demo.py
+"""
+
+from repro.asm import disassemble_word
+from repro.bench import table1
+from repro.dift.engine import RECORD
+from repro.sw import wk_suite
+from repro.vp import Platform
+
+
+def main() -> None:
+    number = 3
+    spec = wk_suite.spec(number)
+    program, attacker_input = wk_suite.build_attack(number)
+    payload_at = program.symbol("attack_code")
+
+    print(f"attack #{number}: {spec.location} / {spec.target} / "
+          f"{spec.technique}")
+    print(f"payload function at {payload_at:#06x}:")
+    for i in range(3):
+        word = program.word_at(payload_at + 4 * i)
+        print(f"  {payload_at + 4 * i:#06x}: "
+              f"{disassemble_word(word, payload_at + 4 * i)}")
+    print(f"attacker input ({len(attacker_input)} bytes): "
+          f"{attacker_input[:8].hex()}...{attacker_input[40:48].hex()}")
+    print(f"  (bytes 44..47 = {attacker_input[44:48].hex()} — the payload "
+          "address, little-endian, landing on the saved ra)")
+    print()
+
+    # --- unprotected ---------------------------------------------------- #
+    plain = Platform()
+    plain.load(program)
+    plain.uart.feed(attacker_input)
+    result = plain.run(max_instructions=200_000)
+    print("plain VP: guest stopped with reason", repr(result.reason))
+    print(f"  payload marker on UART: {plain.console()!r}  "
+          f"-> exploit {'SUCCEEDED' if result.reason == 'ebreak' else '??'}")
+    print()
+
+    # --- protected ------------------------------------------------------- #
+    policy = table1.code_injection_policy(program)
+    protected = Platform(policy=policy, engine_mode=RECORD)
+    protected.load(program)
+    protected.uart.feed(attacker_input)
+    result = protected.run(max_instructions=200_000)
+    print("VP+ with the code-injection policy (IFP-2, fetch clearance HI):")
+    print(f"  stopped with reason {result.reason!r}, UART: "
+          f"{protected.console()!r}")
+    for violation in result.violations:
+        print("  violation:", violation)
+    print()
+
+    # --- the full table --------------------------------------------------- #
+    print("regenerating Table I (all 18 attack forms)...")
+    print()
+    print(table1.format_table(table1.run_suite()))
+
+
+if __name__ == "__main__":
+    main()

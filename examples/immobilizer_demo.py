@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The Section VI-A case study: a car-engine immobilizer's security policy.
+
+Replays the paper's policy-development narrative end to end:
+
+* the challenge-response protocol authenticates under the baseline policy;
+* the UART debug dump leaks the PIN on the vulnerable firmware (detected),
+  and runs clean on the fixed firmware;
+* the three scripted attack scenarios are all detected;
+* the entropy-reduction attack slips past the baseline policy — and we
+  *prove* it matters by brute-forcing the PIN byte off the CAN bus;
+* the per-byte key policy closes the hole.
+
+Run:  python examples/immobilizer_demo.py
+"""
+
+from repro.casestudy import immobilizer as cs
+
+
+def main() -> None:
+    print("=" * 78)
+    print("Car engine immobilizer — security policy development (paper "
+          "Section VI-A)")
+    print("=" * 78)
+    print()
+
+    results = cs.run_case_study(n_challenges=2)
+    print(cs.format_report(results))
+    print()
+
+    protocol = results[0]
+    print(f"protocol check: {protocol.auth_ok} challenge/response rounds "
+          f"authenticated, {protocol.auth_fail} failed")
+    dump = next(r for r in results if "vulnerable" in r.name)
+    print(f"vulnerable-dump violation: {dump.violation}")
+    print()
+
+    print("exploiting the baseline-policy gap (entropy-reduction attack):")
+    print("  1. command '4' overwrites PIN[1..15] with PIN[0] "
+          "(trusted data, no violation)")
+    print("  2. a bus sniffer records one challenge/response exchange")
+    print("  3. 256 trial encryptions recover the PIN byte:")
+    recovered = cs.capture_and_brute_force()
+    print(f"     recovered PIN byte: {recovered:#04x} "
+          f"(actual PIN[0] = {cs.PIN[0]:#04x})  "
+          f"{'SUCCESS' if recovered == cs.PIN[0] else 'failed'}")
+    print()
+    per_byte = results[-1]
+    print("with the per-byte key policy the same attack is detected:")
+    print(f"  {per_byte.violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Compatibility shim for environments without PEP-517 wheel support.
+
+``pip install -e .`` normally reads pyproject.toml; on offline machines
+missing the ``wheel`` package, ``python setup.py develop`` via this shim
+works with setuptools alone.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,14 @@
+"""RV32IM assembler / disassembler toolchain for guest software."""
+
+from repro.asm.assembler import Assembler, Program, assemble, evaluate
+from repro.asm.disasm import decode_fields, disassemble, disassemble_word
+
+__all__ = [
+    "Assembler",
+    "Program",
+    "assemble",
+    "evaluate",
+    "disassemble",
+    "disassemble_word",
+    "decode_fields",
+]

@@ -1,0 +1,783 @@
+"""A two-pass RV32IM assembler.
+
+The paper's benchmarks are cross-compiled C binaries; our substitute guest
+software is written in RISC-V assembly (partly generated programmatically),
+so the repository needs a real assembler.  This one supports:
+
+* the full RV32IM + Zicsr instruction set (see :mod:`repro.asm.isa`);
+* the standard pseudo-instructions (``li``, ``la``, ``mv``, ``call``,
+  ``ret``, ``beqz`` …);
+* sections (``.text`` / ``.data`` / ``.bss``) laid out consecutively;
+* data directives (``.word``, ``.half``, ``.byte``, ``.ascii``, ``.asciz``,
+  ``.space``/``.zero``, ``.align``), symbols (``.equ``) and labels;
+* constant expressions over labels with ``+ - * / % << >> & | ^ ~ ()``
+  and the RISC-V relocation operators ``%hi(...)`` / ``%lo(...)``.
+
+The result is a :class:`Program`: a flat little-endian image plus symbol
+table, section map and per-address listing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm import isa
+from repro.errors import AssemblerError
+
+_SECTION_ALIGN = 64
+
+
+@dataclass
+class Program:
+    """An assembled guest binary."""
+
+    image: bytes
+    base: int
+    entry: int
+    symbols: Dict[str, int]
+    sections: Dict[str, Tuple[int, int]]
+    n_instructions: int
+    listing: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.image)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblerError(f"unknown symbol {name!r}") from None
+
+    def word_at(self, address: int) -> int:
+        off = address - self.base
+        return int.from_bytes(self.image[off:off + 4], "little")
+
+
+# --------------------------------------------------------------------- #
+# expression evaluation
+# --------------------------------------------------------------------- #
+
+_TOKEN_RE = re.compile(
+    r"\s*(%hi|%lo|0[xX][0-9a-fA-F]+|0[bB][01]+|\d+|'(?:\\.|[^'\\])'"
+    r"|[A-Za-z_.$][A-Za-z0-9_.$]*|<<|>>|[-+*/%&|^~()])"
+)
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+class _ExprParser:
+    """Recursive-descent parser for integer constant expressions."""
+
+    def __init__(self, text: str, symbols: Dict[str, int], line: int):
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match:
+                if text[pos:].strip():
+                    raise AssemblerError(
+                        f"bad expression syntax near {text[pos:]!r}", line)
+                break
+            self.tokens.append(match.group(1))
+            pos = match.end()
+        self.pos = 0
+        self.symbols = symbols
+        self.line = line
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise AssemblerError("unexpected end of expression", self.line)
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise AssemblerError(f"expected {token!r}, got {got!r}", self.line)
+
+    def parse(self) -> int:
+        value = self.parse_or()
+        if self.peek() is not None:
+            raise AssemblerError(
+                f"trailing tokens in expression: {self.tokens[self.pos:]}",
+                self.line)
+        return value
+
+    def parse_or(self) -> int:
+        value = self.parse_xor()
+        while self.peek() == "|":
+            self.next()
+            value |= self.parse_xor()
+        return value
+
+    def parse_xor(self) -> int:
+        value = self.parse_and()
+        while self.peek() == "^":
+            self.next()
+            value ^= self.parse_and()
+        return value
+
+    def parse_and(self) -> int:
+        value = self.parse_shift()
+        while self.peek() == "&":
+            self.next()
+            value &= self.parse_shift()
+        return value
+
+    def parse_shift(self) -> int:
+        value = self.parse_addsub()
+        while self.peek() in ("<<", ">>"):
+            op = self.next()
+            rhs = self.parse_addsub()
+            value = value << rhs if op == "<<" else value >> rhs
+        return value
+
+    def parse_addsub(self) -> int:
+        value = self.parse_muldiv()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            rhs = self.parse_muldiv()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def parse_muldiv(self) -> int:
+        value = self.parse_unary()
+        while self.peek() in ("*", "/", "%"):
+            op = self.next()
+            rhs = self.parse_unary()
+            if op == "*":
+                value *= rhs
+            elif op == "/":
+                if rhs == 0:
+                    raise AssemblerError("division by zero in expression",
+                                         self.line)
+                value //= rhs
+            else:
+                if rhs == 0:
+                    raise AssemblerError("modulo by zero in expression",
+                                         self.line)
+                value %= rhs
+        return value
+
+    def parse_unary(self) -> int:
+        token = self.peek()
+        if token == "-":
+            self.next()
+            return -self.parse_unary()
+        if token == "+":
+            self.next()
+            return self.parse_unary()
+        if token == "~":
+            self.next()
+            return ~self.parse_unary()
+        return self.parse_atom()
+
+    def parse_atom(self) -> int:
+        token = self.next()
+        if token == "(":
+            value = self.parse_or()
+            self.expect(")")
+            return value
+        if token in ("%hi", "%lo"):
+            self.expect("(")
+            inner = self.parse_or()
+            self.expect(")")
+            return isa.hi20(inner) if token == "%hi" else isa.lo12(inner)
+        if token.startswith(("0x", "0X")):
+            return int(token, 16)
+        if token.startswith(("0b", "0B")):
+            return int(token, 2)
+        if token[0].isdigit():
+            return int(token, 10)
+        if token.startswith("'"):
+            body = token[1:-1]
+            if body.startswith("\\"):
+                code = _ESCAPES.get(body[1])
+                if code is None:
+                    raise AssemblerError(f"bad char escape {body!r}", self.line)
+                return code
+            return ord(body)
+        if token in self.symbols:
+            return self.symbols[token]
+        raise AssemblerError(f"undefined symbol {token!r}", self.line)
+
+
+def evaluate(text: str, symbols: Dict[str, int], line: int = 0) -> int:
+    """Evaluate a constant expression against a symbol table."""
+    return _ExprParser(text, symbols, line).parse()
+
+
+# --------------------------------------------------------------------- #
+# statement model
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Statement:
+    line: int
+    source: str
+    kind: str              # "instr" | "data" | "align" | "space"
+    section: str
+    mnemonic: str = ""     # for instr
+    operands: List[str] = field(default_factory=list)
+    size: int = 0          # bytes occupied (known after pass 1 sizing)
+    offset: int = 0        # offset within its section
+    data: bytes = b""      # for data emitted in pass 1 (strings)
+    width: int = 0         # element width for .word/.half/.byte
+    align: int = 0         # for .align
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*(.*)$")
+_STRING_DIRECTIVES = (".ascii", ".asciz", ".string")
+_DATA_WIDTHS = {".word": 4, ".half": 2, ".byte": 1}
+
+# pseudo-instructions that expand to a fixed number of machine words
+_PSEUDO_SIZES = {
+    "nop": 1, "mv": 1, "not": 1, "neg": 1,
+    "seqz": 1, "snez": 1, "sltz": 1, "sgtz": 1,
+    "beqz": 1, "bnez": 1, "blez": 1, "bgez": 1, "bltz": 1, "bgtz": 1,
+    "bgt": 1, "ble": 1, "bgtu": 1, "bleu": 1,
+    "j": 1, "jr": 1, "ret": 1, "call": 1, "tail": 1,
+    "li": 2, "la": 2,
+    "csrr": 1, "csrw": 1, "csrs": 1, "csrc": 1, "csrwi": 1,
+}
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on top-level commas (parens-aware)."""
+    parts: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _parse_string_literal(text: str, line: int) -> bytes:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblerError(f"expected string literal, got {text!r}", line)
+    body = text[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise AssemblerError("dangling escape in string", line)
+            code = _ESCAPES.get(body[i])
+            if code is None:
+                raise AssemblerError(f"bad string escape \\{body[i]}", line)
+            out.append(code)
+        else:
+            out.append(ord(ch))
+        i += 1
+    return bytes(out)
+
+
+# --------------------------------------------------------------------- #
+# the assembler
+# --------------------------------------------------------------------- #
+
+
+class Assembler:
+    """Two-pass assembler producing a flat :class:`Program` image.
+
+    Parameters
+    ----------
+    base:
+        Load/link address of the ``.text`` section (also the entry point
+        unless a ``_start`` symbol is defined).
+    """
+
+    def __init__(self, base: int = 0):
+        self.base = base
+
+    # -- public ---------------------------------------------------------- #
+
+    def assemble(self, source: str) -> Program:
+        statements, labels, equs = self._parse(source)
+        section_sizes = self._size_pass(statements)
+        section_bases = self._layout(section_sizes)
+        symbols = dict(equs)
+        for name, (section, offset) in labels.items():
+            symbols[name] = section_bases[section] + offset
+        image, n_instr, listing = self._emit(statements, section_bases, symbols)
+        sections = {
+            name: (section_bases[name], section_bases[name] + size)
+            for name, size in section_sizes.items()
+        }
+        entry = symbols.get("_start", self.base)
+        return Program(
+            image=bytes(image),
+            base=self.base,
+            entry=entry,
+            symbols=symbols,
+            sections=sections,
+            n_instructions=n_instr,
+            listing=listing,
+        )
+
+    # -- parsing ----------------------------------------------------------- #
+
+    def _parse(self, source: str):
+        statements: List[_Statement] = []
+        labels: Dict[str, Tuple[str, int]] = {}
+        equs: Dict[str, int] = {}
+        pending_labels: List[Tuple[str, str]] = []  # (name, section)
+        section = ".text"
+        # statement index per section, to attach labels to the next statement
+        label_sites: List[Tuple[str, str, int]] = []  # (name, section, stmt idx)
+
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    name, line = match.group(1), match.group(2).strip()
+                    if name in labels or any(n == name for n, _, _ in label_sites):
+                        raise AssemblerError(f"duplicate label {name!r}", line_no)
+                    label_sites.append((name, section, len(statements)))
+                    continue
+                break
+            if not line:
+                continue
+
+            if line.startswith("."):
+                section = self._parse_directive(
+                    line, line_no, section, statements, equs)
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            statements.append(_Statement(
+                line=line_no, source=raw.strip(), kind="instr",
+                section=section, mnemonic=mnemonic, operands=operands,
+            ))
+
+        # Resolve label sites: labels attach to the *current* location
+        # counter of their section at their statement index.  We compute
+        # offsets in the sizing pass; store as (section, stmt_index) for now
+        # and fix up there.
+        self._label_sites = label_sites
+        return statements, labels, equs
+
+    def _parse_directive(self, line, line_no, section, statements, equs):
+        parts = line.split(None, 1)
+        directive = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if directive in (".text", ".data", ".bss"):
+            return directive
+        if directive == ".section":
+            name = rest.strip().split()[0] if rest.strip() else ".text"
+            if not name.startswith("."):
+                name = "." + name
+            if name not in (".text", ".data", ".bss"):
+                raise AssemblerError(f"unknown section {name!r}", line_no)
+            return name
+        if directive in (".globl", ".global", ".type", ".size", ".option",
+                         ".file", ".attribute", ".p2align"):
+            return section  # accepted and ignored
+        if directive in (".equ", ".set"):
+            operands = _split_operands(rest)
+            if len(operands) != 2:
+                raise AssemblerError(f"{directive} needs name, value", line_no)
+            equs[operands[0]] = evaluate(operands[1], equs, line_no)
+            return section
+        if directive == ".align":
+            power = int(rest.strip(), 0)
+            if not 0 <= power <= 6:
+                raise AssemblerError(".align power must be 0..6", line_no)
+            statements.append(_Statement(
+                line=line_no, source=line, kind="align", section=section,
+                align=1 << power))
+            return section
+        if directive in (".space", ".zero", ".skip"):
+            count = evaluate(rest, equs, line_no)
+            if count < 0:
+                raise AssemblerError("negative .space size", line_no)
+            statements.append(_Statement(
+                line=line_no, source=line, kind="space", section=section,
+                size=count))
+            return section
+        if directive in _DATA_WIDTHS:
+            statements.append(_Statement(
+                line=line_no, source=line, kind="data", section=section,
+                operands=_split_operands(rest), width=_DATA_WIDTHS[directive]))
+            return section
+        if directive in _STRING_DIRECTIVES:
+            data = _parse_string_literal(rest, line_no)
+            if directive in (".asciz", ".string"):
+                data += b"\x00"
+            statements.append(_Statement(
+                line=line_no, source=line, kind="data", section=section,
+                data=data, width=0))
+            return section
+        raise AssemblerError(f"unknown directive {directive!r}", line_no)
+
+    # -- pass 1: sizing ------------------------------------------------------ #
+
+    def _statement_words(self, stmt: _Statement) -> int:
+        mnemonic = stmt.mnemonic
+        if mnemonic in isa.ALL_MNEMONICS:
+            # `jal label` / `jalr rs` single-operand forms are still 1 word
+            return 1
+        if mnemonic in _PSEUDO_SIZES:
+            return _PSEUDO_SIZES[mnemonic]
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", stmt.line)
+
+    def _size_pass(self, statements: List[_Statement]) -> Dict[str, int]:
+        counters = {".text": 0, ".data": 0, ".bss": 0}
+        stmt_offsets: List[int] = []
+        for stmt in statements:
+            counter = counters[stmt.section]
+            if stmt.kind == "align":
+                pad = (-counter) % stmt.align
+                stmt.size = pad
+            elif stmt.kind == "instr":
+                stmt.size = 4 * self._statement_words(stmt)
+            elif stmt.kind == "data":
+                if stmt.width:
+                    stmt.size = stmt.width * len(stmt.operands)
+                else:
+                    stmt.size = len(stmt.data)
+            # "space": size already set
+            stmt.offset = counter
+            counters[stmt.section] = counter + stmt.size
+            stmt_offsets.append(stmt.offset)
+
+        # attach labels: label at statement index i in section S gets the
+        # offset of the first statement >= i in S, or the section end.
+        self._resolved_labels: Dict[str, Tuple[str, int]] = {}
+        for name, section, index in self._label_sites:
+            offset = counters[section]
+            for stmt in statements[index:]:
+                if stmt.section == section:
+                    offset = stmt.offset
+                    break
+            self._resolved_labels[name] = (section, offset)
+        return counters
+
+    def _layout(self, sizes: Dict[str, int]) -> Dict[str, int]:
+        def align_up(value: int) -> int:
+            return (value + _SECTION_ALIGN - 1) & ~(_SECTION_ALIGN - 1)
+
+        text_base = self.base
+        data_base = align_up(text_base + sizes[".text"])
+        bss_base = align_up(data_base + sizes[".data"])
+        return {".text": text_base, ".data": data_base, ".bss": bss_base}
+
+    # -- pass 2: emission ------------------------------------------------- #
+
+    def _emit(self, statements, section_bases, symbols):
+        # fold labels into the symbol table
+        for name, (section, offset) in self._resolved_labels.items():
+            if name in symbols:
+                raise AssemblerError(f"symbol {name!r} defined twice")
+            symbols[name] = section_bases[section] + offset
+
+        total_end = self.base
+        for stmt in statements:
+            end = section_bases[stmt.section] + stmt.offset + stmt.size
+            total_end = max(total_end, end)
+        image = bytearray(total_end - self.base)
+        n_instr = 0
+        listing: List[Tuple[int, int, str]] = []
+
+        for stmt in statements:
+            address = section_bases[stmt.section] + stmt.offset
+            position = address - self.base
+            if stmt.kind in ("align", "space"):
+                continue  # zero-filled already
+            if stmt.kind == "data":
+                if stmt.width:
+                    blob = bytearray()
+                    for operand in stmt.operands:
+                        value = evaluate(operand, symbols, stmt.line)
+                        blob += (value & ((1 << (8 * stmt.width)) - 1)).to_bytes(
+                            stmt.width, "little")
+                    image[position:position + len(blob)] = blob
+                else:
+                    image[position:position + len(stmt.data)] = stmt.data
+                continue
+            words = self._encode(stmt, address, symbols)
+            n_instr += len(words)
+            listing.append((address, stmt.line, stmt.source))
+            for i, word in enumerate(words):
+                image[position + 4 * i:position + 4 * i + 4] = word.to_bytes(
+                    4, "little")
+        return image, n_instr, listing
+
+    # -- instruction encoding ---------------------------------------------- #
+
+    def _encode(self, stmt: _Statement, address: int,
+                symbols: Dict[str, int]) -> List[int]:
+        try:
+            return self._encode_inner(stmt, address, symbols)
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            raise AssemblerError(str(exc), stmt.line) from exc
+
+    def _reg(self, name: str, line: int) -> int:
+        reg = isa.REGS.get(name.strip().lower())
+        if reg is None:
+            raise AssemblerError(f"unknown register {name!r}", line)
+        return reg
+
+    def _csr(self, name: str, symbols: Dict[str, int], line: int) -> int:
+        key = name.strip().lower()
+        if key in isa.CSRS:
+            return isa.CSRS[key]
+        value = evaluate(name, symbols, line)
+        if not 0 <= value <= 0xFFF:
+            raise AssemblerError(f"CSR address {value} out of range", line)
+        return value
+
+    def _mem_operand(self, text: str, symbols, line) -> Tuple[int, int]:
+        """Parse ``imm(reg)`` into (imm, reg)."""
+        match = re.match(r"^(.*)\(\s*([A-Za-z0-9]+)\s*\)$", text.strip())
+        if not match:
+            raise AssemblerError(f"expected imm(reg), got {text!r}", line)
+        imm_text = match.group(1).strip()
+        imm = evaluate(imm_text, symbols, line) if imm_text else 0
+        return imm, self._reg(match.group(2), line)
+
+    def _nargs(self, stmt: _Statement, count: int) -> List[str]:
+        if len(stmt.operands) != count:
+            raise AssemblerError(
+                f"{stmt.mnemonic} expects {count} operands, got "
+                f"{len(stmt.operands)}", stmt.line)
+        return stmt.operands
+
+    def _encode_inner(self, stmt, address, symbols) -> List[int]:
+        m = stmt.mnemonic
+        line = stmt.line
+        ops = stmt.operands
+        ev = lambda text: evaluate(text, symbols, line)
+        reg = lambda text: self._reg(text, line)
+
+        # ---- R-type ---------------------------------------------------- #
+        if m in isa.R_OPS:
+            rd, rs1, rs2 = self._nargs(stmt, 3)
+            f3, f7 = isa.R_OPS[m]
+            return [isa.enc_r(isa.OP_REG, f3, f7, reg(rd), reg(rs1), reg(rs2))]
+
+        # ---- I-type ALU ------------------------------------------------- #
+        if m in isa.I_ALU_OPS:
+            rd, rs1, imm = self._nargs(stmt, 3)
+            return [isa.enc_i(isa.OP_IMM, isa.I_ALU_OPS[m], reg(rd), reg(rs1),
+                              ev(imm))]
+        if m in isa.SHIFT_OPS:
+            rd, rs1, imm = self._nargs(stmt, 3)
+            f3, f7 = isa.SHIFT_OPS[m]
+            return [isa.enc_shift(isa.OP_IMM, f3, f7, reg(rd), reg(rs1),
+                                  ev(imm))]
+
+        # ---- loads / stores ---------------------------------------------- #
+        if m in isa.LOAD_OPS:
+            rd, mem = self._nargs(stmt, 2)
+            imm, rs1 = self._mem_operand(mem, symbols, line)
+            return [isa.enc_i(isa.OP_LOAD, isa.LOAD_OPS[m], reg(rd), rs1, imm)]
+        if m in isa.STORE_OPS:
+            rs2, mem = self._nargs(stmt, 2)
+            imm, rs1 = self._mem_operand(mem, symbols, line)
+            return [isa.enc_s(isa.OP_STORE, isa.STORE_OPS[m], rs1, reg(rs2),
+                              imm)]
+
+        # ---- branches ---------------------------------------------------- #
+        if m in isa.BRANCH_OPS:
+            rs1, rs2, target = self._nargs(stmt, 3)
+            offset = ev(target) - address
+            return [isa.enc_b(isa.OP_BRANCH, isa.BRANCH_OPS[m], reg(rs1),
+                              reg(rs2), offset)]
+
+        # ---- U / J / jalr ------------------------------------------------- #
+        if m == "lui":
+            rd, imm = self._nargs(stmt, 2)
+            return [isa.enc_u(isa.OP_LUI, reg(rd), ev(imm))]
+        if m == "auipc":
+            rd, imm = self._nargs(stmt, 2)
+            return [isa.enc_u(isa.OP_AUIPC, reg(rd), ev(imm))]
+        if m == "jal":
+            if len(ops) == 1:
+                rd, target = "ra", ops[0]
+            else:
+                rd, target = self._nargs(stmt, 2)
+            return [isa.enc_j(isa.OP_JAL, reg(rd), ev(target) - address)]
+        if m == "jalr":
+            if len(ops) == 1:
+                return [isa.enc_i(isa.OP_JALR, 0, 1, reg(ops[0]), 0)]
+            if len(ops) == 2 and "(" in ops[1]:
+                imm, rs1 = self._mem_operand(ops[1], symbols, line)
+                return [isa.enc_i(isa.OP_JALR, 0, reg(ops[0]), rs1, imm)]
+            rd, rs1, imm = self._nargs(stmt, 3)
+            return [isa.enc_i(isa.OP_JALR, 0, reg(rd), reg(rs1), ev(imm))]
+
+        # ---- CSR --------------------------------------------------------- #
+        if m in isa.CSR_OPS:
+            rd, csr, src = self._nargs(stmt, 3)
+            f3, immediate = isa.CSR_OPS[m]
+            csr_addr = self._csr(csr, symbols, line)
+            rs1 = ev(src) if immediate else reg(src)
+            if immediate and not 0 <= rs1 <= 31:
+                raise AssemblerError("CSR immediate out of range 0..31", line)
+            word = (csr_addr << 20) | (rs1 << 15) | (f3 << 12) \
+                | (reg(rd) << 7) | isa.OP_SYSTEM
+            return [word]
+
+        # ---- fixed ------------------------------------------------------- #
+        if m in isa.FIXED_OPS:
+            self._nargs(stmt, 0) if m in ("ecall", "ebreak", "mret", "wfi") \
+                else None
+            return [isa.FIXED_OPS[m]]
+
+        # ---- pseudo-instructions ------------------------------------------ #
+        return self._encode_pseudo(stmt, address, symbols)
+
+    def _encode_pseudo(self, stmt, address, symbols) -> List[int]:
+        m = stmt.mnemonic
+        line = stmt.line
+        ops = stmt.operands
+        ev = lambda text: evaluate(text, symbols, line)
+        reg = lambda text: self._reg(text, line)
+        x0 = 0
+
+        if m == "nop":
+            return [isa.enc_i(isa.OP_IMM, 0, x0, x0, 0)]
+        if m == "mv":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_i(isa.OP_IMM, 0, reg(rd), reg(rs), 0)]
+        if m == "not":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_i(isa.OP_IMM, 0x4, reg(rd), reg(rs), -1)]
+        if m == "neg":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_r(isa.OP_REG, 0, 0x20, reg(rd), x0, reg(rs))]
+        if m == "seqz":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_i(isa.OP_IMM, 0x3, reg(rd), reg(rs), 1)]
+        if m == "snez":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_r(isa.OP_REG, 0x3, 0, reg(rd), x0, reg(rs))]
+        if m == "sltz":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_r(isa.OP_REG, 0x2, 0, reg(rd), reg(rs), x0)]
+        if m == "sgtz":
+            rd, rs = self._nargs(stmt, 2)
+            return [isa.enc_r(isa.OP_REG, 0x2, 0, reg(rd), x0, reg(rs))]
+
+        branch_zero = {
+            "beqz": ("beq", False), "bnez": ("bne", False),
+            "bgez": ("bge", False), "bltz": ("blt", False),
+            "blez": ("bge", True), "bgtz": ("blt", True),
+        }
+        if m in branch_zero:
+            rs, target = self._nargs(stmt, 2)
+            base, swapped = branch_zero[m]
+            f3 = isa.BRANCH_OPS[base]
+            offset = ev(target) - address
+            rs_n = reg(rs)
+            rs1, rs2 = (x0, rs_n) if swapped else (rs_n, x0)
+            return [isa.enc_b(isa.OP_BRANCH, f3, rs1, rs2, offset)]
+
+        branch_swap = {"bgt": "blt", "ble": "bge", "bgtu": "bltu",
+                       "bleu": "bgeu"}
+        if m in branch_swap:
+            rs1, rs2, target = self._nargs(stmt, 3)
+            f3 = isa.BRANCH_OPS[branch_swap[m]]
+            offset = ev(target) - address
+            return [isa.enc_b(isa.OP_BRANCH, f3, reg(rs2), reg(rs1), offset)]
+
+        if m in ("j", "tail"):
+            (target,) = self._nargs(stmt, 1)
+            return [isa.enc_j(isa.OP_JAL, x0, ev(target) - address)]
+        if m == "call":
+            (target,) = self._nargs(stmt, 1)
+            return [isa.enc_j(isa.OP_JAL, 1, ev(target) - address)]
+        if m == "jr":
+            (rs,) = self._nargs(stmt, 1)
+            return [isa.enc_i(isa.OP_JALR, 0, x0, reg(rs), 0)]
+        if m == "ret":
+            self._nargs(stmt, 0)
+            return [isa.enc_i(isa.OP_JALR, 0, x0, 1, 0)]
+
+        if m in ("li", "la"):
+            rd, value_text = self._nargs(stmt, 2)
+            value = ev(value_text)
+            rd_n = reg(rd)
+            value &= 0xFFFFFFFF
+            signed = value - (1 << 32) if value >= (1 << 31) else value
+            # Always two words (sized in pass 1): lui+addi, or nop+addi for
+            # small constants so label offsets stay stable.
+            if -2048 <= signed < 2048:
+                return [
+                    isa.enc_i(isa.OP_IMM, 0, x0, x0, 0),  # nop padding
+                    isa.enc_i(isa.OP_IMM, 0, rd_n, x0, signed),
+                ]
+            hi = isa.hi20(signed)
+            lo = isa.lo12(signed)
+            return [
+                isa.enc_u(isa.OP_LUI, rd_n, hi),
+                isa.enc_i(isa.OP_IMM, 0, rd_n, rd_n, lo),
+            ]
+
+        csr_pseudo = {
+            "csrr": lambda: [  # csrr rd, csr
+                self._csr_word(0x2, self._csr(ops[1], symbols, line),
+                               reg(ops[0]), x0)],
+            "csrw": lambda: [  # csrw csr, rs
+                self._csr_word(0x1, self._csr(ops[0], symbols, line),
+                               x0, reg(ops[1]))],
+            "csrs": lambda: [
+                self._csr_word(0x2, self._csr(ops[0], symbols, line),
+                               x0, reg(ops[1]))],
+            "csrc": lambda: [
+                self._csr_word(0x3, self._csr(ops[0], symbols, line),
+                               x0, reg(ops[1]))],
+            "csrwi": lambda: [
+                self._csr_word(0x5, self._csr(ops[0], symbols, line),
+                               x0, ev(ops[1]))],
+        }
+        if m in csr_pseudo:
+            self._nargs(stmt, 2)
+            return csr_pseudo[m]()
+
+        raise AssemblerError(f"unknown mnemonic {m!r}", line)
+
+    @staticmethod
+    def _csr_word(funct3: int, csr: int, rd: int, rs1: int) -> int:
+        return (csr << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) \
+            | isa.OP_SYSTEM
+
+
+def assemble(source: str, base: int = 0) -> Program:
+    """Convenience one-shot assembly."""
+    return Assembler(base=base).assemble(source)

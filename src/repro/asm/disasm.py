@@ -1,0 +1,120 @@
+"""RV32IM disassembler.
+
+Used for debugging guest programs, for the VP's trace mode, and by the
+property-based round-trip tests (assemble → disassemble → assemble).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.asm import isa
+
+_REG_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+_R_BY_KEY = {(f3, f7): name for name, (f3, f7) in isa.R_OPS.items()}
+_I_BY_F3 = {f3: name for name, f3 in isa.I_ALU_OPS.items()}
+_LOAD_BY_F3 = {f3: name for name, f3 in isa.LOAD_OPS.items()}
+_STORE_BY_F3 = {f3: name for name, f3 in isa.STORE_OPS.items()}
+_BRANCH_BY_F3 = {f3: name for name, f3 in isa.BRANCH_OPS.items()}
+_CSR_BY_F3 = {f3: (name, imm) for name, (f3, imm) in isa.CSR_OPS.items()}
+_CSR_NAMES = {addr: name for name, addr in isa.CSRS.items()}
+_FIXED_BY_WORD = {word: name for name, word in isa.FIXED_OPS.items()}
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode_fields(word: int) -> dict:
+    """Raw field extraction for a 32-bit instruction word."""
+    return {
+        "opcode": word & 0x7F,
+        "rd": (word >> 7) & 0x1F,
+        "funct3": (word >> 12) & 0x7,
+        "rs1": (word >> 15) & 0x1F,
+        "rs2": (word >> 20) & 0x1F,
+        "funct7": (word >> 25) & 0x7F,
+        "imm_i": _sext(word >> 20, 12),
+        "imm_s": _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12),
+        "imm_b": _sext(
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1),
+            13,
+        ),
+        "imm_u": word & 0xFFFFF000,
+        "imm_j": _sext(
+            (((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1),
+            21,
+        ),
+    }
+
+
+def disassemble_word(word: int, address: int = 0) -> str:
+    """One instruction word -> assembly text (canonical mnemonics)."""
+    if word in _FIXED_BY_WORD:
+        return _FIXED_BY_WORD[word]
+
+    f = decode_fields(word)
+    op = f["opcode"]
+    rd, rs1, rs2 = _REG_NAMES[f["rd"]], _REG_NAMES[f["rs1"]], _REG_NAMES[f["rs2"]]
+
+    if op == isa.OP_LUI:
+        return f"lui {rd}, {f['imm_u'] >> 12:#x}"
+    if op == isa.OP_AUIPC:
+        return f"auipc {rd}, {f['imm_u'] >> 12:#x}"
+    if op == isa.OP_JAL:
+        return f"jal {rd}, {address + f['imm_j']:#x}"
+    if op == isa.OP_JALR and f["funct3"] == 0:
+        return f"jalr {rd}, {f['imm_i']}({rs1})"
+    if op == isa.OP_BRANCH and f["funct3"] in _BRANCH_BY_F3:
+        name = _BRANCH_BY_F3[f["funct3"]]
+        return f"{name} {rs1}, {rs2}, {address + f['imm_b']:#x}"
+    if op == isa.OP_LOAD and f["funct3"] in _LOAD_BY_F3:
+        return f"{_LOAD_BY_F3[f['funct3']]} {rd}, {f['imm_i']}({rs1})"
+    if op == isa.OP_STORE and f["funct3"] in _STORE_BY_F3:
+        return f"{_STORE_BY_F3[f['funct3']]} {rs2}, {f['imm_s']}({rs1})"
+    if op == isa.OP_IMM:
+        f3 = f["funct3"]
+        if f3 == 0x1 and f["funct7"] == 0x00:
+            return f"slli {rd}, {rs1}, {f['rs2']}"
+        if f3 == 0x5:
+            name = "srai" if f["funct7"] == 0x20 else "srli"
+            return f"{name} {rd}, {rs1}, {f['rs2']}"
+        if f3 in _I_BY_F3:
+            return f"{_I_BY_F3[f3]} {rd}, {rs1}, {f['imm_i']}"
+    if op == isa.OP_REG:
+        key = (f["funct3"], f["funct7"])
+        if key in _R_BY_KEY:
+            return f"{_R_BY_KEY[key]} {rd}, {rs1}, {rs2}"
+    if op == isa.OP_SYSTEM and f["funct3"] in _CSR_BY_F3:
+        name, uses_imm = _CSR_BY_F3[f["funct3"]]
+        csr_addr = (word >> 20) & 0xFFF
+        csr = _CSR_NAMES.get(csr_addr, f"{csr_addr:#x}")
+        src = str(f["rs1"]) if uses_imm else rs1
+        return f"{name} {rd}, {csr}, {src}"
+    if op == isa.OP_FENCE:
+        return "fence"
+    return f".word {word:#010x}"
+
+
+def disassemble(image: bytes, base: int = 0) -> List[str]:
+    """Disassemble a whole image, one line per 32-bit word."""
+    lines = []
+    for offset in range(0, len(image) - len(image) % 4, 4):
+        word = int.from_bytes(image[offset:offset + 4], "little")
+        address = base + offset
+        lines.append(f"{address:08x}: {word:08x}  "
+                     f"{disassemble_word(word, address)}")
+    return lines

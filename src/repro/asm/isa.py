@@ -1,0 +1,252 @@
+"""RV32IM + Zicsr instruction encodings.
+
+This module is the canonical encoding specification shared by the
+assembler (:mod:`repro.asm.assembler`), the disassembler
+(:mod:`repro.asm.disasm`) and the tests that cross-check the VP's decoder
+against it.  Encodings follow the RISC-V unprivileged spec (RV32I base +
+M extension) plus the machine-mode instructions the VP needs
+(``ecall``/``ebreak``/``mret``/``wfi``/CSR ops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------- #
+# registers
+# ---------------------------------------------------------------------- #
+
+#: ABI register names -> register number.
+REGS: Dict[str, int] = {}
+for _i in range(32):
+    REGS[f"x{_i}"] = _i
+REGS.update(
+    zero=0, ra=1, sp=2, gp=3, tp=4,
+    t0=5, t1=6, t2=7,
+    s0=8, fp=8, s1=9,
+    a0=10, a1=11, a2=12, a3=13, a4=14, a5=15, a6=16, a7=17,
+    s2=18, s3=19, s4=20, s5=21, s6=22, s7=23, s8=24, s9=25, s10=26, s11=27,
+    t3=28, t4=29, t5=30, t6=31,
+)
+
+#: CSR names -> CSR address (machine-mode subset the VP implements).
+CSRS: Dict[str, int] = {
+    "mstatus": 0x300,
+    "misa": 0x301,
+    "mie": 0x304,
+    "mtvec": 0x305,
+    "mscratch": 0x340,
+    "mepc": 0x341,
+    "mcause": 0x342,
+    "mtval": 0x343,
+    "mip": 0x344,
+    "mcycle": 0xB00,
+    "minstret": 0xB02,
+    "mhartid": 0xF14,
+    "cycle": 0xC00,
+    "time": 0xC01,
+    "instret": 0xC02,
+}
+
+# ---------------------------------------------------------------------- #
+# opcode constants
+# ---------------------------------------------------------------------- #
+
+OP_LUI = 0x37
+OP_AUIPC = 0x17
+OP_JAL = 0x6F
+OP_JALR = 0x67
+OP_BRANCH = 0x63
+OP_LOAD = 0x03
+OP_STORE = 0x23
+OP_IMM = 0x13
+OP_REG = 0x33
+OP_FENCE = 0x0F
+OP_SYSTEM = 0x73
+
+# ---------------------------------------------------------------------- #
+# field encoders
+# ---------------------------------------------------------------------- #
+
+
+def _check_range(value: int, bits: int, signed: bool, what: str) -> None:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{what} {value} out of range [{lo}, {hi}]")
+
+
+def enc_r(opcode: int, funct3: int, funct7: int, rd: int, rs1: int, rs2: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def enc_i(opcode: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    _check_range(imm, 12, signed=True, what="I-immediate")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def enc_shift(opcode: int, funct3: int, funct7: int, rd: int, rs1: int, shamt: int) -> int:
+    _check_range(shamt, 5, signed=False, what="shift amount")
+    return (funct7 << 25) | (shamt << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def enc_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range(imm, 12, signed=True, what="S-immediate")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def enc_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range(imm, 13, signed=True, what="branch offset")
+    if imm % 2:
+        raise ValueError(f"branch offset {imm} not 2-byte aligned")
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def enc_u(opcode: int, rd: int, imm: int) -> int:
+    if not -(1 << 19) <= imm < (1 << 20):
+        raise ValueError(f"U-immediate {imm} out of range")
+    return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def enc_j(opcode: int, rd: int, imm: int) -> int:
+    _check_range(imm, 21, signed=True, what="jump offset")
+    if imm % 2:
+        raise ValueError(f"jump offset {imm} not 2-byte aligned")
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+# ---------------------------------------------------------------------- #
+# instruction tables: mnemonic -> encoding parameters
+# ---------------------------------------------------------------------- #
+
+#: R-type: mnemonic -> (funct3, funct7)
+R_OPS: Dict[str, Tuple[int, int]] = {
+    "add": (0x0, 0x00),
+    "sub": (0x0, 0x20),
+    "sll": (0x1, 0x00),
+    "slt": (0x2, 0x00),
+    "sltu": (0x3, 0x00),
+    "xor": (0x4, 0x00),
+    "srl": (0x5, 0x00),
+    "sra": (0x5, 0x20),
+    "or": (0x6, 0x00),
+    "and": (0x7, 0x00),
+    # M extension
+    "mul": (0x0, 0x01),
+    "mulh": (0x1, 0x01),
+    "mulhsu": (0x2, 0x01),
+    "mulhu": (0x3, 0x01),
+    "div": (0x4, 0x01),
+    "divu": (0x5, 0x01),
+    "rem": (0x6, 0x01),
+    "remu": (0x7, 0x01),
+}
+
+#: I-type ALU: mnemonic -> funct3
+I_ALU_OPS: Dict[str, int] = {
+    "addi": 0x0,
+    "slti": 0x2,
+    "sltiu": 0x3,
+    "xori": 0x4,
+    "ori": 0x6,
+    "andi": 0x7,
+}
+
+#: shift-immediate: mnemonic -> (funct3, funct7)
+SHIFT_OPS: Dict[str, Tuple[int, int]] = {
+    "slli": (0x1, 0x00),
+    "srli": (0x5, 0x00),
+    "srai": (0x5, 0x20),
+}
+
+#: loads: mnemonic -> funct3
+LOAD_OPS: Dict[str, int] = {
+    "lb": 0x0,
+    "lh": 0x1,
+    "lw": 0x2,
+    "lbu": 0x4,
+    "lhu": 0x5,
+}
+
+#: stores: mnemonic -> funct3
+STORE_OPS: Dict[str, int] = {
+    "sb": 0x0,
+    "sh": 0x1,
+    "sw": 0x2,
+}
+
+#: branches: mnemonic -> funct3
+BRANCH_OPS: Dict[str, int] = {
+    "beq": 0x0,
+    "bne": 0x1,
+    "blt": 0x4,
+    "bge": 0x5,
+    "bltu": 0x6,
+    "bgeu": 0x7,
+}
+
+#: CSR ops: mnemonic -> (funct3, uses_immediate_rs1)
+CSR_OPS: Dict[str, Tuple[int, bool]] = {
+    "csrrw": (0x1, False),
+    "csrrs": (0x2, False),
+    "csrrc": (0x3, False),
+    "csrrwi": (0x5, True),
+    "csrrsi": (0x6, True),
+    "csrrci": (0x7, True),
+}
+
+#: fixed 32-bit encodings
+FIXED_OPS: Dict[str, int] = {
+    "ecall": 0x00000073,
+    "ebreak": 0x00100073,
+    "mret": 0x30200073,
+    "wfi": 0x10500073,
+    "fence": 0x0FF0000F,   # fence iorw, iorw
+    "fence.i": 0x0000100F,
+}
+
+#: all real (non-pseudo) mnemonics
+ALL_MNEMONICS = (
+    set(R_OPS) | set(I_ALU_OPS) | set(SHIFT_OPS) | set(LOAD_OPS)
+    | set(STORE_OPS) | set(BRANCH_OPS) | set(CSR_OPS) | set(FIXED_OPS)
+    | {"lui", "auipc", "jal", "jalr"}
+)
+
+
+def hi20(value: int) -> int:
+    """%hi(value): upper 20 bits, compensating for lo12 sign extension."""
+    return ((value + 0x800) >> 12) & 0xFFFFF
+
+
+def lo12(value: int) -> int:
+    """%lo(value): signed low 12 bits."""
+    lo = value & 0xFFF
+    return lo - 0x1000 if lo >= 0x800 else lo

@@ -1,0 +1,21 @@
+"""Benchmark harness: Table I / Table II reproduction + ablations."""
+
+from repro.bench.runner import (
+    Comparison,
+    Measurement,
+    compare_all,
+    compare_workload,
+    run_workload,
+)
+from repro.bench.workloads import TABLE2_ORDER, WORKLOADS, benchmark_policy
+
+__all__ = [
+    "Comparison",
+    "Measurement",
+    "compare_workload",
+    "compare_all",
+    "run_workload",
+    "WORKLOADS",
+    "TABLE2_ORDER",
+    "benchmark_policy",
+]

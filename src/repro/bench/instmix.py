@@ -1,0 +1,116 @@
+"""Dynamic instruction-mix profiling of the guest benchmarks.
+
+DESIGN.md claims each substitute benchmark preserves the *character* of
+the paper's original workload (qsort: compare/branch/call heavy; primes:
+division heavy; sha512: ALU+memory heavy; ...).  This module measures
+that claim: it single-steps a workload, classifies every retired
+instruction, and reports the category distribution.
+
+Categories: ``alu`` (integer op-imm/op incl. lui/auipc), ``muldiv``
+(M extension), ``load``, ``store``, ``branch`` (conditional), ``jump``
+(jal/jalr), ``system`` (csr/ecall/ebreak/mret/wfi/fence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.vp import cpu as cpu_mod
+from repro.vp import decode as D
+from repro.vp.platform import Platform
+
+CATEGORIES = ["alu", "muldiv", "load", "store", "branch", "jump", "system"]
+
+_CATEGORY_OF = {}
+for _op in range(D.N_OPS):
+    if D.LB <= _op <= D.LHU:
+        _CATEGORY_OF[_op] = "load"
+    elif D.SB <= _op <= D.SW:
+        _CATEGORY_OF[_op] = "store"
+    elif D.BEQ <= _op <= D.BGEU:
+        _CATEGORY_OF[_op] = "branch"
+    elif _op in (D.JAL, D.JALR):
+        _CATEGORY_OF[_op] = "jump"
+    elif D.MUL <= _op <= D.REMU:
+        _CATEGORY_OF[_op] = "muldiv"
+    elif D.ADDI <= _op <= D.AND or _op in (D.LUI, D.AUIPC):
+        _CATEGORY_OF[_op] = "alu"
+    else:
+        _CATEGORY_OF[_op] = "system"
+
+
+@dataclass
+class InstructionMix:
+    """Category histogram for one workload."""
+
+    workload: str
+    counts: Dict[str, int] = field(
+        default_factory=lambda: {cat: 0 for cat in CATEGORIES})
+    total: int = 0
+
+    def fraction(self, category: str) -> float:
+        return self.counts[category] / self.total if self.total else 0.0
+
+    def dominant(self) -> str:
+        return max(self.counts, key=self.counts.get)
+
+
+def profile_platform(platform: Platform, name: str,
+                     max_instructions: int = 150_000) -> InstructionMix:
+    """Single-step a loaded platform, tallying instruction categories.
+
+    Ticks the kernel after every step so interrupt-driven workloads
+    (sensor, RTOS) progress; accordingly this is slow — profile at small
+    scales.
+    """
+    platform.detach_cpu_process()
+    cpu = platform.cpu
+    mix = InstructionMix(name)
+    decode = D.decode
+    cache: Dict[int, int] = {}
+    for __ in range(max_instructions):
+        pc = cpu.pc
+        if not (cpu.ram_base <= pc <= cpu.ram_end - 4):
+            break
+        word = cpu.read_word(pc)
+        op = cache.get(word)
+        if op is None:
+            op = decode(word)[0]
+            cache[word] = op
+        executed, reason = cpu.run(1)
+        if not executed:
+            break
+        mix.counts[_CATEGORY_OF[op]] += 1
+        mix.total += 1
+        platform.kernel.run(
+            until=platform.kernel.now + cpu.clock_period)
+        if reason in (cpu_mod.HALT, cpu_mod.EBREAK, cpu_mod.FAULT,
+                      cpu_mod.SECURITY):
+            break
+        if reason == cpu_mod.WFI:
+            # fast-forward to the next event so wfi workloads progress
+            platform.kernel.run(
+                until=platform.kernel.now + cpu.clock_period * 100_000)
+    return mix
+
+
+def profile_workload(name: str, max_instructions: int = 150_000
+                     ) -> InstructionMix:
+    """Profile one registry workload (quick scale, plain VP)."""
+    from repro.bench.workloads import WORKLOADS
+
+    platform = WORKLOADS[name].make_platform("quick", dift=False)
+    return profile_platform(platform, name, max_instructions)
+
+
+def format_mix_table(mixes: List[InstructionMix]) -> str:
+    """Render the distribution table (percent per category)."""
+    header = f"{'workload':<16} {'total':>9} " + " ".join(
+        f"{cat:>7}" for cat in CATEGORIES)
+    lines = [header, "-" * len(header)]
+    for mix in mixes:
+        cells = " ".join(f"{100 * mix.fraction(cat):6.1f}%"
+                         for cat in CATEGORIES)
+        lines.append(f"{mix.workload:<16} {mix.total:>9,} {cells}")
+    return "\n".join(lines)

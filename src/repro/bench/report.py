@@ -1,0 +1,152 @@
+"""One-shot reproduction report: every experiment, one document.
+
+:func:`generate` runs Table I, Table II (at a chosen scale), the
+Section VI-A case study, the LoC-delta measurement and the verification
+harnesses, and returns both a machine-readable dict and a rendered
+markdown report — the artifact a reviewer would ask for.
+
+CLI: ``python -m repro report [--scale full] [-o report.md]``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.bench import locdelta, table1
+from repro.bench.table2 import (
+    PAPER_TABLE2,
+    format_against_paper,
+    format_table,
+    run_table2,
+)
+from repro.casestudy import immobilizer as casestudy
+from repro.verify.differential import sweep
+from repro.verify.policy_fuzz import fuzz_immobilizer, summarize
+
+
+def generate(scale: str = "quick", differential_seeds: int = 5,
+             fuzz_runs: int = 10) -> Dict[str, Any]:
+    """Run everything; returns a results dict (see keys below)."""
+    results: Dict[str, Any] = {"scale": scale}
+
+    # Table I
+    attacks = table1.run_suite()
+    results["table1"] = {
+        "rows": [
+            {"number": r.number, "location": r.location, "target": r.target,
+             "technique": r.technique, "result": r.result}
+            for r in attacks
+        ],
+        "detected": sum(1 for r in attacks if r.result == "Detected"),
+        "na": sum(1 for r in attacks if r.result == "N/A"),
+        "missed": sum(1 for r in attacks if r.result == "MISSED"),
+        "rendered": table1.format_table(attacks),
+    }
+
+    # Table II
+    rows = run_table2(scale=scale)
+    results["table2"] = {
+        "rows": [
+            {"workload": row.workload, "instructions": row.instructions,
+             "loc_asm": row.loc_asm, "vp_seconds": row.vp_seconds,
+             "vp_plus_seconds": row.vp_plus_seconds,
+             "overhead": row.overhead,
+             "paper_overhead": PAPER_TABLE2[row.workload]["ov"]}
+            for row in rows
+        ],
+        "average_overhead": sum(r.overhead for r in rows) / len(rows),
+        "rendered": format_table(rows) + "\n\n" + format_against_paper(rows),
+    }
+
+    # case study
+    scenarios = casestudy.run_case_study()
+    recovered = casestudy.capture_and_brute_force()
+    results["casestudy"] = {
+        "scenarios": [
+            {"name": s.name, "expected": s.expected_detected,
+             "detected": s.detected, "as_expected": s.as_expected}
+            for s in scenarios
+        ],
+        "all_as_expected": all(s.as_expected for s in scenarios),
+        "brute_forced_pin_byte": recovered,
+        "pin_byte_actual": casestudy.PIN[0],
+        "rendered": casestudy.format_report(scenarios),
+    }
+
+    # LoC delta
+    loc = locdelta.analyze()
+    results["loc_delta"] = {
+        "dift_fraction": loc.dift_fraction,
+        "conversion_fraction": loc.conversion_fraction,
+        "rendered": loc.summary(),
+    }
+
+    # verification harnesses
+    diffs = sweep(range(differential_seeds), n_instructions=120)
+    fuzz = fuzz_immobilizer(n_runs=fuzz_runs)
+    results["verification"] = {
+        "differential_equivalent": sum(1 for d in diffs if d.equivalent),
+        "differential_total": len(diffs),
+        "fuzz_sound": sum(1 for f in fuzz if f.sound),
+        "fuzz_total": len(fuzz),
+        "fuzz_rendered": summarize(fuzz),
+    }
+    return results
+
+
+def render_markdown(results: Dict[str, Any]) -> str:
+    """Render the results dict as a standalone markdown report."""
+    t1 = results["table1"]
+    t2 = results["table2"]
+    cs = results["casestudy"]
+    loc = results["loc_delta"]
+    ver = results["verification"]
+
+    lines: List[str] = [
+        "# VP-DIFT reproduction report",
+        "",
+        f"Workload scale: `{results['scale']}`",
+        "",
+        "## Table I — code-injection detection",
+        "",
+        "```",
+        t1["rendered"],
+        "```",
+        "",
+        f"**{t1['detected']} detected / {t1['na']} N/A / "
+        f"{t1['missed']} missed** "
+        "(paper: 10 / 8 / 0).",
+        "",
+        "## Table II — DIFT overhead",
+        "",
+        "```",
+        t2["rendered"],
+        "```",
+        "",
+        f"Average overhead **{t2['average_overhead']:.1f}x** "
+        "(paper: 2.0x).",
+        "",
+        "## Section VI-A — immobilizer case study",
+        "",
+        "```",
+        cs["rendered"],
+        "```",
+        "",
+        f"Brute force through the baseline-policy gap recovered PIN byte "
+        f"`{cs['brute_forced_pin_byte']:#04x}` "
+        f"(actual `{cs['pin_byte_actual']:#04x}`).",
+        "",
+        "## Section V-B1 — integration cost",
+        "",
+        f"> {loc['rendered']}",
+        "",
+        "## Verification harnesses",
+        "",
+        f"* differential VP vs VP+: "
+        f"{ver['differential_equivalent']}/{ver['differential_total']} "
+        "random programs architecturally equivalent",
+        f"* policy fuzzing: {ver['fuzz_sound']}/{ver['fuzz_total']} "
+        "random command scripts handled soundly",
+        "",
+    ]
+    return "\n".join(lines)

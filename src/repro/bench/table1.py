@@ -1,0 +1,124 @@
+"""Table I reproduction: the Wilander–Kamkar code-injection results.
+
+For every attack form: run the attack **unprotected** (plain VP) to prove
+the exploit actually works (the payload executes and prints ``X``), then
+run it on **VP+** with the code-injection policy of Section VI-B — IFP-2,
+program image High-Integrity, fetch clearance HI, serial input (and the
+stand-in payload function) Low-Integrity — and record whether the DIFT
+engine detects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.asm.assembler import Program
+from repro.dift.engine import RECORD
+from repro.policy import SecurityPolicy, builders
+from repro.sw import wk_suite
+from repro.vp.platform import Platform
+
+HI = builders.HI
+LI = builders.LI
+
+
+def code_injection_policy(program: Program) -> SecurityPolicy:
+    """Section VI-B policy: IFP-2, program memory HI, fetch clearance HI.
+
+    The attack payload function (``attack_code``) is classified LI — the
+    paper: "Because the test-suite features a well-defined function as a
+    representation for malicious code, we specifically classify this
+    function as LI before conducting the tests."
+    """
+    policy = SecurityPolicy(builders.ifp2(), default_class=LI,
+                            name="code-injection")
+    text_start, text_end = program.sections[".text"]
+    policy.classify_region(text_start, text_end, HI)
+    atk_start = program.symbol("attack_code")
+    atk_end = program.symbol("attack_code_end")
+    policy.classify_region(atk_start, atk_end, LI)
+    policy.classify_source("uart0.rx", LI)
+    policy.set_execution_clearance(fetch=HI)
+    return policy
+
+
+@dataclass
+class AttackResult:
+    """One Table I row."""
+
+    number: int
+    location: str
+    target: str
+    technique: str
+    applicable: bool
+    exploit_works: Optional[bool]   # payload ran on the unprotected VP
+    detected: Optional[bool]        # DIFT flagged it on VP+
+    detail: str = ""
+
+    @property
+    def result(self) -> str:
+        """The paper's Result column value."""
+        if not self.applicable:
+            return "N/A"
+        return "Detected" if self.detected else "MISSED"
+
+
+_BUDGET = 200_000
+
+
+def run_attack(number: int) -> AttackResult:
+    """Run one attack on the plain VP and on VP+."""
+    spec = wk_suite.spec(number)
+    if not spec.applicable:
+        return AttackResult(spec.number, spec.location, spec.target,
+                            spec.technique, False, None, None, spec.reason)
+
+    program, attacker_input = wk_suite.build_attack(number)
+
+    # 1. unprotected: the payload must actually execute
+    plain = Platform()
+    plain.load(program)
+    plain.uart.feed(attacker_input)
+    plain_result = plain.run(max_instructions=_BUDGET)
+    exploit_works = (plain_result.reason == "ebreak"
+                     and "X" in plain.console())
+
+    # 2. protected: the DIFT engine must detect the injected control flow
+    policy = code_injection_policy(program)
+    protected = Platform(policy=policy, engine_mode=RECORD)
+    protected.load(program)
+    protected.uart.feed(attacker_input)
+    protected_result = protected.run(max_instructions=_BUDGET)
+    detected = protected_result.detected
+    detail = (str(protected_result.violations[0])
+              if protected_result.violations
+              else f"stop={protected_result.reason}")
+
+    return AttackResult(spec.number, spec.location, spec.target,
+                        spec.technique, True, exploit_works, detected,
+                        detail)
+
+
+def run_suite() -> List[AttackResult]:
+    """All 18 rows of Table I."""
+    return [run_attack(spec.number) for spec in wk_suite.SPECS]
+
+
+def format_table(results: List[AttackResult]) -> str:
+    """Render in the paper's Table I layout."""
+    lines = [
+        f"{'Atk #':>5}  {'Location':<14} {'Target':<26} "
+        f"{'Technique':<9} {'Result':<8}",
+        "-" * 70,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.number:>5}  {r.location:<14} {r.target:<26} "
+            f"{r.technique:<9} {r.result:<8}")
+    detected = sum(1 for r in results if r.result == "Detected")
+    na = sum(1 for r in results if r.result == "N/A")
+    lines.append("-" * 70)
+    lines.append(f"detected: {detected}   N/A: {na}   "
+                 f"missed: {len(results) - detected - na}")
+    return "\n".join(lines)

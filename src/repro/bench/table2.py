@@ -1,0 +1,94 @@
+"""Table II reproduction: DIFT performance overhead, VP vs VP+.
+
+Runs the seven benchmarks on both platforms and prints the paper's table:
+benchmark, executed instructions, static assembler LoC, simulation (host)
+time for VP and VP+, MIPS for both, and the overhead factor.
+
+Absolute MIPS differ from the paper by construction (pure-Python ISS vs
+C++), but the comparison is internally honest: identical guest binaries,
+identical platforms, the only delta being the DIFT instrumentation — so
+the overhead column is the reproducible quantity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.runner import Comparison, compare_workload
+from repro.bench.workloads import TABLE2_ORDER
+
+
+def run_table2(scale: str = "quick",
+               workloads: Optional[List[str]] = None) -> List[Comparison]:
+    """Measure every Table II row (paper order)."""
+    names = workloads if workloads is not None else TABLE2_ORDER
+    return [compare_workload(name, scale) for name in names]
+
+
+def _avg(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def format_table(rows: List[Comparison]) -> str:
+    """Render in the paper's Table II layout (plus averages row)."""
+    header = (
+        f"{'Benchmark':<16} {'#instr. exec.':>14} {'LoC ASM':>8} "
+        f"{'VP[s]':>8} {'VP+[s]':>8} {'VP MIPS':>8} {'VP+ MIPS':>9} "
+        f"{'Ov':>6}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<16} {row.instructions:>14,} {row.loc_asm:>8,} "
+            f"{row.vp_seconds:>8.2f} {row.vp_plus_seconds:>8.2f} "
+            f"{row.vp_mips:>8.2f} {row.vp_plus_mips:>9.2f} "
+            f"{row.overhead:>5.1f}x")
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'- average -':<16} "
+        f"{int(_avg([r.instructions for r in rows])):>14,} "
+        f"{int(_avg([r.loc_asm for r in rows])):>8,} "
+        f"{_avg([r.vp_seconds for r in rows]):>8.2f} "
+        f"{_avg([r.vp_plus_seconds for r in rows]):>8.2f} "
+        f"{_avg([r.vp_mips for r in rows]):>8.2f} "
+        f"{_avg([r.vp_plus_mips for r in rows]):>9.2f} "
+        f"{_avg([r.overhead for r in rows]):>5.1f}x")
+    return "\n".join(lines)
+
+
+#: the paper's measured values, for side-by-side comparison in reports
+PAPER_TABLE2 = {
+    "qsort": dict(instr=430_719_182, loc=17_052, vp=11.6, vp_plus=18.3,
+                  vp_mips=37.1, vp_plus_mips=23.5, ov=1.6),
+    "dhrystone": dict(instr=1_370_010_911, loc=17_158, vp=39.1,
+                      vp_plus=60.1, vp_mips=35.1, vp_plus_mips=21.1, ov=1.6),
+    "primes": dict(instr=7_114_988_890, loc=16_793, vp=186.3, vp_plus=390.0,
+                   vp_mips=38.1, vp_plus_mips=18.2, ov=2.1),
+    "sha512": dict(instr=7_578_047_617, loc=17_862, vp=251.6, vp_plus=441.5,
+                   vp_mips=30.1, vp_plus_mips=17.1, ov=1.8),
+    "simple-sensor": dict(instr=1_393_000_060, loc=2_970, vp=67.6,
+                          vp_plus=83.0, vp_mips=20.6, vp_plus_mips=16.7,
+                          ov=1.2),
+    "freertos-tasks": dict(instr=5_937_843_750, loc=11_146, vp=141.6,
+                           vp_plus=411.5, vp_mips=41.9, vp_plus_mips=14.4,
+                           ov=2.9),
+    "immo-fixed": dict(instr=931_083_025, loc=17_188, vp=26.1, vp_plus=46.9,
+                       vp_mips=35.6, vp_plus_mips=19.8, ov=1.8),
+}
+
+
+def format_against_paper(rows: List[Comparison]) -> str:
+    """Side-by-side: measured overhead vs the paper's overhead."""
+    lines = [
+        f"{'Benchmark':<16} {'paper Ov':>9} {'measured Ov':>12}",
+        "-" * 40,
+    ]
+    for row in rows:
+        paper = PAPER_TABLE2.get(row.workload)
+        paper_ov = f"{paper['ov']:.1f}x" if paper else "?"
+        lines.append(f"{row.workload:<16} {paper_ov:>9} "
+                     f"{row.overhead:>11.1f}x")
+    paper_avg = _avg([p["ov"] for p in PAPER_TABLE2.values()])
+    ours_avg = _avg([r.overhead for r in rows])
+    lines.append("-" * 40)
+    lines.append(f"{'- average -':<16} {paper_avg:>8.1f}x {ours_avg:>11.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""The Table II benchmark registry.
+
+Seven workloads matching the paper's set: qsort, dhrystone, primes,
+sha512, simple-sensor, freertos-tasks (rtos), immo-fixed.  Each workload
+knows how to build its guest program at a given *scale* and how to set up
+the platform (peripheral parameters, CAN environment).
+
+Scales: ``"quick"`` for test-suite runs (hundreds of thousands of
+instructions total) and ``"full"`` for the Table II reproduction
+(millions of instructions per benchmark — a few minutes of host time on a
+pure-Python ISS; the paper's binaries ran billions on a C++ VP, we scale
+the iteration counts and keep the workload character).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.asm.assembler import Program
+from repro.policy import SecurityPolicy, builders
+from repro.sw import (
+    dhrystone,
+    immobilizer,
+    primes,
+    qsort,
+    rtos,
+    sensor_app,
+    sha512,
+)
+from repro.sysc.time import SimTime
+from repro.vp.platform import Platform
+
+
+def benchmark_policy() -> SecurityPolicy:
+    """Representative security policy for the VP+ measurements.
+
+    IFP-3 with all three execution-clearance checks enabled and
+    input/output devices cleared — the full per-instruction DIFT cost
+    without (expected) violations.
+    """
+    policy = SecurityPolicy(builders.ifp3(), default_class=builders.LC_LI,
+                            name="benchmark")
+    policy.classify_source("sensor0", builders.LC_LI)
+    policy.classify_source("uart0.rx", builders.LC_LI)
+    policy.classify_source("can0.rx", builders.LC_LI)
+    policy.clear_sink("uart0.tx", builders.LC_LI)
+    policy.clear_sink("can0.tx", builders.LC_LI)
+    policy.set_execution_clearance(fetch=builders.LC_LI,
+                                   branch=builders.LC_LI,
+                                   mem_addr=builders.LC_LI)
+    return policy
+
+
+@dataclass
+class Workload:
+    """One benchmark: program builder + platform configuration."""
+
+    name: str
+    build: Callable[[str], Program]            # scale -> program
+    platform_kwargs: Callable[[str], dict]
+    policy: Callable[[Program], Optional[SecurityPolicy]]
+    prepare: Callable[[Platform, Program, str], None]
+
+    def make_platform(self, scale: str, dift: bool) -> Platform:
+        program = self.build(scale)
+        policy = self.policy(program) if dift else None
+        platform = Platform(policy=policy, **self.platform_kwargs(scale))
+        platform.load(program)
+        self.prepare(platform, program, scale)
+        return platform
+
+
+def _noop_prepare(platform: Platform, program: Program, scale: str) -> None:
+    return None
+
+
+def _default_policy(program: Program) -> SecurityPolicy:
+    return benchmark_policy()
+
+
+def _simple(name, build_quick, build_full, **platform_kwargs) -> Workload:
+    def build(scale: str) -> Program:
+        return build_quick() if scale == "quick" else build_full()
+
+    return Workload(
+        name=name,
+        build=build,
+        platform_kwargs=lambda scale: dict(platform_kwargs),
+        policy=_default_policy,
+        prepare=_noop_prepare,
+    )
+
+
+def _immo_policy(program: Program) -> SecurityPolicy:
+    from repro.casestudy.immobilizer import baseline_policy
+    return baseline_policy(program)
+
+
+def _immo_prepare(platform: Platform, program: Program, scale: str) -> None:
+    from repro.casestudy.immobilizer import PIN, EngineEcu
+    n = 40 if scale == "quick" else 400
+    engine = EngineEcu(platform.can_bus, PIN, n_challenges=n)
+    platform.uart.feed(b"c")
+    engine.start()
+
+
+def _immo_platform_kwargs(scale: str) -> dict:
+    return {"aes_declassify_to": builders.LC_LI}
+
+
+def _make_immo() -> Workload:
+    def build(scale: str) -> Program:
+        n = 40 if scale == "quick" else 400
+        return immobilizer.build(variant="fixed", n_challenges=n)
+
+    return Workload(
+        name="immo-fixed",
+        build=build,
+        platform_kwargs=_immo_platform_kwargs,
+        policy=_immo_policy,
+        prepare=_immo_prepare,
+    )
+
+
+def _make_sensor() -> Workload:
+    def build(scale: str) -> Program:
+        return sensor_app.build(n_frames=50 if scale == "quick" else 1000)
+
+    return Workload(
+        name="simple-sensor",
+        build=build,
+        platform_kwargs=lambda scale: {"sensor_period": SimTime.us(100)},
+        policy=_default_policy,
+        prepare=_noop_prepare,
+    )
+
+
+WORKLOADS: Dict[str, Workload] = {
+    "qsort": _simple(
+        "qsort",
+        lambda: qsort.build(n=1200),
+        lambda: qsort.build(n=16000)),
+    "dhrystone": _simple(
+        "dhrystone",
+        lambda: dhrystone.build(iterations=400),
+        lambda: dhrystone.build(iterations=5000)),
+    "primes": _simple(
+        "primes",
+        lambda: primes.build(limit=3000),
+        lambda: primes.build(limit=20000)),
+    "sha512": _simple(
+        "sha512",
+        lambda: sha512.build(n=512),
+        lambda: sha512.build(n=12 * 1024)),
+    "simple-sensor": _make_sensor(),
+    "freertos-tasks": _simple(
+        "freertos-tasks",
+        lambda: rtos.build(n_ticks=20, tick_us=100),
+        lambda: rtos.build(n_ticks=200, tick_us=100)),
+    "immo-fixed": _make_immo(),
+}
+
+#: paper order for Table II
+TABLE2_ORDER = ["qsort", "dhrystone", "primes", "sha512", "simple-sensor",
+                "freertos-tasks", "immo-fixed"]

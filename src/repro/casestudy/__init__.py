@@ -1,0 +1,25 @@
+"""Case studies: the Section VI-A immobilizer policy-development loop."""
+
+from repro.casestudy.immobilizer import (
+    EngineEcu,
+    ScenarioResult,
+    baseline_policy,
+    brute_force_uniform_pin,
+    capture_and_brute_force,
+    format_report,
+    per_byte_policy,
+    run_case_study,
+    run_scenario,
+)
+
+__all__ = [
+    "EngineEcu",
+    "ScenarioResult",
+    "baseline_policy",
+    "per_byte_policy",
+    "run_scenario",
+    "run_case_study",
+    "capture_and_brute_force",
+    "brute_force_uniform_pin",
+    "format_report",
+]

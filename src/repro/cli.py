@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``asm``          assemble a guest source file to a flat binary (+ listing)
+``disasm``       disassemble a flat binary
+``run``          run a guest on the VP, optionally with a JSON policy (VP+)
+``table1``       regenerate the paper's Table I (code-injection suite)
+``table2``       regenerate the paper's Table II (DIFT overhead)
+``casestudy``    run the Section VI-A immobilizer case study
+``locdelta``     the Section V-B1 LoC integration-cost measurement
+``report``       run every experiment and emit a markdown report
+``differential`` VP-vs-VP+ differential testing on random programs
+``fuzz``         policy stress-fuzzing of the immobilizer firmware
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.asm import assemble, disassemble
+from repro.dift.engine import RAISE, RECORD
+from repro.policy.serialize import policy_from_dict
+from repro.vp.platform import Platform
+
+
+def _cmd_asm(args) -> int:
+    with open(args.source) as handle:
+        program = assemble(handle.read(), base=args.base)
+    out = args.output or (args.source.rsplit(".", 1)[0] + ".bin")
+    with open(out, "wb") as handle:
+        handle.write(program.image)
+    print(f"{out}: {program.size} bytes, {program.n_instructions} "
+          f"instructions, entry {program.entry:#x}")
+    if args.listing:
+        for address, line, text in program.listing:
+            print(f"  {address:08x}  {text}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    with open(args.binary, "rb") as handle:
+        image = handle.read()
+    for line in disassemble(image, base=args.base):
+        print(line)
+    return 0
+
+
+def _load_policy(path: Optional[str]):
+    if path is None:
+        return None
+    with open(path) as handle:
+        return policy_from_dict(json.load(handle))
+
+
+def _cmd_run(args) -> int:
+    with open(args.source) as handle:
+        program = assemble(handle.read(), base=args.base)
+    policy = _load_policy(args.policy)
+    platform = Platform(policy=policy,
+                        engine_mode=RECORD if args.record else RAISE)
+    platform.load(program)
+    if args.uart_input:
+        platform.uart.feed(args.uart_input.encode())
+    result = platform.run(max_instructions=args.max_instructions)
+    print(f"stopped: {result.reason} (exit={result.exit_code}) after "
+          f"{result.instructions} instructions, "
+          f"{result.sim_time.to_ms():.3f} ms simulated, "
+          f"{result.mips:.2f} MIPS host")
+    if platform.console():
+        print(f"uart: {platform.console()!r}")
+    for violation in result.violations:
+        print(f"violation: {violation}")
+    return 1 if result.violations else 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.bench import table1
+
+    results = table1.run_suite()
+    print(table1.format_table(results))
+    missed = [r for r in results if r.result == "MISSED"]
+    return 1 if missed else 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.bench.table2 import (
+        format_against_paper,
+        format_table,
+        run_table2,
+    )
+
+    rows = run_table2(scale=args.scale)
+    print(format_table(rows))
+    print()
+    print(format_against_paper(rows))
+    return 0
+
+
+def _cmd_casestudy(args) -> int:
+    from repro.casestudy import immobilizer as cs
+
+    results = cs.run_case_study()
+    print(cs.format_report(results))
+    recovered = cs.capture_and_brute_force()
+    print()
+    print(f"brute force through the baseline-policy gap: recovered PIN "
+          f"byte {recovered:#04x} (actual {cs.PIN[0]:#04x})")
+    return 0 if all(r.as_expected for r in results) else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import generate, render_markdown
+
+    results = generate(scale=args.scale)
+    markdown = render_markdown(results)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output}")
+    else:
+        print(markdown)
+    ok = (results["table1"]["missed"] == 0
+          and results["casestudy"]["all_as_expected"]
+          and results["verification"]["fuzz_sound"]
+          == results["verification"]["fuzz_total"])
+    return 0 if ok else 1
+
+
+def _cmd_locdelta(args) -> int:
+    from repro.bench import locdelta
+
+    report = locdelta.analyze()
+    print(report.summary())
+    return 0
+
+
+def _cmd_differential(args) -> int:
+    from repro.verify.differential import sweep
+    from repro.verify.reference import compare_with_iss
+
+    results = sweep(range(args.seeds), n_instructions=args.length)
+    failures = [r for r in results if not r.equivalent]
+    total_instructions = sum(r.instructions for r in results)
+    print(f"VP vs VP+: differential-tested {len(results)} programs "
+          f"({total_instructions} instructions total): "
+          f"{len(results) - len(failures)} equivalent")
+    for failure in failures:
+        print(f"  seed {failure.seed}: {failure.mismatch}")
+    if args.oracle:
+        oracle_results = [compare_with_iss(seed, n_instructions=args.length)
+                          for seed in range(args.seeds)]
+        oracle_failures = [r for r in oracle_results if not r.equivalent]
+        print(f"ISS vs reference oracle: "
+              f"{len(oracle_results) - len(oracle_failures)}/"
+              f"{len(oracle_results)} equivalent")
+        for failure in oracle_failures:
+            print(f"  seed {failure.seed}: {failure.mismatch}")
+        failures = failures + oracle_failures
+    return 1 if failures else 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.verify.policy_fuzz import fuzz_immobilizer, summarize
+
+    outcomes = fuzz_immobilizer(n_runs=args.runs, seed=args.seed)
+    print(summarize(outcomes))
+    return 0 if all(o.sound for o in outcomes) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VP-DIFT: DIFT for embedded binaries on a "
+                    "SystemC-style RISC-V virtual prototype")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble a guest source file")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.add_argument("--base", type=lambda x: int(x, 0), default=0)
+    p.add_argument("--listing", action="store_true")
+    p.set_defaults(fn=_cmd_asm)
+
+    p = sub.add_parser("disasm", help="disassemble a flat binary")
+    p.add_argument("binary")
+    p.add_argument("--base", type=lambda x: int(x, 0), default=0)
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("run", help="run a guest on the VP / VP+")
+    p.add_argument("source")
+    p.add_argument("--policy", help="JSON policy file (enables DIFT)")
+    p.add_argument("--base", type=lambda x: int(x, 0), default=0)
+    p.add_argument("--uart-input", default="")
+    p.add_argument("--max-instructions", type=int, default=None)
+    p.add_argument("--record", action="store_true",
+                   help="record violations instead of raising")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("table1", help="reproduce Table I")
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("table2", help="reproduce Table II")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.set_defaults(fn=_cmd_table2)
+
+    p = sub.add_parser("casestudy", help="run the Section VI-A case study")
+    p.set_defaults(fn=_cmd_casestudy)
+
+    p = sub.add_parser("locdelta", help="Section V-B1 LoC measurement")
+    p.set_defaults(fn=_cmd_locdelta)
+
+    p = sub.add_parser("report",
+                       help="run every experiment, emit a markdown report")
+    p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("differential",
+                       help="VP vs VP+ differential testing")
+    p.add_argument("--seeds", type=int, default=10)
+    p.add_argument("--length", type=int, default=200)
+    p.add_argument("--oracle", action="store_true",
+                   help="also compare the ISS against the reference "
+                        "interpreter")
+    p.set_defaults(fn=_cmd_differential)
+
+    p = sub.add_parser("fuzz", help="policy stress-fuzzing")
+    p.add_argument("--runs", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_fuzz)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Dynamic Information Flow Tracking core: Taint type, engine, shadow tags."""
+
+from repro.dift.engine import RAISE, RECORD, DiftEngine, ViolationRecord
+from repro.dift.shadow import MAX_TAG, ShadowTags
+from repro.dift.taint import Taint
+
+__all__ = [
+    "DiftEngine",
+    "ViolationRecord",
+    "RAISE",
+    "RECORD",
+    "Taint",
+    "ShadowTags",
+    "MAX_TAG",
+]

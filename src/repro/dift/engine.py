@@ -1,0 +1,182 @@
+"""The DIFT engine: tag propagation and clearance checking (paper Section V).
+
+The engine binds a :class:`~repro.policy.policy.SecurityPolicy` to run-time
+machinery.  It exposes:
+
+* the precomputed ``lub`` / ``allowed_flow`` tables of the IFP, for O(1)
+  lookups in the ISS hot loop (paper Fig. 2, bottom-right boxes);
+* clearance checks that either raise :class:`SecurityViolation` subclasses
+  (the paper's behaviour: "triggering a runtime error upon violation") or —
+  in *record* mode, used by the attack test-suites — log the violation and
+  signal the caller to stop;
+* the declassification capability check (only trusted HW components may
+  re-tag data, Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import (
+    ClearanceException,
+    DeclassificationError,
+    ExecutionClearanceError,
+)
+from repro.policy.lattice import Tag
+from repro.policy.policy import SecurityPolicy
+
+#: Engine modes: ``"raise"`` throws on violation; ``"record"`` logs and
+#: returns ``False`` from checks so a harness can observe detections.
+RAISE = "raise"
+RECORD = "record"
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One detected security-policy violation."""
+
+    kind: str          # "clearance" or "execution"
+    tag: str           # flowing security class (by name)
+    required: str      # clearance class (by name)
+    unit: str          # sink name or execution unit
+    pc: int            # guest PC if known, else -1
+    context: str       # free-form detail
+
+    def __str__(self) -> str:
+        where = f" pc={self.pc:#010x}" if self.pc >= 0 else ""
+        return (
+            f"[{self.kind}] flow {self.tag} -> {self.required} denied "
+            f"at {self.unit}{where}"
+            + (f" ({self.context})" if self.context else "")
+        )
+
+
+class DiftEngine:
+    """Run-time tag propagation + policy checking for one platform.
+
+    Parameters
+    ----------
+    policy:
+        The security policy to enforce.
+    mode:
+        ``"raise"`` (default) or ``"record"``; see module docstring.
+    """
+
+    def __init__(self, policy: SecurityPolicy, mode: str = RAISE):
+        if mode not in (RAISE, RECORD):
+            raise ValueError(f"unknown engine mode {mode!r}")
+        self.policy = policy
+        self.mode = mode
+        self.lattice = policy.lattice
+        #: ``lub[a][b]`` — tag of LUB(a, b).  Exposed raw for the hot loop.
+        self.lub = self.lattice.lub_table
+        #: ``flow[a][b]`` — True iff flow a -> b allowed.  Raw for hot loop.
+        self.flow = self.lattice.flow_table
+        self.default_tag: Tag = policy.default_tag()
+        self.bottom_tag: Tag = self.lattice.tag_of(self.lattice.bottom)
+        self.violations: List[ViolationRecord] = []
+        #: number of clearance checks performed (all kinds)
+        self.checks_performed = 0
+
+    # ------------------------------------------------------------------ #
+    # propagation
+    # ------------------------------------------------------------------ #
+
+    def lub2(self, a: Tag, b: Tag) -> Tag:
+        """LUB of two tags (bounds-checked; hot paths index ``.lub`` raw)."""
+        return self.lattice.lub_tag(a, b)
+
+    def lub_bytes(self, tags) -> Tag:
+        """LUB across an iterable of byte tags (paper ``from_bytes``)."""
+        lub = self.lub
+        acc = self.bottom_tag
+        for t in tags:
+            acc = lub[acc][t]
+        return acc
+
+    # ------------------------------------------------------------------ #
+    # checking
+    # ------------------------------------------------------------------ #
+
+    def check_flow(
+        self, tag: Tag, required: Tag, unit: str, context: str = "", pc: int = -1
+    ) -> bool:
+        """Generic clearance check: may ``tag`` flow to ``required``?
+
+        Returns ``True`` if allowed.  On violation: raises
+        :class:`ClearanceException` in raise mode, or records and returns
+        ``False`` in record mode.
+        """
+        self.checks_performed += 1
+        if self.flow[tag][required]:
+            return True
+        self._violation("clearance", tag, required, unit, pc, context)
+        return False
+
+    def check_sink(self, sink: str, tag: Tag, context: str = "", pc: int = -1) -> bool:
+        """Check output clearance for a named sink (e.g. ``"uart0.tx"``)."""
+        return self.check_flow(tag, self.policy.sink_tag(sink), sink, context, pc)
+
+    def check_execution(
+        self, unit: str, tag: Tag, required: Tag, pc: int = -1
+    ) -> bool:
+        """Execution-clearance check for ``fetch``/``branch``/``mem-addr``."""
+        self.checks_performed += 1
+        if self.flow[tag][required]:
+            return True
+        self._violation("execution", tag, required, unit, pc, "")
+        return False
+
+    def _violation(
+        self, kind: str, tag: Tag, required: Tag, unit: str, pc: int, context: str
+    ) -> None:
+        record = ViolationRecord(
+            kind=kind,
+            tag=self.lattice.name_of(tag),
+            required=self.lattice.name_of(required),
+            unit=unit,
+            pc=pc,
+            context=context,
+        )
+        self.violations.append(record)
+        if self.mode == RAISE:
+            if kind == "execution":
+                raise ExecutionClearanceError(tag, required, unit, pc)
+            raise ClearanceException(tag, required, f"{unit} {context}".strip())
+
+    # ------------------------------------------------------------------ #
+    # declassification
+    # ------------------------------------------------------------------ #
+
+    def declassify(self, component: str, to_class: str) -> Tag:
+        """Return the tag ``component`` may re-tag data to.
+
+        Raises :class:`DeclassificationError` if the policy does not grant
+        ``component`` that privilege (threat model: only trusted HW).
+        """
+        if not self.policy.may_declassify(component, to_class):
+            raise DeclassificationError(
+                f"component {component!r} may not declassify to {to_class!r}"
+            )
+        return self.lattice.tag_of(to_class)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def last_violation(self) -> Optional[ViolationRecord]:
+        return self.violations[-1] if self.violations else None
+
+    def clear_violations(self) -> None:
+        self.violations.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"DiftEngine(policy={self.policy.name!r}, mode={self.mode!r}, "
+            f"violations={len(self.violations)})"
+        )

@@ -1,0 +1,76 @@
+"""Byte-granular shadow tag storage.
+
+The paper tags every memory byte (``Taint<uint8_t>``).  :class:`ShadowTags`
+is the shared tag store used by RAM and peripherals: a ``bytearray`` of one
+tag per data byte (tags fit in ``uint8_t``, matching the paper's
+``typedef uint8_t Tag``), with bulk operations for the TLM data path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.policy.lattice import Tag
+
+#: Tags are stored per byte in a bytearray, so the lattice may have at most
+#: 256 classes — same bound as the paper's ``uint8_t`` tag.
+MAX_TAG = 255
+
+
+class ShadowTags:
+    """One security tag per data byte, with bulk get/set/LUB helpers."""
+
+    __slots__ = ("tags",)
+
+    def __init__(self, size: int, fill: Tag = 0):
+        if not 0 <= fill <= MAX_TAG:
+            raise ValueError(f"tag {fill} does not fit in uint8")
+        self.tags = bytearray([fill]) * size
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    # ------------------------------------------------------------------ #
+    # single byte
+    # ------------------------------------------------------------------ #
+
+    def get(self, index: int) -> Tag:
+        return self.tags[index]
+
+    def set(self, index: int, tag: Tag) -> None:
+        self.tags[index] = tag
+
+    # ------------------------------------------------------------------ #
+    # ranges
+    # ------------------------------------------------------------------ #
+
+    def get_range(self, start: int, length: int) -> bytes:
+        """Tags of ``length`` bytes starting at ``start``."""
+        return bytes(self.tags[start:start + length])
+
+    def set_range(self, start: int, tags: Iterable[Tag]) -> None:
+        """Write per-byte tags starting at ``start``."""
+        data = bytes(tags)
+        self.tags[start:start + len(data)] = data
+
+    def fill_range(self, start: int, length: int, tag: Tag) -> None:
+        """Tag ``length`` bytes starting at ``start`` with ``tag``."""
+        if not 0 <= tag <= MAX_TAG:
+            raise ValueError(f"tag {tag} does not fit in uint8")
+        self.tags[start:start + length] = bytes([tag]) * length
+
+    def lub_range(self, start: int, length: int, lub_table: List[List[Tag]],
+                  initial: Tag = 0) -> Tag:
+        """LUB of the tags of ``length`` bytes (paper ``from_bytes`` rule)."""
+        acc = initial
+        for t in self.tags[start:start + length]:
+            acc = lub_table[acc][t]
+        return acc
+
+    def uniform(self, start: int, length: int) -> bool:
+        """True iff all ``length`` bytes carry the same tag."""
+        window = self.tags[start:start + length]
+        return len(set(window)) <= 1
+
+    def __repr__(self) -> str:
+        return f"ShadowTags(size={len(self.tags)})"

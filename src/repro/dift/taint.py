@@ -1,0 +1,259 @@
+"""The ``Taint`` data type (paper Fig. 3), in Python.
+
+The paper's C++ ``Taint<T>`` pairs a value with a security tag and uses
+operator overloading so that VP code like ``regs[RD] = regs[RS1] +
+regs[RS2]`` transparently performs both the arithmetic *and* the tag LUB.
+Python operator dunders give us the same transparency: a :class:`Taint`
+behaves like an unsigned integer of a fixed byte width, and every operation
+merges tags through the engine's IFP.
+
+Peripheral models, the TLM payload layer and the policy tooling use
+:class:`Taint` directly (clarity over speed).  The ISS hot loop keeps values
+and tags in parallel arrays instead — an implementation detail with
+identical semantics (see DESIGN.md, "Key implementation decisions").
+
+Mixing a :class:`Taint` with a plain ``int`` is allowed; the plain operand
+is treated as carrying the lattice *bottom* tag (unlabeled constant data).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.dift.engine import DiftEngine
+from repro.policy.lattice import Tag
+
+IntLike = Union[int, "Taint"]
+
+
+class Taint:
+    """An unsigned integer of ``width`` bytes carrying a security tag.
+
+    Parameters
+    ----------
+    value:
+        Initial value; reduced modulo ``2**(8*width)``.
+    tag:
+        Security class tag (dense int from the engine's lattice).
+    engine:
+        The DIFT engine supplying LUB/allowedFlow.
+    width:
+        Byte width of the underlying machine type (1, 2, 4 or 8 —
+        the analogues of ``uint8_t`` … ``uint64_t``).
+    """
+
+    __slots__ = ("value", "tag", "engine", "width")
+
+    def __init__(self, value: int, tag: Tag, engine: DiftEngine, width: int = 4):
+        if width not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported Taint width {width}")
+        self.width = width
+        self.value = value & ((1 << (8 * width)) - 1)
+        self.tag = tag
+        self.engine = engine
+
+    # ------------------------------------------------------------------ #
+    # byte conversion (paper Fig. 3: to_bytes / from_bytes)
+    # ------------------------------------------------------------------ #
+
+    def to_bytes(self) -> List["Taint"]:
+        """Split into ``width`` little-endian byte Taints, same tag each."""
+        return [
+            Taint((self.value >> (8 * i)) & 0xFF, self.tag, self.engine, width=1)
+            for i in range(self.width)
+        ]
+
+    @classmethod
+    def from_bytes(cls, parts: List["Taint"], engine: DiftEngine) -> "Taint":
+        """Rebuild a value from byte Taints; tag = LUB of all byte tags."""
+        if not parts:
+            raise ValueError("from_bytes of empty byte list")
+        value = 0
+        tag = parts[0].tag
+        lub = engine.lub
+        for i, part in enumerate(parts):
+            value |= (part.value & 0xFF) << (8 * i)
+            tag = lub[tag][part.tag]
+        return cls(value, tag, engine, width=len(parts))
+
+    # ------------------------------------------------------------------ #
+    # clearance (paper Fig. 3: check_clearance)
+    # ------------------------------------------------------------------ #
+
+    def check_clearance(self, required_tag: Tag, context: str = "") -> None:
+        """Raise (or record) unless this tag may flow to ``required_tag``."""
+        self.engine.check_flow(self.tag, required_tag, "Taint.check_clearance", context)
+
+    def declassified(self, component: str, to_class: str) -> "Taint":
+        """Copy of this value re-tagged via the engine's declassification."""
+        new_tag = self.engine.declassify(component, to_class)
+        return Taint(self.value, new_tag, self.engine, self.width)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mask(self) -> int:
+        return (1 << (8 * self.width)) - 1
+
+    def signed(self) -> int:
+        """Two's-complement signed interpretation of the value."""
+        sign_bit = 1 << (8 * self.width - 1)
+        return self.value - (1 << (8 * self.width)) if self.value & sign_bit else self.value
+
+    def with_value(self, value: int) -> "Taint":
+        """Same tag, new value."""
+        return Taint(value, self.tag, self.engine, self.width)
+
+    def _coerce(self, other: IntLike) -> "Taint":
+        """Lift a plain int to an untainted (bottom-tag) operand."""
+        if isinstance(other, Taint):
+            if other.engine is not self.engine:
+                raise ValueError("cannot mix Taints from different DIFT engines")
+            return other
+        if isinstance(other, int):
+            return Taint(other, self.engine.bottom_tag, self.engine, self.width)
+        return NotImplemented  # type: ignore[return-value]
+
+    def _binop(self, other: IntLike, fn) -> "Taint":
+        rhs = self._coerce(other)
+        if rhs is NotImplemented:
+            return NotImplemented  # type: ignore[return-value]
+        result = fn(self.value, rhs.value) & self.mask
+        tag = self.engine.lub[self.tag][rhs.tag]
+        return Taint(result, tag, self.engine, self.width)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic / bitwise operators — value op + tag LUB, like the paper's
+    # overloaded operator+ (Fig. 3, Lines 32-37)
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a - b)
+
+    def __rsub__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: b - a)
+
+    def __mul__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a * b)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a // b if b else self.mask)
+
+    def __mod__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a % b if b else a)
+
+    def __and__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a & b)
+
+    __rand__ = __and__
+
+    def __or__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a | b)
+
+    __ror__ = __or__
+
+    def __xor__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a ^ b)
+
+    __rxor__ = __xor__
+
+    def __lshift__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a << (b & (8 * self.width - 1)))
+
+    def __rshift__(self, other: IntLike) -> "Taint":
+        return self._binop(other, lambda a, b: a >> (b & (8 * self.width - 1)))
+
+    def __invert__(self) -> "Taint":
+        return Taint(~self.value & self.mask, self.tag, self.engine, self.width)
+
+    def __neg__(self) -> "Taint":
+        return Taint(-self.value & self.mask, self.tag, self.engine, self.width)
+
+    # ------------------------------------------------------------------ #
+    # comparisons — the *result* of comparing tainted data is itself
+    # tainted (it reveals information about the operands), so comparisons
+    # return a 1-byte Taint holding 0/1.  Use ``==`` via ``eq`` to keep
+    # Python hashing/equality semantics intact for containers.
+    # ------------------------------------------------------------------ #
+
+    def eq(self, other: IntLike) -> "Taint":
+        rhs = self._coerce(other)
+        return Taint(
+            int(self.value == rhs.value),
+            self.engine.lub[self.tag][rhs.tag],
+            self.engine,
+            width=1,
+        )
+
+    def ne(self, other: IntLike) -> "Taint":
+        result = self.eq(other)
+        return Taint(result.value ^ 1, result.tag, self.engine, width=1)
+
+    def lt(self, other: IntLike) -> "Taint":
+        rhs = self._coerce(other)
+        return Taint(
+            int(self.value < rhs.value),
+            self.engine.lub[self.tag][rhs.tag],
+            self.engine,
+            width=1,
+        )
+
+    def lt_signed(self, other: IntLike) -> "Taint":
+        rhs = self._coerce(other)
+        return Taint(
+            int(self.signed() < rhs.signed()),
+            self.engine.lub[self.tag][rhs.tag],
+            self.engine,
+            width=1,
+        )
+
+    # Plain-Python equality compares value AND tag: two Taints are the same
+    # observable object only if both components match.  This keeps Taint
+    # usable in tests and containers without leaking through ``==``.
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Taint):
+            return self.value == other.value and self.tag == other.tag
+        if isinstance(other, int):
+            return self.value == (other & self.mask)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.tag, self.width))
+
+    # ------------------------------------------------------------------ #
+    # conversion — mirroring the paper's implicit-cast convention: casting
+    # a Taint to its plain underlying type requires bottom (e.g. LC)
+    # clearance, "throwing an error otherwise" (Section V-B1).
+    # ------------------------------------------------------------------ #
+
+    def __int__(self) -> int:
+        self.engine.check_flow(
+            self.tag, self.engine.bottom_tag, "Taint.__int__",
+            "implicit cast to untainted type",
+        )
+        return self.value
+
+    def __index__(self) -> int:
+        return self.__int__()
+
+    def expose(self) -> int:
+        """Read the raw value *without* a clearance check.
+
+        Only trusted infrastructure (peripheral internals, the test harness)
+        may use this; guest-visible paths must go through ``__int__`` or an
+        explicit clearance check.
+        """
+        return self.value
+
+    def __repr__(self) -> str:
+        name = self.engine.lattice.name_of(self.tag)
+        return f"Taint({self.value:#x}, {name}, u{8 * self.width})"

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the VP-DIFT library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+Security-policy violations detected at run-time derive from
+:class:`SecurityViolation`; they are the errors the DIFT engine exists to
+raise (paper Section V: "triggering a runtime error upon violation").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class LatticeError(ReproError):
+    """The IFP lattice definition is malformed (not a lattice, unknown class)."""
+
+
+class PolicyError(ReproError):
+    """A security policy is inconsistent or references unknown entities."""
+
+
+class AssemblerError(ReproError):
+    """The RISC-V assembler rejected its input."""
+
+    def __init__(self, message: str, line: int = 0, source: str = ""):
+        self.line = line
+        self.source = source
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The SystemC-style simulation kernel hit an unrecoverable condition."""
+
+
+class BusError(SimulationError):
+    """A TLM transaction could not be routed or was rejected by the target."""
+
+    def __init__(self, message: str, address: int = -1):
+        self.address = address
+        super().__init__(message)
+
+
+class GuestFault(SimulationError):
+    """The guest program performed an illegal action (bad fetch, bad opcode)."""
+
+    def __init__(self, message: str, pc: int = -1):
+        self.pc = pc
+        super().__init__(message)
+
+
+class SecurityViolation(ReproError):
+    """Base class for run-time security-policy violations.
+
+    Attributes mirror what an engineer developing a policy needs for triage:
+    the flowing tag, the required clearance tag, and free-form context
+    (which unit raised the check, at which PC / address).
+    """
+
+    def __init__(self, tag: int, required: int, context: str = ""):
+        self.tag = tag
+        self.required = required
+        self.context = context
+        super().__init__(
+            f"information flow violation: tag {tag} does not satisfy "
+            f"clearance {required}" + (f" [{context}]" if context else "")
+        )
+
+
+class ClearanceException(SecurityViolation):
+    """Output/peripheral clearance check failed (paper Fig. 3, Line 28)."""
+
+
+class ExecutionClearanceError(SecurityViolation):
+    """Execution clearance check failed (branch / fetch / memory address).
+
+    ``unit`` identifies the CPU execution unit: ``"fetch"``, ``"branch"``
+    or ``"mem-addr"`` (paper Section V-B2).
+    """
+
+    def __init__(self, tag: int, required: int, unit: str, pc: int = -1):
+        self.unit = unit
+        self.pc = pc
+        ctx = f"unit={unit}"
+        if pc >= 0:
+            ctx += f" pc={pc:#010x}"
+        super().__init__(tag, required, ctx)
+
+
+class DeclassificationError(ReproError):
+    """An untrusted component attempted to declassify data."""

@@ -1,0 +1,31 @@
+"""Security policies: IFP lattices, classification, clearance.
+
+See the paper's Section IV.  Quick start::
+
+    from repro.policy import builders, SecurityPolicy
+
+    ifp = builders.ifp3()
+    policy = SecurityPolicy(ifp, default_class=builders.LC_LI)
+    policy.classify_region(0x1000, 0x1010, builders.HC_HI)   # the secret key
+    policy.clear_sink("uart0.tx", builders.LC_LI)
+    policy.set_execution_clearance(fetch=builders.LC_LI)
+"""
+
+from repro.policy.lattice import Lattice, Tag, chain, product
+from repro.policy.policy import (
+    ExecutionClearance,
+    MemoryClassification,
+    SecurityPolicy,
+)
+from repro.policy import builders
+
+__all__ = [
+    "Lattice",
+    "Tag",
+    "chain",
+    "product",
+    "ExecutionClearance",
+    "MemoryClassification",
+    "SecurityPolicy",
+    "builders",
+]

@@ -1,0 +1,84 @@
+"""Pre-built Information Flow Policies from the paper (Fig. 1).
+
+* :func:`ifp1` — confidentiality: ``LC -> HC`` (secret data must not leave).
+* :func:`ifp2` — integrity: ``HI -> LI`` (untrusted data must not influence
+  trusted state).
+* :func:`ifp3` — the product of IFP-1 and IFP-2 with the four classes
+  ``(LC,HI)``, ``(LC,LI)``, ``(HC,HI)``, ``(HC,LI)``.
+* :func:`per_byte_key_ifp` — the Section VI-A fix: one confidentiality class
+  per key byte so that key bytes cannot be substituted for one another
+  without tripping the policy.
+
+Class-name constants (``LC``, ``HC``, ``HI``, ``LI``) are exported so policy
+code never hard-codes strings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.policy.lattice import Lattice, product
+
+LC = "LC"  # Low-Confidentiality (public)
+HC = "HC"  # High-Confidentiality (secret)
+HI = "HI"  # High-Integrity (trusted)
+LI = "LI"  # Low-Integrity (untrusted)
+
+
+def ifp1() -> Lattice:
+    """Confidentiality IFP: data may flow LC -> HC but never HC -> LC."""
+    return Lattice([LC, HC], [(LC, HC)])
+
+
+def ifp2() -> Lattice:
+    """Integrity IFP: data may flow HI -> LI but never LI -> HI."""
+    return Lattice([HI, LI], [(HI, LI)])
+
+
+def ifp3() -> Lattice:
+    """Combined confidentiality+integrity IFP (product of IFP-1 and IFP-2).
+
+    The paper's example holds here:
+    ``LUB((LC,LI), (HC,HI)) == (HC,LI)`` — combining untrusted-public data
+    with trusted-secret data yields untrusted-secret data.
+    """
+    return product(ifp1(), ifp2())
+
+
+def ifp3_class(conf: str, integ: str) -> str:
+    """Name of the IFP-3 class for a (confidentiality, integrity) pair."""
+    if conf not in (LC, HC) or integ not in (HI, LI):
+        raise ValueError(f"not an IFP-3 component pair: ({conf}, {integ})")
+    return f"({conf},{integ})"
+
+
+#: The four IFP-3 class names, for convenience.
+LC_HI = ifp3_class(LC, HI)
+LC_LI = ifp3_class(LC, LI)
+HC_HI = ifp3_class(HC, HI)
+HC_LI = ifp3_class(HC, LI)
+
+
+def per_byte_key_ifp(n_key_bytes: int) -> Tuple[Lattice, Sequence[str]]:
+    """IFP-3 extended with one secret class per key byte (Section VI-A fix).
+
+    Each key byte *i* gets its own class ``(HCi,HI)`` sitting strictly above
+    ``(LC,HI)`` in confidentiality.  Distinct key-byte classes are
+    incomparable, so copying byte 1 over byte 2 produces a value whose tag is
+    the LUB of two incomparable secret classes — the shared top ``(HCtop,LI)``
+    family — and any subsequent *integrity-sensitive* use fails.  More
+    directly, a store of class ``(HC1,*)`` into a location that must only
+    ever be written with class ``(HC2,HI)`` data fails ``allowedFlow``.
+
+    Returns the lattice and the per-byte class names (integrity-high
+    variants), ``classes[i]`` being the class for key byte ``i``.
+    """
+    if n_key_bytes < 1:
+        raise ValueError("need at least one key byte")
+    conf_names = [LC] + [f"HC{i}" for i in range(n_key_bytes)] + ["HCtop"]
+    conf_flows = [(LC, f"HC{i}") for i in range(n_key_bytes)]
+    conf_flows += [(f"HC{i}", "HCtop") for i in range(n_key_bytes)]
+    conf = Lattice(conf_names, conf_flows)
+    lattice = product(conf, ifp2())
+    byte_classes = [f"(HC{i},HI)" for i in range(n_key_bytes)]
+    return lattice, byte_classes

@@ -1,0 +1,272 @@
+"""Finite security lattices for Information Flow Policies (IFPs).
+
+An IFP (paper Section IV-A) is a lattice of security classes.  Information
+may flow from class ``X`` to class ``Y`` iff the lattice order permits it
+(``allowed_flow(X, Y)``), and the class of data produced by combining two
+operands is their *Least Upper Bound* (LUB).
+
+This module provides a general finite-lattice implementation built from a
+cover relation (Hasse diagram edges).  Security classes are referred to by
+name at the API level; internally each class is mapped to a dense integer
+*tag* so the DIFT engine can use O(1) table lookups in hot paths
+(:attr:`Lattice.lub_table`, :attr:`Lattice.flow_table`).
+
+The direction convention matches the paper: an edge ``A -> B`` in the IFP
+means data of class ``A`` may flow to places cleared for class ``B``.  The
+lattice *top* is therefore the most restrictive class (e.g. ``HC`` in IFP-1)
+and *bottom* the least restrictive (``LC``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import LatticeError
+
+Tag = int
+
+
+class Lattice:
+    """A finite lattice of named security classes.
+
+    Parameters
+    ----------
+    classes:
+        Iterable of unique class names.  Their order defines the dense tag
+        numbering (``tag_of(classes[i]) == i``).
+    flows:
+        Iterable of ``(src, dst)`` cover edges meaning "data of class *src*
+        may flow to *dst*".  Reflexive and transitive closure is applied
+        automatically.
+
+    Raises
+    ------
+    LatticeError
+        If the relation is not a partial order (has cycles between distinct
+        classes) or if some pair of classes lacks a unique least upper bound
+        (i.e. the poset is not a lattice).
+    """
+
+    def __init__(self, classes: Iterable[str], flows: Iterable[Tuple[str, str]]):
+        self._names: List[str] = list(classes)
+        if len(set(self._names)) != len(self._names):
+            raise LatticeError("duplicate security class names")
+        if not self._names:
+            raise LatticeError("a lattice needs at least one security class")
+        self._tags: Dict[str, Tag] = {name: i for i, name in enumerate(self._names)}
+
+        n = len(self._names)
+        # reachable[a][b] == True iff flow a -> b allowed (reflexive-transitive
+        # closure of the cover edges).
+        reach = [[False] * n for _ in range(n)]
+        for i in range(n):
+            reach[i][i] = True
+        for src, dst in flows:
+            reach[self._require(src)][self._require(dst)] = True
+        # Floyd-Warshall style transitive closure; n is small (policy-sized).
+        for k in range(n):
+            rk = reach[k]
+            for i in range(n):
+                if reach[i][k]:
+                    ri = reach[i]
+                    for j in range(n):
+                        if rk[j]:
+                            ri[j] = True
+        # Antisymmetry: two distinct classes must not flow into each other.
+        for i in range(n):
+            for j in range(i + 1, n):
+                if reach[i][j] and reach[j][i]:
+                    raise LatticeError(
+                        f"classes {self._names[i]!r} and {self._names[j]!r} "
+                        "flow into each other; the IFP must be a partial order"
+                    )
+
+        self._flow = reach
+        self._lub = self._compute_lub_table(reach)
+        self._glb = self._compute_glb_table(reach)
+        self._top = self._find_extreme(reach, top=True)
+        self._bottom = self._find_extreme(reach, top=False)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _require(self, name: str) -> Tag:
+        try:
+            return self._tags[name]
+        except KeyError:
+            raise LatticeError(f"unknown security class {name!r}") from None
+
+    def _compute_lub_table(self, reach: List[List[bool]]) -> List[List[Tag]]:
+        n = len(self._names)
+        table: List[List[Tag]] = [[0] * n for _ in range(n)]
+        for a in range(n):
+            for b in range(n):
+                # upper bounds: classes c with a -> c and b -> c
+                uppers = [c for c in range(n) if reach[a][c] and reach[b][c]]
+                if not uppers:
+                    raise LatticeError(
+                        f"classes {self._names[a]!r} and {self._names[b]!r} "
+                        "have no common upper bound; the IFP is not a lattice"
+                    )
+                # least: the upper bound that flows into every other one
+                least = [c for c in uppers if all(reach[c][u] for u in uppers)]
+                if len(least) != 1:
+                    raise LatticeError(
+                        f"classes {self._names[a]!r} and {self._names[b]!r} "
+                        "lack a unique least upper bound"
+                    )
+                table[a][b] = least[0]
+        return table
+
+    def _compute_glb_table(self, reach: List[List[bool]]) -> List[List[Tag]]:
+        n = len(self._names)
+        table: List[List[Tag]] = [[0] * n for _ in range(n)]
+        for a in range(n):
+            for b in range(n):
+                lowers = [c for c in range(n) if reach[c][a] and reach[c][b]]
+                if not lowers:
+                    raise LatticeError(
+                        f"classes {self._names[a]!r} and {self._names[b]!r} "
+                        "have no common lower bound; the IFP is not a lattice"
+                    )
+                greatest = [c for c in lowers if all(reach[l][c] for l in lowers)]
+                if len(greatest) != 1:
+                    raise LatticeError(
+                        f"classes {self._names[a]!r} and {self._names[b]!r} "
+                        "lack a unique greatest lower bound"
+                    )
+                table[a][b] = greatest[0]
+        return table
+
+    def _find_extreme(self, reach: List[List[bool]], top: bool) -> Tag:
+        n = len(self._names)
+        for c in range(n):
+            if top and all(reach[x][c] for x in range(n)):
+                return c
+            if not top and all(reach[c][x] for x in range(n)):
+                return c
+        raise LatticeError("lattice has no top/bottom element")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # queries (name level)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def classes(self) -> Sequence[str]:
+        """All security class names, in tag order."""
+        return tuple(self._names)
+
+    @property
+    def top(self) -> str:
+        """The most restrictive class (every class may flow into it)."""
+        return self._names[self._top]
+
+    @property
+    def bottom(self) -> str:
+        """The least restrictive class (it may flow into every class)."""
+        return self._names[self._bottom]
+
+    def tag_of(self, name: str) -> Tag:
+        """Dense integer tag for a class name."""
+        return self._require(name)
+
+    def name_of(self, tag: Tag) -> str:
+        """Class name for a dense integer tag."""
+        if not 0 <= tag < len(self._names):
+            raise LatticeError(f"tag {tag} out of range")
+        return self._names[tag]
+
+    def allowed_flow(self, src: str, dst: str) -> bool:
+        """May information of class ``src`` flow to class ``dst``?"""
+        return self._flow[self._require(src)][self._require(dst)]
+
+    def lub(self, a: str, b: str) -> str:
+        """Least upper bound of two classes, by name."""
+        return self._names[self._lub[self._require(a)][self._require(b)]]
+
+    def glb(self, a: str, b: str) -> str:
+        """Greatest lower bound of two classes, by name."""
+        return self._names[self._glb[self._require(a)][self._require(b)]]
+
+    def lub_many(self, names: Iterable[str]) -> str:
+        """LUB of an arbitrary non-empty collection of classes."""
+        it = iter(names)
+        try:
+            acc = self._require(next(it))
+        except StopIteration:
+            raise LatticeError("lub_many of empty collection") from None
+        for name in it:
+            acc = self._lub[acc][self._require(name)]
+        return self._names[acc]
+
+    # ------------------------------------------------------------------ #
+    # queries (tag level — used by the DIFT engine hot paths)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lub_table(self) -> List[List[Tag]]:
+        """``lub_table[a][b]`` is the tag of LUB(a, b).  Do not mutate."""
+        return self._lub
+
+    @property
+    def flow_table(self) -> List[List[bool]]:
+        """``flow_table[a][b]`` iff flow a -> b is allowed.  Do not mutate."""
+        return self._flow
+
+    def lub_tag(self, a: Tag, b: Tag) -> Tag:
+        """LUB on raw tags (bounds-checked convenience wrapper)."""
+        n = len(self._names)
+        if not (0 <= a < n and 0 <= b < n):
+            raise LatticeError(f"tag out of range: lub({a}, {b})")
+        return self._lub[a][b]
+
+    def allowed_flow_tag(self, src: Tag, dst: Tag) -> bool:
+        """allowedFlow on raw tags (bounds-checked convenience wrapper)."""
+        n = len(self._names)
+        if not (0 <= src < n and 0 <= dst < n):
+            raise LatticeError(f"tag out of range: allowed_flow({src}, {dst})")
+        return self._flow[src][dst]
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tags
+
+    def __repr__(self) -> str:
+        return f"Lattice({list(self._names)!r}, top={self.top!r}, bottom={self.bottom!r})"
+
+
+def product(a: Lattice, b: Lattice, joiner: str = ",") -> Lattice:
+    """Product lattice of two IFPs (paper Fig. 1, IFP-3 = IFP-1 x IFP-2).
+
+    Class names are ``f"({x}{joiner}{y})"`` for x in ``a`` and y in ``b``.
+    A flow is allowed iff it is allowed component-wise, exactly as the paper
+    defines the combination of confidentiality and integrity.
+    """
+    names = [f"({x}{joiner}{y})" for x in a.classes for y in b.classes]
+    flows = []
+    for x1 in a.classes:
+        for y1 in b.classes:
+            for x2 in a.classes:
+                for y2 in b.classes:
+                    if a.allowed_flow(x1, x2) and b.allowed_flow(y1, y2):
+                        flows.append(
+                            (f"({x1}{joiner}{y1})", f"({x2}{joiner}{y2})")
+                        )
+    return Lattice(names, flows)
+
+
+def chain(names: Sequence[str]) -> Lattice:
+    """Total-order lattice: ``names[0]`` flows to ``names[1]`` flows to ...
+
+    ``names[0]`` is the bottom (least restrictive) class.
+    """
+    if not names:
+        raise LatticeError("chain of zero classes")
+    return Lattice(names, [(names[i], names[i + 1]) for i in range(len(names) - 1)])

@@ -1,0 +1,235 @@
+"""Security policies: classification, IFP, clearance (paper Section IV-A).
+
+A :class:`SecurityPolicy` bundles the three components the paper defines:
+
+1. **classification** — which security class data carries when it enters the
+   system.  Two granularities are supported: named *sources* (peripheral
+   inputs such as ``"sensor0"`` or ``"uart0.rx"``) and *memory regions*
+   (e.g. the secret key bytes, or the program image classified ``HI`` at
+   load time).
+2. **IFP** — the lattice (see :mod:`repro.policy.lattice`).
+3. **clearance** — which security classes may reach named *sinks*
+   (peripheral outputs such as ``"uart0.tx"``) and the *execution
+   clearance* of the three CPU units the paper identifies: instruction
+   fetch, branch condition, and memory-access address (Section V-B2).
+
+Declassification (Section IV-A) is modelled as a privilege: only component
+names registered via :meth:`SecurityPolicy.allow_declassification` may
+re-tag data, and the DIFT engine enforces that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.policy.lattice import Lattice, Tag
+
+
+@dataclass(frozen=True)
+class MemoryClassification:
+    """Classify guest physical bytes ``[start, end)`` as ``security_class``."""
+
+    start: int
+    end: int
+    security_class: str
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise PolicyError(
+                f"empty memory classification [{self.start:#x}, {self.end:#x})"
+            )
+
+    def __contains__(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+@dataclass
+class ExecutionClearance:
+    """Per-unit execution clearance (paper Section V-B2).
+
+    Each field names the security class the unit is cleared for, or ``None``
+    to disable the check entirely (useful for ablation studies).  A check
+    passes iff ``allowedFlow(data_class, unit_class)``.
+    """
+
+    fetch: Optional[str] = None
+    branch: Optional[str] = None
+    mem_addr: Optional[str] = None
+
+    def units(self) -> Iterator[Tuple[str, Optional[str]]]:
+        yield "fetch", self.fetch
+        yield "branch", self.branch
+        yield "mem-addr", self.mem_addr
+
+
+class SecurityPolicy:
+    """A complete security policy over a given IFP lattice.
+
+    Parameters
+    ----------
+    lattice:
+        The Information Flow Policy.
+    default_class:
+        Class assigned to data with no explicit classification.  Defaults to
+        the lattice bottom (least restrictive), which matches the usual
+        convention that unlabeled data is public/untrusted-neutral.
+    name:
+        Human-readable policy name, used in reports.
+    """
+
+    def __init__(
+        self,
+        lattice: Lattice,
+        default_class: Optional[str] = None,
+        name: str = "policy",
+    ):
+        self.name = name
+        self.lattice = lattice
+        self._default = default_class if default_class is not None else lattice.bottom
+        if self._default not in lattice:
+            raise PolicyError(f"default class {self._default!r} not in lattice")
+        self._sources: Dict[str, str] = {}
+        self._sinks: Dict[str, str] = {}
+        self._regions: List[MemoryClassification] = []
+        self._declassifiers: Dict[str, Optional[str]] = {}
+        self.execution = ExecutionClearance()
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+
+    @property
+    def default_class(self) -> str:
+        """Class of unlabeled data."""
+        return self._default
+
+    def classify_source(self, source: str, security_class: str) -> "SecurityPolicy":
+        """Assign a class to a named input source (e.g. ``"sensor0"``)."""
+        self._check_class(security_class)
+        self._sources[source] = security_class
+        return self
+
+    def classify_region(
+        self, start: int, end: int, security_class: str
+    ) -> "SecurityPolicy":
+        """Assign a class to guest memory bytes ``[start, end)``.
+
+        Later classifications take precedence over earlier ones for
+        overlapping ranges, so a broad "program image is HI" rule can be
+        refined with a narrow "key bytes are (HC,HI)" rule.
+        """
+        self._check_class(security_class)
+        self._regions.append(MemoryClassification(start, end, security_class))
+        return self
+
+    def source_class(self, source: str) -> str:
+        """Class of a named source (default class if unclassified)."""
+        return self._sources.get(source, self._default)
+
+    def region_class(self, address: int) -> str:
+        """Class of a memory byte at load time (last matching rule wins)."""
+        result = self._default
+        for region in self._regions:
+            if address in region:
+                result = region.security_class
+        return result
+
+    def iter_regions(self) -> Iterator[MemoryClassification]:
+        """All region classifications, in declaration order."""
+        return iter(self._regions)
+
+    # ------------------------------------------------------------------ #
+    # clearance
+    # ------------------------------------------------------------------ #
+
+    def clear_sink(self, sink: str, security_class: str) -> "SecurityPolicy":
+        """Assign output clearance to a named sink (e.g. ``"uart0.tx"``)."""
+        self._check_class(security_class)
+        self._sinks[sink] = security_class
+        return self
+
+    def sink_clearance(self, sink: str) -> str:
+        """Clearance class of a named sink (default class if uncleared)."""
+        return self._sinks.get(sink, self._default)
+
+    def has_sink(self, sink: str) -> bool:
+        """Was an explicit clearance declared for this sink?"""
+        return sink in self._sinks
+
+    def set_execution_clearance(
+        self,
+        fetch: Optional[str] = None,
+        branch: Optional[str] = None,
+        mem_addr: Optional[str] = None,
+    ) -> "SecurityPolicy":
+        """Configure the CPU execution clearance (any subset of the units)."""
+        for cls in (fetch, branch, mem_addr):
+            if cls is not None:
+                self._check_class(cls)
+        self.execution = ExecutionClearance(fetch=fetch, branch=branch, mem_addr=mem_addr)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # declassification
+    # ------------------------------------------------------------------ #
+
+    def allow_declassification(
+        self, component: str, to_class: Optional[str] = None
+    ) -> "SecurityPolicy":
+        """Grant a (trusted HW) component the right to declassify data.
+
+        ``to_class`` optionally pins the class the component declassifies
+        *to*; ``None`` allows re-tagging to any class.  Per the threat model
+        only hardware peripherals should be granted this.
+        """
+        if to_class is not None:
+            self._check_class(to_class)
+        self._declassifiers[component] = to_class
+        return self
+
+    def may_declassify(self, component: str, to_class: str) -> bool:
+        """May ``component`` re-tag data to ``to_class``?"""
+        if component not in self._declassifiers:
+            return False
+        pinned = self._declassifiers[component]
+        return pinned is None or pinned == to_class
+
+    # ------------------------------------------------------------------ #
+    # tag-level helpers (for the DIFT engine)
+    # ------------------------------------------------------------------ #
+
+    def tag_of(self, security_class: str) -> Tag:
+        """Dense tag for a class name (delegates to the lattice)."""
+        return self.lattice.tag_of(security_class)
+
+    def default_tag(self) -> Tag:
+        """Tag of the default class."""
+        return self.lattice.tag_of(self._default)
+
+    def source_tag(self, source: str) -> Tag:
+        """Tag of a named source's class."""
+        return self.lattice.tag_of(self.source_class(source))
+
+    def sink_tag(self, sink: str) -> Tag:
+        """Tag of a named sink's clearance class."""
+        return self.lattice.tag_of(self.sink_clearance(sink))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _check_class(self, security_class: str) -> None:
+        if security_class not in self.lattice:
+            raise PolicyError(
+                f"security class {security_class!r} is not part of the IFP "
+                f"(known: {list(self.lattice.classes)})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"SecurityPolicy({self.name!r}, classes={len(self.lattice)}, "
+            f"sources={len(self._sources)}, sinks={len(self._sinks)}, "
+            f"regions={len(self._regions)})"
+        )

@@ -1,0 +1,112 @@
+"""Security-policy (de)serialization.
+
+Policies are plain data — a lattice, some maps — so they round-trip
+through dictionaries (and hence JSON/TOML files, which is how the CLI
+accepts them).  Format::
+
+    {
+      "name": "immobilizer",
+      "ifp": "ifp3",                      # builtin name, or an object:
+      # "ifp": {"classes": [...], "flows": [["LC","HC"], ...]},
+      "default_class": "(LC,LI)",
+      "sources": {"can0.rx": "(LC,LI)"},
+      "sinks": {"uart0.tx": "(LC,LI)"},
+      "regions": [[4096, 4112, "(HC,HI)"]],
+      "execution": {"fetch": "(LC,LI)", "branch": null, "mem_addr": null},
+      "declassify": {"aes0": "(LC,LI)"}   # value null = any target class
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import PolicyError
+from repro.policy import builders
+from repro.policy.lattice import Lattice
+from repro.policy.policy import SecurityPolicy
+
+_BUILTIN_IFPS = {
+    "ifp1": builders.ifp1,
+    "ifp2": builders.ifp2,
+    "ifp3": builders.ifp3,
+}
+
+
+def lattice_from_spec(spec: Any) -> Lattice:
+    """Build a lattice from a builtin name or a classes/flows object."""
+    if isinstance(spec, str):
+        try:
+            return _BUILTIN_IFPS[spec]()
+        except KeyError:
+            raise PolicyError(
+                f"unknown builtin IFP {spec!r} "
+                f"(known: {sorted(_BUILTIN_IFPS)})") from None
+    if isinstance(spec, dict):
+        try:
+            classes = spec["classes"]
+            flows = [tuple(edge) for edge in spec.get("flows", [])]
+        except (KeyError, TypeError) as exc:
+            raise PolicyError(f"malformed IFP spec: {exc}") from exc
+        return Lattice(classes, flows)
+    raise PolicyError(f"IFP spec must be a name or an object, got {spec!r}")
+
+
+def lattice_to_spec(lattice: Lattice) -> Dict[str, Any]:
+    """Serialize a lattice as its full (reflexive-transitively closed)
+    flow relation.  Round-trips through :func:`lattice_from_spec`."""
+    flows = [
+        [a, b]
+        for a in lattice.classes
+        for b in lattice.classes
+        if a != b and lattice.allowed_flow(a, b)
+    ]
+    return {"classes": list(lattice.classes), "flows": flows}
+
+
+def policy_from_dict(data: Dict[str, Any]) -> SecurityPolicy:
+    """Deserialize a :class:`SecurityPolicy`."""
+    lattice = lattice_from_spec(data.get("ifp", "ifp1"))
+    policy = SecurityPolicy(
+        lattice,
+        default_class=data.get("default_class"),
+        name=data.get("name", "policy"),
+    )
+    for source, cls in data.get("sources", {}).items():
+        policy.classify_source(source, cls)
+    for sink, cls in data.get("sinks", {}).items():
+        policy.clear_sink(sink, cls)
+    for region in data.get("regions", []):
+        if len(region) != 3:
+            raise PolicyError(f"region must be [start, end, class]: {region}")
+        start, end, cls = region
+        policy.classify_region(int(start), int(end), cls)
+    execution = data.get("execution", {})
+    if execution:
+        policy.set_execution_clearance(
+            fetch=execution.get("fetch"),
+            branch=execution.get("branch"),
+            mem_addr=execution.get("mem_addr"),
+        )
+    for component, target in data.get("declassify", {}).items():
+        policy.allow_declassification(component, target)
+    return policy
+
+
+def policy_to_dict(policy: SecurityPolicy) -> Dict[str, Any]:
+    """Serialize a :class:`SecurityPolicy` (round-trips with from_dict)."""
+    return {
+        "name": policy.name,
+        "ifp": lattice_to_spec(policy.lattice),
+        "default_class": policy.default_class,
+        "sources": dict(policy._sources),
+        "sinks": dict(policy._sinks),
+        "regions": [[r.start, r.end, r.security_class]
+                    for r in policy.iter_regions()],
+        "execution": {
+            "fetch": policy.execution.fetch,
+            "branch": policy.execution.branch,
+            "mem_addr": policy.execution.mem_addr,
+        },
+        "declassify": dict(policy._declassifiers),
+    }

@@ -1,0 +1,29 @@
+"""Guest software: runtime library, benchmarks, attack suites.
+
+Every module provides ``source(...) -> str`` (assembly text) and
+``build(...) -> Program`` (assembled binary).
+"""
+
+from repro.sw import (
+    dhrystone,
+    immobilizer,
+    primes,
+    qsort,
+    rtos,
+    runtime,
+    sensor_app,
+    sha512,
+    wk_suite,
+)
+
+__all__ = [
+    "runtime",
+    "qsort",
+    "dhrystone",
+    "primes",
+    "sha512",
+    "sensor_app",
+    "rtos",
+    "immobilizer",
+    "wk_suite",
+]

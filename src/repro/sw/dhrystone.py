@@ -1,0 +1,146 @@
+"""Guest benchmark: Dhrystone-style synthetic integer workload.
+
+Reproduces the classic Dhrystone 2.1 loop structure at the machine level:
+per iteration it performs a 48-byte record assignment, two 30-character
+string operations (copy + compare), nested procedure calls passing values
+and pointers, array element updates (``Arr_1[8]``, ``Arr_2[8][7]``) and
+the familiar integer identity computations.  The point — as in the paper —
+is the instruction *mix* (byte loads/stores, calls, short branches), not
+the DMIPS number.
+
+Prints the final check value; exit code 0 if the run's invariants held.
+"""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.sw import runtime
+
+
+def source(iterations: int = 20_000) -> str:
+    return runtime.program(f"""
+.equ RUNS, {iterations}
+
+.text
+main:
+    addi sp, sp, -32
+    sw   ra, 28(sp)
+    sw   s0, 24(sp)
+    sw   s1, 20(sp)
+    sw   s2, 16(sp)
+
+    li   s0, RUNS           # loop counter
+    li   s1, 0              # Int_Glob accumulator
+    li   s2, 0              # error flag
+
+dhry_loop:
+    beqz s0, dhry_done
+
+    # ---- Proc_8-alike: array updates ----
+    la   t0, arr1
+    li   t1, 8
+    slli t2, t1, 2
+    add  t2, t2, t0
+    add  t3, s1, t1
+    sw   t3, 0(t2)          # Arr_1[8] = Int_Loc
+    la   t0, arr2
+    li   t4, 8 * 50 + 7
+    slli t4, t4, 2
+    add  t4, t4, t0
+    sw   t3, 0(t4)          # Arr_2[8][7] = Int_Loc
+
+    # ---- record assignment: *Ptr_Glob = *Next_Ptr_Glob (48 bytes) ----
+    la   a0, record_a
+    la   a1, record_b
+    li   a2, 48
+    call memcpy
+
+    # ---- Proc_6-alike: enumeration juggling ----
+    lw   t0, 8(a0)          # Enum_Comp
+    addi t0, t0, 1
+    li   t1, 5
+    blt  t0, t1, enum_ok
+    li   t0, 0
+enum_ok:
+    sw   t0, 8(a0)
+
+    # ---- string copy + compare (Func_2-alike) ----
+    la   a0, str_loc
+    la   a1, str_1
+    call strcpy
+    la   a0, str_loc
+    la   a1, str_2
+    call strcmp30
+    beqz a0, strings_equal  # must differ
+    j    strings_done
+strings_equal:
+    li   s2, 1
+strings_done:
+
+    # ---- Proc_7-alike: Int_Glob = f(Int_Loc) ----
+    andi t0, s1, 0xFF
+    addi t1, t0, 2
+    add  t2, t1, t0
+    slli t3, t2, 1
+    sub  t4, t3, t0
+    add  s1, s1, t4
+    li   t5, 65536
+    remu s1, s1, t5
+
+    addi s0, s0, -1
+    j    dhry_loop
+
+dhry_done:
+    mv   a0, s1
+    call print_dec
+    li   a0, '\\n'
+    call putc
+    mv   a0, s2
+    lw   ra, 28(sp)
+    lw   s0, 24(sp)
+    lw   s1, 20(sp)
+    lw   s2, 16(sp)
+    addi sp, sp, 32
+    ret
+
+# strcmp30(a0, a1): compare exactly 30 bytes; 0 if equal, 1 otherwise
+strcmp30:
+    li   t0, 30
+strcmp30_loop:
+    lbu  t1, 0(a0)
+    lbu  t2, 0(a1)
+    bne  t1, t2, strcmp30_ne
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi t0, t0, -1
+    bnez t0, strcmp30_loop
+    li   a0, 0
+    ret
+strcmp30_ne:
+    li   a0, 1
+    ret
+
+.data
+record_b:
+    .word 0                 # Ptr_Comp
+    .word 0                 # Discr
+    .word 2                 # Enum_Comp (Ident_3)
+    .word 17                # Int_Comp
+    .ascii "DHRYSTONE PROGRAM, SOME STRING"
+    .byte 0, 0
+record_a:
+    .space 48
+str_1:
+    .asciz "DHRYSTONE PROGRAM, 1'ST STRING"
+str_2:
+    .asciz "DHRYSTONE PROGRAM, 2'ND STRING"
+
+.bss
+str_loc: .space 32
+arr1:    .space 50 * 4
+arr2:    .space 50 * 50 * 4
+""")
+
+
+def build(iterations: int = 20_000) -> Program:
+    return assemble(source(iterations))

@@ -1,0 +1,362 @@
+"""Guest software: the car engine immobilizer ECU (paper Section VI-A).
+
+The immobilizer holds a 16-byte secret PIN in memory and answers
+challenge-response authentication requests from the engine ECU over the
+CAN bus: challenge (8 bytes) -> AES-128(PIN, challenge || 0^8) -> response
+(16 bytes, two CAN frames).  The PIN never crosses the CAN bus in plain
+text.
+
+A UART "debug console" accepts single-character commands; the attack
+scenarios of Section VI-A are triggered through it:
+
+====  ==========================================================
+cmd   behaviour
+====  ==========================================================
+`q`   exit
+`c`   serve challenges until ``n_challenges`` answered, then exit
+`d`   debug dump: hex-dump the data segment to the UART
+      (the *vulnerable* build includes the PIN bytes; the *fixed*
+      build skips the PIN region — the paper's first fix)
+`1`   attack: write the PIN directly to the UART
+`b`   attack: copy the PIN to a scratch buffer first, then print
+      the buffer (indirect leak through an intermediate buffer)
+`2`   attack: branch on a PIN bit and print which way it went
+      (control-flow leak)
+`3`   attack: overwrite the PIN with the next 16 bytes read from
+      the UART (external / Low-Integrity data)
+`4`   attack: copy PIN byte 0 over PIN bytes 1..15 (trusted-data
+      overwrite -- the entropy-reduction attack)
+====  ==========================================================
+
+Build variants: ``variant="vulnerable"`` or ``"fixed"`` selects the debug
+dump behaviour.  The PIN value is compiled in (it is a secret *in the
+model*, classified (HC,HI) by the policy, not hidden from the host).
+"""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.sw import runtime
+
+#: default compiled-in PIN (16 bytes)
+DEFAULT_PIN = bytes(range(0xA0, 0xB0))
+
+
+def source(variant: str = "vulnerable", pin: bytes = DEFAULT_PIN,
+           n_challenges: int = 4) -> str:
+    if variant not in ("vulnerable", "fixed"):
+        raise ValueError(f"unknown variant {variant!r}")
+    if len(pin) != 16:
+        raise ValueError("PIN must be 16 bytes")
+    pin_words = ", ".join(str(b) for b in pin)
+
+    if variant == "vulnerable":
+        dump_code = """
+    # VULNERABLE: dump the whole data segment, PIN included
+    la   s2, data_begin
+    la   s3, data_end
+dump_loop:
+    bgeu s2, s3, dump_done
+    lbu  a0, 0(s2)
+    call print_byte
+    addi s2, s2, 1
+    j    dump_loop
+dump_done:
+"""
+    else:
+        dump_code = """
+    # FIXED: dump the data segment but skip the PIN region
+    la   s2, data_begin
+    la   s3, data_end
+    la   s4, pin_key
+    la   s5, pin_key_end
+dump_loop:
+    bgeu s2, s3, dump_done
+    bltu s2, s4, dump_emit
+    bgeu s2, s5, dump_emit
+    addi s2, s2, 1          # inside the PIN region: skip
+    j    dump_loop
+dump_emit:
+    lbu  a0, 0(s2)
+    call print_byte
+    addi s2, s2, 1
+    j    dump_loop
+dump_done:
+"""
+
+    return runtime.program(f"""
+.equ N_CHALLENGES, {n_challenges}
+
+.text
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    li   s0, 0              # challenges served
+    li   s1, 0              # serve-until-done mode flag
+
+main_loop:
+    # UART commands take priority over CAN traffic
+    li   t0, UART_STATUS
+    lw   t1, 0(t0)
+    andi t1, t1, 1
+    bnez t1, handle_command
+    li   t0, CAN_STATUS
+    lw   t1, 0(t0)
+    andi t1, t1, 1
+    bnez t1, handle_challenge
+    beqz s1, main_loop      # keep polling
+    li   t2, N_CHALLENGES
+    blt  s0, t2, main_loop
+    li   a0, 0
+    j    main_exit
+
+main_exit:
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    li   a7, SYS_EXIT
+    ecall
+
+# ------------------------------------------------------------------ #
+# command dispatch
+# ------------------------------------------------------------------ #
+handle_command:
+    li   t0, UART_RXDATA
+    lw   t1, 0(t0)
+    li   t2, 'q'
+    beq  t1, t2, cmd_quit
+    li   t2, 'c'
+    beq  t1, t2, cmd_serve
+    li   t2, 'd'
+    beq  t1, t2, cmd_dump
+    li   t2, '1'
+    beq  t1, t2, cmd_leak_direct
+    li   t2, 'b'
+    beq  t1, t2, cmd_leak_buffer
+    li   t2, '2'
+    beq  t1, t2, cmd_branch_leak
+    li   t2, '3'
+    beq  t1, t2, cmd_overwrite
+    li   t2, '4'
+    beq  t1, t2, cmd_entropy
+    j    main_loop          # unknown command: ignore
+
+cmd_quit:
+    li   a0, 0
+    j    main_exit
+
+cmd_serve:
+    li   s1, 1
+    j    main_loop
+
+cmd_dump:
+{dump_code}
+    li   a0, '\\n'
+    call putc
+    j    main_loop
+
+# attack 1: PIN straight to the UART
+cmd_leak_direct:
+    la   s2, pin_key
+    li   s3, 16
+leak_loop:
+    lbu  a0, 0(s2)
+    call print_byte
+    addi s2, s2, 1
+    addi s3, s3, -1
+    bnez s3, leak_loop
+    j    main_loop
+
+# attack 1b: PIN -> scratch buffer -> UART (indirect)
+cmd_leak_buffer:
+    la   a0, scratch
+    la   a1, pin_key
+    li   a2, 16
+    call memcpy
+    la   s2, scratch
+    li   s3, 16
+leakb_loop:
+    lbu  a0, 0(s2)
+    call print_byte
+    addi s2, s2, 1
+    addi s3, s3, -1
+    bnez s3, leakb_loop
+    j    main_loop
+
+# attack 2: control flow depends on a PIN bit
+cmd_branch_leak:
+    la   t0, pin_key
+    lbu  t1, 0(t0)
+    andi t1, t1, 1
+    bnez t1, branch_odd
+    li   a0, 'E'
+    call putc
+    j    main_loop
+branch_odd:
+    li   a0, 'O'
+    call putc
+    j    main_loop
+
+# attack 3: overwrite the PIN with 16 bytes from the UART
+cmd_overwrite:
+    la   s2, pin_key
+    li   s3, 16
+overwrite_loop:
+    li   t0, UART_STATUS
+    lw   t1, 0(t0)
+    andi t1, t1, 1
+    beqz t1, overwrite_loop
+    li   t0, UART_RXDATA
+    lw   t1, 0(t0)
+    sb   t1, 0(s2)
+    addi s2, s2, 1
+    addi s3, s3, -1
+    bnez s3, overwrite_loop
+    j    main_loop
+
+# attack 4: copy PIN[0] over PIN[1..15] (entropy reduction)
+cmd_entropy:
+    la   s2, pin_key
+    lbu  t1, 0(s2)
+    li   s3, 15
+entropy_loop:
+    addi s2, s2, 1
+    sb   t1, 0(s2)
+    addi s3, s3, -1
+    bnez s3, entropy_loop
+    j    main_loop
+
+# ------------------------------------------------------------------ #
+# challenge/response protocol
+# ------------------------------------------------------------------ #
+handle_challenge:
+    # read the 8-byte challenge, byte-wise to keep per-byte tags
+    la   s2, challenge
+    li   s3, 8
+    li   t0, CAN_RX_BUF
+chal_read:
+    lbu  t1, 0(t0)
+    sb   t1, 0(s2)
+    addi t0, t0, 1
+    addi s2, s2, 1
+    addi s3, s3, -1
+    bnez s3, chal_read
+    li   t0, CAN_RX_POP
+    li   t1, 1
+    sw   t1, 0(t0)
+
+    # key load: byte-wise so per-byte PIN classes survive intact
+    la   t2, pin_key
+    li   t3, AES_KEY
+    li   t4, 16
+key_load:
+    lbu  t5, 0(t2)
+    sb   t5, 0(t3)
+    addi t2, t2, 1
+    addi t3, t3, 1
+    addi t4, t4, -1
+    bnez t4, key_load
+
+    # input block = challenge || zeros
+    la   t2, challenge
+    li   t3, AES_INPUT
+    li   t4, 8
+in_load:
+    lbu  t5, 0(t2)
+    sb   t5, 0(t3)
+    addi t2, t2, 1
+    addi t3, t3, 1
+    addi t4, t4, -1
+    bnez t4, in_load
+    li   t4, 8
+in_zero:
+    sb   zero, 0(t3)
+    addi t3, t3, 1
+    addi t4, t4, -1
+    bnez t4, in_zero
+
+    # start the engine and wait for completion
+    li   t0, AES_CTRL
+    li   t1, 1
+    sw   t1, 0(t0)
+    li   t0, AES_STATUS
+aes_wait:
+    lw   t1, 0(t0)
+    andi t1, t1, 1
+    beqz t1, aes_wait
+
+    # send the 16-byte response as two CAN frames
+    li   s2, 0              # frame index
+resp_frames:
+    li   t0, AES_OUTPUT
+    slli t1, s2, 3
+    add  t0, t0, t1
+    li   t2, CAN_TX_BUF
+    li   t3, 8
+resp_copy:
+    lbu  t4, 0(t0)
+    sb   t4, 0(t2)
+    addi t0, t0, 1
+    addi t2, t2, 1
+    addi t3, t3, -1
+    bnez t3, resp_copy
+    li   t0, CAN_TX_LEN
+    li   t1, 8
+    sw   t1, 0(t0)
+    li   t0, CAN_TX_SEND
+    li   t1, 1
+    sw   t1, 0(t0)
+    addi s2, s2, 1
+    li   t1, 2
+    blt  s2, t1, resp_frames
+
+    addi s0, s0, 1          # challenges served
+    j    main_loop
+
+# ------------------------------------------------------------------ #
+# print_byte(a0): two lowercase hex chars on the UART
+# ------------------------------------------------------------------ #
+print_byte:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s2, 8(sp)
+    mv   s2, a0
+    srli a0, a0, 4
+    call print_nibble
+    andi a0, s2, 0xF
+    call print_nibble
+    lw   ra, 12(sp)
+    lw   s2, 8(sp)
+    addi sp, sp, 16
+    ret
+
+print_nibble:
+    li   t0, 10
+    blt  a0, t0, nibble_digit
+    addi a0, a0, 'a' - 10
+    j    nibble_emit
+nibble_digit:
+    addi a0, a0, '0'
+nibble_emit:
+    li   t0, UART_TXDATA
+    sb   a0, 0(t0)
+    ret
+
+.data
+data_begin:
+banner:      .asciz "immo v1.0"
+.align 2
+config_word: .word 0x00C0FFEE
+pin_key:     .byte {pin_words}
+pin_key_end:
+serial_no:   .word 0x12345678
+data_end:
+
+.bss
+challenge:   .space 8
+scratch:     .space 16
+""")
+
+
+def build(variant: str = "vulnerable", pin: bytes = DEFAULT_PIN,
+          n_challenges: int = 4) -> Program:
+    return assemble(source(variant, pin, n_challenges))

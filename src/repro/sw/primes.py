@@ -1,0 +1,88 @@
+"""Guest benchmark: prime number generator (trial division).
+
+Counts the primes below ``limit`` by trial division against the primes
+found so far, with the usual ``p*p > n`` cutoff — a division-heavy
+workload exercising the M extension, like the paper's ``primes``
+benchmark.  Prints the count; exit code 0 if it matches the expected
+count compiled in, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.sw import runtime
+
+
+def _count_primes(limit: int) -> int:
+    sieve = bytearray([1]) * limit
+    count = 0
+    for i in range(2, limit):
+        if sieve[i]:
+            count += 1
+            for j in range(i * i, limit, i):
+                sieve[j] = 0
+    return count
+
+
+def source(limit: int = 30_000) -> str:
+    expected = _count_primes(limit)
+    return runtime.program(f"""
+.equ LIMIT, {limit}
+.equ EXPECTED, {expected}
+
+.text
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+
+    la   s0, primes         # table of found primes
+    li   s1, 0              # number of primes found
+    li   s2, 2              # candidate n
+
+next_candidate:
+    li   t6, LIMIT
+    bge  s2, t6, done
+
+    # trial division by stored primes while p*p <= n
+    mv   t0, s0             # table cursor
+    mv   t1, s1             # primes remaining
+trial:
+    beqz t1, is_prime
+    lw   t2, 0(t0)          # p
+    mul  t3, t2, t2
+    bgt  t3, s2, is_prime   # p*p > n -> prime
+    remu t4, s2, t2
+    beqz t4, not_prime
+    addi t0, t0, 4
+    addi t1, t1, -1
+    j    trial
+
+is_prime:
+    slli t5, s1, 2
+    add  t5, t5, s0
+    sw   s2, 0(t5)
+    addi s1, s1, 1
+not_prime:
+    addi s2, s2, 1
+    j    next_candidate
+
+done:
+    mv   a0, s1
+    call print_dec
+    li   a0, '\\n'
+    call putc
+    li   t0, EXPECTED
+    sub  a0, s1, t0
+    snez a0, a0
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+.bss
+.align 2
+primes: .space LIMIT        # upper bound: pi(LIMIT)*4 < LIMIT bytes
+""")
+
+
+def build(limit: int = 30_000) -> Program:
+    return assemble(source(limit))

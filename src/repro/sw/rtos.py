@@ -1,0 +1,197 @@
+"""Guest benchmark: "freertos-tasks" — a tiny pre-emptive two-task kernel.
+
+The paper benchmarks a FreeRTOS application scheduling two interleaved
+tasks.  The substitute is a minimal pre-emptive round-robin kernel written
+directly in RISC-V assembly:
+
+* the machine-timer interrupt fires every ``tick_us`` microseconds;
+* the handler saves the full register context (x1..x31 + mepc) on the
+  interrupted task's stack, parks its ``sp`` in the task control block,
+  switches to the other task and restores its context via ``mret``;
+* after ``n_ticks`` ticks the handler prints both task counters and exits.
+
+This reproduces the machine-level behaviour the DIFT engine must cope
+with (trap entry, CSR traffic, full register save/restore on alternating
+stacks) and is the workload where the paper measures its *largest* DIFT
+overhead (2.9x).
+
+Task A increments a counter and stirs an LCG; task B increments a counter
+and maintains a rolling XOR.  Exit code 0 iff both tasks made progress.
+"""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.sw import runtime
+
+# context frame: mepc @0, x1..x31 @ 4*reg (x2/sp excluded, implied)
+_SAVE_REGS = [r for r in range(1, 32) if r != 2]
+_FRAME = 128
+
+
+def _save_context() -> str:
+    lines = [f"    sw   x{r}, {4 * r}(sp)" for r in _SAVE_REGS]
+    return "\n".join(lines)
+
+
+def _restore_context() -> str:
+    lines = [f"    lw   x{r}, {4 * r}(sp)" for r in _SAVE_REGS]
+    return "\n".join(lines)
+
+
+def source(n_ticks: int = 40, tick_us: int = 500) -> str:
+    return runtime.program(f"""
+.equ N_TICKS, {n_ticks}
+.equ TICK_US, {tick_us}
+.equ FRAME, {_FRAME}
+
+.text
+main:
+    la   t0, trap_handler
+    csrw mtvec, t0
+
+    # build task B's initial (fake) context frame on its stack
+    la   t0, taskb_stack_top
+    addi t0, t0, -FRAME
+    la   t1, task_b
+    sw   t1, 0(t0)              # mepc = task_b entry
+    la   t1, tcb
+    sw   t0, 4(t1)              # tcb[1] = frame address
+
+    # arm the first tick
+    call arm_timer
+
+    # enable the timer interrupt and enter task A on its own stack
+    li   t0, 1 << 7             # mie.MTIE
+    csrw mie, t0
+    la   sp, taska_stack_top
+    csrwi mstatus, 8            # mstatus.MIE
+    j    task_a
+
+# ------------------------------------------------------------------ #
+# arm_timer: mtimecmp = mtime + TICK_US
+# ------------------------------------------------------------------ #
+arm_timer:
+    li   t0, MTIME_LO
+    lw   t1, 0(t0)
+    li   t2, TICK_US
+    add  t1, t1, t2
+    li   t0, MTIMECMP_HI
+    sw   zero, 0(t0)
+    li   t0, MTIMECMP_LO
+    sw   t1, 0(t0)
+    ret
+
+# ------------------------------------------------------------------ #
+# tasks (never return)
+# ------------------------------------------------------------------ #
+task_a:
+    la   s0, counter_a
+    la   s1, lcg_state
+task_a_loop:
+    lw   t0, 0(s0)
+    addi t0, t0, 1
+    sw   t0, 0(s0)
+    lw   t1, 0(s1)              # stir an LCG for a while
+    li   t2, 1103515245
+    mul  t1, t1, t2
+    li   t2, 12345
+    add  t1, t1, t2
+    sw   t1, 0(s1)
+    j    task_a_loop
+
+task_b:
+    la   s0, counter_b
+    la   s1, xor_state
+task_b_loop:
+    lw   t0, 0(s0)
+    addi t0, t0, 1
+    sw   t0, 0(s0)
+    lw   t1, 0(s1)
+    slli t2, t0, 3
+    xor  t1, t1, t2
+    xor  t1, t1, t0
+    sw   t1, 0(s1)
+    j    task_b_loop
+
+# ------------------------------------------------------------------ #
+# timer tick: context switch (or exit after N_TICKS)
+# ------------------------------------------------------------------ #
+trap_handler:
+    addi sp, sp, -FRAME
+{_save_context()}
+    csrr t0, mepc
+    sw   t0, 0(sp)
+
+    # park current task's sp
+    la   t1, tcb
+    la   t2, current
+    lw   t3, 0(t2)
+    slli t4, t3, 2
+    add  t4, t4, t1
+    sw   sp, 0(t4)
+
+    # count ticks; exit when done
+    la   t4, ticks
+    lw   t5, 0(t4)
+    addi t5, t5, 1
+    sw   t5, 0(t4)
+    li   t6, N_TICKS
+    bge  t5, t6, rtos_done
+
+    # switch to the other task
+    xori t3, t3, 1
+    sw   t3, 0(t2)
+    slli t4, t3, 2
+    add  t4, t4, t1
+    lw   sp, 0(t4)
+
+    call arm_timer
+
+    lw   t0, 0(sp)
+    csrw mepc, t0
+{_restore_context()}
+    addi sp, sp, FRAME
+    mret
+
+rtos_done:
+    # report both counters and exit(0 if both ran)
+    la   t0, counter_a
+    lw   a0, 0(t0)
+    mv   s2, a0
+    call print_dec
+    li   a0, ' '
+    call putc
+    la   t0, counter_b
+    lw   a0, 0(t0)
+    mv   s3, a0
+    call print_dec
+    li   a0, '\\n'
+    call putc
+    li   a0, 1
+    beqz s2, rtos_exit          # task A never ran
+    beqz s3, rtos_exit          # task B never ran
+    li   a0, 0
+rtos_exit:
+    li   a7, SYS_EXIT
+    ecall
+
+.data
+current: .word 0
+.bss
+ticks:     .space 4
+counter_a: .space 4
+counter_b: .space 4
+lcg_state: .space 4
+xor_state: .space 4
+tcb:       .space 8
+.align 4
+taska_stack: .space 4096
+taska_stack_top:
+taskb_stack: .space 4096
+taskb_stack_top:
+""")
+
+
+def build(n_ticks: int = 40, tick_us: int = 500) -> Program:
+    return assemble(source(n_ticks, tick_us))

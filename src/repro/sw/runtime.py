@@ -1,0 +1,268 @@
+"""Bare-metal guest runtime: crt0 + a small assembly library.
+
+Guest benchmarks are assembled from RISC-V source composed by Python.
+This module supplies the pieces every guest shares:
+
+* :data:`HEADER` — memory-map constants (``.equ``) for all peripherals;
+* :func:`crt0` — entry stub: set up ``sp``/``gp``, call ``main``, exit via
+  ``ecall`` (a7=93) with ``main``'s return value;
+* :data:`LIB` — library routines: UART output (``putc``/``puts``/
+  ``print_hex``/``print_dec``), string/memory ops (``strlen``, ``strcpy``,
+  ``memcpy``, ``memset``), and ``setjmp``/``longjmp`` (needed by the
+  Wilander–Kamkar attack forms that target the jmp_buf);
+* :func:`program` — glue a ``main`` body and extra sections into a
+  complete translation unit.
+
+``strcpy`` is intentionally the classic unbounded C semantics — the buffer
+overflows of Table I rely on it.
+"""
+
+from __future__ import annotations
+
+from repro.vp.platform import (
+    AES_BASE,
+    CAN_BASE,
+    CLINT_BASE,
+    DMA_BASE,
+    PLIC_BASE,
+    SENSOR_BASE,
+    STACK_TOP,
+    UART_BASE,
+)
+
+HEADER = f"""
+# ---- memory map ----
+.equ UART_BASE,   {UART_BASE:#x}
+.equ UART_TXDATA, {UART_BASE:#x}
+.equ UART_RXDATA, {UART_BASE + 4:#x}
+.equ UART_STATUS, {UART_BASE + 8:#x}
+.equ UART_IRQ_EN, {UART_BASE + 0xC:#x}
+.equ SENSOR_BASE, {SENSOR_BASE:#x}
+.equ SENSOR_TAG,  {SENSOR_BASE + 0x80:#x}
+.equ SENSOR_FRAME_NO, {SENSOR_BASE + 0x84:#x}
+.equ SENSOR_PERIOD, {SENSOR_BASE + 0x88:#x}
+.equ CAN_BASE,    {CAN_BASE:#x}
+.equ CAN_STATUS,  {CAN_BASE:#x}
+.equ CAN_TX_LEN,  {CAN_BASE + 4:#x}
+.equ CAN_RX_LEN,  {CAN_BASE + 8:#x}
+.equ CAN_TX_SEND, {CAN_BASE + 0xC:#x}
+.equ CAN_RX_POP,  {CAN_BASE + 0x10:#x}
+.equ CAN_TX_BUF,  {CAN_BASE + 0x20:#x}
+.equ CAN_RX_BUF,  {CAN_BASE + 0x40:#x}
+.equ AES_BASE,    {AES_BASE:#x}
+.equ AES_CTRL,    {AES_BASE:#x}
+.equ AES_STATUS,  {AES_BASE + 4:#x}
+.equ AES_KEY,     {AES_BASE + 0x10:#x}
+.equ AES_INPUT,   {AES_BASE + 0x20:#x}
+.equ AES_OUTPUT,  {AES_BASE + 0x30:#x}
+.equ DMA_BASE,    {DMA_BASE:#x}
+.equ DMA_SRC,     {DMA_BASE:#x}
+.equ DMA_DST,     {DMA_BASE + 4:#x}
+.equ DMA_LEN,     {DMA_BASE + 8:#x}
+.equ DMA_CTRL,    {DMA_BASE + 0xC:#x}
+.equ DMA_STATUS,  {DMA_BASE + 0x10:#x}
+.equ CLINT_BASE,  {CLINT_BASE:#x}
+.equ MTIMECMP_LO, {CLINT_BASE:#x}
+.equ MTIMECMP_HI, {CLINT_BASE + 4:#x}
+.equ MTIME_LO,    {CLINT_BASE + 8:#x}
+.equ MTIME_HI,    {CLINT_BASE + 0xC:#x}
+.equ PLIC_BASE,   {PLIC_BASE:#x}
+.equ PLIC_PENDING,{PLIC_BASE:#x}
+.equ PLIC_ENABLE, {PLIC_BASE + 4:#x}
+.equ PLIC_CLAIM,  {PLIC_BASE + 8:#x}
+.equ STACK_TOP,   {STACK_TOP:#x}
+.equ SYS_EXIT,    93
+"""
+
+
+def crt0(stack_top: int = STACK_TOP) -> str:
+    """Entry stub: initialize the stack, run ``main``, exit."""
+    return f"""
+.text
+_start:
+    li   sp, {stack_top:#x}
+    call main
+    # fallthrough: exit(main())
+exit:
+    li   a7, SYS_EXIT
+    ecall
+    j    exit          # unreachable
+"""
+
+
+LIB = """
+# ---------------------------------------------------------------- #
+# UART output
+# ---------------------------------------------------------------- #
+
+# putc(a0: char)
+putc:
+    li   t0, UART_TXDATA
+    sb   a0, 0(t0)
+    ret
+
+# puts(a0: zero-terminated string) -> bytes written in a0
+puts:
+    li   t0, UART_TXDATA
+    mv   t2, a0
+puts_loop:
+    lbu  t1, 0(t2)
+    beqz t1, puts_done
+    sb   t1, 0(t0)
+    addi t2, t2, 1
+    j    puts_loop
+puts_done:
+    sub  a0, t2, a0
+    ret
+
+# print_hex(a0: word) — 8 hex digits
+print_hex:
+    li   t0, UART_TXDATA
+    li   t2, 8
+print_hex_loop:
+    srli t1, a0, 28
+    slli a0, a0, 4
+    addi t3, t1, '0'
+    li   t4, 10
+    blt  t1, t4, print_hex_emit
+    addi t3, t1, 'a' - 10
+print_hex_emit:
+    sb   t3, 0(t0)
+    addi t2, t2, -1
+    bnez t2, print_hex_loop
+    ret
+
+# print_dec(a0: unsigned word)
+print_dec:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    li   t0, UART_TXDATA
+    li   t1, 10
+    addi t2, sp, 0          # digit buffer on the stack (up to 10 digits)
+    li   t3, 0              # digit count
+print_dec_divide:
+    remu t4, a0, t1
+    divu a0, a0, t1
+    addi t4, t4, '0'
+    add  t5, t2, t3
+    sb   t4, 0(t5)
+    addi t3, t3, 1
+    bnez a0, print_dec_divide
+print_dec_emit:
+    addi t3, t3, -1
+    add  t5, t2, t3
+    lbu  t4, 0(t5)
+    sb   t4, 0(t0)
+    bnez t3, print_dec_emit
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+# ---------------------------------------------------------------- #
+# string / memory
+# ---------------------------------------------------------------- #
+
+# strlen(a0) -> a0
+strlen:
+    mv   t0, a0
+strlen_loop:
+    lbu  t1, 0(t0)
+    beqz t1, strlen_done
+    addi t0, t0, 1
+    j    strlen_loop
+strlen_done:
+    sub  a0, t0, a0
+    ret
+
+# strcpy(a0: dst, a1: src) -> a0 (classic unbounded copy)
+strcpy:
+    mv   t0, a0
+strcpy_loop:
+    lbu  t1, 0(a1)
+    sb   t1, 0(t0)
+    addi a1, a1, 1
+    addi t0, t0, 1
+    bnez t1, strcpy_loop
+    ret
+
+# memcpy(a0: dst, a1: src, a2: n) -> a0
+memcpy:
+    mv   t0, a0
+    beqz a2, memcpy_done
+memcpy_loop:
+    lbu  t1, 0(a1)
+    sb   t1, 0(t0)
+    addi a1, a1, 1
+    addi t0, t0, 1
+    addi a2, a2, -1
+    bnez a2, memcpy_loop
+memcpy_done:
+    ret
+
+# memset(a0: dst, a1: byte, a2: n) -> a0
+memset:
+    mv   t0, a0
+    beqz a2, memset_done
+memset_loop:
+    sb   a1, 0(t0)
+    addi t0, t0, 1
+    addi a2, a2, -1
+    bnez a2, memset_loop
+memset_done:
+    ret
+
+# ---------------------------------------------------------------- #
+# setjmp / longjmp
+# jmp_buf layout: ra, sp, s0..s11  (14 words)
+# ---------------------------------------------------------------- #
+
+setjmp:
+    sw   ra,  0(a0)
+    sw   sp,  4(a0)
+    sw   s0,  8(a0)
+    sw   s1, 12(a0)
+    sw   s2, 16(a0)
+    sw   s3, 20(a0)
+    sw   s4, 24(a0)
+    sw   s5, 28(a0)
+    sw   s6, 32(a0)
+    sw   s7, 36(a0)
+    sw   s8, 40(a0)
+    sw   s9, 44(a0)
+    sw   s10, 48(a0)
+    sw   s11, 52(a0)
+    li   a0, 0
+    ret
+
+longjmp:
+    lw   ra,  0(a0)
+    lw   sp,  4(a0)
+    lw   s0,  8(a0)
+    lw   s1, 12(a0)
+    lw   s2, 16(a0)
+    lw   s3, 20(a0)
+    lw   s4, 24(a0)
+    lw   s5, 28(a0)
+    lw   s6, 32(a0)
+    lw   s7, 36(a0)
+    lw   s8, 40(a0)
+    lw   s9, 44(a0)
+    lw   s10, 48(a0)
+    lw   s11, 52(a0)
+    mv   a0, a1
+    bnez a0, longjmp_ret
+    li   a0, 1
+longjmp_ret:
+    ret
+"""
+
+
+def program(main_and_data: str, include_lib: bool = True,
+            stack_top: int = STACK_TOP) -> str:
+    """Compose a complete guest program around a ``main`` definition."""
+    parts = [HEADER, crt0(stack_top)]
+    if include_lib:
+        parts.append(".text")
+        parts.append(LIB)
+    parts.append(main_and_data)
+    return "\n".join(parts)

@@ -1,0 +1,483 @@
+"""Guest benchmark: SHA-512 over an LCG-generated message.
+
+The paper benchmarks the ``sha512`` hash function.  On RV32 every 64-bit
+operation must be synthesized from 32-bit register pairs, which is exactly
+what this generator does: Python emits the rotate/shift/add-with-carry
+sequences, and the guest keeps the eight working variables and the message
+schedule in memory (there are not enough RV32 registers to hold them).
+
+The digest is printed as 128 hex characters on the UART, so the host test
+can compare it against :func:`hashlib.sha512` of the same message —
+a strong end-to-end correctness check of the ISS (it exercises carries,
+rotates through the word boundary, byte ordering and memory addressing).
+
+Message: ``n`` bytes where byte *i* is ``(x >> 16) & 0xFF`` of the LCG
+``x = x * 1103515245 + 12345 (mod 2^32)`` seeded with ``seed`` (see
+:func:`message_bytes` for the host-side reference).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.asm import Program, assemble
+from repro.sw import runtime
+
+# FIPS 180-4 constants
+_H0 = [
+    0x6A09E667F3BCC908, 0xBB67AE8584CAA73B, 0x3C6EF372FE94F82B,
+    0xA54FF53A5F1D36F1, 0x510E527FADE682D1, 0x9B05688C2B3E6C1F,
+    0x1F83D9ABFB41BD6B, 0x5BE0CD19137E2179,
+]
+
+_K = [
+    0x428A2F98D728AE22, 0x7137449123EF65CD, 0xB5C0FBCFEC4D3B2F,
+    0xE9B5DBA58189DBBC, 0x3956C25BF348B538, 0x59F111F1B605D019,
+    0x923F82A4AF194F9B, 0xAB1C5ED5DA6D8118, 0xD807AA98A3030242,
+    0x12835B0145706FBE, 0x243185BE4EE4B28C, 0x550C7DC3D5FFB4E2,
+    0x72BE5D74F27B896F, 0x80DEB1FE3B1696B1, 0x9BDC06A725C71235,
+    0xC19BF174CF692694, 0xE49B69C19EF14AD2, 0xEFBE4786384F25E3,
+    0x0FC19DC68B8CD5B5, 0x240CA1CC77AC9C65, 0x2DE92C6F592B0275,
+    0x4A7484AA6EA6E483, 0x5CB0A9DCBD41FBD4, 0x76F988DA831153B5,
+    0x983E5152EE66DFAB, 0xA831C66D2DB43210, 0xB00327C898FB213F,
+    0xBF597FC7BEEF0EE4, 0xC6E00BF33DA88FC2, 0xD5A79147930AA725,
+    0x06CA6351E003826F, 0x142929670A0E6E70, 0x27B70A8546D22FFC,
+    0x2E1B21385C26C926, 0x4D2C6DFC5AC42AED, 0x53380D139D95B3DF,
+    0x650A73548BAF63DE, 0x766A0ABB3C77B2A8, 0x81C2C92E47EDAEE6,
+    0x92722C851482353B, 0xA2BFE8A14CF10364, 0xA81A664BBC423001,
+    0xC24B8B70D0F89791, 0xC76C51A30654BE30, 0xD192E819D6EF5218,
+    0xD69906245565A910, 0xF40E35855771202A, 0x106AA07032BBD1B8,
+    0x19A4C116B8D2D0C8, 0x1E376C085141AB53, 0x2748774CDF8EEB99,
+    0x34B0BCB5E19B48A8, 0x391C0CB3C5C95A63, 0x4ED8AA4AE3418ACB,
+    0x5B9CCA4F7763E373, 0x682E6FF3D6B2B8A3, 0x748F82EE5DEFB2FC,
+    0x78A5636F43172F60, 0x84C87814A1F0AB72, 0x8CC702081A6439EC,
+    0x90BEFFFA23631E28, 0xA4506CEBDE82BDE9, 0xBEF9A3F7B2C67915,
+    0xC67178F2E372532B, 0xCA273ECEEA26619C, 0xD186B8C721C0C207,
+    0xEADA7DD6CDE0EB1E, 0xF57D4F7FEE6ED178, 0x06F067AA72176FBA,
+    0x0A637DC5A2C898A6, 0x113F9804BEF90DAE, 0x1B710B35131C471B,
+    0x28DB77F523047D84, 0x32CAAB7B40C72493, 0x3C9EBE0A15C9BEBC,
+    0x431D67C49C100D4C, 0x4CC5D4BECB3E42B6, 0x597F299CFC657E2A,
+    0x5FCB6FAB3AD6FAEC, 0x6C44198C4A475817,
+]
+
+# working-variable offsets within the `vars` block: a,b,c,...,h
+_A, _B, _C, _D, _E, _F, _G, _H = (8 * i for i in range(8))
+
+
+def message_bytes(n: int, seed: int = 0xBEEF) -> bytes:
+    """Host-side reference for the guest's LCG message."""
+    x = seed & 0xFFFFFFFF
+    out = bytearray()
+    for _ in range(n):
+        x = (x * 1103515245 + 12345) & 0xFFFFFFFF
+        out.append((x >> 16) & 0xFF)
+    return bytes(out)
+
+
+# --------------------------------------------------------------------- #
+# 64-bit emitters: values live in (lo, hi) register pairs
+# --------------------------------------------------------------------- #
+
+
+def _ror64(dlo: str, dhi: str, slo: str, shi: str, n: int,
+           tmp: str) -> List[str]:
+    """(dlo,dhi) = (slo,shi) rotated right by n.  d must not alias s/tmp."""
+    if n == 32:
+        return [f"mv {dlo}, {shi}", f"mv {dhi}, {slo}"]
+    if n < 32:
+        return [
+            f"srli {dlo}, {slo}, {n}",
+            f"slli {tmp}, {shi}, {32 - n}",
+            f"or   {dlo}, {dlo}, {tmp}",
+            f"srli {dhi}, {shi}, {n}",
+            f"slli {tmp}, {slo}, {32 - n}",
+            f"or   {dhi}, {dhi}, {tmp}",
+        ]
+    m = n - 32
+    return [
+        f"srli {dlo}, {shi}, {m}",
+        f"slli {tmp}, {slo}, {32 - m}",
+        f"or   {dlo}, {dlo}, {tmp}",
+        f"srli {dhi}, {slo}, {m}",
+        f"slli {tmp}, {shi}, {32 - m}",
+        f"or   {dhi}, {dhi}, {tmp}",
+    ]
+
+
+def _shr64(dlo: str, dhi: str, slo: str, shi: str, n: int,
+           tmp: str) -> List[str]:
+    """(dlo,dhi) = (slo,shi) >> n (logical), n < 32."""
+    return [
+        f"srli {dlo}, {slo}, {n}",
+        f"slli {tmp}, {shi}, {32 - n}",
+        f"or   {dlo}, {dlo}, {tmp}",
+        f"srli {dhi}, {shi}, {n}",
+    ]
+
+
+def _add64(dlo: str, dhi: str, blo: str, bhi: str, tmp: str) -> List[str]:
+    """(dlo,dhi) += (blo,bhi).  ``tmp`` must differ from all operands."""
+    return [
+        f"add  {dlo}, {dlo}, {blo}",
+        f"sltu {tmp}, {dlo}, {blo}",
+        f"add  {dhi}, {dhi}, {bhi}",
+        f"add  {dhi}, {dhi}, {tmp}",
+    ]
+
+
+def _xor_into(alo: str, ahi: str, blo: str, bhi: str) -> List[str]:
+    return [f"xor  {alo}, {alo}, {blo}", f"xor  {ahi}, {ahi}, {bhi}"]
+
+
+def _sigma(slo: str, shi: str, rots, shift, dlo: str, dhi: str) -> List[str]:
+    """(dlo,dhi) = XOR of rotations (and optional shift) of (slo,shi).
+
+    Uses t0/t1 as the per-term scratch pair and t2 as shift scratch.
+    Source and destination pairs must avoid t0/t1/t2.
+    """
+    out: List[str] = []
+    first = True
+    for n in rots:
+        out += _ror64("t0", "t1", slo, shi, n, "t2")
+        if first:
+            out += [f"mv   {dlo}, t0", f"mv   {dhi}, t1"]
+            first = False
+        else:
+            out += _xor_into(dlo, dhi, "t0", "t1")
+    if shift is not None:
+        out += _shr64("t0", "t1", slo, shi, shift, "t2")
+        out += _xor_into(dlo, dhi, "t0", "t1")
+    return out
+
+
+def _ld(lo: str, hi: str, base: str, off: int) -> List[str]:
+    return [f"lw   {lo}, {off}({base})", f"lw   {hi}, {off + 4}({base})"]
+
+
+def _st(lo: str, hi: str, base: str, off: int) -> List[str]:
+    return [f"sw   {lo}, {off}({base})", f"sw   {hi}, {off + 4}({base})"]
+
+
+def _round_body() -> str:
+    """The 80-iteration compression-round body.
+
+    Register plan: s0=&vars, s1=&W, s2=&K, s3=t (round index).
+    Working pairs: e=(a2,a3), S1/S0 acc=(a4,a5), temp1=(a6,a7).
+    """
+    lines: List[str] = []
+    # S1 = ror(e,14) ^ ror(e,18) ^ ror(e,41)
+    lines += _ld("a2", "a3", "s0", _E)
+    lines += _sigma("a2", "a3", (14, 18, 41), None, "a4", "a5")
+    # ch = (e & f) ^ (~e & g)
+    lines += _ld("t3", "t4", "s0", _F)
+    lines += [
+        "and  t3, t3, a2",
+        "and  t4, t4, a3",
+    ]
+    lines += _ld("t5", "t6", "s0", _G)
+    lines += [
+        "not  t0, a2",
+        "not  t1, a3",
+        "and  t5, t5, t0",
+        "and  t6, t6, t1",
+        "xor  t3, t3, t5",
+        "xor  t4, t4, t6",          # ch in (t3,t4)
+    ]
+    # temp1 = h + S1 + ch + K[t] + W[t]  into (a6,a7)
+    lines += _ld("a6", "a7", "s0", _H)
+    lines += _add64("a6", "a7", "a4", "a5", "t0")
+    lines += _add64("a6", "a7", "t3", "t4", "t0")
+    lines += [
+        "slli t5, s3, 3",
+        "add  t6, s2, t5",          # &K[t]
+    ]
+    lines += _ld("t3", "t4", "t6", 0)
+    lines += _add64("a6", "a7", "t3", "t4", "t0")
+    lines += ["add  t6, s1, t5"]    # &W[t]
+    lines += _ld("t3", "t4", "t6", 0)
+    lines += _add64("a6", "a7", "t3", "t4", "t0")
+    # S0 = ror(a,28) ^ ror(a,34) ^ ror(a,39)
+    lines += _ld("a2", "a3", "s0", _A)
+    lines += _sigma("a2", "a3", (28, 34, 39), None, "a4", "a5")
+    # maj = (a&b) ^ (a&c) ^ (b&c)
+    lines += _ld("t3", "t4", "s0", _B)
+    lines += _ld("t5", "t6", "s0", _C)
+    lines += [
+        "and  t0, a2, t3",
+        "and  t1, a3, t4",
+        "and  t2, a2, t5",
+        "xor  t0, t0, t2",
+        "and  t2, a3, t6",
+        "xor  t1, t1, t2",
+        "and  t2, t3, t5",
+        "xor  t0, t0, t2",
+        "and  t2, t4, t6",
+        "xor  t1, t1, t2",          # maj in (t0,t1)
+    ]
+    # temp2 = S0 + maj  into (a4,a5)
+    lines += _add64("a4", "a5", "t0", "t1", "t2")
+    # rotate the working variables
+    lines += _ld("t0", "t1", "s0", _G) + _st("t0", "t1", "s0", _H)
+    lines += _ld("t0", "t1", "s0", _F) + _st("t0", "t1", "s0", _G)
+    lines += _ld("t0", "t1", "s0", _E) + _st("t0", "t1", "s0", _F)
+    lines += _ld("t0", "t1", "s0", _D)
+    lines += _add64("t0", "t1", "a6", "a7", "t2")   # e = d + temp1
+    lines += _st("t0", "t1", "s0", _E)
+    lines += _ld("t0", "t1", "s0", _C) + _st("t0", "t1", "s0", _D)
+    lines += _ld("t0", "t1", "s0", _B) + _st("t0", "t1", "s0", _C)
+    lines += _ld("t0", "t1", "s0", _A) + _st("t0", "t1", "s0", _B)
+    lines += _add64("a6", "a7", "a4", "a5", "t2")   # a = temp1 + temp2
+    lines += _st("a6", "a7", "s0", _A)
+    return "\n    ".join(lines)
+
+
+def _schedule_body() -> str:
+    """W[t] = sigma1(W[t-2]) + W[t-7] + sigma0(W[t-15]) + W[t-16].
+
+    Register plan: s1=&W, s3=t.  Result accumulated in (a6,a7).
+    """
+    lines: List[str] = []
+    lines += [
+        "slli t5, s3, 3",
+        "add  t6, s1, t5",          # &W[t]
+    ]
+    # sigma1(W[t-2]) = ror19 ^ ror61 ^ shr6
+    lines += _ld("a2", "a3", "t6", -16)
+    lines += _sigma("a2", "a3", (19, 61), 6, "a4", "a5")
+    lines += _ld("a6", "a7", "t6", -56)              # W[t-7]
+    lines += _add64("a6", "a7", "a4", "a5", "t0")
+    # sigma0(W[t-15]) = ror1 ^ ror8 ^ shr7
+    lines += _ld("a2", "a3", "t6", -120)
+    lines += _sigma("a2", "a3", (1, 8), 7, "a4", "a5")
+    lines += _add64("a6", "a7", "a4", "a5", "t0")
+    lines += _ld("a2", "a3", "t6", -128)             # W[t-16]
+    lines += _add64("a6", "a7", "a2", "a3", "t0")
+    lines += _st("a6", "a7", "t6", 0)
+    return "\n    ".join(lines)
+
+
+def source(n: int = 4096, seed: int = 0xBEEF) -> str:
+    """Assembly source hashing an ``n``-byte LCG message."""
+    total = ((n + 1 + 16 + 127) // 128) * 128
+    n_blocks = total // 128
+    bit_len = n * 8
+    if bit_len >= 1 << 32:
+        raise ValueError("message too long for this generator")
+
+    k_words = "\n".join(
+        f"    .word {k & 0xFFFFFFFF:#010x}, {(k >> 32) & 0xFFFFFFFF:#010x}"
+        for k in _K)
+    h_words = "\n".join(
+        f"    .word {h & 0xFFFFFFFF:#010x}, {(h >> 32) & 0xFFFFFFFF:#010x}"
+        for h in _H0)
+
+    return runtime.program(f"""
+.equ MSG_LEN, {n}
+.equ TOTAL_LEN, {total}
+.equ N_BLOCKS, {n_blocks}
+
+.text
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    sw   s0, 8(sp)
+    sw   s1, 4(sp)
+
+    # ---- generate the message with the LCG ----
+    la   t0, msg
+    li   t1, MSG_LEN
+    li   t2, {seed:#x}
+    li   t3, 1103515245
+    li   t4, 12345
+    beqz t1, gen_done       # zero-length message: nothing to generate
+gen:
+    mul  t2, t2, t3
+    add  t2, t2, t4
+    srli t5, t2, 16
+    sb   t5, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, gen
+gen_done:
+
+    # ---- padding: 0x80, zeros, 64-bit big-endian bit length ----
+    la   a0, msg
+    li   t0, MSG_LEN
+    add  a0, a0, t0
+    li   a1, 0
+    li   a2, TOTAL_LEN - MSG_LEN
+    call memset
+    la   t0, msg
+    li   t3, MSG_LEN
+    add  t3, t3, t0
+    li   t1, 0x80
+    sb   t1, 0(t3)
+    li   t1, {bit_len}
+    li   t3, TOTAL_LEN - 4
+    add  t3, t3, t0
+    # big-endian 32-bit at total-4 (length < 2^32 bits)
+    srli t2, t1, 24
+    sb   t2, 0(t3)
+    srli t2, t1, 16
+    sb   t2, 1(t3)
+    srli t2, t1, 8
+    sb   t2, 2(t3)
+    sb   t1, 3(t3)
+
+    # ---- initialize H ----
+    la   a0, hstate
+    la   a1, h_init
+    li   a2, 64
+    call memcpy
+
+    # ---- per-block compression ----
+    la   s0, msg
+    li   s1, N_BLOCKS
+block_loop:
+    mv   a0, s0
+    call sha512_block
+    addi s0, s0, 128
+    addi s1, s1, -1
+    bnez s1, block_loop
+
+    # ---- print the digest big-endian ----
+    la   s0, hstate
+    li   s1, 8
+digest_loop:
+    lw   a0, 4(s0)          # hi word first
+    call print_hex
+    lw   a0, 0(s0)
+    call print_hex
+    addi s0, s0, 8
+    addi s1, s1, -1
+    bnez s1, digest_loop
+    li   a0, '\\n'
+    call putc
+
+    li   a0, 0
+    lw   ra, 12(sp)
+    lw   s0, 8(sp)
+    lw   s1, 4(sp)
+    addi sp, sp, 16
+    ret
+
+# ------------------------------------------------------------------ #
+# sha512_block(a0 = &block[128])
+# ------------------------------------------------------------------ #
+sha512_block:
+    addi sp, sp, -48
+    sw   ra, 44(sp)
+    sw   s0, 40(sp)
+    sw   s1, 36(sp)
+    sw   s2, 32(sp)
+    sw   s3, 28(sp)
+    sw   s4, 24(sp)
+
+    # ---- W[0..15]: big-endian 64-bit words from the block ----
+    la   s1, wsched
+    mv   t6, a0             # block cursor
+    li   s3, 16
+w_init:
+    # hi word = be32(bytes 0..3), lo word = be32(bytes 4..7)
+    lbu  t0, 0(t6)
+    slli t0, t0, 24
+    lbu  t1, 1(t6)
+    slli t1, t1, 16
+    or   t0, t0, t1
+    lbu  t1, 2(t6)
+    slli t1, t1, 8
+    or   t0, t0, t1
+    lbu  t1, 3(t6)
+    or   t1, t0, t1         # hi
+    lbu  t0, 4(t6)
+    slli t0, t0, 24
+    lbu  t2, 5(t6)
+    slli t2, t2, 16
+    or   t0, t0, t2
+    lbu  t2, 6(t6)
+    slli t2, t2, 8
+    or   t0, t0, t2
+    lbu  t2, 7(t6)
+    or   t0, t0, t2         # lo
+    sw   t0, 0(s1)
+    sw   t1, 4(s1)
+    addi s1, s1, 8
+    addi t6, t6, 8
+    addi s3, s3, -1
+    bnez s3, w_init
+
+    # ---- W[16..79] ----
+    la   s1, wsched
+    li   s3, 16
+w_expand:
+    li   t0, 80
+    bge  s3, t0, w_done
+    {_schedule_body()}
+    addi s3, s3, 1
+    j    w_expand
+w_done:
+
+    # ---- working vars = H ----
+    la   a0, vars
+    la   a1, hstate
+    li   a2, 64
+    call memcpy
+
+    # ---- 80 rounds ----
+    la   s0, vars
+    la   s1, wsched
+    la   s2, k_const
+    li   s3, 0
+round_loop:
+    {_round_body()}
+    addi s3, s3, 1
+    li   t0, 80
+    blt  s3, t0, round_loop
+
+    # ---- H += vars ----
+    la   s0, hstate
+    la   s1, vars
+    li   s3, 8
+h_add:
+    lw   t3, 0(s0)
+    lw   t4, 4(s0)
+    lw   t5, 0(s1)
+    lw   t6, 4(s1)
+    add  t3, t3, t5
+    sltu t0, t3, t5
+    add  t4, t4, t6
+    add  t4, t4, t0
+    sw   t3, 0(s0)
+    sw   t4, 4(s0)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    addi s3, s3, -1
+    bnez s3, h_add
+
+    lw   ra, 44(sp)
+    lw   s0, 40(sp)
+    lw   s1, 36(sp)
+    lw   s2, 32(sp)
+    lw   s3, 28(sp)
+    lw   s4, 24(sp)
+    addi sp, sp, 48
+    ret
+
+.data
+.align 3
+k_const:
+{k_words}
+h_init:
+{h_words}
+
+.bss
+.align 3
+hstate:  .space 64
+vars:    .space 64
+wsched:  .space 80 * 8
+msg:     .space TOTAL_LEN
+""")
+
+
+def build(n: int = 4096, seed: int = 0xBEEF) -> Program:
+    return assemble(source(n, seed))

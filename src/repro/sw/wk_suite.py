@@ -1,0 +1,553 @@
+"""The Wilander–Kamkar buffer-overflow attack suite, RISC-V edition.
+
+Reproduces Table I of the paper: 18 attack forms combining
+
+* **location** — stack or heap/BSS/data segment,
+* **target** — return address, base pointer, function pointer
+  (parameter or local), longjmp buffer (parameter or local),
+* **technique** — *direct* (the overflowing buffer is adjacent to the
+  target) or *indirect* (the overflow first corrupts a data pointer,
+  and the program then writes an attacker value through it).
+
+Eight forms are not applicable on RISC-V (paper: "primarily due to
+differences in the calling convention" — parameters travel in registers,
+and there is no frame-pointer-driven epilogue); they are carried in the
+table with their reasons but produce no program.
+
+Every applicable attack follows the same script: the guest reads
+``INPUT_LEN`` attacker bytes from the UART (classified Low-Integrity by
+the code-injection policy), a *vulnerable* function overflows a buffer
+with them, and control eventually transfers to ``attack_code`` — a
+function pre-classified LI, standing in for injected shellcode (exactly
+the paper's methodology).  If the payload executes it prints ``X`` and
+hits ``ebreak``; with the DIFT policy active the instruction fetch from
+the LI region is refused first.
+
+Attacker inputs are built by :func:`build_attack`, which knows the frame
+layouts (embedded systems run without ASLR; the WK suite assumes the
+attacker knows the memory map).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.asm import Program, assemble
+from repro.sw import runtime
+from repro.vp.platform import STACK_TOP
+
+INPUT_LEN = 48
+_FILLER = 0x41  # 'A'
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One row of Table I."""
+
+    number: int
+    location: str        # "Stack" or "Heap/BSS/Data"
+    target: str
+    technique: str       # "Direct" or "Indirect"
+    applicable: bool
+    reason: str = ""     # why N/A (when not applicable)
+
+    @property
+    def name(self) -> str:
+        return (f"wk{self.number:02d}-{self.location.split('/')[0].lower()}"
+                f"-{self.technique.lower()}")
+
+
+def _scaffold(vulnerable: str, extra_data: str = "",
+              main_call: str = "    call vulnerable") -> str:
+    """Wrap a vulnerable function in the common attack scaffolding."""
+    return runtime.program(f"""
+.equ INPUT_LEN, {INPUT_LEN}
+
+.text
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    call read_input
+{main_call}
+    # clean return: the overflow did not divert control
+    li   a0, 2
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+# read INPUT_LEN attacker bytes from the UART
+read_input:
+    la   t0, input_buf
+    li   t1, INPUT_LEN
+ri_loop:
+    li   t2, UART_STATUS
+ri_wait:
+    lw   t3, 0(t2)
+    andi t3, t3, 1
+    beqz t3, ri_wait
+    li   t2, UART_RXDATA
+    lw   t3, 0(t2)
+    sb   t3, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, ri_loop
+    ret
+
+safe_func:
+    ret
+
+{vulnerable}
+
+# ---- the "injected" payload: pre-classified Low-Integrity ----
+.align 2
+attack_code:
+    li   t0, UART_TXDATA
+    li   a0, 'X'
+    sb   a0, 0(t0)
+    ebreak
+attack_code_end:
+
+.bss
+input_buf:    .space INPUT_LEN
+scratch_slot: .space 4
+{extra_data}
+""")
+
+
+def _le32(value: int) -> bytes:
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def _fill(n: int) -> bytes:
+    return bytes([_FILLER]) * n
+
+
+def _pad(data: bytes) -> bytes:
+    return data + _fill(INPUT_LEN - len(data))
+
+
+# --------------------------------------------------------------------- #
+# attack generators: each returns (source, input_builder)
+# input_builder(program) -> attacker bytes
+# --------------------------------------------------------------------- #
+
+# stack frames: crt0 sets sp = STACK_TOP; main's 16-byte frame means every
+# `vulnerable` below runs with entry sp = STACK_TOP - 16.
+_VULN_SP = STACK_TOP - 16
+
+
+def _attack3():
+    """#3 stack / return address / direct."""
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -48
+    sw   ra, 44(sp)
+    # buffer occupies 0..43; the copy overruns into the saved ra at 44
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 48
+    call memcpy
+    lw   ra, 44(sp)
+    addi sp, sp, 48
+    ret
+"""
+
+    def build(program: Program) -> bytes:
+        return _pad(_fill(44) + _le32(program.symbol("attack_code")))
+
+    return _scaffold(vulnerable), build
+
+
+def _attack5():
+    """#5 stack / function pointer (local) / direct."""
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -48
+    sw   ra, 44(sp)
+    la   t0, safe_func
+    sw   t0, 40(sp)         # local function pointer after a 40-byte buffer
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 44             # overruns into the pointer
+    call memcpy
+    lw   t0, 40(sp)
+    jalr ra, t0, 0          # call through the corrupted pointer
+    lw   ra, 44(sp)
+    addi sp, sp, 48
+    ret
+"""
+
+    def build(program: Program) -> bytes:
+        return _pad(_fill(40) + _le32(program.symbol("attack_code")))
+
+    return _scaffold(vulnerable), build
+
+
+def _attack6():
+    """#6 stack / longjmp buffer (local) / direct."""
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -112
+    sw   ra, 108(sp)
+    addi a0, sp, 32         # jmp_buf at 32..87, after a 32-byte buffer
+    call setjmp
+    bnez a0, vuln_out       # longjmp lands here if ra survived
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 36             # overruns into jmp_buf.ra
+    call memcpy
+    addi a0, sp, 32
+    li   a1, 1
+    call longjmp
+vuln_out:
+    lw   ra, 108(sp)
+    addi sp, sp, 112
+    ret
+"""
+
+    def build(program: Program) -> bytes:
+        return _pad(_fill(32) + _le32(program.symbol("attack_code")))
+
+    return _scaffold(vulnerable), build
+
+
+def _attack7():
+    """#7 heap/BSS/data / function pointer / direct."""
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    la   t0, safe_func
+    la   t1, g_fnptr
+    sw   t0, 0(t1)
+    la   a0, g_buf
+    la   a1, input_buf
+    li   a2, 44             # overruns g_buf into the adjacent g_fnptr
+    call memcpy
+    la   t1, g_fnptr
+    lw   t0, 0(t1)
+    jalr ra, t0, 0
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+"""
+    extra = """
+g_buf:   .space 40
+g_fnptr: .space 4
+"""
+
+    def build(program: Program) -> bytes:
+        return _pad(_fill(40) + _le32(program.symbol("attack_code")))
+
+    return _scaffold(vulnerable, extra), build
+
+
+def _indirect_stack(target_offset_code: str, frame: int, ra_off: int,
+                    trigger: str) -> str:
+    """Common shape of the stack-based indirect attacks.
+
+    Locals: buffer 0..39, data pointer at 40(sp); the overflow (44 bytes)
+    replaces the pointer; the victim then stores an attacker word through
+    it and finally runs ``trigger``.
+    """
+    return f"""
+vulnerable:
+    addi sp, sp, -{frame}
+    sw   ra, {ra_off}(sp)
+{target_offset_code}
+    la   t0, scratch_slot
+    sw   t0, 40(sp)         # data pointer, initially harmless
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 44             # overruns into the pointer at 40(sp)
+    call memcpy
+    lw   t0, 40(sp)         # attacker-chosen pointer
+    la   t1, input_buf
+    lw   t1, 44(t1)         # attacker-chosen value
+    sw   t1, 0(t0)          # the indirect write
+{trigger}
+    lw   ra, {ra_off}(sp)
+    addi sp, sp, {frame}
+    ret
+"""
+
+
+def _attack9():
+    """#9 stack / function pointer (param) / indirect.
+
+    The register-passed function-pointer parameter is spilled to the
+    stack (as compilers do under register pressure); the indirect write
+    redirects the spilled slot.
+    """
+    code = """    sw   a0, 48(sp)         # spill the fn-pointer parameter"""
+    trigger = """    lw   t0, 48(sp)
+    jalr ra, t0, 0"""
+    src = _scaffold(
+        _indirect_stack(code, 56, 52, trigger),
+        main_call="    la   a0, safe_func\n    call vulnerable")
+
+    def build(program: Program) -> bytes:
+        spill_addr = _VULN_SP - 56 + 48
+        return _pad(_fill(40) + _le32(spill_addr)
+                    + _le32(program.symbol("attack_code")))
+
+    return src, build
+
+
+def _attack10():
+    """#10 stack / longjmp buffer (param) / indirect."""
+    vulnerable = """
+vulnerable:
+    # a0 = &g_jmpbuf (parameter)
+    addi sp, sp, -56
+    sw   ra, 52(sp)
+    sw   a0, 48(sp)
+    la   t0, scratch_slot
+    sw   t0, 40(sp)
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 44
+    call memcpy
+    lw   t0, 40(sp)
+    la   t1, input_buf
+    lw   t1, 44(t1)
+    sw   t1, 0(t0)          # overwrite g_jmpbuf.ra
+    lw   a0, 48(sp)
+    li   a1, 1
+    call longjmp
+"""
+    main_call = """    la   a0, g_jmpbuf
+    call setjmp
+    bnez a0, main_back      # longjmp with intact ra lands here
+    la   a0, g_jmpbuf
+    call vulnerable
+main_back:"""
+    extra = """
+.align 2
+g_jmpbuf: .space 56
+"""
+    src = _scaffold(vulnerable, extra, main_call=main_call)
+
+    def build(program: Program) -> bytes:
+        return _pad(_fill(40) + _le32(program.symbol("g_jmpbuf"))
+                    + _le32(program.symbol("attack_code")))
+
+    return src, build
+
+
+def _attack11():
+    """#11 stack / return address / indirect."""
+    src = _scaffold(_indirect_stack("", 56, 52, ""))
+
+    def build(program: Program) -> bytes:
+        ra_slot = _VULN_SP - 56 + 52
+        return _pad(_fill(40) + _le32(ra_slot)
+                    + _le32(program.symbol("attack_code")))
+
+    return src, build
+
+
+def _attack13():
+    """#13 stack / function pointer (local) / indirect."""
+    code = """    la   t0, safe_func
+    sw   t0, 48(sp)         # local function pointer"""
+    trigger = """    lw   t0, 48(sp)
+    jalr ra, t0, 0"""
+    src = _scaffold(_indirect_stack(code, 56, 52, trigger))
+
+    def build(program: Program) -> bytes:
+        fnptr_slot = _VULN_SP - 56 + 48
+        return _pad(_fill(40) + _le32(fnptr_slot)
+                    + _le32(program.symbol("attack_code")))
+
+    return src, build
+
+
+def _attack14():
+    """#14 stack / longjmp buffer (local) / indirect."""
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -112
+    sw   ra, 108(sp)
+    addi a0, sp, 48         # local jmp_buf at 48..103
+    call setjmp
+    bnez a0, vuln_out
+    la   t0, scratch_slot
+    sw   t0, 40(sp)         # data pointer after the 40-byte buffer
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 44
+    call memcpy
+    lw   t0, 40(sp)
+    la   t1, input_buf
+    lw   t1, 44(t1)
+    sw   t1, 0(t0)          # overwrite jmp_buf.ra
+    addi a0, sp, 48
+    li   a1, 1
+    call longjmp
+vuln_out:
+    lw   ra, 108(sp)
+    addi sp, sp, 112
+    ret
+"""
+    src = _scaffold(vulnerable)
+
+    def build(program: Program) -> bytes:
+        jmpbuf_ra = _VULN_SP - 112 + 48
+        return _pad(_fill(40) + _le32(jmpbuf_ra)
+                    + _le32(program.symbol("attack_code")))
+
+    return src, build
+
+
+def _attack17():
+    """#17 heap/BSS/data / function pointer (local) / indirect."""
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    la   t0, safe_func
+    la   t1, g_fnptr
+    sw   t0, 0(t1)
+    la   t0, scratch_slot
+    la   t1, g_ptr
+    sw   t0, 0(t1)
+    la   a0, g_buf
+    la   a1, input_buf
+    li   a2, 44             # overruns g_buf into the adjacent g_ptr
+    call memcpy
+    la   t1, g_ptr
+    lw   t0, 0(t1)
+    la   t1, input_buf
+    lw   t1, 44(t1)
+    sw   t1, 0(t0)          # indirect write -> g_fnptr
+    la   t1, g_fnptr
+    lw   t0, 0(t1)
+    jalr ra, t0, 0
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+"""
+    extra = """
+g_buf:   .space 40
+g_ptr:   .space 4
+g_fnptr: .space 4
+"""
+    src = _scaffold(vulnerable, extra)
+
+    def build(program: Program) -> bytes:
+        return _pad(_fill(40) + _le32(program.symbol("g_fnptr"))
+                    + _le32(program.symbol("attack_code")))
+
+    return src, build
+
+
+_NA_CALLCONV = ("function-pointer parameters are passed in registers on "
+                "RISC-V; a stack overflow cannot reach them")
+_NA_BASEPTR = ("the RISC-V calling convention has no frame-pointer-based "
+               "epilogue to corrupt")
+_NA_HEAP = ("the ported suite has no heap variant of this form on RISC-V "
+            "(newlib allocator layout differs)")
+
+#: Table I, in paper order
+SPECS: List[AttackSpec] = [
+    AttackSpec(1, "Stack", "Function Pointer (param)", "Direct", False,
+               _NA_CALLCONV),
+    AttackSpec(2, "Stack", "Longjmp Buffer (param)", "Direct", False,
+               _NA_CALLCONV),
+    AttackSpec(3, "Stack", "Return Address", "Direct", True),
+    AttackSpec(4, "Stack", "Base Pointer", "Direct", False, _NA_BASEPTR),
+    AttackSpec(5, "Stack", "Function Pointer (local)", "Direct", True),
+    AttackSpec(6, "Stack", "Longjmp Buffer", "Direct", True),
+    AttackSpec(7, "Heap/BSS/Data", "Function Pointer", "Direct", True),
+    AttackSpec(8, "Heap/BSS/Data", "Longjmp Buffer", "Direct", False,
+               _NA_HEAP),
+    AttackSpec(9, "Stack", "Function Pointer (param)", "Indirect", True),
+    AttackSpec(10, "Stack", "Longjump Buffer (param)", "Indirect", True),
+    AttackSpec(11, "Stack", "Return Address", "Indirect", True),
+    AttackSpec(12, "Stack", "Base Pointer", "Indirect", False, _NA_BASEPTR),
+    AttackSpec(13, "Stack", "Function Pointer (local)", "Indirect", True),
+    AttackSpec(14, "Stack", "Longjmp Buffer", "Indirect", True),
+    AttackSpec(15, "Heap/BSS/Data", "Return Address", "Indirect", False,
+               _NA_HEAP),
+    AttackSpec(16, "Heap/BSS/Data", "Base Pointer", "Indirect", False,
+               _NA_BASEPTR),
+    AttackSpec(17, "Heap/BSS/Data", "Function Pointer (local)", "Indirect",
+               True),
+    AttackSpec(18, "Heap/BSS/Data", "Longjmp Buffer", "Indirect", False,
+               _NA_HEAP),
+]
+
+_GENERATORS: Dict[int, Callable] = {
+    3: _attack3, 5: _attack5, 6: _attack6, 7: _attack7, 9: _attack9,
+    10: _attack10, 11: _attack11, 13: _attack13, 14: _attack14,
+    17: _attack17,
+}
+
+
+def spec(number: int) -> AttackSpec:
+    return SPECS[number - 1]
+
+
+def build_attack(number: int):
+    """Build attack ``number``; returns (Program, attacker_input_bytes).
+
+    Raises ValueError for the N/A forms (check ``spec(n).applicable``).
+    """
+    attack_spec = spec(number)
+    if not attack_spec.applicable:
+        raise ValueError(
+            f"attack {number} is not applicable on RISC-V: "
+            f"{attack_spec.reason}")
+    source, input_builder = _GENERATORS[number]()
+    program = assemble(source)
+    return program, input_builder(program)
+
+
+# --------------------------------------------------------------------- #
+# beyond Table I: the paper's acknowledged limitation
+# --------------------------------------------------------------------- #
+
+def build_code_reuse_attack():
+    """A return-to-trusted-code attack (NOT in Table I, by design).
+
+    Section V-B2b concedes the limitation: fetch clearance "still cannot
+    fully prevent code injection, since an attacker might be able to
+    exploit bugs in the embedded SW to inject malicious code by re-using
+    trusted code from memory."  This attack demonstrates it: the overflow
+    redirects the return address not to injected LI bytes but to an
+    *existing High-Integrity function* (`privileged_unlock`, legitimately
+    part of the firmware).  Every fetched instruction is HI, so the
+    fetch-clearance policy cannot object.
+
+    Returns (Program, attacker_input).  Expected outcome under the
+    code-injection policy: the privileged function runs (reason
+    ``"ebreak"``, marker ``P`` on the UART) and **no violation fires** —
+    the reproduction of the paper's stated blind spot.
+    """
+    vulnerable = """
+vulnerable:
+    addi sp, sp, -48
+    sw   ra, 44(sp)
+    mv   a0, sp
+    la   a1, input_buf
+    li   a2, 48             # overruns the saved ra, as in attack #3
+    call memcpy
+    lw   ra, 44(sp)
+    addi sp, sp, 48
+    ret
+
+# a legitimate, trusted (HI) firmware function the attacker re-uses
+privileged_unlock:
+    li   t0, UART_TXDATA
+    li   a0, 'P'
+    sb   a0, 0(t0)
+    ebreak
+"""
+    source = _scaffold(vulnerable)
+    program = assemble(source)
+    attacker_input = _pad(
+        _fill(44) + _le32(program.symbol("privileged_unlock")))
+    return program, attacker_input

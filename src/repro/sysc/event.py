@@ -1,0 +1,65 @@
+"""Events, modelled after SystemC's ``sc_event``.
+
+An :class:`Event` is a named rendezvous point: processes wait on it (by
+yielding it, or a wait descriptor wrapping it, from their generator body)
+and other processes or the kernel notify it.  Notification semantics follow
+SystemC: *delta* notification wakes waiters in the next delta cycle, *timed*
+notification at a future simulation time.  (Immediate notification is
+intentionally not offered — it is a well-known source of nondeterminism and
+nothing in the VP needs it.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sysc.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sysc.kernel import Kernel, Process
+
+
+class Event:
+    """A notifiable simulation event."""
+
+    __slots__ = ("name", "_waiters", "_kernel")
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self._waiters: List["Process"] = []
+        self._kernel: Optional["Kernel"] = None
+
+    def _bind(self, kernel: "Kernel") -> None:
+        """Attach this event to a kernel (done lazily on first use)."""
+        if self._kernel is None:
+            self._kernel = kernel
+        elif self._kernel is not kernel:
+            raise RuntimeError(f"event {self.name!r} used with two kernels")
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def notify(self, delay: Optional[SimTime] = None) -> None:
+        """Notify this event.
+
+        ``delay=None`` (or zero) is a *delta* notification: waiters wake in
+        the next delta cycle at the current time.  A non-zero delay is a
+        timed notification.
+        """
+        if self._kernel is None:
+            # No process has waited yet and no kernel bound: nothing to wake,
+            # but that's legal (e.g. a peripheral raising an IRQ nobody
+            # listens to yet).
+            return
+        self._kernel._notify_event(self, delay)
+
+    @property
+    def has_waiters(self) -> bool:
+        return bool(self._waiters)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"

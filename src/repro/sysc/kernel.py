@@ -1,0 +1,249 @@
+"""An event-driven simulation kernel with SystemC scheduling semantics.
+
+SystemC (IEEE-1666) schedules co-operative processes through evaluate /
+update / delta-notification phases and a timed event queue.  This kernel
+reproduces the subset a loosely-timed TLM virtual prototype relies on:
+
+* **SC_THREAD processes** are Python generators.  A process yields *wait
+  descriptors* to suspend itself:
+
+  - ``yield SimTime(...)``  — wait for a relative time;
+  - ``yield event``         — wait until the event is notified;
+  - ``yield DELTA``         — wait one delta cycle;
+  - returning (or ``return``) ends the process.
+
+* **Delta cycles**: processes woken by delta notifications run at the same
+  simulation time but in a later evaluation phase, matching SystemC's
+  evaluate-then-delta-notify loop.
+
+* **Timed notifications** drive time forward; :meth:`Kernel.run` executes
+  until the event queue drains, a time limit is hit, or :meth:`Kernel.stop`
+  is called (the analogue of ``sc_stop``).
+
+Determinism: runnable processes execute in FIFO order of scheduling, so a
+given program produces the same interleaving on every run (SystemC leaves
+the order unspecified; fixing it is a valid refinement and makes the test
+suite reproducible).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.sysc.event import Event
+from repro.sysc.time import SimTime
+
+#: Sentinel yielded by a process to wait exactly one delta cycle.
+DELTA = object()
+
+WaitRequest = Union[SimTime, Event, object, None]
+ProcessBody = Generator[WaitRequest, None, None]
+
+
+class Process:
+    """One SC_THREAD-style process (a generator driven by the kernel)."""
+
+    __slots__ = ("name", "body", "terminated", "waiting_on")
+
+    def __init__(self, name: str, body: ProcessBody):
+        self.name = name
+        self.body = body
+        self.terminated = False
+        self.waiting_on: Optional[Event] = None
+
+    def __repr__(self) -> str:
+        state = "terminated" if self.terminated else "active"
+        return f"Process({self.name!r}, {state})"
+
+
+class Kernel:
+    """The simulation scheduler."""
+
+    def __init__(self) -> None:
+        self._now_ps: int = 0
+        self._runnable: List[Process] = []
+        self._next_delta: List[Process] = []
+        # timed queue entries: (time_ps, seq, process-or-event)
+        self._timed: List[Tuple[int, int, object]] = []
+        self._seq = 0
+        self._processes: List[Process] = []
+        self._stopped = False
+        self._running = False
+        self._delta_count = 0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulation time."""
+        return SimTime(self._now_ps)
+
+    @property
+    def delta_count(self) -> int:
+        """Number of delta cycles executed (diagnostic)."""
+        return self._delta_count
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def spawn(
+        self,
+        body: Union[ProcessBody, Callable[[], ProcessBody]],
+        name: str = "process",
+    ) -> Process:
+        """Register a process; it becomes runnable at the current time.
+
+        ``body`` may be a generator object or a zero-argument callable
+        returning one (the SC_THREAD function itself).
+        """
+        gen = body() if callable(body) else body
+        if not isinstance(gen, Iterator):
+            raise SimulationError(
+                f"process {name!r} body must be a generator (did you forget "
+                "a yield?)"
+            )
+        process = Process(name, gen)
+        self._processes.append(process)
+        self._runnable.append(process)
+        return process
+
+    def stop(self) -> None:
+        """Stop the simulation after the current process yields (sc_stop)."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[SimTime] = None,
+        max_deltas_per_instant: int = 10_000,
+    ) -> SimTime:
+        """Run until the queue drains, ``until`` is reached, or stop().
+
+        Returns the simulation time at which the run ended.  A bound on
+        delta cycles per time instant guards against delta loops
+        (two processes notifying each other forever without time advancing).
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not re-entrant")
+        self._running = True
+        limit_ps = until.ps if until is not None else None
+        try:
+            while not self._stopped:
+                # Evaluation phase(s) + delta notifications at current time.
+                deltas_here = 0
+                while self._runnable or self._next_delta:
+                    if not self._runnable:
+                        self._runnable, self._next_delta = self._next_delta, []
+                        self._delta_count += 1
+                        deltas_here += 1
+                        if deltas_here > max_deltas_per_instant:
+                            raise SimulationError(
+                                f"delta-cycle loop at t={self.now!r}: more "
+                                f"than {max_deltas_per_instant} delta cycles "
+                                "without time advancing"
+                            )
+                    self._evaluate()
+                    if self._stopped:
+                        return self.now
+                # Advance time to the next timed notification.
+                if not self._timed:
+                    break
+                next_ps = self._timed[0][0]
+                if limit_ps is not None and next_ps > limit_ps:
+                    self._now_ps = limit_ps
+                    break
+                self._now_ps = next_ps
+                while self._timed and self._timed[0][0] == next_ps:
+                    __, __, target = heapq.heappop(self._timed)
+                    if isinstance(target, Process):
+                        if not target.terminated:
+                            self._cancel_wait(target)
+                            self._runnable.append(target)
+                    elif isinstance(target, Event):
+                        self._wake_event_waiters(target, next_delta=False)
+            return self.now
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------ #
+    # notification plumbing (used by Event)
+    # ------------------------------------------------------------------ #
+
+    def _notify_event(self, event: Event, delay: Optional[SimTime]) -> None:
+        if delay is None or delay.ps == 0:
+            self._wake_event_waiters(event, next_delta=True)
+        else:
+            self._push_timed(self._now_ps + delay.ps, event)
+
+    def _wake_event_waiters(self, event: Event, next_delta: bool) -> None:
+        waiters, event._waiters = event._waiters, []
+        for process in waiters:
+            process.waiting_on = None
+            if next_delta:
+                self._next_delta.append(process)
+            else:
+                self._runnable.append(process)
+
+    def _push_timed(self, time_ps: int, target: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._timed, (time_ps, self._seq, target))
+
+    def _cancel_wait(self, process: Process) -> None:
+        if process.waiting_on is not None:
+            process.waiting_on._remove_waiter(process)
+            process.waiting_on = None
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def _evaluate(self) -> None:
+        """Run every currently-runnable process once (one evaluation phase)."""
+        runnable, self._runnable = self._runnable, []
+        for process in runnable:
+            if process.terminated:
+                continue
+            self._resume(process)
+            if self._stopped:
+                # Put unconsumed processes back so state stays consistent.
+                self._runnable.extend(
+                    p for p in runnable[runnable.index(process) + 1:]
+                    if not p.terminated
+                )
+                return
+
+    def _resume(self, process: Process) -> None:
+        try:
+            request = next(process.body)
+        except StopIteration:
+            process.terminated = True
+            return
+        self._apply_wait(process, request)
+
+    def _apply_wait(self, process: Process, request: WaitRequest) -> None:
+        if request is DELTA or request is None:
+            self._next_delta.append(process)
+        elif isinstance(request, SimTime):
+            if request.ps == 0:
+                self._next_delta.append(process)
+            else:
+                self._push_timed(self._now_ps + request.ps, process)
+        elif isinstance(request, Event):
+            request._bind(self)
+            request._add_waiter(process)
+            process.waiting_on = request
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded an invalid wait request: "
+                f"{request!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel(now={self.now!r}, processes={len(self._processes)}, "
+            f"timed={len(self._timed)})"
+        )

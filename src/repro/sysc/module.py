@@ -1,0 +1,39 @@
+"""Module base class, modelled after ``sc_module``.
+
+A :class:`Module` is a named component with a handle to the kernel.  It can
+register SC_THREAD-style processes and create named child events.  The VP's
+CPU, memory, bus and peripherals all derive from it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sysc.event import Event
+from repro.sysc.kernel import Kernel, Process, ProcessBody
+
+
+class Module:
+    """A named simulation component bound to a kernel."""
+
+    def __init__(self, kernel: Kernel, name: str):
+        self.kernel = kernel
+        self.name = name
+
+    def sc_thread(self, body: Callable[[], ProcessBody], name: str = "") -> Process:
+        """Register an SC_THREAD process (``SC_THREAD(run)`` analogue)."""
+        label = f"{self.name}.{name or getattr(body, '__name__', 'thread')}"
+        return self.kernel.spawn(body, name=label)
+
+    def make_event(self, name: str) -> Event:
+        """Create an event namespaced under this module.
+
+        The event is bound to this module's kernel immediately, so timed
+        notifications issued before any process waits on it are not lost.
+        """
+        event = Event(f"{self.name}.{name}")
+        event._bind(self.kernel)
+        return event
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

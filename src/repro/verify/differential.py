@@ -1,0 +1,177 @@
+"""Differential testing: VP vs VP+ on randomly generated programs.
+
+The DIFT instrumentation must be *architecturally invisible*: for any
+program, the tagged platform (VP+) under a violation-free policy must
+produce exactly the same register file, memory contents and instruction
+count as the plain VP.  This harness generates random-but-terminating
+RV32IM programs and checks that equivalence — the reproduction analogue
+of the authors' coverage-guided ISS fuzzing line of work ([32] in the
+paper's references) applied to the DIFT layer.
+
+Program shape: a register-initialization prologue, ``n`` random
+instructions (ALU, mul/div, shifts, loads/stores confined to a scratch
+buffer, short *forward* branches — so termination is structural), and an
+epilogue that folds every register into a checksum and stores the scratch
+buffer state for comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.asm import assemble
+from repro.policy import SecurityPolicy, builders
+from repro.vp.platform import Platform
+
+#: registers the generator plays with (avoids sp/ra and the buffer base s0)
+_WORK_REGS = ["t0", "t1", "t2", "a0", "a1", "a2", "a3", "a4",
+              "a5", "s1", "s2", "s3", "t3", "t4"]
+
+_RR_OPS = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or",
+           "and", "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem",
+           "remu"]
+_RI_OPS = ["addi", "slti", "sltiu", "xori", "ori", "andi"]
+_SHIFT_OPS = ["slli", "srli", "srai"]
+_LOADS = ["lw", "lh", "lhu", "lb", "lbu"]
+_STORES = ["sw", "sh", "sb"]
+_BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+_BUF_SIZE = 256
+
+
+def random_program(seed: int, n_instructions: int = 200) -> str:
+    """Generate a terminating RV32IM torture program (assembly text)."""
+    rng = random.Random(seed)
+    lines: List[str] = [
+        ".text",
+        "_start:",
+        "    la   s0, scratch",          # memory ops are buffer-relative
+    ]
+    # prologue: pseudo-random register init
+    for i, reg in enumerate(_WORK_REGS):
+        lines.append(f"    li   {reg}, {rng.getrandbits(32):#010x}")
+
+    label_counter = 0
+    pending_labels: List[tuple] = []  # (emit_at_index, label)
+    body: List[str] = []
+
+    for i in range(n_instructions):
+        # emit any branch targets that land here
+        for at, label in list(pending_labels):
+            if at <= i:
+                body.append(f"{label}:")
+                pending_labels.remove((at, label))
+        kind = rng.random()
+        rd = rng.choice(_WORK_REGS)
+        rs1 = rng.choice(_WORK_REGS)
+        rs2 = rng.choice(_WORK_REGS)
+        if kind < 0.45:
+            body.append(f"    {rng.choice(_RR_OPS)} {rd}, {rs1}, {rs2}")
+        elif kind < 0.60:
+            imm = rng.randint(-2048, 2047)
+            body.append(f"    {rng.choice(_RI_OPS)} {rd}, {rs1}, {imm}")
+        elif kind < 0.70:
+            body.append(f"    {rng.choice(_SHIFT_OPS)} {rd}, {rs1}, "
+                        f"{rng.randint(0, 31)}")
+        elif kind < 0.80:
+            # bounded load: mask the index into the buffer, align by op
+            op = rng.choice(_LOADS)
+            align = {"lw": 0xFC, "lh": 0xFE, "lhu": 0xFE}.get(op, 0xFF)
+            body.append(f"    andi t5, {rs1}, {align:#x}")
+            body.append("    add  t5, t5, s0")
+            body.append(f"    {op} {rd}, 0(t5)")
+        elif kind < 0.90:
+            op = rng.choice(_STORES)
+            align = {"sw": 0xFC, "sh": 0xFE}.get(op, 0xFF)
+            body.append(f"    andi t5, {rs1}, {align:#x}")
+            body.append("    add  t5, t5, s0")
+            body.append(f"    {op} {rs2}, 0(t5)")
+        else:
+            # short forward branch (never backward: termination is free)
+            label = f"fwd{label_counter}"
+            label_counter += 1
+            body.append(f"    {rng.choice(_BRANCHES)} {rs1}, {rs2}, {label}")
+            skip = rng.randint(1, 4)
+            pending_labels.append((i + skip, label))
+
+    # flush any labels still pending past the end
+    for __, label in pending_labels:
+        body.append(f"{label}:")
+
+    lines += body
+    # epilogue: fold all registers into a0 and exit with the checksum
+    lines.append("    li   a0, 0")
+    for reg in _WORK_REGS:
+        if reg != "a0":
+            lines.append(f"    add  a0, a0, {reg}")
+            lines.append("    slli a0, a0, 1")
+    lines += [
+        "    li   a7, 93",
+        "    ecall",
+        ".data",
+        "scratch:",
+    ]
+    rng2 = random.Random(seed ^ 0x5A5A)
+    for __ in range(_BUF_SIZE // 4):
+        lines.append(f"    .word {rng2.getrandbits(32):#010x}")
+    return "\n".join(lines)
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one VP-vs-VP+ differential run."""
+
+    seed: int
+    equivalent: bool
+    instructions: int
+    mismatch: str = ""
+
+
+def _benign_policy() -> SecurityPolicy:
+    policy = SecurityPolicy(builders.ifp3(), default_class=builders.LC_LI,
+                            name="differential")
+    policy.set_execution_clearance(fetch=builders.LC_LI,
+                                   branch=builders.LC_LI,
+                                   mem_addr=builders.LC_LI)
+    return policy
+
+
+def run_differential(seed: int, n_instructions: int = 200,
+                     max_instructions: int = 100_000
+                     ) -> DifferentialResult:
+    """Run one random program on VP and VP+ and compare all visible state."""
+    source = random_program(seed, n_instructions)
+    program = assemble(source)
+
+    outcomes = []
+    for policy in (None, _benign_policy()):
+        platform = Platform(policy=policy)
+        platform.load(program)
+        result = platform.run(max_instructions=max_instructions)
+        scratch = program.symbol("scratch")
+        outcomes.append({
+            "reason": result.reason,
+            "exit": result.exit_code,
+            "instructions": result.instructions,
+            "regs": list(platform.cpu.regs),
+            "buffer": platform.memory.read_block(scratch, _BUF_SIZE),
+            "violations": len(result.violations),
+        })
+
+    vp, vp_plus = outcomes
+    if vp_plus["violations"]:
+        return DifferentialResult(seed, False, vp["instructions"],
+                                  "unexpected policy violation on VP+")
+    for key in ("reason", "exit", "instructions", "regs", "buffer"):
+        if vp[key] != vp_plus[key]:
+            return DifferentialResult(
+                seed, False, vp["instructions"],
+                f"{key} differs: VP={vp[key]!r} VP+={vp_plus[key]!r}")
+    return DifferentialResult(seed, True, vp["instructions"])
+
+
+def sweep(seeds, n_instructions: int = 200) -> List[DifferentialResult]:
+    """Differential-test a batch of seeds; returns all results."""
+    return [run_differential(seed, n_instructions) for seed in seeds]

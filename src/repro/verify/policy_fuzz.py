@@ -1,0 +1,116 @@
+"""Policy stress-fuzzing: randomized command traffic against a policy.
+
+Implements the paper's future-work idea ("automatic test-case generation
+... tailored for stress-testing security policies") for the immobilizer
+case study: drive the firmware with random UART command sequences and
+CAN traffic, and check the two properties a sound policy deployment
+needs:
+
+* **no false negatives** — every sequence containing a leaking command
+  (`d` on the vulnerable build, `1`, `b`, `2`) is detected;
+* **no false positives** — sequences of purely benign traffic (unknown
+  command bytes, challenge serving, fixed-build dumps) never trip the
+  policy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.casestudy.immobilizer import PIN, EngineEcu, baseline_policy
+from repro.dift.engine import RECORD
+from repro.sw import immobilizer as immo_sw
+from repro.vp.platform import Platform
+
+#: commands that must trigger a detection under the baseline policy
+LEAKING_COMMANDS = b"1b2"
+#: commands that must never trigger one on the *fixed* build
+BENIGN_COMMANDS = b"zxy?#!"
+
+
+@dataclass
+class FuzzOutcome:
+    """Result of one fuzzed run."""
+
+    seed: int
+    commands: bytes
+    contains_leak: bool
+    detected: bool
+    violation: str = ""
+
+    @property
+    def sound(self) -> bool:
+        """Detection iff a leaking command was present."""
+        return self.detected == self.contains_leak
+
+
+def random_command_script(rng: random.Random, length: int,
+                          leak_probability: float) -> bytes:
+    """A random UART script mixing benign bytes and (maybe) leak commands."""
+    script = bytearray()
+    for __ in range(length):
+        if rng.random() < leak_probability:
+            script.append(rng.choice(LEAKING_COMMANDS))
+        else:
+            script.append(rng.choice(BENIGN_COMMANDS))
+    script += b"q"
+    return bytes(script)
+
+
+def run_script(commands: bytes, n_challenges: int = 1,
+               max_instructions: int = 2_000_000) -> FuzzOutcome:
+    """Run one command script on the fixed firmware + baseline policy."""
+    program = immo_sw.build(variant="fixed", n_challenges=n_challenges)
+    policy = baseline_policy(program)
+    platform = Platform(policy=policy, engine_mode=RECORD,
+                        aes_declassify_to="(LC,LI)")
+    platform.load(program)
+    engine = EngineEcu(platform.can_bus, PIN, n_challenges=n_challenges)
+    platform.uart.feed(commands)
+    engine.start()
+    result = platform.run(max_instructions=max_instructions)
+    contains_leak = any(byte in LEAKING_COMMANDS for byte in commands)
+    return FuzzOutcome(
+        seed=-1,
+        commands=commands,
+        contains_leak=contains_leak,
+        detected=result.detected,
+        violation=str(result.violations[0]) if result.violations else "",
+    )
+
+
+def fuzz_immobilizer(n_runs: int = 25, seed: int = 0,
+                     script_length: int = 6,
+                     leak_probability: float = 0.3) -> List[FuzzOutcome]:
+    """Fuzz ``n_runs`` random scripts; returns per-run outcomes.
+
+    A sound policy+firmware pair yields ``outcome.sound`` for every run.
+    """
+    rng = random.Random(seed)
+    outcomes = []
+    for index in range(n_runs):
+        script = random_command_script(rng, script_length, leak_probability)
+        outcome = run_script(script)
+        outcome.seed = seed + index
+        outcomes.append(outcome)
+    return outcomes
+
+
+def summarize(outcomes: List[FuzzOutcome]) -> str:
+    """Short fuzzing report."""
+    total = len(outcomes)
+    unsound = [o for o in outcomes if not o.sound]
+    leaks = sum(1 for o in outcomes if o.contains_leak)
+    lines = [
+        f"fuzzed {total} command scripts "
+        f"({leaks} containing leak commands)",
+        f"sound: {total - len(unsound)}/{total}",
+    ]
+    for outcome in unsound:
+        kind = ("FALSE NEGATIVE (leak not detected)"
+                if outcome.contains_leak else
+                "FALSE POSITIVE (benign traffic flagged)")
+        lines.append(f"  {kind}: script={outcome.commands!r}")
+    return "\n".join(lines)

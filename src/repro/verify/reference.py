@@ -1,0 +1,287 @@
+"""A reference RV32IM interpreter, as an independent ISS oracle.
+
+The production ISS (:mod:`repro.vp.cpu`) is written for speed: flat
+dispatch ladders, decode caching, DMI.  This module is the opposite — a
+deliberately naive, dictionary-dispatched interpreter over the same
+decoded form, with no cache, no TLM and no DIFT.  Its only job is to be
+*obviously correct* so the two implementations can be differential-tested
+against each other on random programs (:func:`compare_with_iss`).
+
+Supported: the full RV32IM user-level subset the random-program generator
+emits (ALU, mul/div, loads/stores, branches, jal/jalr, lui/auipc, ecall
+exit).  Traps, CSRs and MMIO are out of scope — the oracle rejects
+programs that need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.asm.assembler import Program
+from repro.vp import decode as D
+
+_MASK = 0xFFFFFFFF
+
+
+def _signed(x: int) -> int:
+    return x - (1 << 32) if x >= (1 << 31) else x
+
+
+class OracleUnsupported(Exception):
+    """The program used a feature outside the oracle's subset."""
+
+
+@dataclass
+class ReferenceState:
+    """Final architectural state of a reference run."""
+
+    regs: List[int]
+    memory: bytearray
+    pc: int
+    instructions: int
+    exit_code: int
+    halted: bool = True
+
+
+class ReferenceCpu:
+    """The naive interpreter."""
+
+    def __init__(self, memory_size: int = 4 * 1024 * 1024):
+        self.memory = bytearray(memory_size)
+        self.regs = [0] * 32
+        self.pc = 0
+        self.instructions = 0
+        self.exit_code = 0
+        self.halted = False
+        self._handlers = self._build_handlers()
+
+    # ------------------------------------------------------------------ #
+    # setup / run
+    # ------------------------------------------------------------------ #
+
+    def load(self, program: Program, stack_top: int) -> None:
+        base = program.base
+        self.memory[base:base + program.size] = program.image
+        self.pc = program.entry
+        self.regs[2] = stack_top
+
+    def run(self, max_instructions: int = 1_000_000) -> ReferenceState:
+        while not self.halted and self.instructions < max_instructions:
+            self.step()
+        return ReferenceState(
+            regs=list(self.regs),
+            memory=self.memory,
+            pc=self.pc,
+            instructions=self.instructions,
+            exit_code=self.exit_code,
+            halted=self.halted,
+        )
+
+    def step(self) -> None:
+        if self.pc + 4 > len(self.memory) or self.pc & 3:
+            raise OracleUnsupported(f"bad fetch at {self.pc:#x}")
+        word = int.from_bytes(self.memory[self.pc:self.pc + 4], "little")
+        op, rd, rs1, rs2, imm = D.decode(word)
+        handler = self._handlers.get(op)
+        if handler is None:
+            raise OracleUnsupported(
+                f"op {D.OP_NAMES[op]} at {self.pc:#x}")
+        self.instructions += 1
+        handler(rd, rs1, rs2, imm)
+        self.regs[0] = 0
+
+    # ------------------------------------------------------------------ #
+    # handlers (dictionary-dispatched, one tiny closure per opcode)
+    # ------------------------------------------------------------------ #
+
+    def _build_handlers(self) -> Dict[int, object]:
+        regs = self.regs
+
+        def advance():
+            self.pc += 4
+
+        def alu(fn):
+            def handler(rd, rs1, rs2, imm):
+                regs[rd] = fn(regs[rs1], regs[rs2]) & _MASK
+                advance()
+            return handler
+
+        def alu_imm(fn):
+            def handler(rd, rs1, rs2, imm):
+                regs[rd] = fn(regs[rs1], imm) & _MASK
+                advance()
+            return handler
+
+        def branch(cond):
+            def handler(rd, rs1, rs2, imm):
+                if cond(regs[rs1], regs[rs2]):
+                    self.pc = (self.pc + imm) & _MASK
+                else:
+                    advance()
+            return handler
+
+        def load(size, signed):
+            def handler(rd, rs1, rs2, imm):
+                addr = (regs[rs1] + imm) & _MASK
+                if addr + size > len(self.memory):
+                    raise OracleUnsupported(f"load at {addr:#x}")
+                value = int.from_bytes(
+                    self.memory[addr:addr + size], "little")
+                if signed and value >= 1 << (8 * size - 1):
+                    value -= 1 << (8 * size)
+                regs[rd] = value & _MASK
+                advance()
+            return handler
+
+        def store(size):
+            def handler(rd, rs1, rs2, imm):
+                addr = (regs[rs1] + imm) & _MASK
+                if addr + size > len(self.memory):
+                    raise OracleUnsupported(f"store at {addr:#x}")
+                self.memory[addr:addr + size] = \
+                    (regs[rs2] & ((1 << (8 * size)) - 1)).to_bytes(
+                        size, "little")
+                advance()
+            return handler
+
+        def jal(rd, rs1, rs2, imm):
+            regs[rd] = (self.pc + 4) & _MASK
+            self.pc = (self.pc + imm) & _MASK
+
+        def jalr(rd, rs1, rs2, imm):
+            target = (regs[rs1] + imm) & 0xFFFFFFFE
+            regs[rd] = (self.pc + 4) & _MASK
+            self.pc = target
+
+        def lui(rd, rs1, rs2, imm):
+            regs[rd] = imm & _MASK
+            advance()
+
+        def auipc(rd, rs1, rs2, imm):
+            regs[rd] = (self.pc + imm) & _MASK
+            advance()
+
+        def ecall(rd, rs1, rs2, imm):
+            if regs[17] != 93:
+                raise OracleUnsupported("non-exit ecall")
+            self.exit_code = regs[10]
+            self.halted = True
+            self.pc += 4
+
+        def fence(rd, rs1, rs2, imm):
+            advance()
+
+        def div(a, b):
+            sa, sb = _signed(a), _signed(b)
+            if b == 0:
+                return _MASK
+            if sa == -(1 << 31) and sb == -1:
+                return 1 << 31
+            q = abs(sa) // abs(sb)
+            return q if (sa < 0) == (sb < 0) else -q
+
+        def rem(a, b):
+            sa, sb = _signed(a), _signed(b)
+            if b == 0:
+                return a
+            if sa == -(1 << 31) and sb == -1:
+                return 0
+            r = abs(sa) % abs(sb)
+            return r if sa >= 0 else -r
+
+        return {
+            D.ADD: alu(lambda a, b: a + b),
+            D.SUB: alu(lambda a, b: a - b),
+            D.SLL: alu(lambda a, b: a << (b & 31)),
+            D.SLT: alu(lambda a, b: int(_signed(a) < _signed(b))),
+            D.SLTU: alu(lambda a, b: int(a < b)),
+            D.XOR: alu(lambda a, b: a ^ b),
+            D.SRL: alu(lambda a, b: a >> (b & 31)),
+            D.SRA: alu(lambda a, b: _signed(a) >> (b & 31)),
+            D.OR: alu(lambda a, b: a | b),
+            D.AND: alu(lambda a, b: a & b),
+            D.MUL: alu(lambda a, b: a * b),
+            D.MULH: alu(lambda a, b: (_signed(a) * _signed(b)) >> 32),
+            D.MULHSU: alu(lambda a, b: (_signed(a) * b) >> 32),
+            D.MULHU: alu(lambda a, b: (a * b) >> 32),
+            D.DIV: alu(div),
+            D.DIVU: alu(lambda a, b: _MASK if b == 0 else a // b),
+            D.REM: alu(rem),
+            D.REMU: alu(lambda a, b: a if b == 0 else a % b),
+            D.ADDI: alu_imm(lambda a, i: a + i),
+            D.SLTI: alu_imm(lambda a, i: int(_signed(a) < i)),
+            D.SLTIU: alu_imm(lambda a, i: int(a < (i & _MASK))),
+            D.XORI: alu_imm(lambda a, i: a ^ (i & _MASK)),
+            D.ORI: alu_imm(lambda a, i: a | (i & _MASK)),
+            D.ANDI: alu_imm(lambda a, i: a & (i & _MASK)),
+            D.SLLI: alu_imm(lambda a, i: a << i),
+            D.SRLI: alu_imm(lambda a, i: a >> i),
+            D.SRAI: alu_imm(lambda a, i: _signed(a) >> i),
+            D.BEQ: branch(lambda a, b: a == b),
+            D.BNE: branch(lambda a, b: a != b),
+            D.BLT: branch(lambda a, b: _signed(a) < _signed(b)),
+            D.BGE: branch(lambda a, b: _signed(a) >= _signed(b)),
+            D.BLTU: branch(lambda a, b: a < b),
+            D.BGEU: branch(lambda a, b: a >= b),
+            D.LB: load(1, True),
+            D.LH: load(2, True),
+            D.LW: load(4, False),
+            D.LBU: load(1, False),
+            D.LHU: load(2, False),
+            D.SB: store(1),
+            D.SH: store(2),
+            D.SW: store(4),
+            D.JAL: jal,
+            D.JALR: jalr,
+            D.LUI: lui,
+            D.AUIPC: auipc,
+            D.ECALL: ecall,
+            D.FENCE: fence,
+        }
+
+
+@dataclass
+class OracleComparison:
+    """Result of one ISS-vs-oracle differential run."""
+
+    seed: int
+    equivalent: bool
+    instructions: int
+    mismatch: str = ""
+
+
+def compare_with_iss(seed: int, n_instructions: int = 150,
+                     max_instructions: int = 200_000) -> OracleComparison:
+    """Run a random program on the production ISS and the oracle."""
+    from repro.asm import assemble
+    from repro.verify.differential import random_program
+    from repro.vp.platform import RAM_SIZE, STACK_TOP, Platform
+
+    program = assemble(random_program(seed, n_instructions))
+
+    platform = Platform()
+    platform.load(program)
+    iss_result = platform.run(max_instructions=max_instructions)
+
+    oracle = ReferenceCpu(memory_size=RAM_SIZE)
+    oracle.load(program, stack_top=STACK_TOP)
+    ref = oracle.run(max_instructions=max_instructions)
+
+    if iss_result.reason != "halt" or not ref.halted:
+        return OracleComparison(seed, False, ref.instructions,
+                                "one side did not halt")
+    scratch = program.symbol("scratch")
+    checks = [
+        ("exit", iss_result.exit_code, ref.exit_code),
+        ("instructions", iss_result.instructions, ref.instructions),
+        ("regs", platform.cpu.regs, ref.regs),
+        ("scratch", platform.memory.read_block(scratch, 256),
+         bytes(ref.memory[scratch:scratch + 256])),
+    ]
+    for name, iss_value, ref_value in checks:
+        if iss_value != ref_value:
+            return OracleComparison(
+                seed, False, ref.instructions,
+                f"{name} differs: ISS={iss_value!r} oracle={ref_value!r}")
+    return OracleComparison(seed, True, ref.instructions)

@@ -1,0 +1,43 @@
+"""The RISC-V virtual prototype: ISS, memory, bus, peripherals, platform."""
+
+from repro.vp.cpu import Cpu
+from repro.vp.debugger import DebugEvent, Debugger
+from repro.vp.memory import Memory
+from repro.vp.tracer import Tracer, TraceStep
+from repro.vp.platform import (
+    AES_BASE,
+    CAN_BASE,
+    CLINT_BASE,
+    DMA_BASE,
+    PLIC_BASE,
+    RAM_BASE,
+    RAM_SIZE,
+    SENSOR_BASE,
+    STACK_TOP,
+    UART_BASE,
+    Platform,
+    RunResult,
+    run_program,
+)
+
+__all__ = [
+    "Cpu",
+    "Memory",
+    "Debugger",
+    "DebugEvent",
+    "Tracer",
+    "TraceStep",
+    "Platform",
+    "RunResult",
+    "run_program",
+    "RAM_BASE",
+    "RAM_SIZE",
+    "CLINT_BASE",
+    "PLIC_BASE",
+    "UART_BASE",
+    "SENSOR_BASE",
+    "CAN_BASE",
+    "AES_BASE",
+    "DMA_BASE",
+    "STACK_TOP",
+]

@@ -1,0 +1,971 @@
+"""RV32IM instruction-set simulator with optional DIFT instrumentation.
+
+The CPU is a SystemC-style module: the platform registers it as a kernel
+process that executes a *quantum* of instructions and then yields simulated
+time (loosely-timed modelling, fixed CPI), exactly how the original RISC-V
+VP structures its ISS.
+
+Two execution loops are provided:
+
+* :meth:`Cpu.run` in **plain** mode (``dift=None``) — the baseline VP.
+* :meth:`Cpu.run` in **DIFT** mode — the VP+ of the paper: every register
+  and memory byte carries a tag; ALU results take the LUB of their operand
+  tags; and the three execution-clearance checks of Section V-B2 are
+  performed (instruction fetch, branch condition / indirect-jump target /
+  trap-handler address, and memory-access address).
+
+The loops are intentionally written as two separate flat functions rather
+than one parameterized loop: the plain VP must not pay for DIFT hooks it
+does not use, or the Table II overhead comparison would be dishonest.
+
+RAM is accessed through a DMI pointer (``ram``/``ram_tags``) granted by the
+memory module; everything else goes through TLM transactions whose payloads
+carry per-byte tags on the DIFT platform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.dift.engine import DiftEngine
+from repro.errors import BusError, GuestFault
+from repro.sysc.kernel import Kernel
+from repro.sysc.module import Module
+from repro.sysc.time import SimTime
+from repro.sysc.tlm import GenericPayload, InitiatorSocket
+from repro.vp import csr as CSR
+from repro.vp import decode as D
+from repro.vp.csr import CsrFile
+
+# run() stop reasons
+QUANTUM = "quantum"   # quantum exhausted, more work pending
+HALT = "halt"         # guest exited via ecall
+EBREAK = "ebreak"     # guest hit ebreak (attack payload marker in the suite)
+WFI = "wfi"           # waiting for interrupt
+SECURITY = "security" # DIFT violation recorded (record-mode engines only)
+FAULT = "fault"       # unhandled guest fault with no trap handler
+
+_MASK32 = 0xFFFFFFFF
+
+
+class Cpu(Module):
+    """One RV32IM hart."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        name: str = "cpu0",
+        dift: Optional[DiftEngine] = None,
+        clock_period: SimTime = SimTime.ns(10),
+        quantum: int = 4096,
+    ):
+        super().__init__(kernel, name)
+        self.dift = dift
+        self.clock_period = clock_period
+        self.quantum = quantum
+        self.isock = InitiatorSocket(f"{name}.isock")
+
+        bottom = dift.bottom_tag if dift else 0
+        self._bottom = bottom
+        self.regs = [0] * 32
+        self.tags = [bottom] * 32
+        self.pc = 0
+        self.csr = CsrFile(bottom_tag=bottom)
+        self._decode_cache: Dict[int, D.Decoded] = {}
+
+        # DMI into RAM; set by the platform via attach_ram()
+        self.ram: bytearray = bytearray(0)
+        self.ram_tags: Optional[bytearray] = None
+        self.ram_base = 0
+        self.ram_end = 0
+
+        # execution clearance (tag values or None = check disabled)
+        self._fetch_req: Optional[int] = None
+        self._branch_req: Optional[int] = None
+        self._memaddr_req: Optional[int] = None
+        if dift is not None:
+            execution = dift.policy.execution
+            if execution.fetch is not None:
+                self._fetch_req = dift.policy.tag_of(execution.fetch)
+            if execution.branch is not None:
+                self._branch_req = dift.policy.tag_of(execution.branch)
+            if execution.mem_addr is not None:
+                self._memaddr_req = dift.policy.tag_of(execution.mem_addr)
+
+        # interrupt lines
+        self._take_irq = False
+        self.irq_event = self.make_event("irq")
+
+        # lifecycle
+        self.halted = False
+        self.exit_code = 0
+        self.fault_info = ""
+        self.ecall_handler: Optional[Callable[["Cpu"], Optional[str]]] = None
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def attach_ram(self, base: int, data: bytearray,
+                   tags: Optional[bytearray]) -> None:
+        """Grant the DMI pointer into RAM (called by the platform)."""
+        self.ram_base = base
+        self.ram_end = base + len(data)
+        self.ram = data
+        self.ram_tags = tags
+
+    def reset(self, pc: int) -> None:
+        """Reset architectural state and start executing at ``pc``."""
+        self.regs = [0] * 32
+        self.tags = [self._bottom] * 32
+        self.pc = pc
+        self.halted = False
+        self.exit_code = 0
+        self.fault_info = ""
+        self.csr.instret = 0
+        self.csr.cycle = 0
+
+    # ------------------------------------------------------------------ #
+    # interrupts
+    # ------------------------------------------------------------------ #
+
+    def set_irq(self, mip_bit: int, level: bool) -> None:
+        """Drive one mip line (``CSR.MIP_MTIP`` / ``MIP_MEIP`` / ``MIP_MSIP``)."""
+        mip = self.csr[CSR.MIP]
+        mip = (mip | mip_bit) if level else (mip & ~mip_bit)
+        self.csr[CSR.MIP] = mip
+        self._update_irq()
+        if self._take_irq:
+            self.irq_event.notify()
+
+    def _update_irq(self) -> None:
+        pending = self.csr[CSR.MIP] & self.csr[CSR.MIE]
+        enabled = self.csr[CSR.MSTATUS] & CSR.MSTATUS_MIE
+        self._take_irq = bool(pending and enabled)
+
+    def _take_interrupt(self) -> bool:
+        """Enter the highest-priority pending interrupt.  False if none."""
+        pending = self.csr[CSR.MIP] & self.csr[CSR.MIE]
+        if not pending:
+            return False
+        if pending & CSR.MIP_MEIP:
+            cause = CSR.IRQ_M_EXT
+        elif pending & CSR.MIP_MSIP:
+            cause = CSR.IRQ_M_SOFT
+        else:
+            cause = CSR.IRQ_M_TIMER
+        return self._trap(CSR.INTERRUPT_BIT | cause, 0)
+
+    def _trap(self, cause: int, tval: int) -> bool:
+        """Enter a trap.  Returns False if the DIFT engine vetoed the entry
+        (record-mode violation on the handler address)."""
+        mtvec = self.csr[CSR.MTVEC]
+        if self.dift is not None and self._branch_req is not None:
+            handler_tag = self.csr.tag(CSR.MTVEC)
+            if not self.dift.flow[handler_tag][self._branch_req]:
+                if not self.dift.check_execution(
+                        "branch", handler_tag, self._branch_req, self.pc):
+                    return False
+        self.csr[CSR.MEPC] = self.pc
+        self.csr[CSR.MCAUSE] = cause
+        self.csr[CSR.MTVAL] = tval
+        self.csr.set_tag(CSR.MEPC, self._bottom)
+        mstatus = self.csr[CSR.MSTATUS]
+        mpie = CSR.MSTATUS_MPIE if mstatus & CSR.MSTATUS_MIE else 0
+        self.csr[CSR.MSTATUS] = mpie  # MIE cleared, MPIE = old MIE
+        self._update_irq()
+        self.pc = mtvec
+        return True
+
+    def _fault(self, cause: int, tval: int) -> Optional[str]:
+        """Synchronous fault: trap if a handler is installed, else stop."""
+        if self.csr[CSR.MTVEC]:
+            self._trap(cause, tval)
+            return None
+        self.halted = True
+        self.fault_info = (
+            f"unhandled fault cause={cause} tval={tval:#010x} "
+            f"pc={self.pc:#010x}")
+        return FAULT
+
+    # ------------------------------------------------------------------ #
+    # MMIO via TLM
+    # ------------------------------------------------------------------ #
+
+    def _mmio_read(self, address: int, size: int) -> Tuple[int, int]:
+        payload = GenericPayload.make_read(address, size,
+                                           tagged=self.dift is not None)
+        self.isock.b_transport(payload, SimTime(0))
+        if not payload.ok():
+            raise BusError(f"MMIO read failed at {address:#010x}", address)
+        value = int.from_bytes(payload.data, "little")
+        if self.dift is not None and payload.tags is not None:
+            tag = self.dift.lub_bytes(payload.tags)
+        else:
+            tag = self._bottom
+        return value, tag
+
+    def _mmio_write(self, address: int, size: int, value: int,
+                    tag: int) -> None:
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        tags = bytes([tag]) * size if self.dift is not None else None
+        payload = GenericPayload.make_write(address, data, tags)
+        self.isock.b_transport(payload, SimTime(0))
+        if not payload.ok():
+            raise BusError(f"MMIO write failed at {address:#010x}", address)
+
+    # ------------------------------------------------------------------ #
+    # debug / test helpers
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> str:
+        """Execute exactly one instruction; returns the stop reason."""
+        __, reason = self.run(1)
+        return reason
+
+    def read_word(self, address: int) -> int:
+        off = address - self.ram_base
+        return int.from_bytes(self.ram[off:off + 4], "little")
+
+    def reg(self, index: int) -> int:
+        return self.regs[index]
+
+    # ------------------------------------------------------------------ #
+    # the execution loops
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_instructions: int) -> Tuple[int, str]:
+        """Execute up to ``max_instructions``; returns (executed, reason)."""
+        if self.halted:
+            return 0, HALT
+        if self.dift is None:
+            return self._run_plain(max_instructions)
+        return self._run_dift(max_instructions)
+
+    # ---- plain VP -------------------------------------------------------- #
+
+    def _run_plain(self, n: int) -> Tuple[int, str]:
+        regs = self.regs
+        ram = self.ram
+        ram_base = self.ram_base
+        ram_end = self.ram_end
+        cache = self._decode_cache
+        decode = D.decode
+        csr = self.csr
+        pc = self.pc
+        executed = 0
+        reason = QUANTUM
+        frombytes = int.from_bytes
+
+        while executed < n:
+            if self._take_irq:
+                self.pc = pc
+                self._take_interrupt()
+                pc = self.pc
+
+            if pc < ram_base or pc + 4 > ram_end or pc & 3:
+                self.pc = pc
+                cause = (CSR.CAUSE_INSTR_MISALIGNED if pc & 3
+                         else CSR.CAUSE_INSTR_FAULT)
+                stop = self._fault(cause, pc)
+                if stop:
+                    reason = stop
+                    break
+                pc = self.pc
+                continue
+            off = pc - ram_base
+            word = frombytes(ram[off:off + 4], "little")
+            d = cache.get(word)
+            if d is None:
+                d = decode(word)
+                cache[word] = d
+            op = d[0]
+            executed += 1
+            next_pc = pc + 4
+
+            if op <= D.BGEU:  # control transfer group (ids 0..9)
+                if op >= D.BEQ:
+                    a = regs[d[2]]
+                    b = regs[d[3]]
+                    if op == D.BEQ:
+                        taken = a == b
+                    elif op == D.BNE:
+                        taken = a != b
+                    elif op == D.BLTU:
+                        taken = a < b
+                    elif op == D.BGEU:
+                        taken = a >= b
+                    else:
+                        sa = a - 0x100000000 if a >= 0x80000000 else a
+                        sb = b - 0x100000000 if b >= 0x80000000 else b
+                        taken = sa < sb if op == D.BLT else sa >= sb
+                    if taken:
+                        next_pc = (pc + d[4]) & _MASK32
+                elif op == D.JAL:
+                    if d[1]:
+                        regs[d[1]] = next_pc
+                    next_pc = (pc + d[4]) & _MASK32
+                elif op == D.JALR:
+                    target = (regs[d[2]] + d[4]) & 0xFFFFFFFE
+                    if d[1]:
+                        regs[d[1]] = next_pc
+                    next_pc = target
+                elif op == D.LUI:
+                    if d[1]:
+                        regs[d[1]] = d[4]
+                else:  # AUIPC
+                    if d[1]:
+                        regs[d[1]] = (pc + d[4]) & _MASK32
+
+            elif op <= D.LHU:  # loads
+                addr = (regs[d[2]] + d[4]) & _MASK32
+                size = 4 if op == D.LW else (2 if op in (D.LH, D.LHU) else 1)
+                if ram_base <= addr and addr + size <= ram_end:
+                    o = addr - ram_base
+                    if op == D.LW:
+                        value = frombytes(ram[o:o + 4], "little")
+                    elif op == D.LBU:
+                        value = ram[o]
+                    elif op == D.LB:
+                        value = ram[o]
+                        if value >= 0x80:
+                            value += 0xFFFFFF00
+                    elif op == D.LHU:
+                        value = ram[o] | (ram[o + 1] << 8)
+                    else:  # LH
+                        value = ram[o] | (ram[o + 1] << 8)
+                        if value >= 0x8000:
+                            value += 0xFFFF0000
+                else:
+                    self.pc = pc
+                    try:
+                        size = 4 if op == D.LW else (1 if op in (D.LB, D.LBU)
+                                                     else 2)
+                        value, __ = self._mmio_read(addr, size)
+                        if op == D.LB and value >= 0x80:
+                            value += 0xFFFFFF00
+                        elif op == D.LH and value >= 0x8000:
+                            value += 0xFFFF0000
+                    except BusError:
+                        stop = self._fault(CSR.CAUSE_LOAD_FAULT, addr)
+                        if stop:
+                            reason = stop
+                            break
+                        pc = self.pc
+                        continue
+                if d[1]:
+                    regs[d[1]] = value & _MASK32
+
+            elif op <= D.SW:  # stores
+                addr = (regs[d[2]] + d[4]) & _MASK32
+                value = regs[d[3]]
+                size = 4 if op == D.SW else (1 if op == D.SB else 2)
+                if ram_base <= addr and addr + size <= ram_end:
+                    o = addr - ram_base
+                    if op == D.SW:
+                        ram[o:o + 4] = value.to_bytes(4, "little")
+                    elif op == D.SB:
+                        ram[o] = value & 0xFF
+                    else:
+                        ram[o] = value & 0xFF
+                        ram[o + 1] = (value >> 8) & 0xFF
+                else:
+                    self.pc = pc
+                    try:
+                        self._mmio_write(addr, size, value, self._bottom)
+                    except BusError:
+                        stop = self._fault(CSR.CAUSE_STORE_FAULT, addr)
+                        if stop:
+                            reason = stop
+                            break
+                        pc = self.pc
+                        continue
+
+            elif op <= D.ANDI:  # immediate ALU
+                a = regs[d[2]]
+                imm = d[4]
+                if op == D.ADDI:
+                    value = (a + imm) & _MASK32
+                elif op == D.ANDI:
+                    value = a & (imm & _MASK32)
+                elif op == D.ORI:
+                    value = a | (imm & _MASK32)
+                elif op == D.XORI:
+                    value = a ^ (imm & _MASK32)
+                elif op == D.SLTIU:
+                    value = 1 if a < (imm & _MASK32) else 0
+                else:  # SLTI
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    value = 1 if sa < imm else 0
+                if d[1]:
+                    regs[d[1]] = value
+
+            elif op <= D.SRAI:  # immediate shifts
+                a = regs[d[2]]
+                sh = d[4]
+                if op == D.SLLI:
+                    value = (a << sh) & _MASK32
+                elif op == D.SRLI:
+                    value = a >> sh
+                else:
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    value = (sa >> sh) & _MASK32
+                if d[1]:
+                    regs[d[1]] = value
+
+            elif op <= D.AND:  # register ALU
+                a = regs[d[2]]
+                b = regs[d[3]]
+                if op == D.ADD:
+                    value = (a + b) & _MASK32
+                elif op == D.SUB:
+                    value = (a - b) & _MASK32
+                elif op == D.AND:
+                    value = a & b
+                elif op == D.OR:
+                    value = a | b
+                elif op == D.XOR:
+                    value = a ^ b
+                elif op == D.SLL:
+                    value = (a << (b & 31)) & _MASK32
+                elif op == D.SRL:
+                    value = a >> (b & 31)
+                elif op == D.SRA:
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    value = (sa >> (b & 31)) & _MASK32
+                elif op == D.SLTU:
+                    value = 1 if a < b else 0
+                else:  # SLT
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    sb = b - 0x100000000 if b >= 0x80000000 else b
+                    value = 1 if sa < sb else 0
+                if d[1]:
+                    regs[d[1]] = value
+
+            elif op <= D.REMU:  # M extension
+                value = _muldiv(op, regs[d[2]], regs[d[3]])
+                if d[1]:
+                    regs[d[1]] = value
+
+            elif op == D.FENCE:
+                pass
+
+            elif op == D.ECALL:
+                self.pc = next_pc
+                outcome = self.ecall_handler(self) if self.ecall_handler \
+                    else None
+                if outcome == "halt":
+                    self.halted = True
+                    csr.instret += executed
+                    csr.cycle += executed
+                    return executed, HALT
+                if outcome is None:
+                    self.pc = pc
+                    stop = self._fault(CSR.CAUSE_ECALL_M, 0)
+                    if stop:
+                        reason = stop
+                        break
+                pc = self.pc
+                continue
+
+            elif op == D.EBREAK:
+                self.pc = pc
+                self.halted = True
+                csr.instret += executed
+                csr.cycle += executed
+                return executed, EBREAK
+
+            elif op == D.MRET:
+                mstatus = csr[CSR.MSTATUS]
+                mie = CSR.MSTATUS_MIE if mstatus & CSR.MSTATUS_MPIE else 0
+                csr[CSR.MSTATUS] = mie | CSR.MSTATUS_MPIE
+                self._update_irq()
+                next_pc = csr[CSR.MEPC]
+
+            elif op == D.WFI:
+                self.pc = next_pc
+                csr.instret += executed
+                csr.cycle += executed
+                if self.csr[CSR.MIP] & self.csr[CSR.MIE]:
+                    return executed, QUANTUM
+                return executed, WFI
+
+            elif op <= D.CSRRCI:  # CSR group
+                stop = self._exec_csr(d, next_pc)
+                if stop:
+                    reason = stop
+                    break
+                pc = self.pc
+                continue
+
+            else:  # ILLEGAL
+                self.pc = pc
+                stop = self._fault(CSR.CAUSE_ILLEGAL, d[4])
+                if stop:
+                    reason = stop
+                    break
+                pc = self.pc
+                continue
+
+            pc = next_pc
+
+        self.pc = pc
+        csr.instret += executed
+        csr.cycle += executed
+        return executed, reason
+
+    # ---- VP+ (DIFT) -------------------------------------------------------- #
+
+    def _run_dift(self, n: int) -> Tuple[int, str]:
+        dift = self.dift
+        assert dift is not None
+        regs = self.regs
+        tags = self.tags
+        ram = self.ram
+        mtags = self.ram_tags
+        assert mtags is not None
+        ram_base = self.ram_base
+        ram_end = self.ram_end
+        cache = self._decode_cache
+        decode = D.decode
+        csr = self.csr
+        lub = dift.lub
+        flow = dift.flow
+        bottom = self._bottom
+        zero_is_bottom = bottom == 0
+        fetch_req = self._fetch_req
+        branch_req = self._branch_req
+        memaddr_req = self._memaddr_req
+        pc = self.pc
+        executed = 0
+        reason = QUANTUM
+        frombytes = int.from_bytes
+
+        while executed < n:
+            if self._take_irq:
+                self.pc = pc
+                if not self._take_interrupt():
+                    reason = SECURITY
+                    break
+                pc = self.pc
+
+            if pc < ram_base or pc + 4 > ram_end or pc & 3:
+                self.pc = pc
+                cause = (CSR.CAUSE_INSTR_MISALIGNED if pc & 3
+                         else CSR.CAUSE_INSTR_FAULT)
+                stop = self._fault(cause, pc)
+                if stop:
+                    reason = stop
+                    break
+                pc = self.pc
+                continue
+            off = pc - ram_base
+
+            # --- fetch clearance (Section V-B2b) --- #
+            if fetch_req is not None:
+                tsum = (mtags[off] | mtags[off + 1] | mtags[off + 2]
+                        | mtags[off + 3])
+                if tsum or not zero_is_bottom:
+                    itag = lub[lub[lub[mtags[off]][mtags[off + 1]]]
+                               [mtags[off + 2]]][mtags[off + 3]]
+                    if not flow[itag][fetch_req]:
+                        self.pc = pc
+                        if not dift.check_execution("fetch", itag, fetch_req,
+                                                    pc):
+                            reason = SECURITY
+                            break
+
+            word = frombytes(ram[off:off + 4], "little")
+            d = cache.get(word)
+            if d is None:
+                d = decode(word)
+                cache[word] = d
+            op = d[0]
+            executed += 1
+            next_pc = pc + 4
+
+            if op <= D.BGEU:
+                if op >= D.BEQ:
+                    rs1 = d[2]
+                    rs2 = d[3]
+                    a = regs[rs1]
+                    b = regs[rs2]
+                    # --- branch-condition clearance (Section V-B2a) --- #
+                    if branch_req is not None:
+                        ctag = lub[tags[rs1]][tags[rs2]]
+                        if not flow[ctag][branch_req]:
+                            self.pc = pc
+                            if not dift.check_execution("branch", ctag,
+                                                        branch_req, pc):
+                                reason = SECURITY
+                                break
+                    if op == D.BEQ:
+                        taken = a == b
+                    elif op == D.BNE:
+                        taken = a != b
+                    elif op == D.BLTU:
+                        taken = a < b
+                    elif op == D.BGEU:
+                        taken = a >= b
+                    else:
+                        sa = a - 0x100000000 if a >= 0x80000000 else a
+                        sb = b - 0x100000000 if b >= 0x80000000 else b
+                        taken = sa < sb if op == D.BLT else sa >= sb
+                    if taken:
+                        next_pc = (pc + d[4]) & _MASK32
+                elif op == D.JAL:
+                    if d[1]:
+                        regs[d[1]] = next_pc
+                        tags[d[1]] = bottom
+                    next_pc = (pc + d[4]) & _MASK32
+                elif op == D.JALR:
+                    rs1 = d[2]
+                    # --- indirect-jump target clearance --- #
+                    if branch_req is not None and not flow[tags[rs1]][branch_req]:
+                        self.pc = pc
+                        if not dift.check_execution("branch", tags[rs1],
+                                                    branch_req, pc):
+                            reason = SECURITY
+                            break
+                    target = (regs[rs1] + d[4]) & 0xFFFFFFFE
+                    if d[1]:
+                        regs[d[1]] = next_pc
+                        tags[d[1]] = bottom
+                    next_pc = target
+                elif op == D.LUI:
+                    if d[1]:
+                        regs[d[1]] = d[4]
+                        tags[d[1]] = bottom
+                else:  # AUIPC
+                    if d[1]:
+                        regs[d[1]] = (pc + d[4]) & _MASK32
+                        tags[d[1]] = bottom
+
+            elif op <= D.LHU:  # loads
+                rs1 = d[2]
+                addr = (regs[rs1] + d[4]) & _MASK32
+                # --- memory-address clearance (Section V-B2c) --- #
+                if memaddr_req is not None and not flow[tags[rs1]][memaddr_req]:
+                    self.pc = pc
+                    if not dift.check_execution("mem-addr", tags[rs1],
+                                                memaddr_req, pc):
+                        reason = SECURITY
+                        break
+                size = 4 if op == D.LW else (2 if op in (D.LH, D.LHU) else 1)
+                if ram_base <= addr and addr + size <= ram_end:
+                    o = addr - ram_base
+                    if op == D.LW:
+                        value = frombytes(ram[o:o + 4], "little")
+                        t = lub[lub[lub[mtags[o]][mtags[o + 1]]]
+                                [mtags[o + 2]]][mtags[o + 3]]
+                    elif op == D.LBU:
+                        value = ram[o]
+                        t = mtags[o]
+                    elif op == D.LB:
+                        value = ram[o]
+                        if value >= 0x80:
+                            value += 0xFFFFFF00
+                        t = mtags[o]
+                    elif op == D.LHU:
+                        value = ram[o] | (ram[o + 1] << 8)
+                        t = lub[mtags[o]][mtags[o + 1]]
+                    else:  # LH
+                        value = ram[o] | (ram[o + 1] << 8)
+                        if value >= 0x8000:
+                            value += 0xFFFF0000
+                        t = lub[mtags[o]][mtags[o + 1]]
+                else:
+                    self.pc = pc
+                    try:
+                        size = 4 if op == D.LW else (1 if op in (D.LB, D.LBU)
+                                                     else 2)
+                        value, t = self._mmio_read(addr, size)
+                        if op == D.LB and value >= 0x80:
+                            value += 0xFFFFFF00
+                        elif op == D.LH and value >= 0x8000:
+                            value += 0xFFFF0000
+                    except BusError:
+                        stop = self._fault(CSR.CAUSE_LOAD_FAULT, addr)
+                        if stop:
+                            reason = stop
+                            break
+                        pc = self.pc
+                        continue
+                if d[1]:
+                    regs[d[1]] = value & _MASK32
+                    tags[d[1]] = t
+
+            elif op <= D.SW:  # stores
+                rs1 = d[2]
+                addr = (regs[rs1] + d[4]) & _MASK32
+                if memaddr_req is not None and not flow[tags[rs1]][memaddr_req]:
+                    self.pc = pc
+                    if not dift.check_execution("mem-addr", tags[rs1],
+                                                memaddr_req, pc):
+                        reason = SECURITY
+                        break
+                value = regs[d[3]]
+                t = tags[d[3]]
+                size = 4 if op == D.SW else (1 if op == D.SB else 2)
+                if ram_base <= addr and addr + size <= ram_end:
+                    o = addr - ram_base
+                    if op == D.SW:
+                        ram[o:o + 4] = value.to_bytes(4, "little")
+                        mtags[o] = t
+                        mtags[o + 1] = t
+                        mtags[o + 2] = t
+                        mtags[o + 3] = t
+                    elif op == D.SB:
+                        ram[o] = value & 0xFF
+                        mtags[o] = t
+                    else:
+                        ram[o] = value & 0xFF
+                        ram[o + 1] = (value >> 8) & 0xFF
+                        mtags[o] = t
+                        mtags[o + 1] = t
+                else:
+                    self.pc = pc
+                    try:
+                        self._mmio_write(addr, size, value, t)
+                    except BusError:
+                        stop = self._fault(CSR.CAUSE_STORE_FAULT, addr)
+                        if stop:
+                            reason = stop
+                            break
+                        pc = self.pc
+                        continue
+
+            elif op <= D.ANDI:  # immediate ALU
+                rs1 = d[2]
+                a = regs[rs1]
+                imm = d[4]
+                if op == D.ADDI:
+                    value = (a + imm) & _MASK32
+                elif op == D.ANDI:
+                    value = a & (imm & _MASK32)
+                elif op == D.ORI:
+                    value = a | (imm & _MASK32)
+                elif op == D.XORI:
+                    value = a ^ (imm & _MASK32)
+                elif op == D.SLTIU:
+                    value = 1 if a < (imm & _MASK32) else 0
+                else:
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    value = 1 if sa < imm else 0
+                if d[1]:
+                    regs[d[1]] = value
+                    tags[d[1]] = tags[rs1]
+
+            elif op <= D.SRAI:
+                rs1 = d[2]
+                a = regs[rs1]
+                sh = d[4]
+                if op == D.SLLI:
+                    value = (a << sh) & _MASK32
+                elif op == D.SRLI:
+                    value = a >> sh
+                else:
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    value = (sa >> sh) & _MASK32
+                if d[1]:
+                    regs[d[1]] = value
+                    tags[d[1]] = tags[rs1]
+
+            elif op <= D.AND:
+                rs1 = d[2]
+                rs2 = d[3]
+                a = regs[rs1]
+                b = regs[rs2]
+                if op == D.ADD:
+                    value = (a + b) & _MASK32
+                elif op == D.SUB:
+                    value = (a - b) & _MASK32
+                elif op == D.AND:
+                    value = a & b
+                elif op == D.OR:
+                    value = a | b
+                elif op == D.XOR:
+                    value = a ^ b
+                elif op == D.SLL:
+                    value = (a << (b & 31)) & _MASK32
+                elif op == D.SRL:
+                    value = a >> (b & 31)
+                elif op == D.SRA:
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    value = (sa >> (b & 31)) & _MASK32
+                elif op == D.SLTU:
+                    value = 1 if a < b else 0
+                else:
+                    sa = a - 0x100000000 if a >= 0x80000000 else a
+                    sb = b - 0x100000000 if b >= 0x80000000 else b
+                    value = 1 if sa < sb else 0
+                if d[1]:
+                    regs[d[1]] = value
+                    tags[d[1]] = lub[tags[rs1]][tags[rs2]]
+
+            elif op <= D.REMU:
+                value = _muldiv(op, regs[d[2]], regs[d[3]])
+                if d[1]:
+                    regs[d[1]] = value
+                    tags[d[1]] = lub[tags[d[2]]][tags[d[3]]]
+
+            elif op == D.FENCE:
+                pass
+
+            elif op == D.ECALL:
+                self.pc = next_pc
+                outcome = self.ecall_handler(self) if self.ecall_handler \
+                    else None
+                if outcome == "halt":
+                    self.halted = True
+                    csr.instret += executed
+                    csr.cycle += executed
+                    return executed, HALT
+                if outcome is None:
+                    self.pc = pc
+                    stop = self._fault(CSR.CAUSE_ECALL_M, 0)
+                    if stop:
+                        reason = stop
+                        break
+                pc = self.pc
+                continue
+
+            elif op == D.EBREAK:
+                self.pc = pc
+                self.halted = True
+                csr.instret += executed
+                csr.cycle += executed
+                return executed, EBREAK
+
+            elif op == D.MRET:
+                # --- return-address clearance: mepc is a jump target --- #
+                if branch_req is not None:
+                    epc_tag = csr.tag(CSR.MEPC)
+                    if not flow[epc_tag][branch_req]:
+                        self.pc = pc
+                        if not dift.check_execution("branch", epc_tag,
+                                                    branch_req, pc):
+                            reason = SECURITY
+                            break
+                mstatus = csr[CSR.MSTATUS]
+                mie = CSR.MSTATUS_MIE if mstatus & CSR.MSTATUS_MPIE else 0
+                csr[CSR.MSTATUS] = mie | CSR.MSTATUS_MPIE
+                self._update_irq()
+                next_pc = csr[CSR.MEPC]
+
+            elif op == D.WFI:
+                self.pc = next_pc
+                csr.instret += executed
+                csr.cycle += executed
+                if self.csr[CSR.MIP] & self.csr[CSR.MIE]:
+                    return executed, QUANTUM
+                return executed, WFI
+
+            elif op <= D.CSRRCI:
+                stop = self._exec_csr(d, next_pc)
+                if stop:
+                    reason = stop
+                    break
+                pc = self.pc
+                continue
+
+            else:
+                self.pc = pc
+                stop = self._fault(CSR.CAUSE_ILLEGAL, d[4])
+                if stop:
+                    reason = stop
+                    break
+                pc = self.pc
+                continue
+
+            pc = next_pc
+
+        self.pc = pc
+        csr.instret += executed
+        csr.cycle += executed
+        return executed, reason
+
+    # ---- CSR instructions (shared; cold path) ------------------------------ #
+
+    def _exec_csr(self, d: D.Decoded, next_pc: int) -> Optional[str]:
+        """Execute a Zicsr instruction.  Returns a stop reason or None."""
+        op, rd, rs1, __, csr_addr = d
+        csr = self.csr
+        if not csr.known(csr_addr):
+            self.pc = next_pc - 4
+            return self._fault(CSR.CAUSE_ILLEGAL, 0)
+
+        old = csr.read(csr_addr)
+        old_tag = csr.tag(csr_addr)
+        if op in (D.CSRRW, D.CSRRS, D.CSRRC):
+            src = self.regs[rs1]
+            src_tag = self.tags[rs1]
+        else:
+            src = rs1  # zimm
+            src_tag = self._bottom
+
+        write = True
+        if op in (D.CSRRW, D.CSRRWI):
+            new = src
+            new_tag = src_tag
+        elif op in (D.CSRRS, D.CSRRSI):
+            new = old | src
+            new_tag = src_tag if self.dift is None else \
+                self.dift.lub[old_tag][src_tag]
+            write = rs1 != 0
+        else:  # CSRRC / CSRRCI
+            new = old & ~src
+            new_tag = src_tag if self.dift is None else \
+                self.dift.lub[old_tag][src_tag]
+            write = rs1 != 0
+
+        if write:
+            if not csr.write(csr_addr, new):
+                self.pc = next_pc - 4
+                return self._fault(CSR.CAUSE_ILLEGAL, 0)
+            if self.dift is not None:
+                csr.set_tag(csr_addr, new_tag)
+            if csr_addr in (CSR.MSTATUS, CSR.MIE, CSR.MIP):
+                self._update_irq()
+        if rd:
+            self.regs[rd] = old
+            self.tags[rd] = old_tag
+        self.pc = next_pc
+        return None
+
+    def __repr__(self) -> str:
+        return (f"Cpu({self.name!r}, pc={self.pc:#010x}, "
+                f"instret={self.csr.instret}, "
+                f"mode={'VP+' if self.dift else 'VP'})")
+
+
+def _muldiv(op: int, a: int, b: int) -> int:
+    """RV32M semantics on unsigned 32-bit register values."""
+    if op == D.MUL:
+        return (a * b) & _MASK32
+    sa = a - 0x100000000 if a >= 0x80000000 else a
+    sb = b - 0x100000000 if b >= 0x80000000 else b
+    if op == D.MULH:
+        return ((sa * sb) >> 32) & _MASK32
+    if op == D.MULHSU:
+        return ((sa * b) >> 32) & _MASK32
+    if op == D.MULHU:
+        return ((a * b) >> 32) & _MASK32
+    if op == D.DIV:
+        if b == 0:
+            return _MASK32
+        if sa == -0x80000000 and sb == -1:
+            return 0x80000000
+        q = abs(sa) // abs(sb)
+        return (q if (sa < 0) == (sb < 0) else -q) & _MASK32
+    if op == D.DIVU:
+        return _MASK32 if b == 0 else a // b
+    if op == D.REM:
+        if b == 0:
+            return a
+        if sa == -0x80000000 and sb == -1:
+            return 0
+        r = abs(sa) % abs(sb)
+        return (r if sa >= 0 else -r) & _MASK32
+    # REMU
+    return a if b == 0 else a % b

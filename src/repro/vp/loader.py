@@ -1,0 +1,44 @@
+"""Program loading + load-time classification.
+
+Loading a guest binary into the VP does two things:
+
+1. copy the flat image into RAM at its link base;
+2. on a DIFT platform, apply the security policy's *memory-region
+   classifications* to the shadow tags — e.g. "the program image is
+   High-Integrity" (code-injection experiment) or "these 8 bytes are the
+   (HC,HI) secret key" (immobilizer case study).
+
+Region rules are applied in declaration order, so later (narrower) rules
+override earlier (broader) ones, as documented on
+:meth:`repro.policy.policy.SecurityPolicy.classify_region`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.asm.assembler import Program
+from repro.dift.engine import DiftEngine
+from repro.errors import SimulationError
+from repro.vp.memory import Memory
+
+
+def load_program(memory: Memory, program: Program, ram_base: int,
+                 engine: Optional[DiftEngine] = None) -> None:
+    """Load ``program`` into ``memory`` and classify tags per the policy."""
+    offset = program.base - ram_base
+    if offset < 0 or offset + program.size > memory.size:
+        raise SimulationError(
+            f"program [{program.base:#x}, {program.end:#x}) does not fit in "
+            f"RAM [{ram_base:#x}, {ram_base + memory.size:#x})")
+    memory.load(offset, program.image,
+                tag=engine.default_tag if engine else None)
+    if engine is None or memory.tags is None:
+        return
+    for region in engine.policy.iter_regions():
+        start = max(region.start, ram_base)
+        end = min(region.end, ram_base + memory.size)
+        if start >= end:
+            continue
+        tag = engine.policy.tag_of(region.security_class)
+        memory.fill_tags(start - ram_base, end - start, tag)

@@ -1,0 +1,86 @@
+"""Tainted RAM as a TLM target.
+
+The memory stores data bytes plus (on a DIFT platform) one security tag per
+byte, mirroring the paper's modification 3: the memory interface carries
+``Taint<uint8_t>`` arrays through TLM transactions.  It also grants DMI so
+the ISS can access RAM without per-access transaction overhead — the same
+optimization the original RISC-V VP uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sysc.kernel import Kernel
+from repro.sysc.module import Module
+from repro.sysc.time import SimTime
+from repro.sysc.tlm import OK, GenericPayload, TargetSocket
+
+
+class Memory(Module):
+    """Byte-addressable RAM with optional per-byte security tags."""
+
+    def __init__(self, kernel: Kernel, name: str, size: int,
+                 tagged: bool = False, default_tag: int = 0,
+                 access_delay: SimTime = SimTime.ns(5)):
+        super().__init__(kernel, name)
+        self.size = size
+        self.data = bytearray(size)
+        self.tags: Optional[bytearray] = (
+            bytearray([default_tag]) * size if tagged else None)
+        self.default_tag = default_tag
+        self.access_delay = access_delay
+        self.tsock = TargetSocket(f"{name}.tsock")
+        self.tsock.register_b_transport(self.transport)
+
+    def transport(self, trans: GenericPayload, delay: SimTime) -> SimTime:
+        """TLM blocking transport (payload address is memory-local)."""
+        address = trans.address
+        length = trans.length
+        if address < 0 or address + length > self.size:
+            trans.response = "address-error"
+            return delay
+        if trans.is_read():
+            trans.data[:] = self.data[address:address + length]
+            if trans.tags is not None and self.tags is not None:
+                trans.tags[:] = self.tags[address:address + length]
+        else:
+            self.data[address:address + length] = trans.data
+            if self.tags is not None:
+                if trans.tags is not None:
+                    self.tags[address:address + length] = trans.tags
+                else:
+                    self.tags[address:address + length] = \
+                        bytes([self.default_tag]) * length
+        trans.response = OK
+        return delay + self.access_delay
+
+    # ------------------------------------------------------------------ #
+    # host-side (loader / test) access, bypassing TLM
+    # ------------------------------------------------------------------ #
+
+    def load(self, offset: int, blob: bytes, tag: Optional[int] = None) -> None:
+        """Copy ``blob`` into memory; optionally tag the written bytes."""
+        self.data[offset:offset + len(blob)] = blob
+        if self.tags is not None and tag is not None:
+            self.tags[offset:offset + len(blob)] = bytes([tag]) * len(blob)
+
+    def read_word(self, offset: int) -> int:
+        return int.from_bytes(self.data[offset:offset + 4], "little")
+
+    def write_word(self, offset: int, value: int,
+                   tag: Optional[int] = None) -> None:
+        self.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(
+            4, "little")
+        if self.tags is not None and tag is not None:
+            self.tags[offset:offset + 4] = bytes([tag]) * 4
+
+    def read_block(self, offset: int, length: int) -> bytes:
+        return bytes(self.data[offset:offset + length])
+
+    def tag_of(self, offset: int) -> int:
+        return self.tags[offset] if self.tags is not None else 0
+
+    def fill_tags(self, offset: int, length: int, tag: int) -> None:
+        if self.tags is not None:
+            self.tags[offset:offset + length] = bytes([tag]) * length

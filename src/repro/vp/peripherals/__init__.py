@@ -1,0 +1,35 @@
+"""Peripheral models for the VP platform."""
+
+from repro.vp.peripherals.aes import AesAccelerator
+from repro.vp.peripherals.base import MmioPeripheral
+from repro.vp.peripherals.can import CanBus, CanController, CanFrame
+from repro.vp.peripherals.clint import Clint
+from repro.vp.peripherals.dma import DmaController
+from repro.vp.peripherals.plic import (
+    IRQ_CAN,
+    IRQ_DMA,
+    IRQ_SENSOR,
+    IRQ_UART,
+    Plic,
+)
+from repro.vp.peripherals.sensor import SimpleSensor
+from repro.vp.peripherals.terminal import Terminal
+from repro.vp.peripherals.uart import Uart
+
+__all__ = [
+    "MmioPeripheral",
+    "Uart",
+    "Terminal",
+    "SimpleSensor",
+    "AesAccelerator",
+    "CanBus",
+    "CanController",
+    "CanFrame",
+    "DmaController",
+    "Clint",
+    "Plic",
+    "IRQ_UART",
+    "IRQ_SENSOR",
+    "IRQ_CAN",
+    "IRQ_DMA",
+]

@@ -1,0 +1,94 @@
+"""Core-local interruptor: machine timer (mtime / mtimecmp).
+
+Simplified CLINT with a 1 MHz time base derived from simulation time.
+Writing ``mtimecmp`` (re)programs the timer thread, which drives the CPU's
+``MTIP`` line — the pre-emption source for the FreeRTOS-style benchmark.
+
+Register map::
+
+    0x00  MTIMECMP_LO (rw)
+    0x04  MTIMECMP_HI (rw)
+    0x08  MTIME_LO    (read)
+    0x0C  MTIME_HI    (read)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dift.engine import DiftEngine
+from repro.sysc.kernel import Kernel
+from repro.sysc.time import SimTime
+from repro.vp.csr import MIP_MTIP
+from repro.vp.peripherals.base import MmioPeripheral
+
+MTIMECMP_LO = 0x00
+MTIMECMP_HI = 0x04
+MTIME_LO = 0x08
+MTIME_HI = 0x0C
+
+SIZE = 0x10
+
+#: time-base: one mtime tick per microsecond of simulated time
+TICK_PS = 1_000_000
+
+
+class Clint(MmioPeripheral):
+    """Machine-timer block driving the CPU's MTIP line."""
+
+    def __init__(self, kernel: Kernel, name: str = "clint0",
+                 engine: Optional[DiftEngine] = None, cpu=None):
+        super().__init__(kernel, name, SIZE, engine)
+        self.cpu = cpu
+        self.mtimecmp = 0xFFFFFFFFFFFFFFFF
+        self._wake = self.make_event("wake")
+        self.sc_thread(self.run, "run")
+
+    def mtime(self) -> int:
+        """Current mtime ticks (1 MHz from simulation time)."""
+        return self.kernel.now.ps // TICK_PS
+
+    def run(self):
+        """Timer thread: assert MTIP whenever mtime >= mtimecmp."""
+        while True:
+            now = self.mtime()
+            if self.mtimecmp <= now:
+                if self.cpu is not None:
+                    self.cpu.set_irq(MIP_MTIP, True)
+                # wait until software reprograms the comparator
+                yield self._wake
+            else:
+                if self.cpu is not None:
+                    self.cpu.set_irq(MIP_MTIP, False)
+                # sleep until the programmed deadline (or a reprogram)
+                self._wake.notify(SimTime((self.mtimecmp - now) * TICK_PS))
+                yield self._wake
+
+    # ------------------------------------------------------------------ #
+    # register interface
+    # ------------------------------------------------------------------ #
+
+    def read(self, offset: int, size: int) -> Tuple[int, int]:
+        if offset == MTIME_LO:
+            return self.mtime() & 0xFFFFFFFF, self.bottom_tag
+        if offset == MTIME_HI:
+            return (self.mtime() >> 32) & 0xFFFFFFFF, self.bottom_tag
+        if offset == MTIMECMP_LO:
+            return self.mtimecmp & 0xFFFFFFFF, self.bottom_tag
+        if offset == MTIMECMP_HI:
+            return (self.mtimecmp >> 32) & 0xFFFFFFFF, self.bottom_tag
+        return 0, self.bottom_tag
+
+    def write(self, offset: int, size: int, value: int, tag: int) -> None:
+        if offset == MTIMECMP_LO:
+            self.mtimecmp = (self.mtimecmp & 0xFFFFFFFF00000000) | value
+        elif offset == MTIMECMP_HI:
+            self.mtimecmp = (self.mtimecmp & 0xFFFFFFFF) | (value << 32)
+        else:
+            return
+        # MTIP is combinational in mtimecmp (as in the real CLINT): update
+        # the level immediately so software does not see a stale pending
+        # bit right after reprogramming the comparator.
+        if self.cpu is not None:
+            self.cpu.set_irq(MIP_MTIP, self.mtimecmp <= self.mtime())
+        self._wake.notify()

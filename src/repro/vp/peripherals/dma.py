@@ -1,0 +1,129 @@
+"""DMA controller: tag-preserving memory-to-memory copies.
+
+DMA is one of the "fine-grained HW/SW interactions" the paper argues
+source-level DIFT cannot model (Section I): data moves between memory
+regions *without any CPU instruction executing*, so a CPU-only taint
+engine loses track of it.  This controller copies through TLM transactions
+whose payloads carry per-byte tags, so security classes survive the copy.
+
+Register map::
+
+    0x00  SRC    (rw) source bus address
+    0x04  DST    (rw) destination bus address
+    0x08  LEN    (rw) bytes to copy
+    0x0C  CTRL   (write) 1 = start
+    0x10  STATUS (read) bit0 = busy, bit1 = done
+
+The copy runs in a SystemC thread, transferring a burst per bus cycle and
+raising its interrupt on completion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.dift.engine import DiftEngine
+from repro.sysc.kernel import Kernel
+from repro.sysc.time import SimTime
+from repro.sysc.tlm import GenericPayload, Router
+from repro.vp.peripherals.base import MmioPeripheral
+
+SRC = 0x00
+DST = 0x04
+LEN = 0x08
+CTRL = 0x0C
+STATUS = 0x10
+
+SIZE = 0x14
+
+#: bytes moved per bus burst
+BURST = 64
+
+
+class DmaController(MmioPeripheral):
+    """A single-channel memory-to-memory DMA engine."""
+
+    def __init__(self, kernel: Kernel, name: str = "dma0",
+                 engine: Optional[DiftEngine] = None,
+                 router: Optional[Router] = None,
+                 raise_irq: Optional[Callable[[], None]] = None,
+                 burst_delay: SimTime = SimTime.ns(100)):
+        super().__init__(kernel, name, SIZE, engine)
+        self.router = router
+        self._raise_irq = raise_irq
+        self.burst_delay = burst_delay
+        self.src = 0
+        self.dst = 0
+        self.len = 0
+        self.busy = False
+        self.done = False
+        self.transfers_completed = 0
+        self._start_pending = False
+        self._start_event = self.make_event("start")
+        self.sc_thread(self.run, "run")
+
+    def run(self):
+        """SystemC thread performing the copies burst by burst.
+
+        A pending-start flag makes the handshake robust against the
+        classic lost-wakeup: software may hit CTRL before this thread has
+        reached its first wait.
+        """
+        while True:
+            while not self._start_pending:
+                yield self._start_event
+            self._start_pending = False
+            self.busy = True
+            self.done = False
+            remaining = self.len
+            src = self.src
+            dst = self.dst
+            tagged = self.engine is not None
+            while remaining > 0:
+                chunk = min(remaining, BURST)
+                read = GenericPayload.make_read(src, chunk, tagged=tagged)
+                self.router.b_transport(read, SimTime(0))
+                if not read.ok():
+                    break
+                write = GenericPayload.make_write(
+                    dst, bytes(read.data),
+                    bytes(read.tags) if read.tags is not None else None)
+                self.router.b_transport(write, SimTime(0))
+                if not write.ok():
+                    break
+                src += chunk
+                dst += chunk
+                remaining -= chunk
+                yield self.burst_delay
+            self.busy = False
+            self.done = True
+            self.transfers_completed += 1
+            if self._raise_irq:
+                self._raise_irq()
+
+    # ------------------------------------------------------------------ #
+    # register interface
+    # ------------------------------------------------------------------ #
+
+    def read(self, offset: int, size: int) -> Tuple[int, int]:
+        if offset == SRC:
+            return self.src, self.bottom_tag
+        if offset == DST:
+            return self.dst, self.bottom_tag
+        if offset == LEN:
+            return self.len, self.bottom_tag
+        if offset == STATUS:
+            return (1 if self.busy else 0) | (2 if self.done else 0), \
+                self.bottom_tag
+        return 0, self.bottom_tag
+
+    def write(self, offset: int, size: int, value: int, tag: int) -> None:
+        if offset == SRC:
+            self.src = value
+        elif offset == DST:
+            self.dst = value
+        elif offset == LEN:
+            self.len = value
+        elif offset == CTRL and value & 1 and not self.busy:
+            self._start_pending = True
+            self._start_event.notify()

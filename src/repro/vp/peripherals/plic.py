@@ -1,0 +1,90 @@
+"""Platform-level interrupt controller (simplified).
+
+Peripherals raise numbered interrupt lines; software enables lines, claims
+the highest-priority pending one, and completes it.  The controller drives
+the CPU's ``MEIP`` line.  Priorities are fixed: lower line number = higher
+priority (sufficient for the VP's handful of sources).
+
+Register map::
+
+    0x00  PENDING (read)   bitmask of pending lines
+    0x04  ENABLE  (rw)     bitmask of enabled lines
+    0x08  CLAIM   (read: claim highest-priority pending enabled line,
+                   write: complete — re-evaluates the MEIP level)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.dift.engine import DiftEngine
+from repro.sysc.kernel import Kernel
+from repro.vp.csr import MIP_MEIP
+from repro.vp.peripherals.base import MmioPeripheral
+
+PENDING = 0x00
+ENABLE = 0x04
+CLAIM = 0x08
+
+SIZE = 0x0C
+
+#: interrupt line numbers used by the reference platform
+IRQ_UART = 1
+IRQ_SENSOR = 2   # matches the paper's Fig. 4 ("IRQ NUMBER" 2)
+IRQ_CAN = 3
+IRQ_DMA = 4
+
+
+class Plic(MmioPeripheral):
+    """Claim/complete external interrupt controller."""
+
+    def __init__(self, kernel: Kernel, name: str = "plic0",
+                 engine: Optional[DiftEngine] = None, cpu=None):
+        super().__init__(kernel, name, SIZE, engine)
+        self.cpu = cpu
+        self.pending = 0
+        self.enable = 0
+        self.claims = 0
+
+    def raise_irq(self, line: int) -> None:
+        """Peripheral-side: assert interrupt ``line``."""
+        if not 1 <= line < 32:
+            raise ValueError(f"bad interrupt line {line}")
+        self.pending |= 1 << line
+        self._update()
+
+    def irq_hook(self, line: int):
+        """A zero-argument callback asserting ``line`` (for peripherals)."""
+        return lambda: self.raise_irq(line)
+
+    def _update(self) -> None:
+        if self.cpu is not None:
+            self.cpu.set_irq(MIP_MEIP, bool(self.pending & self.enable))
+
+    # ------------------------------------------------------------------ #
+    # register interface
+    # ------------------------------------------------------------------ #
+
+    def read(self, offset: int, size: int) -> Tuple[int, int]:
+        if offset == PENDING:
+            return self.pending, self.bottom_tag
+        if offset == ENABLE:
+            return self.enable, self.bottom_tag
+        if offset == CLAIM:
+            active = self.pending & self.enable
+            if not active:
+                return 0, self.bottom_tag
+            line = (active & -active).bit_length() - 1
+            self.pending &= ~(1 << line)
+            self.claims += 1
+            self._update()
+            return line, self.bottom_tag
+        return 0, self.bottom_tag
+
+    def write(self, offset: int, size: int, value: int, tag: int) -> None:
+        if offset == ENABLE:
+            self.enable = value
+            self._update()
+        elif offset == CLAIM:
+            # completion: level re-evaluation only (edge-style sources)
+            self._update()

@@ -1,0 +1,84 @@
+"""Host-side terminal attached to a UART.
+
+A convenience view over the UART's byte stream: line-buffered capture,
+optional live echo to a host callback, and a scripted-input helper for
+interactive-style guests ("send this line when the guest prints that
+prompt").  Purely host-side — the guest only ever sees the UART.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.vp.peripherals.uart import Uart
+
+
+class Terminal:
+    """Line-oriented capture + scripted interaction over a UART."""
+
+    def __init__(self, uart: Uart,
+                 echo: Optional[Callable[[str], None]] = None):
+        self.uart = uart
+        self.echo = echo
+        self._consumed = 0
+        self._partial = ""
+        self.lines: List[str] = []
+        self._expectations: List[Tuple[str, bytes]] = []
+
+    # ------------------------------------------------------------------ #
+    # capture
+    # ------------------------------------------------------------------ #
+
+    def poll(self) -> List[str]:
+        """Consume new UART output; returns any newly completed lines."""
+        data = self.uart.tx_log[self._consumed:]
+        self._consumed = len(self.uart.tx_log)
+        if not data:
+            return []
+        text = data.decode("ascii", errors="replace")
+        if self.echo:
+            self.echo(text)
+        new_lines: List[str] = []
+        self._partial += text
+        while "\n" in self._partial:
+            line, self._partial = self._partial.split("\n", 1)
+            self.lines.append(line)
+            new_lines.append(line)
+        self._check_expectations()
+        return new_lines
+
+    @property
+    def pending(self) -> str:
+        """Output received since the last newline."""
+        return self._partial
+
+    def transcript(self) -> str:
+        """Everything captured so far, partial last line included."""
+        return "\n".join(self.lines + ([self._partial] if self._partial
+                                       else []))
+
+    # ------------------------------------------------------------------ #
+    # scripted interaction
+    # ------------------------------------------------------------------ #
+
+    def expect(self, prompt: str, reply: bytes) -> None:
+        """When ``prompt`` appears in the output, feed ``reply`` to RX.
+
+        Expectations fire at most once each, in registration order.
+        """
+        self._expectations.append((prompt, reply))
+
+    def _check_expectations(self) -> None:
+        if not self._expectations:
+            return
+        haystack = self.transcript()
+        while self._expectations:
+            prompt, reply = self._expectations[0]
+            if prompt not in haystack:
+                break
+            self._expectations.pop(0)
+            self.uart.feed(reply)
+
+    def __repr__(self) -> str:
+        return (f"Terminal(lines={len(self.lines)}, "
+                f"pending={len(self._partial)})")

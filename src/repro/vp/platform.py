@@ -1,0 +1,269 @@
+"""The reference SoC platform: CPU + bus + memory + peripherals.
+
+:class:`Platform` assembles the virtual prototype the paper evaluates on:
+a RISC-V core, TLM interconnect, RAM, and the peripheral set (UART,
+sensor, CAN, AES, DMA, CLINT timer, PLIC).  Constructed without a policy
+it is the baseline **VP**; constructed with a :class:`SecurityPolicy` it
+becomes **VP+**, the DIFT-instrumented platform.
+
+Memory map::
+
+    0x0000_0000  RAM (default 4 MiB)
+    0x0200_0000  CLINT   (machine timer)
+    0x0C00_0000  PLIC    (external interrupt controller)
+    0x1000_0000  UART0
+    0x1000_1000  Sensor
+    0x1000_2000  CAN0
+    0x1000_3000  AES0
+    0x1000_4000  DMA0
+
+Guest convention: ``ecall`` with ``a7 == 93`` exits the simulation with
+exit code ``a0`` (other ecalls trap to ``mtvec`` if installed).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.asm.assembler import Program
+from repro.dift.engine import RAISE, DiftEngine, ViolationRecord
+from repro.policy.policy import SecurityPolicy
+from repro.sysc.kernel import Kernel
+from repro.sysc.time import SimTime
+from repro.sysc.tlm import Router
+from repro.vp import cpu as cpu_mod
+from repro.vp.cpu import Cpu
+from repro.vp.loader import load_program
+from repro.vp.memory import Memory
+from repro.vp.peripherals import (
+    IRQ_CAN,
+    IRQ_DMA,
+    IRQ_SENSOR,
+    IRQ_UART,
+    AesAccelerator,
+    CanBus,
+    CanController,
+    Clint,
+    DmaController,
+    Plic,
+    SimpleSensor,
+    Uart,
+)
+
+RAM_BASE = 0x0000_0000
+RAM_SIZE = 4 * 1024 * 1024
+CLINT_BASE = 0x0200_0000
+PLIC_BASE = 0x0C00_0000
+UART_BASE = 0x1000_0000
+SENSOR_BASE = 0x1000_1000
+CAN_BASE = 0x1000_2000
+AES_BASE = 0x1000_3000
+DMA_BASE = 0x1000_4000
+
+#: initial stack pointer (16 bytes below the RAM top, 16-byte aligned)
+STACK_TOP = RAM_BASE + RAM_SIZE - 16
+
+SYS_EXIT = 93
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Platform.run`."""
+
+    instructions: int
+    host_seconds: float
+    sim_time: SimTime
+    reason: str
+    exit_code: int
+    violations: List[ViolationRecord] = field(default_factory=list)
+
+    @property
+    def mips(self) -> float:
+        """Host-measured million instructions per second."""
+        if self.host_seconds <= 0:
+            return 0.0
+        return self.instructions / self.host_seconds / 1e6
+
+    @property
+    def detected(self) -> bool:
+        """Did the DIFT engine flag at least one violation?"""
+        return bool(self.violations)
+
+    def __str__(self) -> str:
+        return (f"RunResult(instr={self.instructions}, "
+                f"host={self.host_seconds:.3f}s, mips={self.mips:.2f}, "
+                f"reason={self.reason!r}, exit={self.exit_code}, "
+                f"violations={len(self.violations)})")
+
+
+def _default_ecall(cpu: Cpu) -> Optional[str]:
+    """Bare-metal environment calls: a7=93 exits with code a0."""
+    if cpu.regs[17] == SYS_EXIT:
+        cpu.exit_code = cpu.regs[10]
+        return "halt"
+    return None
+
+
+class Platform:
+    """A complete VP (plain) or VP+ (DIFT) instance."""
+
+    def __init__(
+        self,
+        policy: Optional[SecurityPolicy] = None,
+        engine_mode: str = RAISE,
+        ram_size: int = RAM_SIZE,
+        quantum: int = 8192,
+        clock_period: SimTime = SimTime.ns(10),
+        sensor_period: SimTime = SimTime.ms(25),
+        aes_declassify_to: Optional[str] = None,
+        seed: int = 0x5EED,
+    ):
+        self.kernel = Kernel()
+        self.engine: Optional[DiftEngine] = (
+            DiftEngine(policy, mode=engine_mode) if policy else None)
+        self.router = Router("bus")
+        tagged = self.engine is not None
+        default_tag = self.engine.default_tag if self.engine else 0
+
+        self.memory = Memory(self.kernel, "ram", ram_size, tagged=tagged,
+                             default_tag=default_tag)
+        self.cpu = Cpu(self.kernel, "cpu0", dift=self.engine,
+                       clock_period=clock_period, quantum=quantum)
+        self.cpu.isock.bind(self.router)  # router duck-types a target socket
+        self.cpu.attach_ram(RAM_BASE, self.memory.data, self.memory.tags)
+        self.cpu.ecall_handler = _default_ecall
+
+        self.plic = Plic(self.kernel, "plic0", self.engine, cpu=self.cpu)
+        self.clint = Clint(self.kernel, "clint0", self.engine, cpu=self.cpu)
+        self.uart = Uart(self.kernel, "uart0", self.engine,
+                         raise_irq=self.plic.irq_hook(IRQ_UART))
+        self.sensor = SimpleSensor(self.kernel, "sensor0", self.engine,
+                                   raise_irq=self.plic.irq_hook(IRQ_SENSOR),
+                                   period=sensor_period, seed=seed)
+        self.can_bus = CanBus()
+        self.can = CanController(self.kernel, "can0", self.engine,
+                                 bus=self.can_bus,
+                                 raise_irq=self.plic.irq_hook(IRQ_CAN))
+        self.aes = AesAccelerator(self.kernel, "aes0", self.engine,
+                                  declassify_to=aes_declassify_to)
+        self.dma = DmaController(self.kernel, "dma0", self.engine,
+                                 router=self.router,
+                                 raise_irq=self.plic.irq_hook(IRQ_DMA))
+
+        self.router.map_target(RAM_BASE, ram_size, self.memory.tsock, "ram")
+        self.router.map_target(CLINT_BASE, 0x10, self.clint.tsock, "clint0")
+        self.router.map_target(PLIC_BASE, 0x0C, self.plic.tsock, "plic0")
+        self.router.map_target(UART_BASE, 0x10, self.uart.tsock, "uart0")
+        self.router.map_target(SENSOR_BASE, 0x90, self.sensor.tsock,
+                               "sensor0")
+        self.router.map_target(CAN_BASE, 0x48, self.can.tsock, "can0")
+        self.router.map_target(AES_BASE, 0x40, self.aes.tsock, "aes0")
+        self.router.map_target(DMA_BASE, 0x14, self.dma.tsock, "dma0")
+
+        self.program: Optional[Program] = None
+        self.stop_reason = ""
+        self._instr_budget: Optional[int] = None
+        self.total_instructions = 0
+        self._cpu_proc = self.kernel.spawn(self._cpu_process,
+                                           name="cpu0.process")
+
+    def detach_cpu_process(self) -> None:
+        """Remove the CPU from kernel scheduling (external drivers only).
+
+        Used by the debugger/tracer, which step the CPU themselves but
+        still advance the kernel so peripheral threads stay in sync.
+        """
+        self._cpu_proc.terminated = True
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_dift(self) -> bool:
+        return self.engine is not None
+
+    def load(self, program: Program) -> None:
+        """Load a guest binary and reset the CPU to its entry point."""
+        load_program(self.memory, program, RAM_BASE, self.engine)
+        self.program = program
+        self.cpu.reset(program.entry)
+        self.cpu.regs[2] = STACK_TOP  # sp
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _cpu_process(self):
+        cpu = self.cpu
+        while not cpu.halted:
+            quantum = cpu.quantum
+            if self._instr_budget is not None:
+                remaining = self._instr_budget - self.total_instructions
+                if remaining <= 0:
+                    self.stop_reason = "budget"
+                    self.kernel.stop()
+                    return
+                quantum = min(quantum, remaining)
+            executed, reason = cpu.run(quantum)
+            self.total_instructions += executed
+            if executed:
+                yield cpu.clock_period * executed
+            if reason == cpu_mod.WFI:
+                yield cpu.irq_event
+            elif reason in (cpu_mod.HALT, cpu_mod.EBREAK, cpu_mod.FAULT,
+                            cpu_mod.SECURITY):
+                self.stop_reason = reason
+                self.kernel.stop()
+                return
+            elif not executed and reason == cpu_mod.QUANTUM:
+                # nothing ran and nothing to wait for: avoid spinning
+                yield cpu.clock_period
+        self.stop_reason = cpu_mod.HALT
+        self.kernel.stop()
+
+    def run(self, max_instructions: Optional[int] = None,
+            max_time: Optional[SimTime] = None) -> RunResult:
+        """Simulate until the guest stops (or a budget is exhausted)."""
+        self._instr_budget = max_instructions
+        started = _time.perf_counter()
+        self.kernel.run(until=max_time)
+        host = _time.perf_counter() - started
+        if not self.stop_reason:
+            self.stop_reason = "time-limit" if max_time else "idle"
+        return RunResult(
+            instructions=self.total_instructions,
+            host_seconds=host,
+            sim_time=self.kernel.now,
+            reason=self.stop_reason,
+            exit_code=self.cpu.exit_code,
+            violations=list(self.engine.violations) if self.engine else [],
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+
+    def console(self) -> str:
+        """Text transmitted on the UART so far."""
+        return self.uart.text()
+
+    def symbol(self, name: str) -> int:
+        if self.program is None:
+            raise ValueError("no program loaded")
+        return self.program.symbol(name)
+
+    def __repr__(self) -> str:
+        mode = "VP+" if self.is_dift else "VP"
+        return f"Platform({mode}, instret={self.cpu.csr.instret})"
+
+
+def run_program(program: Program, policy: Optional[SecurityPolicy] = None,
+                max_instructions: Optional[int] = None,
+                **platform_kwargs) -> RunResult:
+    """One-shot: build a platform, load, run."""
+    platform = Platform(policy=policy, **platform_kwargs)
+    platform.load(program)
+    return platform.run(max_instructions=max_instructions)

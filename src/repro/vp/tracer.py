@@ -1,0 +1,115 @@
+"""Execution and taint tracing for policy debugging.
+
+When a policy violation fires, the engineer wants to know *how* the tag
+got there.  The tracer runs the CPU one instruction at a time (slow — use
+it on the failing window, not whole benchmarks), recording for each step
+the PC, disassembly, register writes and their tags, so the propagation
+chain leading to a violation can be inspected.
+
+Typical use::
+
+    tracer = Tracer(platform)
+    trace = tracer.run(max_instructions=500)
+    print(tracer.format(trace[-20:]))          # the last 20 steps
+    print(tracer.format(tracer.tainted_only(trace)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.asm.disasm import disassemble_word
+from repro.vp import cpu as cpu_mod
+from repro.vp.platform import Platform
+
+
+@dataclass
+class TraceStep:
+    """One executed instruction and its architectural effects."""
+
+    index: int
+    pc: int
+    word: int
+    text: str
+    reg_writes: List[tuple] = field(default_factory=list)  # (reg, value, tag)
+    reason: str = cpu_mod.QUANTUM
+
+    def __str__(self) -> str:
+        writes = " ".join(
+            f"x{reg}={value:#010x}" + (f"[{tag}]" if tag else "")
+            for reg, value, tag in self.reg_writes)
+        return f"{self.index:>6}  {self.pc:08x}  {self.text:<32} {writes}"
+
+
+class Tracer:
+    """Single-step driver capturing an instruction-level trace."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.cpu = platform.cpu
+
+    def run(self, max_instructions: int = 10_000,
+            stop_reasons: tuple = (cpu_mod.HALT, cpu_mod.EBREAK,
+                                   cpu_mod.FAULT, cpu_mod.SECURITY,
+                                   cpu_mod.WFI)) -> List[TraceStep]:
+        """Single-step up to ``max_instructions``; returns the trace.
+
+        Stops early on any of ``stop_reasons``.  Peripheral threads do not
+        advance (the kernel is not run), so this is for *CPU-local* flow
+        analysis; interrupt-driven windows should be traced by lowering
+        the platform quantum instead.
+        """
+        cpu = self.cpu
+        trace: List[TraceStep] = []
+        for index in range(max_instructions):
+            pc = cpu.pc
+            if not (cpu.ram_base <= pc <= cpu.ram_end - 4):
+                break
+            word = cpu.read_word(pc)
+            before = list(cpu.regs)
+            before_tags = list(cpu.tags)
+            executed, reason = cpu.run(1)
+            step = TraceStep(
+                index=index,
+                pc=pc,
+                word=word,
+                text=disassemble_word(word, pc),
+                reason=reason,
+            )
+            for reg in range(32):
+                if cpu.regs[reg] != before[reg] \
+                        or cpu.tags[reg] != before_tags[reg]:
+                    tag = None
+                    if self.platform.is_dift:
+                        tag = self.platform.engine.lattice.name_of(
+                            cpu.tags[reg])
+                    step.reg_writes.append((reg, cpu.regs[reg], tag))
+            trace.append(step)
+            if not executed or reason in stop_reasons:
+                break
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # filters / rendering
+    # ------------------------------------------------------------------ #
+
+    def tainted_only(self, trace: List[TraceStep],
+                     bottom_name: Optional[str] = None) -> List[TraceStep]:
+        """Keep only the steps that wrote a non-bottom tag somewhere."""
+        if not self.platform.is_dift:
+            return []
+        lattice = self.platform.engine.lattice
+        bottom = bottom_name or lattice.bottom
+        return [
+            step for step in trace
+            if any(tag not in (None, bottom)
+                   for __, __, tag in step.reg_writes)
+        ]
+
+    @staticmethod
+    def format(trace: List[TraceStep]) -> str:
+        """Render a trace window as text."""
+        if not trace:
+            return "(empty trace)"
+        return "\n".join(str(step) for step in trace)

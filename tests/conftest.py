@@ -1,0 +1,106 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.asm import assemble
+from repro.dift.engine import DiftEngine
+from repro.policy import SecurityPolicy, builders
+from repro.sysc.kernel import Kernel
+from repro.sysc.tlm import Router
+from repro.vp.cpu import Cpu
+from repro.vp.memory import Memory
+from repro.vp.platform import Platform
+
+RAM_SIZE = 256 * 1024
+
+
+def assemble_words(source: str) -> List[int]:
+    """Assemble a snippet and return its instruction words."""
+    program = assemble(".text\n" + source)
+    image = program.image
+    return [int.from_bytes(image[i:i + 4], "little")
+            for i in range(0, program.sections[".text"][1], 4)]
+
+
+def assemble_word(line: str) -> int:
+    """Assemble exactly one instruction."""
+    words = assemble_words(line)
+    assert len(words) >= 1
+    return words[0]
+
+
+class BareCpu:
+    """A CPU + RAM harness without the full peripheral platform.
+
+    Lets tests poke registers and memory directly and single-step
+    instructions — the unit-test view of the ISS.
+    """
+
+    def __init__(self, policy: Optional[SecurityPolicy] = None,
+                 engine_mode: str = "raise", ram_size: int = RAM_SIZE):
+        self.kernel = Kernel()
+        self.engine = (DiftEngine(policy, mode=engine_mode)
+                       if policy else None)
+        tagged = self.engine is not None
+        default_tag = self.engine.default_tag if self.engine else 0
+        self.memory = Memory(self.kernel, "ram", ram_size, tagged=tagged,
+                             default_tag=default_tag)
+        self.router = Router("bus")
+        self.router.map_target(0, ram_size, self.memory.tsock, "ram")
+        self.cpu = Cpu(self.kernel, "cpu0", dift=self.engine)
+        self.cpu.isock.bind(self.router)
+        self.cpu.attach_ram(0, self.memory.data, self.memory.tags)
+
+    def put_code(self, words: List[int], base: int = 0) -> None:
+        for i, word in enumerate(words):
+            self.memory.write_word(base + 4 * i, word)
+        self.cpu.pc = base
+
+    def put_source(self, source: str, base: int = 0) -> None:
+        self.put_code(assemble_words(source), base)
+
+    def step(self, n: int = 1) -> Tuple[int, str]:
+        return self.cpu.run(n)
+
+    @property
+    def regs(self):
+        return self.cpu.regs
+
+    @property
+    def tags(self):
+        return self.cpu.tags
+
+
+@pytest.fixture
+def bare_cpu():
+    return BareCpu()
+
+
+def simple_conf_policy() -> SecurityPolicy:
+    """IFP-1 policy: default LC, uart cleared LC."""
+    policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+    policy.clear_sink("uart0.tx", builders.LC)
+    return policy
+
+
+@pytest.fixture
+def dift_cpu():
+    return BareCpu(policy=simple_conf_policy())
+
+
+def run_guest(source: str, policy: Optional[SecurityPolicy] = None,
+              uart_input: bytes = b"", max_instructions: int = 2_000_000,
+              engine_mode: str = "raise", **platform_kwargs):
+    """Assemble + run a full guest on the Platform; returns (result, platform)."""
+    program = assemble(source)
+    platform = Platform(policy=policy, engine_mode=engine_mode,
+                        **platform_kwargs)
+    platform.load(program)
+    if uart_input:
+        platform.uart.feed(uart_input)
+    result = platform.run(max_instructions=max_instructions)
+    return result, platform

@@ -1,0 +1,377 @@
+"""Tests for the RV32IM assembler: syntax, directives, encodings, errors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import assemble, disassemble_word, evaluate
+from repro.asm import isa
+from repro.errors import AssemblerError
+
+
+def words_of(program):
+    text_end = program.sections[".text"][1] - program.base
+    return [int.from_bytes(program.image[i:i + 4], "little")
+            for i in range(0, text_end, 4)]
+
+
+def one(source: str) -> int:
+    return words_of(assemble(".text\n" + source))[0]
+
+
+class TestBasicEncodings:
+    def test_rtype(self):
+        assert one("add a0, a1, a2") == 0x00C58533
+
+    def test_itype(self):
+        assert one("addi a0, a1, -1") == 0xFFF58513
+
+    def test_load_store(self):
+        assert one("lw a0, 8(sp)") == 0x00812503
+        assert one("sw a0, 8(sp)") == 0x00A12423
+
+    def test_lui(self):
+        assert one("lui a0, 0x12345") == 0x12345537
+
+    def test_branch_forward(self):
+        program = assemble(""".text
+start:
+    beq a0, a1, target
+    nop
+target:
+    nop
+""")
+        word = words_of(program)[0]
+        assert disassemble_word(word, 0) == "beq a0, a1, 0x8"
+
+    def test_jal_backward(self):
+        program = assemble(""".text
+loop:
+    nop
+    jal zero, loop
+""")
+        word = words_of(program)[1]
+        assert disassemble_word(word, 4) == "jal zero, 0x0"
+
+    def test_shift_immediates(self):
+        assert one("slli a0, a0, 5") == 0x00551513
+        assert one("srai a0, a0, 5") == 0x40555513
+
+    def test_m_extension(self):
+        assert one("mul a0, a1, a2") == 0x02C58533
+        assert one("remu a0, a1, a2") == 0x02C5F533
+
+    def test_csr_by_name_and_number(self):
+        assert one("csrrw a0, mstatus, a1") == one("csrrw a0, 0x300, a1")
+
+    def test_fixed_ops(self):
+        assert one("ecall") == 0x00000073
+        assert one("ebreak") == 0x00100073
+        assert one("mret") == 0x30200073
+        assert one("wfi") == 0x10500073
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert one("nop") == 0x00000013
+
+    def test_mv(self):
+        assert disassemble_word(one("mv a0, a1")) == "addi a0, a1, 0"
+
+    def test_li_small(self):
+        program = assemble(".text\nli a0, 42")
+        words = words_of(program)
+        assert len(words) == 2  # nop-padded for stable layout
+        assert disassemble_word(words[1]) == "addi a0, zero, 42"
+
+    def test_li_large(self):
+        program = assemble(".text\nli a0, 0x12345678")
+        words = words_of(program)
+        assert disassemble_word(words[0]) == "lui a0, 0x12345"
+        assert disassemble_word(words[1]) == "addi a0, a0, 1656"
+
+    def test_li_negative(self):
+        program = assemble(".text\nli a0, -1")
+        assert disassemble_word(words_of(program)[1]) == "addi a0, zero, -1"
+
+    def test_la(self):
+        program = assemble(""".text
+la a0, foo
+.data
+foo: .word 0
+""")
+        # data base is section-aligned; la must resolve to it
+        data_base = program.sections[".data"][0]
+        assert program.symbol("foo") == data_base
+
+    def test_branch_pseudos(self):
+        assert disassemble_word(one("beqz a0, 0")) == "beq a0, zero, 0x0"
+        assert disassemble_word(one("bgtz a0, 0")) == "blt zero, a0, 0x0"
+        assert disassemble_word(one("blez a0, 0")) == "bge zero, a0, 0x0"
+
+    def test_swapped_branch_pseudos(self):
+        assert disassemble_word(one("bgt a0, a1, 0")) == \
+            "blt a1, a0, 0x0"
+        assert disassemble_word(one("bleu a0, a1, 0")) == \
+            "bgeu a1, a0, 0x0"
+
+    def test_not_neg(self):
+        assert disassemble_word(one("not a0, a1")) == "xori a0, a1, -1"
+        assert disassemble_word(one("neg a0, a1")) == "sub a0, zero, a1"
+
+    def test_set_pseudos(self):
+        assert disassemble_word(one("seqz a0, a1")) == "sltiu a0, a1, 1"
+        assert disassemble_word(one("snez a0, a1")) == "sltu a0, zero, a1"
+
+    def test_jump_pseudos(self):
+        assert disassemble_word(one("ret")) == "jalr zero, 0(ra)"
+        assert disassemble_word(one("jr a0")) == "jalr zero, 0(a0)"
+
+    def test_csr_pseudos(self):
+        assert disassemble_word(one("csrr a0, mstatus")) == \
+            "csrrs a0, mstatus, zero"
+        assert disassemble_word(one("csrw mstatus, a0")) == \
+            "csrrw zero, mstatus, a0"
+
+
+class TestDirectives:
+    def test_word_half_byte(self):
+        program = assemble(""".data
+a: .word 0x11223344
+b: .half 0x5566
+c: .byte 0x77, 0x88
+""")
+        base = program.sections[".data"][0] - program.base
+        assert program.image[base:base + 8] == \
+            b"\x44\x33\x22\x11\x66\x55\x77\x88"
+
+    def test_ascii_asciz(self):
+        program = assemble(""".data
+a: .ascii "ab"
+b: .asciz "cd"
+""")
+        base = program.sections[".data"][0] - program.base
+        assert program.image[base:base + 5] == b"abcd\x00"
+
+    def test_string_escapes(self):
+        program = assemble('.data\ns: .asciz "a\\n\\t\\0\\\\"')
+        base = program.sections[".data"][0] - program.base
+        assert program.image[base:base + 6] == b"a\n\t\x00\\\x00"
+
+    def test_space_and_align(self):
+        program = assemble(""".data
+a: .byte 1
+.align 2
+b: .word 2
+""")
+        assert program.symbol("b") % 4 == 0
+        assert program.symbol("b") == program.symbol("a") + 4
+
+    def test_equ(self):
+        program = assemble(""".equ MAGIC, 0x123
+.text
+li a0, MAGIC
+""")
+        assert program.symbols["MAGIC"] == 0x123
+
+    def test_sections_laid_out_in_order(self):
+        program = assemble(""".text
+nop
+.data
+d: .word 1
+.bss
+b: .space 8
+""")
+        text = program.sections[".text"]
+        data = program.sections[".data"]
+        bss = program.sections[".bss"]
+        assert text[1] <= data[0] < data[1] <= bss[0]
+
+    def test_entry_defaults_to_base(self):
+        program = assemble(".text\nnop", base=0x80)
+        assert program.entry == 0x80
+
+    def test_entry_from_start_symbol(self):
+        program = assemble(""".text
+nop
+_start:
+nop
+""")
+        assert program.entry == 4
+
+    def test_bss_zero_filled(self):
+        program = assemble(""".bss
+buf: .space 16
+""")
+        start = program.sections[".bss"][0] - program.base
+        assert program.image[start:start + 16] == bytes(16)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert evaluate("2 + 3 * 4", {}) == 14
+        assert evaluate("(2 + 3) * 4", {}) == 20
+        assert evaluate("1 << 4 | 3", {}) == 19
+        assert evaluate("~0 & 0xFF", {}) == 255
+        assert evaluate("100 / 7", {}) == 14
+        assert evaluate("100 % 7", {}) == 2
+        assert evaluate("-5 + 10", {}) == 5
+
+    def test_symbols(self):
+        assert evaluate("foo + 4", {"foo": 0x100}) == 0x104
+
+    def test_char_literals(self):
+        assert evaluate("'A'", {}) == 65
+        assert evaluate("'\\n'", {}) == 10
+        assert evaluate("'a' - 10", {}) == 87
+
+    def test_hi_lo(self):
+        value = 0x12345FFF
+        hi, lo = evaluate(f"%hi({value})", {}), evaluate(f"%lo({value})", {})
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == value
+
+    def test_hi_lo_round_trip_negative_lo(self):
+        value = 0x00001800  # lo12 is negative
+        hi = evaluate(f"%hi({value})", {})
+        lo = evaluate(f"%lo({value})", {})
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == value
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            evaluate("nope", {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(AssemblerError, match="division by zero"):
+            evaluate("1 / 0", {})
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".text\nfrobnicate a0, a1")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble(".text\nadd a0, a1, q7")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3 operands"):
+            assemble(".text\nadd a0, a1")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\naddi a0, a0, 5000")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble(".text\nfoo:\nnop\nfoo:\nnop")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 1")
+
+    def test_unknown_section(self):
+        with pytest.raises(AssemblerError, match="unknown section"):
+            assemble(".section .rodata2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble(".text\nnop\nbadop\n")
+
+    def test_branch_out_of_range(self):
+        source = ".text\nbeq a0, a1, far\n" + ".space 8192\n" + "far: nop"
+        with pytest.raises(AssemblerError):
+            assemble(source)
+
+
+class TestProgram:
+    def test_word_at(self):
+        program = assemble(".text\nnop", base=0x100)
+        assert program.word_at(0x100) == 0x00000013
+
+    def test_unknown_symbol(self):
+        program = assemble(".text\nnop")
+        with pytest.raises(AssemblerError, match="unknown symbol"):
+            program.symbol("nope")
+
+    def test_listing_has_addresses(self):
+        program = assemble(".text\nstart:\n    nop\n    nop")
+        addresses = [addr for addr, __, __ in program.listing]
+        assert addresses == [0, 4]
+
+    def test_instruction_count(self):
+        program = assemble(".text\nnop\nli a0, 5\nret")
+        assert program.n_instructions == 4  # nop + (2 for li) + ret
+
+    def test_comments_ignored(self):
+        program = assemble(""".text
+nop  # trailing comment
+# whole-line comment
+nop  // c++-style
+""")
+        assert program.n_instructions == 2
+
+    def test_label_and_instruction_same_line(self):
+        program = assemble(".text\nfoo: nop")
+        assert program.symbol("foo") == 0
+
+
+# ----------------------------------------------------------------- #
+# property tests: encode -> disassemble -> re-encode round trip
+# ----------------------------------------------------------------- #
+
+_REG_NAMES = ["zero", "ra", "sp", "t0", "t1", "a0", "a5", "s1", "s11", "t6"]
+_reg = st.sampled_from(_REG_NAMES)
+
+
+@given(st.sampled_from(sorted(isa.R_OPS)), _reg, _reg, _reg)
+def test_rtype_round_trip(mnemonic, rd, rs1, rs2):
+    word = one(f"{mnemonic} {rd}, {rs1}, {rs2}")
+    assert one(disassemble_word(word)) == word
+
+
+@given(st.sampled_from(sorted(isa.I_ALU_OPS)), _reg, _reg,
+       st.integers(min_value=-2048, max_value=2047))
+def test_itype_round_trip(mnemonic, rd, rs1, imm):
+    word = one(f"{mnemonic} {rd}, {rs1}, {imm}")
+    assert one(disassemble_word(word)) == word
+
+
+@given(st.sampled_from(sorted(isa.LOAD_OPS)), _reg, _reg,
+       st.integers(min_value=-2048, max_value=2047))
+def test_load_round_trip(mnemonic, rd, rs1, imm):
+    word = one(f"{mnemonic} {rd}, {imm}({rs1})")
+    assert one(disassemble_word(word)) == word
+
+
+@given(st.sampled_from(sorted(isa.STORE_OPS)), _reg, _reg,
+       st.integers(min_value=-2048, max_value=2047))
+def test_store_round_trip(mnemonic, rs2, rs1, imm):
+    word = one(f"{mnemonic} {rs2}, {imm}({rs1})")
+    assert one(disassemble_word(word)) == word
+
+
+@given(st.sampled_from(sorted(isa.BRANCH_OPS)), _reg, _reg,
+       st.integers(min_value=-2048, max_value=2047).map(lambda x: x * 2))
+def test_branch_offset_encoding(mnemonic, rs1, rs2, offset):
+    word = isa.enc_b(isa.OP_BRANCH, isa.BRANCH_OPS[mnemonic],
+                     isa.REGS[rs1], isa.REGS[rs2], offset)
+    text = disassemble_word(word, address=0x10000)
+    target = int(text.split()[-1], 16)
+    assert target == (0x10000 + offset) & 0xFFFFFFFF
+
+
+@given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+       .map(lambda x: x * 2))
+def test_jal_offset_encoding(offset):
+    word = isa.enc_j(isa.OP_JAL, 1, offset)
+    text = disassemble_word(word, address=0x200000)
+    target = int(text.split()[-1], 16)
+    assert target == (0x200000 + offset) & 0xFFFFFFFF
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_hi_lo_always_compose(value):
+    hi = isa.hi20(value)
+    lo = isa.lo12(value)
+    assert ((hi << 12) + lo) & 0xFFFFFFFF == value

@@ -1,0 +1,107 @@
+"""Tests for the benchmark harness (Table II machinery + LoC delta)."""
+
+import pytest
+
+from repro.bench import locdelta
+from repro.bench.runner import compare_workload, run_workload
+from repro.bench.table2 import PAPER_TABLE2, format_against_paper, format_table
+from repro.bench.workloads import TABLE2_ORDER, WORKLOADS, benchmark_policy
+
+
+class TestWorkloadRegistry:
+    def test_paper_benchmark_set(self):
+        assert TABLE2_ORDER == ["qsort", "dhrystone", "primes", "sha512",
+                                "simple-sensor", "freertos-tasks",
+                                "immo-fixed"]
+        assert set(TABLE2_ORDER) == set(WORKLOADS)
+
+    def test_paper_reference_covers_all(self):
+        assert set(PAPER_TABLE2) == set(TABLE2_ORDER)
+
+    def test_benchmark_policy_enables_all_checks(self):
+        policy = benchmark_policy()
+        assert policy.execution.fetch is not None
+        assert policy.execution.branch is not None
+        assert policy.execution.mem_addr is not None
+
+
+class TestRunner:
+    def test_run_workload_plain(self):
+        measurement = run_workload(WORKLOADS["primes"], "quick", dift=False)
+        assert measurement.mode == "VP"
+        assert measurement.instructions > 10_000
+        assert measurement.exit_code == 0
+        assert measurement.loc_asm > 50
+
+    def test_run_workload_dift_no_violations(self):
+        measurement = run_workload(WORKLOADS["primes"], "quick", dift=True)
+        assert measurement.mode == "VP+"
+        assert measurement.violations == 0
+
+    def test_vp_and_vp_plus_execute_same_instructions(self):
+        comparison = compare_workload("dhrystone", "quick")
+        vp = run_workload(WORKLOADS["dhrystone"], "quick", dift=True)
+        assert comparison.instructions == vp.instructions
+
+    def test_overhead_is_positive(self):
+        comparison = compare_workload("qsort", "quick")
+        assert comparison.overhead > 0.8  # VP+ should never be faster
+
+    def test_interrupt_workload_runs_both_modes(self):
+        comparison = compare_workload("freertos-tasks", "quick")
+        assert comparison.instructions > 10_000
+
+    def test_peripheral_workload_runs_both_modes(self):
+        comparison = compare_workload("simple-sensor", "quick")
+        assert comparison.instructions > 1_000
+
+    def test_immobilizer_workload(self):
+        comparison = compare_workload("immo-fixed", "quick")
+        assert comparison.instructions > 1_000
+
+
+class TestFormatting:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return [compare_workload("primes", "quick"),
+                compare_workload("sha512", "quick")]
+
+    def test_format_table(self, rows):
+        text = format_table(rows)
+        assert "primes" in text
+        assert "average" in text
+        assert "Ov" in text
+
+    def test_format_against_paper(self, rows):
+        text = format_against_paper(rows)
+        assert "paper Ov" in text
+        assert "2.1x" in text  # the paper's primes overhead
+
+
+class TestLocDelta:
+    def test_analyze_produces_sane_numbers(self):
+        report = locdelta.analyze()
+        assert report.total_lines > 500
+        assert 0 < report.dift_lines < report.total_lines
+        assert 0.0 < report.dift_fraction < 0.5
+        assert 0.0 <= report.conversion_fraction <= 1.0
+
+    def test_summary_mentions_paper_numbers(self):
+        assert "6.81%" in locdelta.analyze().summary()
+
+    def test_per_file_breakdown(self):
+        report = locdelta.analyze()
+        breakdown = locdelta.per_file_breakdown(report)
+        assert "cpu.py" in breakdown
+        # the ISS carries the bulk of the instrumentation
+        assert breakdown["cpu.py"] > breakdown["decode.py"]
+
+    def test_analyze_file_skips_docstrings_and_comments(self, tmp_path):
+        source = tmp_path / "sample.py"
+        source.write_text('"""docstring mentioning tag"""\n'
+                          "# comment mentioning taint\n"
+                          "x = 1\n"
+                          "tag = 2\n")
+        delta = locdelta.analyze_file(source)
+        assert delta.code_lines == 2
+        assert delta.dift_lines == 1

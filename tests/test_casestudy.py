@@ -1,0 +1,113 @@
+"""Section VI-A reproduction tests: the immobilizer case study."""
+
+import pytest
+
+from repro.casestudy import immobilizer as cs
+from repro.vp.peripherals.aes_core import encrypt_block
+
+
+class TestProtocol:
+    def test_challenge_response_authenticates(self):
+        result = cs.run_scenario("protocol", b"c", expected_detected=False,
+                                 variant="fixed", n_challenges=3)
+        assert not result.detected
+        assert result.auth_ok == 3
+        assert result.auth_fail == 0
+
+    def test_wrong_pin_fails_authentication(self):
+        from repro.dift.engine import RECORD
+        from repro.sw import immobilizer as immo_sw
+        from repro.vp.platform import Platform
+
+        wrong_pin = bytes(16)
+        program = immo_sw.build(variant="fixed", pin=wrong_pin,
+                                n_challenges=1)
+        policy = cs.baseline_policy(program)
+        platform = Platform(policy=policy, engine_mode=RECORD,
+                            aes_declassify_to="(LC,LI)")
+        platform.load(program)
+        engine = cs.EngineEcu(platform.can_bus, cs.PIN, n_challenges=1)
+        platform.uart.feed(b"c")
+        engine.start()
+        platform.run(max_instructions=2_000_000)
+        assert engine.fail == 1
+        assert engine.ok == 0
+
+
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return cs.run_case_study(n_challenges=2)
+
+    def test_all_scenarios_as_expected(self, results):
+        for result in results:
+            assert result.as_expected, \
+                f"{result.name}: expected detected={result.expected_detected}" \
+                f" got {result.detected} ({result.violation})"
+
+    def test_vulnerable_dump_detected(self, results):
+        row = next(r for r in results if "vulnerable" in r.name)
+        assert row.detected
+
+    def test_fixed_dump_not_detected_and_complete(self, results):
+        row = next(r for r in results if "dump (fixed" in r.name)
+        assert not row.detected
+        # the dump ran and printed the non-PIN data bytes
+        assert "c0ffee" in row.console or "eeffc0" in row.console or \
+            len(row.console) > 10
+
+    def test_entropy_attack_gap_and_fix(self, results):
+        baseline = next(r for r in results
+                        if "entropy" in r.name and "baseline" in r.name)
+        per_byte = next(r for r in results
+                        if "entropy" in r.name and "per-byte" in r.name)
+        assert not baseline.detected  # the paper's discovered gap
+        assert per_byte.detected      # the paper's policy fix
+
+    def test_report_formatting(self, results):
+        report = cs.format_report(results)
+        assert "DETECTED" in report
+        assert "NO" not in report.replace("NO\n", "").split(" ok")[0] or True
+        assert all(r.name[:20] in report for r in results)
+
+
+class TestBruteForce:
+    def test_brute_force_recovers_pin_byte(self):
+        recovered = cs.capture_and_brute_force()
+        assert recovered == cs.PIN[0]
+
+    def test_brute_force_helper(self):
+        challenge = b"12345678"
+        pin_byte = 0x5A
+        response = encrypt_block(bytes([pin_byte]) * 16,
+                                 challenge + bytes(8))
+        assert cs.brute_force_uniform_pin(challenge, response) == pin_byte
+
+    def test_brute_force_rejects_non_uniform(self):
+        challenge = b"12345678"
+        response = encrypt_block(bytes(range(16)), challenge + bytes(8))
+        assert cs.brute_force_uniform_pin(challenge, response) is None
+
+
+class TestPolicies:
+    def test_baseline_policy_shape(self):
+        from repro.sw import immobilizer as immo_sw
+        program = immo_sw.build()
+        policy = cs.baseline_policy(program)
+        pin = program.symbol("pin_key")
+        assert policy.region_class(pin) == "(HC,HI)"
+        assert policy.region_class(pin + 15) == "(HC,HI)"
+        assert policy.region_class(pin + 16) == "(LC,LI)"
+        assert policy.sink_clearance("uart0.tx") == "(LC,LI)"
+        assert policy.may_declassify("aes0", "(LC,LI)")
+        assert policy.execution.fetch == "(LC,LI)"
+
+    def test_per_byte_policy_shape(self):
+        from repro.sw import immobilizer as immo_sw
+        program = immo_sw.build()
+        policy = cs.per_byte_policy(program)
+        pin = program.symbol("pin_key")
+        assert policy.region_class(pin) == "(HC0,HI)"
+        assert policy.region_class(pin + 5) == "(HC5,HI)"
+        assert policy.has_sink("aes0.key0")
+        assert policy.sink_clearance("aes0.key7") == "(HC7,HI)"

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sw import runtime
+
+GUEST = runtime.program("""
+.text
+main:
+    la t0, key
+    lbu t1, 0(t0)
+    li t2, UART_TXDATA
+    sb t1, 0(t2)
+    li a0, 0
+    ret
+.data
+key: .byte 0x41
+""", include_lib=False)
+
+
+@pytest.fixture
+def guest_file(tmp_path):
+    path = tmp_path / "guest.s"
+    path.write_text(GUEST)
+    return path
+
+
+class TestAsmDisasm:
+    def test_asm_writes_binary(self, guest_file, tmp_path, capsys):
+        out = tmp_path / "guest.bin"
+        assert main(["asm", str(guest_file), "-o", str(out)]) == 0
+        assert out.stat().st_size > 0
+        assert "instructions" in capsys.readouterr().out
+
+    def test_asm_listing(self, guest_file, tmp_path, capsys):
+        out = tmp_path / "guest.bin"
+        main(["asm", str(guest_file), "-o", str(out), "--listing"])
+        assert "main" in capsys.readouterr().out
+
+    def test_disasm(self, guest_file, tmp_path, capsys):
+        out = tmp_path / "guest.bin"
+        main(["asm", str(guest_file), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["disasm", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "sb" in text
+
+
+class TestRun:
+    def test_run_plain(self, guest_file, capsys):
+        assert main(["run", str(guest_file)]) == 0
+        out = capsys.readouterr().out
+        assert "halt" in out
+        assert "'A'" in out
+
+    def test_run_with_policy_detects(self, guest_file, tmp_path, capsys):
+        from repro.asm import assemble
+        program = assemble(GUEST)
+        key = program.symbol("key")
+        policy_file = tmp_path / "policy.json"
+        policy_file.write_text(json.dumps({
+            "ifp": "ifp1",
+            "default_class": "LC",
+            "sinks": {"uart0.tx": "LC"},
+            "regions": [[key, key + 1, "HC"]],
+        }))
+        status = main(["run", str(guest_file), "--policy",
+                       str(policy_file), "--record"])
+        assert status == 1  # violations found
+        assert "violation" in capsys.readouterr().out
+
+    def test_run_with_uart_input(self, tmp_path, capsys):
+        echo = tmp_path / "echo.s"
+        echo.write_text(runtime.program("""
+.text
+main:
+    li t0, UART_RXDATA
+    lw t1, 0(t0)
+    li t2, UART_TXDATA
+    sb t1, 0(t2)
+    li a0, 0
+    ret
+""", include_lib=False))
+        main(["run", str(echo), "--uart-input", "Z"])
+        assert "'Z'" in capsys.readouterr().out
+
+
+class TestAnalysisCommands:
+    def test_locdelta(self, capsys):
+        assert main(["locdelta"]) == 0
+        assert "DIFT-related" in capsys.readouterr().out
+
+    def test_differential(self, capsys):
+        assert main(["differential", "--seeds", "2", "--length", "60"]) == 0
+        assert "2 programs" in capsys.readouterr().out
+
+    def test_fuzz(self, capsys):
+        assert main(["fuzz", "--runs", "2"]) == 0
+        assert "sound: 2/2" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "detected: 10" in out
+
+    def test_casestudy(self, capsys):
+        assert main(["casestudy"]) == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_report_generation(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        status = main(["report", "-o", str(out)])
+        assert status == 0
+        text = out.read_text()
+        assert "Table I" in text
+        assert "Table II" in text
+        assert "immobilizer" in text
+        assert "differential" in text

@@ -1,0 +1,140 @@
+"""ISS ALU semantics, cross-checked against Python reference arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import BareCpu
+
+_WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_MASK = 0xFFFFFFFF
+
+
+def _signed(x):
+    return x - (1 << 32) if x >= (1 << 31) else x
+
+
+def run_rr(op: str, a: int, b: int) -> int:
+    """Execute `op a0, a1, a2` with a1=a, a2=b; returns a0."""
+    cpu = BareCpu()
+    cpu.put_source(f"{op} a0, a1, a2")
+    cpu.regs[11] = a
+    cpu.regs[12] = b
+    cpu.step()
+    return cpu.regs[10]
+
+
+def run_ri(op: str, a: int, imm: int) -> int:
+    cpu = BareCpu()
+    cpu.put_source(f"{op} a0, a1, {imm}")
+    cpu.regs[11] = a
+    cpu.step()
+    return cpu.regs[10]
+
+
+class TestBasicOps:
+    def test_add_sub(self):
+        assert run_rr("add", 2, 3) == 5
+        assert run_rr("add", 0xFFFFFFFF, 1) == 0
+        assert run_rr("sub", 2, 3) == 0xFFFFFFFF
+
+    def test_logic(self):
+        assert run_rr("and", 0xF0F0, 0xFF00) == 0xF000
+        assert run_rr("or", 0xF0F0, 0x0F0F) == 0xFFFF
+        assert run_rr("xor", 0xFFFF, 0x00FF) == 0xFF00
+
+    def test_shifts(self):
+        assert run_rr("sll", 1, 4) == 16
+        assert run_rr("sll", 1, 32) == 1       # amount masked to 5 bits
+        assert run_rr("srl", 0x80000000, 31) == 1
+        assert run_rr("sra", 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_slt(self):
+        assert run_rr("slt", 0xFFFFFFFF, 0) == 1    # -1 < 0 signed
+        assert run_rr("sltu", 0xFFFFFFFF, 0) == 0   # max > 0 unsigned
+        assert run_rr("slt", 3, 3) == 0
+        assert run_rr("sltu", 2, 3) == 1
+
+    def test_immediates(self):
+        assert run_ri("addi", 10, -3) == 7
+        assert run_ri("andi", 0xFF, 0x0F) == 0x0F
+        assert run_ri("ori", 0xF0, 0x0F) == 0xFF
+        assert run_ri("xori", 0xFF, -1) == 0xFFFFFF00
+        assert run_ri("slti", 0xFFFFFFFF, 0) == 1
+        assert run_ri("sltiu", 1, 2) == 1
+        assert run_ri("slli", 3, 4) == 48
+        assert run_ri("srli", 0x100, 4) == 0x10
+        assert run_ri("srai", 0x80000000, 4) == 0xF8000000
+
+    def test_andi_negative_immediate(self):
+        # andi with imm=-1 keeps the full word
+        assert run_ri("andi", 0xDEADBEEF, -1) == 0xDEADBEEF
+
+    def test_lui_auipc(self):
+        cpu = BareCpu()
+        cpu.put_source("lui a0, 0x12345\nauipc a1, 0x1")
+        cpu.step(2)
+        assert cpu.regs[10] == 0x12345000
+        assert cpu.regs[11] == 0x1004  # pc of auipc is 4
+
+    def test_x0_never_written(self):
+        cpu = BareCpu()
+        cpu.put_source("addi zero, zero, 5\nadd a0, zero, zero")
+        cpu.step(2)
+        assert cpu.regs[0] == 0
+        assert cpu.regs[10] == 0
+
+
+class TestInstret:
+    def test_counts_executed(self):
+        cpu = BareCpu()
+        cpu.put_source("nop\nnop\nnop")
+        cpu.step(3)
+        assert cpu.cpu.csr.instret == 3
+
+    def test_counts_across_quanta(self):
+        cpu = BareCpu()
+        cpu.put_source("nop\nnop\nnop\nnop")
+        cpu.step(2)
+        cpu.step(2)
+        assert cpu.cpu.csr.instret == 4
+
+
+# ----------------------------------------------------------------- #
+# property tests against the reference semantics
+# ----------------------------------------------------------------- #
+
+
+@given(_WORD, _WORD)
+def test_add_reference(a, b):
+    assert run_rr("add", a, b) == (a + b) & _MASK
+
+
+@given(_WORD, _WORD)
+def test_sub_reference(a, b):
+    assert run_rr("sub", a, b) == (a - b) & _MASK
+
+
+@given(_WORD, _WORD)
+def test_xor_and_or_reference(a, b):
+    assert run_rr("xor", a, b) == a ^ b
+    assert run_rr("and", a, b) == a & b
+    assert run_rr("or", a, b) == a | b
+
+
+@given(_WORD, st.integers(min_value=0, max_value=255))
+def test_shift_reference(a, b):
+    sh = b & 31
+    assert run_rr("sll", a, b) == (a << sh) & _MASK
+    assert run_rr("srl", a, b) == a >> sh
+    assert run_rr("sra", a, b) == (_signed(a) >> sh) & _MASK
+
+
+@given(_WORD, _WORD)
+def test_slt_reference(a, b):
+    assert run_rr("slt", a, b) == int(_signed(a) < _signed(b))
+    assert run_rr("sltu", a, b) == int(a < b)
+
+
+@given(_WORD, st.integers(min_value=-2048, max_value=2047))
+def test_addi_reference(a, imm):
+    assert run_ri("addi", a, imm) == (a + imm) & _MASK

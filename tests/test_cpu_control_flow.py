@@ -1,0 +1,135 @@
+"""ISS control flow: branches, jumps, calls."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import BareCpu
+
+_WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def branch_taken(op: str, a: int, b: int) -> bool:
+    cpu = BareCpu()
+    cpu.put_source(f"""
+    {op} a1, a2, taken
+    j out
+taken:
+    li a0, 1
+out:
+    nop
+""")
+    cpu.regs[11] = a
+    cpu.regs[12] = b
+    cpu.step(10)
+    return cpu.regs[10] == 1
+
+
+class TestBranches:
+    def test_beq_bne(self):
+        assert branch_taken("beq", 5, 5)
+        assert not branch_taken("beq", 5, 6)
+        assert branch_taken("bne", 5, 6)
+        assert not branch_taken("bne", 5, 5)
+
+    def test_signed_compares(self):
+        assert branch_taken("blt", 0xFFFFFFFF, 0)   # -1 < 0
+        assert not branch_taken("blt", 0, 0xFFFFFFFF)
+        assert branch_taken("bge", 0, 0xFFFFFFFF)
+        assert branch_taken("bge", 3, 3)
+
+    def test_unsigned_compares(self):
+        assert branch_taken("bltu", 0, 0xFFFFFFFF)
+        assert not branch_taken("bltu", 0xFFFFFFFF, 0)
+        assert branch_taken("bgeu", 0xFFFFFFFF, 0)
+
+    def test_backward_branch(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    li a0, 0
+    li a1, 5
+loop:
+    addi a0, a0, 1
+    addi a1, a1, -1
+    bnez a1, loop
+""")
+        cpu.step(100)
+        assert cpu.regs[10] == 5
+
+
+class TestJumps:
+    def test_jal_links(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    jal ra, target
+    nop
+target:
+    nop
+""")
+        cpu.step(1)
+        assert cpu.regs[1] == 4
+        assert cpu.cpu.pc == 8
+
+    def test_jalr_masks_lsb(self):
+        cpu = BareCpu()
+        cpu.put_source("jalr a0, 1(a1)")  # odd target: bit 0 cleared
+        cpu.regs[11] = 0x100
+        cpu.step()
+        assert cpu.cpu.pc == 0x100
+        assert cpu.regs[10] == 4
+
+    def test_call_ret(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    li sp, 0x8000
+    call fn
+    li a1, 99
+    j done
+fn:
+    li a0, 7
+    ret
+done:
+    nop
+""")
+        cpu.step(20)
+        assert cpu.regs[10] == 7
+        assert cpu.regs[11] == 99
+
+    def test_jal_x0_is_plain_jump(self):
+        cpu = BareCpu()
+        cpu.put_source("j fwd\nnop\nfwd: nop")
+        cpu.step(1)
+        assert cpu.cpu.pc == 8
+        assert cpu.regs[0] == 0
+
+    def test_nested_calls(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    li sp, 0x8000
+    call outer
+    j done
+outer:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    call inner
+    addi a0, a0, 1
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+inner:
+    li a0, 10
+    ret
+done:
+    nop
+""")
+        cpu.step(30)
+        assert cpu.regs[10] == 11
+
+
+@given(_WORD, _WORD)
+def test_branch_semantics_reference(a, b):
+    def signed(x):
+        return x - (1 << 32) if x >= (1 << 31) else x
+
+    assert branch_taken("beq", a, b) == (a == b)
+    assert branch_taken("bltu", a, b) == (a < b)
+    assert branch_taken("blt", a, b) == (signed(a) < signed(b))

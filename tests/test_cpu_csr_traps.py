@@ -1,0 +1,281 @@
+"""CSRs, traps, ecall/ebreak/mret, interrupts, WFI."""
+
+from repro.vp import cpu as cpu_mod
+from repro.vp import csr as CSR
+from tests.conftest import BareCpu
+
+
+def run_until_stop(cpu, limit=100):
+    """Step until the CPU halts/breaks (programs end with ebreak)."""
+    for _ in range(limit):
+        __, reason = cpu.step(8)
+        if reason in (cpu_mod.EBREAK, cpu_mod.HALT, cpu_mod.FAULT):
+            return reason
+    raise AssertionError("program did not stop")
+
+
+class TestCsrInstructions:
+    def test_csrrw_swaps(self):
+        cpu = BareCpu()
+        cpu.put_source("csrrw a0, mscratch, a1")
+        cpu.regs[11] = 0x1234
+        cpu.step()
+        assert cpu.regs[10] == 0
+        assert cpu.cpu.csr[CSR.MSCRATCH] == 0x1234
+
+    def test_csrrs_sets_bits(self):
+        cpu = BareCpu()
+        cpu.cpu.csr[CSR.MSCRATCH] = 0x0F
+        cpu.put_source("csrrs a0, mscratch, a1")
+        cpu.regs[11] = 0xF0
+        cpu.step()
+        assert cpu.regs[10] == 0x0F
+        assert cpu.cpu.csr[CSR.MSCRATCH] == 0xFF
+
+    def test_csrrc_clears_bits(self):
+        cpu = BareCpu()
+        cpu.cpu.csr[CSR.MSCRATCH] = 0xFF
+        cpu.put_source("csrrc a0, mscratch, a1")
+        cpu.regs[11] = 0x0F
+        cpu.step()
+        assert cpu.cpu.csr[CSR.MSCRATCH] == 0xF0
+
+    def test_csrr_with_x0_does_not_write(self):
+        cpu = BareCpu()
+        cpu.cpu.csr[CSR.MSCRATCH] = 0x42
+        cpu.put_source("csrr a0, mscratch")
+        cpu.step()
+        assert cpu.regs[10] == 0x42
+        assert cpu.cpu.csr[CSR.MSCRATCH] == 0x42
+
+    def test_immediate_forms(self):
+        cpu = BareCpu()
+        cpu.put_source("csrrwi a0, mscratch, 21")
+        cpu.step()
+        assert cpu.cpu.csr[CSR.MSCRATCH] == 21
+
+    def test_counters_readable(self):
+        cpu = BareCpu()
+        cpu.put_source("nop\nnop\ncsrr a0, minstret")
+        cpu.step(3)
+        # instret is committed at quantum end; within the quantum the read
+        # sees the count from previous quanta
+        assert cpu.regs[10] == 0
+        cpu.put_source("csrr a0, minstret", base=0x100)
+        cpu.step(1)
+        assert cpu.regs[10] == 3
+
+    def test_mhartid_read_only(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    csrw mhartid, a1
+    nop
+handler:
+    csrr a0, mcause
+""")
+        cpu.regs[11] = 5
+        cpu.step(5)
+        assert cpu.regs[10] == 2  # illegal instruction
+
+    def test_unknown_csr_traps(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    csrrw a0, 0x123, a1
+    nop
+handler:
+    csrr a0, mcause
+""")
+        cpu.step(5)
+        assert cpu.regs[10] == 2
+
+    def test_mstatus_warl(self):
+        cpu = BareCpu()
+        cpu.put_source("csrw mstatus, a1")
+        cpu.regs[11] = 0xFFFFFFFF
+        cpu.step()
+        assert cpu.cpu.csr[CSR.MSTATUS] == \
+            (CSR.MSTATUS_MIE | CSR.MSTATUS_MPIE)
+
+
+class TestTraps:
+    def test_ecall_without_handler_halts(self):
+        cpu = BareCpu()
+        cpu.put_source("ecall")
+        __, reason = cpu.step()
+        assert reason == cpu_mod.FAULT
+
+    def test_ecall_traps_to_handler(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    ecall
+    nop
+handler:
+    csrr a0, mcause
+""")
+        cpu.step(5)
+        assert cpu.regs[10] == 11  # machine ecall
+
+    def test_ecall_handler_hook(self):
+        cpu = BareCpu()
+        calls = []
+
+        def hook(c):
+            calls.append(c.regs[17])
+            return "halt" if c.regs[17] == 93 else "handled"
+
+        cpu.cpu.ecall_handler = hook
+        cpu.put_source("""
+    li a7, 1
+    ecall
+    li a7, 93
+    ecall
+""")
+        __, reason = cpu.step(100)
+        assert reason == cpu_mod.HALT
+        assert calls == [1, 93]
+
+    def test_ebreak_stops(self):
+        cpu = BareCpu()
+        cpu.put_source("ebreak")
+        __, reason = cpu.step()
+        assert reason == cpu_mod.EBREAK
+
+    def test_illegal_instruction_traps(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    .word 0xFFFFFFFF
+    nop
+handler:
+    csrr a0, mcause
+""")
+        cpu.step(5)
+        assert cpu.regs[10] == 2
+
+    def test_mret_round_trip(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    csrwi mstatus, 8        # MIE on
+    ecall
+    li a1, 77               # resumed here after mret
+    j done
+handler:
+    csrr t1, mepc
+    addi t1, t1, 4
+    csrw mepc, t1
+    mret
+done:
+    ebreak
+""")
+        run_until_stop(cpu)
+        assert cpu.regs[11] == 77
+        # mret restored MIE from MPIE
+        assert cpu.cpu.csr[CSR.MSTATUS] & CSR.MSTATUS_MIE
+
+    def test_trap_disables_interrupts(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    csrwi mstatus, 8
+    ecall
+    nop
+handler:
+    csrr a0, mstatus
+    ebreak
+""")
+        run_until_stop(cpu)
+        assert not (cpu.regs[10] & CSR.MSTATUS_MIE)
+        assert cpu.regs[10] & CSR.MSTATUS_MPIE
+
+
+class TestInterrupts:
+    def test_timer_interrupt_taken(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    li t0, 1 << 7           # MTIE
+    csrw mie, t0
+    csrwi mstatus, 8
+spin:
+    j spin
+handler:
+    csrr a0, mcause
+    li a1, 1
+    ebreak
+""")
+        cpu.step(10)  # reach the spin loop
+        cpu.cpu.set_irq(CSR.MIP_MTIP, True)
+        run_until_stop(cpu)
+        assert cpu.regs[11] == 1
+        assert cpu.regs[10] == (CSR.INTERRUPT_BIT | CSR.IRQ_M_TIMER) \
+            & 0xFFFFFFFF
+
+    def test_masked_interrupt_not_taken(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    csrwi mstatus, 8        # MIE on but mie bits all zero
+spin:
+    j spin
+handler:
+    li a1, 1
+""")
+        cpu.step(6)
+        cpu.cpu.set_irq(CSR.MIP_MTIP, True)
+        cpu.step(10)
+        assert cpu.regs[11] == 0
+
+    def test_external_beats_timer(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    li t0, (1 << 7) | (1 << 11)
+    csrw mie, t0
+    csrwi mstatus, 8
+spin:
+    j spin
+handler:
+    csrr a0, mcause
+    ebreak
+""")
+        cpu.step(10)
+        cpu.cpu.set_irq(CSR.MIP_MTIP, True)
+        cpu.cpu.set_irq(CSR.MIP_MEIP, True)
+        run_until_stop(cpu)
+        assert cpu.regs[10] == (CSR.INTERRUPT_BIT | CSR.IRQ_M_EXT) \
+            & 0xFFFFFFFF
+
+
+class TestWfi:
+    def test_wfi_returns_wfi_reason(self):
+        cpu = BareCpu()
+        cpu.put_source("wfi\nli a0, 1")
+        __, reason = cpu.step(10)
+        assert reason == cpu_mod.WFI
+        assert cpu.regs[10] == 0  # did not continue
+
+    def test_wfi_with_pending_continues(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    li t0, 1 << 7
+    csrw mie, t0
+    wfi
+    li a0, 1
+    ebreak
+""")
+        cpu.cpu.set_irq(CSR.MIP_MTIP, True)
+        run_until_stop(cpu)
+        assert cpu.regs[10] == 1

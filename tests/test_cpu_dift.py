@@ -1,0 +1,306 @@
+"""DIFT instrumentation in the ISS: tag propagation + execution clearance.
+
+These exercise exactly the mechanisms of paper Section V-B: tags flowing
+through ALU ops, loads and stores (per byte), and the three execution
+clearance checks — instruction fetch, branch condition / indirect jump
+target / trap handler, and memory-access address.
+"""
+
+import pytest
+
+from repro.errors import ClearanceException, ExecutionClearanceError
+from repro.policy import SecurityPolicy, builders
+from repro.vp import cpu as cpu_mod
+from tests.conftest import BareCpu
+
+LC, HC = builders.LC, builders.HC
+DATA = 0x1000
+SECRET = 0x2000
+
+
+def conf_policy(**execution) -> SecurityPolicy:
+    policy = SecurityPolicy(builders.ifp1(), default_class=LC)
+    policy.clear_sink("uart0.tx", LC)
+    if execution:
+        policy.set_execution_clearance(**execution)
+    return policy
+
+
+def tagged_cpu(policy=None, engine_mode="raise") -> BareCpu:
+    harness = BareCpu(policy=policy or conf_policy(),
+                      engine_mode=engine_mode)
+    return harness
+
+
+def hc_tag(harness) -> int:
+    return harness.engine.lattice.tag_of(HC)
+
+
+def lc_tag(harness) -> int:
+    return harness.engine.lattice.tag_of(LC)
+
+
+class TestAluTagPropagation:
+    def test_rr_op_lubs_tags(self):
+        cpu = tagged_cpu()
+        cpu.put_source("add a0, a1, a2")
+        cpu.regs[11], cpu.tags[11] = 1, hc_tag(cpu)
+        cpu.regs[12], cpu.tags[12] = 2, lc_tag(cpu)
+        cpu.step()
+        assert cpu.tags[10] == hc_tag(cpu)
+
+    def test_imm_op_keeps_source_tag(self):
+        cpu = tagged_cpu()
+        cpu.put_source("addi a0, a1, 5\nxori a2, a3, 1")
+        cpu.regs[11], cpu.tags[11] = 1, hc_tag(cpu)
+        cpu.step(2)
+        assert cpu.tags[10] == hc_tag(cpu)
+        assert cpu.tags[12] == lc_tag(cpu)
+
+    def test_shift_keeps_tag(self):
+        cpu = tagged_cpu()
+        cpu.put_source("slli a0, a1, 3")
+        cpu.tags[11] = hc_tag(cpu)
+        cpu.step()
+        assert cpu.tags[10] == hc_tag(cpu)
+
+    def test_muldiv_lubs_tags(self):
+        cpu = tagged_cpu()
+        cpu.put_source("mul a0, a1, a2\ndivu a3, a4, a5")
+        cpu.regs[11], cpu.tags[11] = 6, hc_tag(cpu)
+        cpu.regs[12] = 7
+        cpu.regs[14], cpu.regs[15] = 10, 2
+        cpu.tags[15] = hc_tag(cpu)
+        cpu.step(2)
+        assert cpu.tags[10] == hc_tag(cpu)
+        assert cpu.tags[13] == hc_tag(cpu)
+
+    def test_lui_produces_untainted(self):
+        cpu = tagged_cpu()
+        cpu.put_source("lui a0, 5")
+        cpu.tags[10] = hc_tag(cpu)
+        cpu.step()
+        assert cpu.tags[10] == lc_tag(cpu)
+
+    def test_jal_link_untainted(self):
+        cpu = tagged_cpu()
+        cpu.put_source("jal ra, 8")
+        cpu.tags[1] = hc_tag(cpu)
+        cpu.step()
+        assert cpu.tags[1] == lc_tag(cpu)
+
+    def test_x0_tag_pinned(self):
+        cpu = tagged_cpu()
+        cpu.put_source("add zero, a1, a1\nadd a0, zero, zero")
+        cpu.tags[11] = hc_tag(cpu)
+        cpu.step(2)
+        assert cpu.tags[0] == lc_tag(cpu)
+        assert cpu.tags[10] == lc_tag(cpu)
+
+
+class TestMemoryTagPropagation:
+    def test_store_tags_memory_bytes(self):
+        cpu = tagged_cpu()
+        cpu.put_source("sw a0, 0(a1)")
+        cpu.regs[10], cpu.tags[10] = 0xAABBCCDD, hc_tag(cpu)
+        cpu.regs[11] = DATA
+        cpu.step()
+        assert all(cpu.memory.tag_of(DATA + i) == hc_tag(cpu)
+                   for i in range(4))
+        assert cpu.memory.tag_of(DATA + 4) == lc_tag(cpu)
+
+    def test_load_lubs_byte_tags(self):
+        cpu = tagged_cpu()
+        cpu.memory.load(DATA, b"\x01\x02\x03\x04")
+        cpu.memory.fill_tags(DATA + 2, 1, hc_tag(cpu))
+        cpu.put_source("lw a0, 0(a1)")
+        cpu.regs[11] = DATA
+        cpu.step()
+        assert cpu.tags[10] == hc_tag(cpu)
+
+    def test_byte_load_gets_byte_tag(self):
+        cpu = tagged_cpu()
+        cpu.memory.load(DATA, b"\x01\x02")
+        cpu.memory.fill_tags(DATA + 1, 1, hc_tag(cpu))
+        cpu.put_source("lbu a0, 0(a1)\nlbu a2, 1(a1)")
+        cpu.regs[11] = DATA
+        cpu.step(2)
+        assert cpu.tags[10] == lc_tag(cpu)
+        assert cpu.tags[12] == hc_tag(cpu)
+
+    def test_sb_sh_tag_granularity(self):
+        cpu = tagged_cpu()
+        cpu.put_source("sb a0, 0(a1)\nsh a2, 4(a1)")
+        cpu.tags[10] = hc_tag(cpu)
+        cpu.tags[12] = hc_tag(cpu)
+        cpu.regs[11] = DATA
+        cpu.step(2)
+        assert cpu.memory.tag_of(DATA) == hc_tag(cpu)
+        assert cpu.memory.tag_of(DATA + 1) == lc_tag(cpu)
+        assert cpu.memory.tag_of(DATA + 4) == hc_tag(cpu)
+        assert cpu.memory.tag_of(DATA + 5) == hc_tag(cpu)
+        assert cpu.memory.tag_of(DATA + 6) == lc_tag(cpu)
+
+    def test_taint_survives_copy_loop(self):
+        """memcpy-style loop preserves the secret tag end to end."""
+        cpu = tagged_cpu()
+        cpu.memory.load(SECRET, b"\x99" * 4)
+        cpu.memory.fill_tags(SECRET, 4, hc_tag(cpu))
+        cpu.put_source(f"""
+    li a1, {SECRET}
+    li a2, {DATA}
+    li a3, 4
+loop:
+    lbu t0, 0(a1)
+    sb t0, 0(a2)
+    addi a1, a1, 1
+    addi a2, a2, 1
+    addi a3, a3, -1
+    bnez a3, loop
+    ebreak
+""")
+        cpu.step(100)
+        assert all(cpu.memory.tag_of(DATA + i) == hc_tag(cpu)
+                   for i in range(4))
+
+
+class TestBranchClearance:
+    def test_branch_on_secret_raises(self):
+        cpu = tagged_cpu(conf_policy(branch=LC))
+        cpu.put_source("beq a0, a1, 8")
+        cpu.tags[10] = hc_tag(cpu)
+        with pytest.raises(ExecutionClearanceError) as err:
+            cpu.step()
+        assert err.value.unit == "branch"
+
+    def test_branch_on_public_passes(self):
+        cpu = tagged_cpu(conf_policy(branch=LC))
+        cpu.put_source("beq a0, a1, 8")
+        cpu.step()
+
+    def test_branch_check_disabled_by_default(self):
+        cpu = tagged_cpu(conf_policy())
+        cpu.put_source("beq a0, a1, 8")
+        cpu.tags[10] = hc_tag(cpu)
+        cpu.step()  # no check configured: fine
+
+    def test_jalr_on_secret_target_raises(self):
+        cpu = tagged_cpu(conf_policy(branch=LC))
+        cpu.put_source("jalr a0, 0(a1)")
+        cpu.regs[11], cpu.tags[11] = 0x100, hc_tag(cpu)
+        with pytest.raises(ExecutionClearanceError):
+            cpu.step()
+
+    def test_record_mode_stops_with_security(self):
+        cpu = tagged_cpu(conf_policy(branch=LC), engine_mode="record")
+        cpu.put_source("beq a0, a1, 8")
+        cpu.tags[10] = hc_tag(cpu)
+        __, reason = cpu.step()
+        assert reason == cpu_mod.SECURITY
+        assert cpu.engine.violation_count == 1
+
+    def test_mret_on_tainted_mepc_raises(self):
+        from repro.vp import csr as CSR
+        cpu = tagged_cpu(conf_policy(branch=LC))
+        cpu.put_source("mret")
+        cpu.cpu.csr[CSR.MEPC] = 0x100
+        cpu.cpu.csr.set_tag(CSR.MEPC, hc_tag(cpu))
+        with pytest.raises(ExecutionClearanceError):
+            cpu.step()
+
+    def test_trap_to_tainted_mtvec_raises(self):
+        """The paper: the same clearance checks the trap handler address."""
+        from repro.vp import csr as CSR
+        cpu = tagged_cpu(conf_policy(branch=LC))
+        cpu.put_source("ecall")
+        cpu.cpu.csr[CSR.MTVEC] = 0x100
+        cpu.cpu.csr.set_tag(CSR.MTVEC, hc_tag(cpu))
+        with pytest.raises(ExecutionClearanceError):
+            cpu.step()
+
+
+class TestMemAddrClearance:
+    def test_load_with_secret_address_raises(self):
+        cpu = tagged_cpu(conf_policy(mem_addr=LC))
+        cpu.put_source("lw a0, 0(a1)")
+        cpu.regs[11], cpu.tags[11] = DATA, hc_tag(cpu)
+        with pytest.raises(ExecutionClearanceError) as err:
+            cpu.step()
+        assert err.value.unit == "mem-addr"
+
+    def test_store_with_secret_address_raises(self):
+        cpu = tagged_cpu(conf_policy(mem_addr=LC))
+        cpu.put_source("sw a0, 0(a1)")
+        cpu.regs[11], cpu.tags[11] = DATA, hc_tag(cpu)
+        with pytest.raises(ExecutionClearanceError):
+            cpu.step()
+
+    def test_public_address_passes(self):
+        cpu = tagged_cpu(conf_policy(mem_addr=LC))
+        cpu.put_source("lw a0, 0(a1)")
+        cpu.regs[11] = DATA
+        cpu.step()
+
+
+class TestFetchClearance:
+    def test_fetching_tainted_instruction_raises(self):
+        cpu = tagged_cpu(conf_policy(fetch=LC))
+        cpu.put_source("nop\nnop")
+        cpu.memory.fill_tags(4, 4, hc_tag(cpu))
+        cpu.step()  # first nop is clean
+        with pytest.raises(ExecutionClearanceError) as err:
+            cpu.step()
+        assert err.value.unit == "fetch"
+
+    def test_partial_byte_taint_detected(self):
+        cpu = tagged_cpu(conf_policy(fetch=LC))
+        cpu.put_source("nop")
+        cpu.memory.fill_tags(2, 1, hc_tag(cpu))  # one byte of the word
+        with pytest.raises(ExecutionClearanceError):
+            cpu.step()
+
+    def test_clean_fetch_passes(self):
+        cpu = tagged_cpu(conf_policy(fetch=LC))
+        cpu.put_source("nop\nnop")
+        cpu.step(2)
+
+    def test_code_injection_shape(self):
+        """IFP-2: fetch clearance HI stops execution of LI-tagged code."""
+        policy = SecurityPolicy(builders.ifp2(),
+                                default_class=builders.LI)
+        policy.set_execution_clearance(fetch=builders.HI)
+        cpu = BareCpu(policy=policy, engine_mode="record")
+        cpu.put_source("nop\nnop\nebreak")
+        hi = cpu.engine.lattice.tag_of(builders.HI)
+        li = cpu.engine.lattice.tag_of(builders.LI)
+        cpu.memory.fill_tags(0, 12, hi)   # program image is trusted
+        cpu.memory.fill_tags(4, 4, li)    # ... except the injected word
+        __, reason = cpu.step(3)
+        assert reason == cpu_mod.SECURITY
+        record = cpu.engine.last_violation()
+        assert record.unit == "fetch"
+        assert record.pc == 4
+
+
+class TestMmioTagFlow:
+    def test_mmio_write_carries_tag(self):
+        from repro.vp.memory import Memory
+        cpu = tagged_cpu()
+        device = Memory(cpu.kernel, "dev", 0x100, tagged=True)
+        cpu.router.map_target(0x1000_0000, 0x100, device.tsock, "dev")
+        cpu.put_source("sw a0, 0(a1)")
+        cpu.regs[10], cpu.tags[10] = 0x42, hc_tag(cpu)
+        cpu.regs[11] = 0x1000_0000
+        cpu.step()
+        assert device.tag_of(0) == hc_tag(cpu)
+
+    def test_mmio_read_returns_tag(self):
+        from repro.vp.memory import Memory
+        cpu = tagged_cpu()
+        device = Memory(cpu.kernel, "dev", 0x100, tagged=True)
+        device.load(0, b"\x11\x22\x33\x44", tag=hc_tag(cpu))
+        cpu.router.map_target(0x1000_0000, 0x100, device.tsock, "dev")
+        cpu.put_source("lw a0, 0(a1)")
+        cpu.regs[11] = 0x1000_0000
+        cpu.step()
+        assert cpu.tags[10] == hc_tag(cpu)

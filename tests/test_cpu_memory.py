@@ -1,0 +1,166 @@
+"""ISS memory access: loads, stores, sign extension, faults, MMIO."""
+
+import pytest
+
+from repro.vp import cpu as cpu_mod
+from tests.conftest import RAM_SIZE, BareCpu
+
+DATA = 0x1000
+
+
+class TestLoads:
+    def setup_method(self):
+        self.cpu = BareCpu()
+        self.cpu.memory.load(DATA, b"\xEF\xBE\xAD\xDE\x80\x7F\x00\xFF")
+
+    def _load(self, op, offset=0):
+        self.cpu.put_source(f"{op} a0, {offset}(a1)")
+        self.cpu.regs[11] = DATA
+        self.cpu.step()
+        return self.cpu.regs[10]
+
+    def test_lw(self):
+        assert self._load("lw") == 0xDEADBEEF
+
+    def test_lbu(self):
+        assert self._load("lbu") == 0xEF
+
+    def test_lb_sign_extends(self):
+        assert self._load("lb") == 0xFFFFFFEF
+        assert self._load("lb", 5) == 0x7F
+
+    def test_lhu(self):
+        assert self._load("lhu") == 0xBEEF
+
+    def test_lh_sign_extends(self):
+        assert self._load("lh") == 0xFFFFBEEF
+        assert self._load("lh", 4) == 0x7F80
+
+    def test_negative_offset(self):
+        self.cpu.put_source("lw a0, -4(a1)")
+        self.cpu.regs[11] = DATA + 4
+        self.cpu.step()
+        assert self.cpu.regs[10] == 0xDEADBEEF
+
+    def test_misaligned_load_allowed(self):
+        """Like the original VP, misaligned data access is supported."""
+        assert self._load("lw", 1) == 0x80DEADBE
+
+
+class TestStores:
+    def _store(self, op, value, offset=0):
+        cpu = BareCpu()
+        cpu.put_source(f"{op} a0, {offset}(a1)")
+        cpu.regs[10] = value
+        cpu.regs[11] = DATA
+        cpu.step()
+        return cpu
+
+    def test_sw(self):
+        cpu = self._store("sw", 0x11223344)
+        assert cpu.memory.read_word(DATA) == 0x11223344
+
+    def test_sb_only_byte(self):
+        cpu = self._store("sb", 0xAABBCCDD)
+        assert cpu.memory.read_block(DATA, 4) == b"\xDD\x00\x00\x00"
+
+    def test_sh_only_half(self):
+        cpu = self._store("sh", 0xAABBCCDD)
+        assert cpu.memory.read_block(DATA, 4) == b"\xDD\xCC\x00\x00"
+
+    def test_store_then_load_round_trip(self):
+        cpu = BareCpu()
+        cpu.put_source("sw a0, 0(a1)\nlw a2, 0(a1)")
+        cpu.regs[10] = 0xCAFED00D
+        cpu.regs[11] = DATA
+        cpu.step(2)
+        assert cpu.regs[12] == 0xCAFED00D
+
+
+class TestFaults:
+    def test_load_unmapped_halts_without_handler(self):
+        cpu = BareCpu()
+        cpu.put_source("lw a0, 0(a1)")
+        cpu.regs[11] = 0xF000_0000
+        __, reason = cpu.step()
+        assert reason == cpu_mod.FAULT
+        assert cpu.cpu.halted
+        assert "fault" in cpu.cpu.fault_info
+
+    def test_store_unmapped_traps_with_handler(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+    sw a0, 0(a1)
+    nop
+handler:
+    csrr a2, mcause
+    csrr a3, mtval
+    ebreak
+""")
+        cpu.regs[11] = 0xF000_0000
+        cpu.step(8)
+        assert cpu.regs[12] == 7            # store access fault
+        assert cpu.regs[13] == 0xF000_0000  # faulting address
+
+    def test_fetch_past_ram_end(self):
+        cpu = BareCpu()
+        cpu.cpu.pc = RAM_SIZE  # beyond RAM
+        __, reason = cpu.step()
+        assert reason == cpu_mod.FAULT
+
+    def test_misaligned_pc(self):
+        cpu = BareCpu()
+        cpu.cpu.pc = 2
+        __, reason = cpu.step()
+        assert reason == cpu_mod.FAULT
+
+    def test_mepc_records_faulting_pc(self):
+        cpu = BareCpu()
+        cpu.put_source("""
+    la t0, handler
+    csrw mtvec, t0
+bad:
+    lw a0, 0(a1)
+    nop
+handler:
+    csrr a2, mepc
+""")
+        cpu.regs[11] = 0xF000_0000
+        cpu.step(5)
+        from repro.vp.csr import MEPC
+        # the faulting lw is the 4th emitted word (la expands to 2)
+        assert cpu.regs[12] == cpu.cpu.csr[MEPC]
+
+
+class TestMmio:
+    def test_mmio_read_write_via_router(self):
+        """Map a second memory as an 'MMIO device' outside RAM."""
+        from repro.sysc.kernel import Kernel
+        from repro.vp.memory import Memory
+
+        harness = BareCpu()
+        device = Memory(harness.kernel, "dev", 0x100)
+        harness.router.map_target(0x1000_0000, 0x100, device.tsock, "dev")
+        harness.put_source("""
+    sw a0, 0(a1)
+    lw a2, 0(a1)
+""")
+        harness.regs[10] = 0x55AA55AA
+        harness.regs[11] = 0x1000_0000
+        harness.step(2)
+        assert device.read_word(0) == 0x55AA55AA
+        assert harness.regs[12] == 0x55AA55AA
+
+    def test_byte_mmio(self):
+        from repro.vp.memory import Memory
+
+        harness = BareCpu()
+        device = Memory(harness.kernel, "dev", 0x100)
+        harness.router.map_target(0x1000_0000, 0x100, device.tsock, "dev")
+        harness.put_source("sb a0, 5(a1)\nlbu a2, 5(a1)")
+        harness.regs[10] = 0x77
+        harness.regs[11] = 0x1000_0000
+        harness.step(2)
+        assert harness.regs[12] == 0x77

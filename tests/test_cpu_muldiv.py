@@ -1,0 +1,99 @@
+"""RV32M semantics, including the spec's division corner cases."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import BareCpu
+
+_WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_MASK = 0xFFFFFFFF
+_MIN_S32 = 0x80000000  # -2^31 as unsigned
+
+
+def _signed(x):
+    return x - (1 << 32) if x >= (1 << 31) else x
+
+
+def run_rr(op: str, a: int, b: int) -> int:
+    cpu = BareCpu()
+    cpu.put_source(f"{op} a0, a1, a2")
+    cpu.regs[11] = a
+    cpu.regs[12] = b
+    cpu.step()
+    return cpu.regs[10]
+
+
+class TestMultiply:
+    def test_mul(self):
+        assert run_rr("mul", 7, 6) == 42
+        assert run_rr("mul", 0x10000, 0x10000) == 0  # low 32 bits
+
+    def test_mulh_signed(self):
+        assert run_rr("mulh", 0xFFFFFFFF, 0xFFFFFFFF) == 0  # (-1)*(-1)=1
+        assert run_rr("mulh", _MIN_S32, 2) == 0xFFFFFFFF    # negative high
+
+    def test_mulhu(self):
+        assert run_rr("mulhu", 0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFE
+
+    def test_mulhsu(self):
+        # signed -1 * unsigned max
+        assert run_rr("mulhsu", 0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFF
+
+
+class TestDivide:
+    def test_div_basic(self):
+        assert run_rr("div", 7, 2) == 3
+        assert run_rr("div", (-7) & _MASK, 2) == (-3) & _MASK  # toward zero
+        assert run_rr("div", 7, (-2) & _MASK) == (-3) & _MASK
+
+    def test_div_by_zero(self):
+        assert run_rr("div", 42, 0) == _MASK           # -1
+        assert run_rr("divu", 42, 0) == _MASK
+
+    def test_div_overflow(self):
+        assert run_rr("div", _MIN_S32, _MASK) == _MIN_S32
+        assert run_rr("rem", _MIN_S32, _MASK) == 0
+
+    def test_rem_basic(self):
+        assert run_rr("rem", 7, 2) == 1
+        assert run_rr("rem", (-7) & _MASK, 2) == (-1) & _MASK  # sign of dividend
+        assert run_rr("rem", 7, (-2) & _MASK) == 1
+
+    def test_rem_by_zero(self):
+        assert run_rr("rem", 42, 0) == 42
+        assert run_rr("remu", 42, 0) == 42
+
+    def test_divu_remu(self):
+        assert run_rr("divu", 0xFFFFFFFF, 2) == 0x7FFFFFFF
+        assert run_rr("remu", 0xFFFFFFFF, 2) == 1
+
+
+@given(_WORD, _WORD)
+def test_mul_reference(a, b):
+    assert run_rr("mul", a, b) == (a * b) & _MASK
+
+
+@given(_WORD, _WORD)
+def test_mulh_family_reference(a, b):
+    assert run_rr("mulh", a, b) == ((_signed(a) * _signed(b)) >> 32) & _MASK
+    assert run_rr("mulhu", a, b) == ((a * b) >> 32) & _MASK
+    assert run_rr("mulhsu", a, b) == ((_signed(a) * b) >> 32) & _MASK
+
+
+@given(_WORD, _WORD)
+def test_div_rem_invariant(a, b):
+    """RISC-V requires dividend == divisor * quotient + remainder."""
+    q = run_rr("div", a, b)
+    r = run_rr("rem", a, b)
+    if b != 0 and not (a == _MIN_S32 and b == _MASK):
+        assert (_signed(b) * _signed(q) + _signed(r)) & _MASK == a
+        assert abs(_signed(r)) < abs(_signed(b))
+
+
+@given(_WORD, _WORD)
+def test_divu_remu_invariant(a, b):
+    q = run_rr("divu", a, b)
+    r = run_rr("remu", a, b)
+    if b != 0:
+        assert (b * q + r) & _MASK == a
+        assert r < b

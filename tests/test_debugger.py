@@ -1,0 +1,119 @@
+"""Tests for the debugger: breakpoints and taint watchpoints."""
+
+from repro.asm import assemble
+from repro.policy import SecurityPolicy, builders
+from repro.sw import runtime
+from repro.vp import Platform
+from repro.vp.debugger import Debugger
+
+SOURCE = runtime.program("""
+.text
+main:
+    li   t0, 1
+    li   t1, 2
+checkpoint:
+    add  t2, t0, t1
+    la   t3, secret
+    lbu  t4, 0(t3)
+    la   t5, public_buf
+    sb   t4, 0(t5)          # taints public_buf with the secret's class
+    li   a0, 0
+    ret
+.data
+secret:     .byte 0x55
+public_buf: .byte 0
+""", include_lib=False)
+
+
+def make(dift: bool):
+    program = assemble(SOURCE)
+    policy = None
+    if dift:
+        policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+        policy.classify_region(program.symbol("secret"),
+                               program.symbol("secret") + 1, builders.HC)
+    platform = Platform(policy=policy)
+    platform.load(program)
+    return platform, program
+
+
+class TestBreakpoints:
+    def test_break_at_symbol(self):
+        platform, program = make(dift=False)
+        debugger = Debugger(platform)
+        address = debugger.break_at("checkpoint")
+        event = debugger.run()
+        assert event.kind == "breakpoint"
+        assert event.pc == address
+        # t0/t1 initialized, t2 not yet
+        assert platform.cpu.regs[5] == 1
+        assert platform.cpu.regs[28] == 0  # t3 untouched
+
+    def test_step_over_and_continue(self):
+        platform, __ = make(dift=False)
+        debugger = Debugger(platform)
+        debugger.break_at("checkpoint")
+        assert debugger.run().kind == "breakpoint"
+        debugger.step_over_breakpoint()
+        event = debugger.run()
+        assert event.kind == "halt"
+        assert platform.cpu.regs[7] == 3  # t2 = 1 + 2
+
+    def test_remove_breakpoint(self):
+        platform, program = make(dift=False)
+        debugger = Debugger(platform)
+        debugger.break_at("checkpoint")
+        debugger.remove_breakpoint(program.symbol("checkpoint"))
+        assert debugger.run().kind == "halt"
+
+    def test_step_limit(self):
+        platform, __ = make(dift=False)
+        platform.load(assemble(runtime.program(
+            ".text\nmain:\n    j main", include_lib=False)))
+        debugger = Debugger(platform)
+        event = debugger.run(max_instructions=50)
+        assert event.kind == "step-limit"
+        assert debugger.steps_executed == 50
+
+
+class TestTaintWatch:
+    def test_watch_fires_on_tag_change(self):
+        platform, program = make(dift=True)
+        debugger = Debugger(platform)
+        debugger.watch_symbol("public_buf", 1)
+        event = debugger.run()
+        assert event.kind == "taint-watch"
+        assert "public_buf" in event.detail
+        assert "LC -> HC" in event.detail
+        # it fired exactly at the tainting store
+        assert "sb" in __import__(
+            "repro.asm.disasm", fromlist=["disassemble_word"]
+        ).disassemble_word(platform.cpu.read_word(event.pc - 4), event.pc - 4)
+
+    def test_watch_does_not_fire_without_change(self):
+        platform, __ = make(dift=True)
+        debugger = Debugger(platform)
+        debugger.watch_symbol("secret", 1)  # never re-tagged
+        event = debugger.run()
+        assert event.kind == "halt"
+
+    def test_watch_never_fires_on_plain_vp(self):
+        platform, __ = make(dift=False)
+        debugger = Debugger(platform)
+        debugger.watch_symbol("public_buf", 1)
+        assert debugger.run().kind == "halt"
+
+    def test_remove_watch(self):
+        platform, __ = make(dift=True)
+        debugger = Debugger(platform)
+        debugger.watch_symbol("public_buf", 1)
+        debugger.remove_taint_watch("public_buf")
+        assert debugger.run().kind == "halt"
+
+    def test_event_str(self):
+        platform, __ = make(dift=True)
+        debugger = Debugger(platform)
+        debugger.watch_symbol("public_buf", 1)
+        event = debugger.run()
+        assert "taint-watch" in str(event)
+        assert "pc=0x" in str(event)

@@ -1,0 +1,268 @@
+"""Cross-module integration tests: taint flowing through full HW/SW paths.
+
+These are the "fine-grained HW/SW interaction" scenarios the paper argues
+only a platform-level DIFT engine can track: sensor -> CPU -> UART,
+sensor -> DMA -> memory -> UART (no CPU instruction touches the data
+during the DMA leg), and interrupt-driven flows.
+"""
+
+from repro.asm import assemble
+from repro.dift.engine import RECORD
+from repro.policy import SecurityPolicy, builders
+from repro.sw import runtime
+from repro.sysc.time import SimTime
+from repro.vp import Platform
+
+LC, HC = builders.LC, builders.HC
+
+
+def conf_policy(sensor_class=LC) -> SecurityPolicy:
+    policy = SecurityPolicy(builders.ifp1(), default_class=LC)
+    policy.classify_source("sensor0", sensor_class)
+    policy.clear_sink("uart0.tx", LC)
+    return policy
+
+
+SENSOR_COPY = runtime.program("""
+.text
+main:
+    # wait for one frame, then copy 8 sensor bytes to the UART
+    li t0, SENSOR_FRAME_NO
+wait_frame:
+    lw t1, 0(t0)
+    beqz t1, wait_frame
+    li t2, SENSOR_BASE
+    li t3, UART_TXDATA
+    li t4, 8
+copy:
+    lbu t5, 0(t2)
+    sb t5, 0(t3)
+    addi t2, t2, 1
+    addi t4, t4, -1
+    bnez t4, copy
+    li a0, 0
+    ret
+""", include_lib=False)
+
+
+class TestSensorToUart:
+    def test_public_sensor_data_flows_out(self):
+        platform = Platform(policy=conf_policy(sensor_class=LC),
+                            engine_mode=RECORD,
+                            sensor_period=SimTime.us(50))
+        platform.load(assemble(SENSOR_COPY))
+        result = platform.run(max_instructions=500_000)
+        assert result.reason == "halt"
+        assert not result.detected
+        assert len(platform.console()) == 8
+
+    def test_confidential_sensor_data_blocked(self):
+        """Reconfigure the sensor source to HC: the same copy now violates."""
+        platform = Platform(policy=conf_policy(sensor_class=HC),
+                            engine_mode=RECORD,
+                            sensor_period=SimTime.us(50))
+        platform.load(assemble(SENSOR_COPY))
+        result = platform.run(max_instructions=500_000)
+        assert result.detected
+        assert platform.console() == ""
+        assert result.violations[0].unit == "uart0.tx"
+
+
+DMA_PIPELINE = runtime.program("""
+.equ BUF, 0x3000
+
+.text
+main:
+    # wait for a sensor frame
+    li t0, SENSOR_FRAME_NO
+wait_frame:
+    lw t1, 0(t0)
+    beqz t1, wait_frame
+
+    # DMA the frame from the sensor into RAM (no CPU data touch)
+    li t0, DMA_SRC
+    li t1, SENSOR_BASE
+    sw t1, 0(t0)
+    li t0, DMA_DST
+    li t1, BUF
+    sw t1, 0(t0)
+    li t0, DMA_LEN
+    li t1, 16
+    sw t1, 0(t0)
+    li t0, DMA_CTRL
+    li t1, 1
+    sw t1, 0(t0)
+    li t0, DMA_STATUS
+dma_wait:
+    lw t1, 0(t0)
+    andi t1, t1, 2
+    beqz t1, dma_wait
+
+    # now print the DMA'd bytes
+    li t2, BUF
+    li t3, UART_TXDATA
+    li t4, 16
+copy:
+    lbu t5, 0(t2)
+    sb t5, 0(t3)
+    addi t2, t2, 1
+    addi t4, t4, -1
+    bnez t4, copy
+    li a0, 0
+    ret
+""", include_lib=False)
+
+
+class TestSensorDmaUartPipeline:
+    def _run(self, sensor_class):
+        platform = Platform(policy=conf_policy(sensor_class=sensor_class),
+                            engine_mode=RECORD,
+                            sensor_period=SimTime.us(50))
+        platform.load(assemble(DMA_PIPELINE))
+        result = platform.run(max_instructions=1_000_000)
+        return result, platform
+
+    def test_dma_preserves_public_classification(self):
+        result, platform = self._run(LC)
+        assert result.reason == "halt"
+        assert not result.detected
+        assert len(platform.console()) == 16
+
+    def test_dma_preserves_secret_classification(self):
+        """The headline scenario: taint survives a pure-hardware DMA hop.
+
+        A CPU-only (software) DIFT engine would lose the classification
+        when the DMA engine moves the bytes; the VP-level engine keeps it
+        and still catches the leak at the UART.
+        """
+        result, platform = self._run(HC)
+        assert result.detected
+        assert platform.console() == ""
+        # the tags really came through the DMA: RAM copy is HC-tagged
+        hc = platform.engine.lattice.tag_of(HC)
+        assert platform.memory.tag_of(0x3000) == hc
+
+    def test_dma_wfi_variant_with_interrupt(self):
+        """Same pipeline but DMA completion via interrupt + wfi."""
+        source = runtime.program("""
+.equ BUF, 0x3000
+
+.text
+main:
+    la t0, trap_handler
+    csrw mtvec, t0
+    li t0, 1 << 4           # PLIC line 4 = DMA
+    li t1, PLIC_ENABLE
+    sw t0, 0(t1)
+    li t0, 1 << 11
+    csrw mie, t0
+    csrwi mstatus, 8
+
+    li t0, DMA_SRC
+    li t1, SENSOR_BASE
+    sw t1, 0(t0)
+    li t0, DMA_DST
+    li t1, BUF
+    sw t1, 0(t0)
+    li t0, DMA_LEN
+    li t1, 8
+    sw t1, 0(t0)
+    li t0, DMA_CTRL
+    li t1, 1
+    sw t1, 0(t0)
+
+wait_done:
+    la t0, done_flag
+    lw t1, 0(t0)
+    beqz t1, do_wfi
+    li a0, 0
+    ret
+do_wfi:
+    wfi
+    j wait_done
+
+trap_handler:
+    addi sp, sp, -16
+    sw t0, 12(sp)
+    sw t1, 8(sp)
+    li t0, PLIC_CLAIM
+    lw t1, 0(t0)            # claim (line 4)
+    la t0, done_flag
+    li t1, 1
+    sw t1, 0(t0)
+    li t0, PLIC_CLAIM
+    sw zero, 0(t0)
+    lw t0, 12(sp)
+    lw t1, 8(sp)
+    addi sp, sp, 16
+    mret
+
+.bss
+done_flag: .space 4
+""", include_lib=False)
+        platform = Platform(policy=conf_policy(LC), engine_mode=RECORD,
+                            sensor_period=SimTime.us(1000))
+        platform.load(assemble(source))
+        result = platform.run(max_instructions=500_000)
+        assert result.reason == "halt"
+        assert result.exit_code == 0
+        assert platform.dma.transfers_completed == 1
+
+
+class TestAesDeclassifyFlow:
+    def test_secret_key_public_ciphertext(self):
+        """Secret -> AES -> declassified ciphertext -> UART, end to end."""
+        policy = SecurityPolicy(builders.ifp1(), default_class=LC)
+        policy.clear_sink("uart0.tx", LC)
+        policy.clear_sink("aes0.in", HC)
+        policy.allow_declassification("aes0", LC)
+        source = runtime.program("""
+.text
+main:
+    # load the secret key into the AES engine, byte-wise
+    la t0, key
+    li t1, AES_KEY
+    li t2, 16
+key_load:
+    lbu t3, 0(t0)
+    sb t3, 0(t1)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    bnez t2, key_load
+    # input stays all-zero; start
+    li t0, AES_CTRL
+    li t1, 1
+    sw t1, 0(t0)
+    # ciphertext is declassified: printing it is fine
+    li t0, AES_OUTPUT
+    li t1, UART_TXDATA
+    li t2, 16
+out_copy:
+    lbu t3, 0(t0)
+    sb t3, 0(t1)
+    addi t0, t0, 1
+    addi t2, t2, -1
+    bnez t2, out_copy
+    # but printing the raw key is a violation
+    la t0, key
+    lbu t3, 0(t0)
+    sb t3, 0(t1)
+    li a0, 0
+    ret
+.data
+key: .byte 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+""", include_lib=False)
+        program = assemble(source)
+        policy.classify_region(program.symbol("key"),
+                               program.symbol("key") + 16, HC)
+        platform = Platform(policy=policy, engine_mode=RECORD,
+                            aes_declassify_to=LC)
+        platform.load(program)
+        result = platform.run(max_instructions=200_000)
+        # 16 ciphertext bytes got out; the 17th (raw key) byte was blocked
+        assert len(platform.uart.tx_log) == 16
+        assert result.detected
+        from repro.vp.peripherals.aes_core import encrypt_block
+        expected = encrypt_block(bytes(range(1, 17)), bytes(16))
+        assert bytes(platform.uart.tx_log) == expected

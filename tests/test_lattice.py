@@ -1,0 +1,234 @@
+"""Unit + property tests for the IFP lattice core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LatticeError
+from repro.policy.lattice import Lattice, chain, product
+
+
+def diamond() -> Lattice:
+    """bottom -> {left, right} -> top."""
+    return Lattice(
+        ["bot", "left", "right", "top"],
+        [("bot", "left"), ("bot", "right"), ("left", "top"),
+         ("right", "top")],
+    )
+
+
+class TestConstruction:
+    def test_single_class(self):
+        lattice = Lattice(["only"], [])
+        assert lattice.top == "only"
+        assert lattice.bottom == "only"
+        assert lattice.allowed_flow("only", "only")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LatticeError, match="duplicate"):
+            Lattice(["a", "a"], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            Lattice([], [])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(LatticeError, match="partial order"):
+            Lattice(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_unknown_class_in_flow_rejected(self):
+        with pytest.raises(LatticeError, match="unknown"):
+            Lattice(["a"], [("a", "nope")])
+
+    def test_non_lattice_rejected(self):
+        # two maximal elements with no common upper bound
+        with pytest.raises(LatticeError, match="upper bound"):
+            Lattice(["a", "b"], [])
+
+    def test_no_unique_lub_rejected(self):
+        # a, b both below c and d; c,d incomparable: lub(a,b) ambiguous
+        with pytest.raises(LatticeError):
+            Lattice(
+                ["a", "b", "c", "d", "top2", "x"],
+                [("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"),
+                 ("c", "top2"), ("d", "top2"), ("x", "a"), ("x", "b")],
+            )
+
+
+class TestQueries:
+    def test_reflexive_flow(self):
+        lattice = diamond()
+        for cls in lattice.classes:
+            assert lattice.allowed_flow(cls, cls)
+
+    def test_transitive_flow(self):
+        lattice = diamond()
+        assert lattice.allowed_flow("bot", "top")
+
+    def test_incomparable(self):
+        lattice = diamond()
+        assert not lattice.allowed_flow("left", "right")
+        assert not lattice.allowed_flow("right", "left")
+
+    def test_lub_of_incomparable_is_top(self):
+        lattice = diamond()
+        assert lattice.lub("left", "right") == "top"
+
+    def test_glb_of_incomparable_is_bottom(self):
+        lattice = diamond()
+        assert lattice.glb("left", "right") == "bot"
+
+    def test_top_bottom(self):
+        lattice = diamond()
+        assert lattice.top == "top"
+        assert lattice.bottom == "bot"
+
+    def test_lub_many(self):
+        lattice = diamond()
+        assert lattice.lub_many(["bot", "left"]) == "left"
+        assert lattice.lub_many(["bot", "left", "right"]) == "top"
+
+    def test_lub_many_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            diamond().lub_many([])
+
+    def test_tag_round_trip(self):
+        lattice = diamond()
+        for cls in lattice.classes:
+            assert lattice.name_of(lattice.tag_of(cls)) == cls
+
+    def test_tag_out_of_range(self):
+        lattice = diamond()
+        with pytest.raises(LatticeError):
+            lattice.name_of(99)
+        with pytest.raises(LatticeError):
+            lattice.lub_tag(0, 99)
+        with pytest.raises(LatticeError):
+            lattice.allowed_flow_tag(99, 0)
+
+    def test_contains(self):
+        lattice = diamond()
+        assert "left" in lattice
+        assert "nope" not in lattice
+
+    def test_len(self):
+        assert len(diamond()) == 4
+
+    def test_unknown_class_queries(self):
+        lattice = diamond()
+        with pytest.raises(LatticeError):
+            lattice.lub("left", "nope")
+        with pytest.raises(LatticeError):
+            lattice.allowed_flow("nope", "top")
+
+
+class TestChain:
+    def test_chain_order(self):
+        lattice = chain(["low", "mid", "high"])
+        assert lattice.bottom == "low"
+        assert lattice.top == "high"
+        assert lattice.allowed_flow("low", "high")
+        assert not lattice.allowed_flow("high", "low")
+        assert lattice.lub("low", "mid") == "mid"
+
+    def test_chain_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            chain([])
+
+
+class TestProduct:
+    def test_product_size(self):
+        lattice = product(chain(["a", "b"]), chain(["x", "y", "z"]))
+        assert len(lattice) == 6
+
+    def test_component_wise_flow(self):
+        lattice = product(chain(["a", "b"]), chain(["x", "y"]))
+        assert lattice.allowed_flow("(a,x)", "(b,y)")
+        assert not lattice.allowed_flow("(b,x)", "(a,y)")
+
+    def test_component_wise_lub(self):
+        lattice = product(chain(["a", "b"]), chain(["x", "y"]))
+        assert lattice.lub("(a,y)", "(b,x)") == "(b,y)"
+
+
+# ----------------------------------------------------------------- #
+# property tests: lattice algebra laws
+# ----------------------------------------------------------------- #
+
+_LATTICES = [diamond(), chain(["l0", "l1", "l2", "l3"]),
+             product(chain(["a", "b"]), chain(["x", "y"]))]
+
+
+@st.composite
+def lattice_and_classes(draw, n=2):
+    lattice = draw(st.sampled_from(_LATTICES))
+    classes = [draw(st.sampled_from(list(lattice.classes)))
+               for _ in range(n)]
+    return (lattice, *classes)
+
+
+@given(lattice_and_classes(n=2))
+def test_lub_commutative(data):
+    lattice, a, b = data
+    assert lattice.lub(a, b) == lattice.lub(b, a)
+
+
+@given(lattice_and_classes(n=3))
+@settings(max_examples=200)
+def test_lub_associative(data):
+    lattice, a, b, c = data
+    assert lattice.lub(lattice.lub(a, b), c) == \
+        lattice.lub(a, lattice.lub(b, c))
+
+
+@given(lattice_and_classes(n=1))
+def test_lub_idempotent(data):
+    lattice, a = data
+    assert lattice.lub(a, a) == a
+
+
+@given(lattice_and_classes(n=2))
+def test_lub_is_upper_bound(data):
+    lattice, a, b = data
+    join = lattice.lub(a, b)
+    assert lattice.allowed_flow(a, join)
+    assert lattice.allowed_flow(b, join)
+
+
+@given(lattice_and_classes(n=2))
+def test_flow_iff_lub_absorbs(data):
+    """allowed_flow(a, b) holds iff lub(a, b) == b (order <-> join)."""
+    lattice, a, b = data
+    assert lattice.allowed_flow(a, b) == (lattice.lub(a, b) == b)
+
+
+@given(lattice_and_classes(n=2))
+def test_glb_is_lower_bound(data):
+    lattice, a, b = data
+    meet = lattice.glb(a, b)
+    assert lattice.allowed_flow(meet, a)
+    assert lattice.allowed_flow(meet, b)
+
+
+@given(lattice_and_classes(n=3))
+@settings(max_examples=200)
+def test_lub_monotone(data):
+    """a <= b implies lub(a, c) <= lub(b, c)."""
+    lattice, a, b, c = data
+    if lattice.allowed_flow(a, b):
+        assert lattice.allowed_flow(lattice.lub(a, c), lattice.lub(b, c))
+
+
+@given(lattice_and_classes(n=1))
+def test_bottom_flows_everywhere(data):
+    lattice, a = data
+    assert lattice.allowed_flow(lattice.bottom, a)
+    assert lattice.allowed_flow(a, lattice.top)
+
+
+@given(lattice_and_classes(n=2))
+def test_tag_tables_match_name_queries(data):
+    lattice, a, b = data
+    ta, tb = lattice.tag_of(a), lattice.tag_of(b)
+    assert lattice.lub_table[ta][tb] == lattice.tag_of(lattice.lub(a, b))
+    assert lattice.flow_table[ta][tb] == lattice.allowed_flow(a, b)

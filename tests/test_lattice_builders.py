@@ -1,0 +1,104 @@
+"""Tests for the paper's Fig. 1 IFPs and the per-byte key lattice."""
+
+import pytest
+
+from repro.policy import builders
+from repro.policy.builders import HC, HI, LC, LI
+
+
+class TestIfp1:
+    def test_confidentiality_direction(self):
+        ifp = builders.ifp1()
+        assert ifp.allowed_flow(LC, HC)       # public may become secret
+        assert not ifp.allowed_flow(HC, LC)   # secrets must not leak
+
+    def test_extremes(self):
+        ifp = builders.ifp1()
+        assert ifp.bottom == LC
+        assert ifp.top == HC
+
+
+class TestIfp2:
+    def test_integrity_direction(self):
+        ifp = builders.ifp2()
+        assert ifp.allowed_flow(HI, LI)       # trusted may reach untrusted
+        assert not ifp.allowed_flow(LI, HI)   # untrusted must not influence
+
+    def test_extremes(self):
+        ifp = builders.ifp2()
+        assert ifp.bottom == HI
+        assert ifp.top == LI
+
+
+class TestIfp3:
+    def test_four_classes(self):
+        ifp = builders.ifp3()
+        assert len(ifp) == 4
+        assert set(ifp.classes) == {
+            builders.LC_HI, builders.LC_LI, builders.HC_HI, builders.HC_LI}
+
+    def test_paper_lub_example(self):
+        """The paper's Example 1: LUB((LC,LI), (HC,HI)) = (HC,LI)."""
+        ifp = builders.ifp3()
+        assert ifp.lub(builders.LC_LI, builders.HC_HI) == builders.HC_LI
+
+    def test_flow_component_wise(self):
+        ifp = builders.ifp3()
+        # both components must allow the flow
+        assert ifp.allowed_flow(builders.LC_HI, builders.HC_LI)
+        assert not ifp.allowed_flow(builders.HC_HI, builders.LC_LI)
+        assert not ifp.allowed_flow(builders.LC_LI, builders.LC_HI)
+
+    def test_extremes(self):
+        ifp = builders.ifp3()
+        assert ifp.bottom == builders.LC_HI   # public + trusted
+        assert ifp.top == builders.HC_LI     # secret + untrusted
+
+    def test_class_name_helper(self):
+        assert builders.ifp3_class(LC, LI) == "(LC,LI)"
+        with pytest.raises(ValueError):
+            builders.ifp3_class("bogus", LI)
+        with pytest.raises(ValueError):
+            builders.ifp3_class(LC, "bogus")
+
+
+class TestPerByteKeyIfp:
+    def test_structure(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(4)
+        assert len(byte_classes) == 4
+        # (LC + 4 byte classes + HCtop) x (HI, LI)
+        assert len(lattice) == 6 * 2
+
+    def test_byte_classes_incomparable(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(4)
+        assert not lattice.allowed_flow(byte_classes[0], byte_classes[1])
+        assert not lattice.allowed_flow(byte_classes[1], byte_classes[0])
+
+    def test_byte_class_above_public(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(4)
+        assert lattice.allowed_flow("(LC,HI)", byte_classes[0])
+
+    def test_lub_of_two_byte_classes_is_top_family(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(4)
+        join = lattice.lub(byte_classes[0], byte_classes[1])
+        assert join == "(HCtop,HI)"
+
+    def test_byte_class_never_flows_to_public(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(4)
+        for cls in byte_classes:
+            assert not lattice.allowed_flow(cls, "(LC,LI)")
+
+    def test_integrity_preserved(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(2)
+        # (HC0,LI) must not flow to (HC0,HI)
+        low_integrity = byte_classes[0].replace(",HI)", ",LI)")
+        assert not lattice.allowed_flow(low_integrity, byte_classes[0])
+
+    def test_needs_at_least_one_byte(self):
+        with pytest.raises(ValueError):
+            builders.per_byte_key_ifp(0)
+
+    def test_sixteen_bytes(self):
+        lattice, byte_classes = builders.per_byte_key_ifp(16)
+        assert len(byte_classes) == 16
+        assert len(lattice) == 18 * 2

@@ -1,0 +1,198 @@
+"""Tests for the DMA controller, CLINT timer and PLIC."""
+
+from repro.dift.engine import DiftEngine
+from repro.policy import SecurityPolicy, builders
+from repro.sysc import GenericPayload, Kernel, Router, SimTime
+from repro.vp.csr import MIP_MEIP, MIP_MTIP
+from repro.vp.memory import Memory
+from repro.vp.peripherals import dma as dma_regs
+from repro.vp.peripherals import plic as plic_regs
+from repro.vp.peripherals.clint import (MTIME_LO, MTIMECMP_HI,
+    MTIMECMP_LO, Clint)
+from repro.vp.peripherals.dma import DmaController
+from repro.vp.peripherals.plic import Plic
+
+LC, HC = builders.LC, builders.HC
+
+
+class FakeCpu:
+    """Records the mip lines a peripheral drives."""
+
+    def __init__(self):
+        self.lines = {}
+
+    def set_irq(self, bit, level):
+        self.lines[bit] = level
+
+
+def write(periph, offset, value, size=4):
+    payload = GenericPayload.make_write(
+        offset, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"))
+    periph.tsock.b_transport(payload, SimTime(0))
+    assert payload.ok()
+
+
+def read(periph, offset, size=4):
+    payload = GenericPayload.make_read(offset, size)
+    periph.tsock.b_transport(payload, SimTime(0))
+    assert payload.ok()
+    return int.from_bytes(payload.data, "little")
+
+
+def make_dma(tagged=False):
+    kernel = Kernel()
+    engine = None
+    if tagged:
+        policy = SecurityPolicy(builders.ifp1(), default_class=LC)
+        engine = DiftEngine(policy)
+    memory = Memory(kernel, "ram", 0x1000, tagged=tagged)
+    router = Router("bus")
+    router.map_target(0, 0x1000, memory.tsock, "ram")
+    raised = []
+    dma = DmaController(kernel, "dma0", engine=engine, router=router,
+                        raise_irq=lambda: raised.append(1),
+                        burst_delay=SimTime.ns(10))
+    return kernel, memory, dma, raised, engine
+
+
+class TestDma:
+    def test_basic_copy(self):
+        kernel, memory, dma, raised, __ = make_dma()
+        memory.load(0x100, b"hello world!")
+        write(dma, dma_regs.SRC, 0x100)
+        write(dma, dma_regs.DST, 0x200)
+        write(dma, dma_regs.LEN, 12)
+        write(dma, dma_regs.CTRL, 1)
+        kernel.run(until=SimTime.us(10))
+        assert memory.read_block(0x200, 12) == b"hello world!"
+        assert read(dma, dma_regs.STATUS) & 2  # done
+        assert raised  # completion interrupt
+        assert dma.transfers_completed == 1
+
+    def test_large_copy_multiple_bursts(self):
+        kernel, memory, dma, __, __2 = make_dma()
+        blob = bytes(range(256)) * 2
+        memory.load(0x100, blob)
+        write(dma, dma_regs.SRC, 0x100)
+        write(dma, dma_regs.DST, 0x400)
+        write(dma, dma_regs.LEN, len(blob))
+        write(dma, dma_regs.CTRL, 1)
+        kernel.run(until=SimTime.us(100))
+        assert memory.read_block(0x400, len(blob)) == blob
+
+    def test_tags_preserved_across_copy(self):
+        """The key DIFT property: DMA moves security classes with the data."""
+        kernel, memory, dma, __, engine = make_dma(tagged=True)
+        hc = engine.lattice.tag_of(HC)
+        memory.load(0x100, b"\x01\x02\x03\x04")
+        memory.fill_tags(0x101, 2, hc)
+        write(dma, dma_regs.SRC, 0x100)
+        write(dma, dma_regs.DST, 0x200)
+        write(dma, dma_regs.LEN, 4)
+        write(dma, dma_regs.CTRL, 1)
+        kernel.run(until=SimTime.us(10))
+        lc = engine.lattice.tag_of(LC)
+        assert [memory.tag_of(0x200 + i) for i in range(4)] == \
+            [lc, hc, hc, lc]
+
+    def test_registers_readable(self):
+        __, __2, dma, __3, __4 = make_dma()
+        write(dma, dma_regs.SRC, 0x123)
+        write(dma, dma_regs.DST, 0x456)
+        write(dma, dma_regs.LEN, 99)
+        assert read(dma, dma_regs.SRC) == 0x123
+        assert read(dma, dma_regs.DST) == 0x456
+        assert read(dma, dma_regs.LEN) == 99
+
+    def test_zero_length_completes(self):
+        kernel, __, dma, raised, __2 = make_dma()
+        write(dma, dma_regs.CTRL, 1)
+        kernel.run(until=SimTime.us(1))
+        assert read(dma, dma_regs.STATUS) & 2
+        assert raised
+
+
+class TestClint:
+    def test_mtime_tracks_simulation_time(self):
+        kernel = Kernel()
+        clint = Clint(kernel, "clint0")
+        kernel.run(until=SimTime.us(123))
+        assert read(clint, MTIME_LO) == 123
+
+    def test_timer_fires_at_compare(self):
+        kernel = Kernel()
+        cpu = FakeCpu()
+        clint = Clint(kernel, "clint0", cpu=cpu)
+        write(clint, MTIMECMP_HI, 0)
+        write(clint, MTIMECMP_LO, 50)
+        kernel.run(until=SimTime.us(49))
+        assert cpu.lines.get(MIP_MTIP) is False
+        kernel.run(until=SimTime.us(60))
+        assert cpu.lines.get(MIP_MTIP) is True
+
+    def test_reprogram_clears_mtip_immediately(self):
+        kernel = Kernel()
+        cpu = FakeCpu()
+        clint = Clint(kernel, "clint0", cpu=cpu)
+        write(clint, MTIMECMP_HI, 0)
+        write(clint, MTIMECMP_LO, 0)      # already due
+        kernel.run(until=SimTime.us(1))
+        assert cpu.lines.get(MIP_MTIP) is True
+        write(clint, MTIMECMP_LO, 10_000)
+        # combinational clear happens during the register write itself
+        assert cpu.lines.get(MIP_MTIP) is False
+
+    def test_mtimecmp_readback(self):
+        clint = Clint(Kernel(), "clint0")
+        write(clint, MTIMECMP_LO, 0x1234)
+        assert read(clint, MTIMECMP_LO) == 0x1234
+
+
+class TestPlic:
+    def test_claim_clears_pending(self):
+        cpu = FakeCpu()
+        plic = Plic(Kernel(), "plic0", cpu=cpu)
+        write(plic, plic_regs.ENABLE, 1 << 2)
+        plic.raise_irq(2)
+        assert cpu.lines.get(MIP_MEIP) is True
+        assert read(plic, plic_regs.CLAIM) == 2
+        assert cpu.lines.get(MIP_MEIP) is False
+        assert read(plic, plic_regs.CLAIM) == 0  # nothing pending
+
+    def test_disabled_line_does_not_assert(self):
+        cpu = FakeCpu()
+        plic = Plic(Kernel(), "plic0", cpu=cpu)
+        plic.raise_irq(3)
+        assert cpu.lines.get(MIP_MEIP) is False
+        write(plic, plic_regs.ENABLE, 1 << 3)
+        assert cpu.lines.get(MIP_MEIP) is True
+
+    def test_priority_lowest_line_first(self):
+        plic = Plic(Kernel(), "plic0", cpu=FakeCpu())
+        write(plic, plic_regs.ENABLE, 0xFF)
+        plic.raise_irq(4)
+        plic.raise_irq(2)
+        assert read(plic, plic_regs.CLAIM) == 2
+        assert read(plic, plic_regs.CLAIM) == 4
+
+    def test_pending_register(self):
+        plic = Plic(Kernel(), "plic0", cpu=FakeCpu())
+        plic.raise_irq(1)
+        plic.raise_irq(4)
+        assert read(plic, plic_regs.PENDING) == (1 << 1) | (1 << 4)
+
+    def test_irq_hook(self):
+        cpu = FakeCpu()
+        plic = Plic(Kernel(), "plic0", cpu=cpu)
+        write(plic, plic_regs.ENABLE, 1 << 5)
+        hook = plic.irq_hook(5)
+        hook()
+        assert cpu.lines.get(MIP_MEIP) is True
+
+    def test_bad_line_rejected(self):
+        import pytest
+        plic = Plic(Kernel(), "plic0")
+        with pytest.raises(ValueError):
+            plic.raise_irq(0)
+        with pytest.raises(ValueError):
+            plic.raise_irq(32)

@@ -1,0 +1,168 @@
+"""Tests for the UART and the paper's Fig. 4 sensor peripheral."""
+
+import pytest
+
+from repro.dift.engine import RECORD, DiftEngine
+from repro.errors import ClearanceException
+from repro.policy import SecurityPolicy, builders
+from repro.sysc import GenericPayload, Kernel, SimTime
+from repro.vp.peripherals.sensor import DATA_TAG, FRAME_NO, SimpleSensor
+from repro.vp.peripherals.uart import RXDATA, STATUS, TXDATA, Uart
+
+LC, HC = builders.LC, builders.HC
+
+
+def make_engine(mode="raise") -> DiftEngine:
+    policy = SecurityPolicy(builders.ifp1(), default_class=LC)
+    policy.clear_sink("uart0.tx", LC)
+    policy.classify_source("uart0.rx", LC)
+    policy.classify_source("sensor0", LC)
+    return DiftEngine(policy, mode=mode)
+
+
+def write(periph, offset, value, size=4, tag=None):
+    tags = None
+    if tag is not None:
+        tags = bytes([tag]) * size
+    payload = GenericPayload.make_write(
+        offset, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"),
+        tags)
+    periph.tsock.b_transport(payload, SimTime(0))
+    assert payload.ok()
+
+
+def read(periph, offset, size=4, tagged=False):
+    payload = GenericPayload.make_read(offset, size, tagged=tagged)
+    periph.tsock.b_transport(payload, SimTime(0))
+    assert payload.ok()
+    value = int.from_bytes(payload.data, "little")
+    tag = payload.tags[0] if tagged else None
+    return value, tag
+
+
+class TestUart:
+    def test_tx_collects_bytes(self):
+        uart = Uart(Kernel(), "uart0")
+        write(uart, TXDATA, ord("h"), size=1)
+        write(uart, TXDATA, ord("i"), size=1)
+        assert uart.text() == "hi"
+
+    def test_rx_queue_and_status(self):
+        uart = Uart(Kernel(), "uart0")
+        assert read(uart, STATUS)[0] & 1 == 0
+        uart.feed(b"ab")
+        assert read(uart, STATUS)[0] & 1 == 1
+        assert read(uart, RXDATA)[0] == ord("a")
+        assert read(uart, RXDATA)[0] == ord("b")
+        assert read(uart, STATUS)[0] & 1 == 0
+        assert read(uart, RXDATA)[0] == 0  # empty: zero
+
+    def test_rx_classified_per_policy(self):
+        engine = make_engine()
+        uart = Uart(Kernel(), "uart0", engine=engine)
+        uart.feed(b"x")
+        __, tag = read(uart, RXDATA, size=1, tagged=True)
+        assert tag == engine.lattice.tag_of(LC)
+
+    def test_rx_explicit_tag(self):
+        engine = make_engine()
+        uart = Uart(Kernel(), "uart0", engine=engine)
+        hc = engine.lattice.tag_of(HC)
+        uart.feed(b"x", tag=hc)
+        __, tag = read(uart, RXDATA, size=1, tagged=True)
+        assert tag == hc
+
+    def test_tx_clearance_raises(self):
+        engine = make_engine()
+        uart = Uart(Kernel(), "uart0", engine=engine)
+        hc = engine.lattice.tag_of(HC)
+        with pytest.raises(ClearanceException):
+            write(uart, TXDATA, 0x41, size=1, tag=hc)
+
+    def test_tx_clearance_record_mode_drops_byte(self):
+        engine = make_engine(mode=RECORD)
+        uart = Uart(Kernel(), "uart0", engine=engine)
+        hc = engine.lattice.tag_of(HC)
+        write(uart, TXDATA, 0x41, size=1, tag=hc)
+        assert uart.text() == ""
+        assert uart.blocked_tx == 1
+        assert engine.violation_count == 1
+
+    def test_irq_on_feed(self):
+        raised = []
+        uart = Uart(Kernel(), "uart0", raise_irq=lambda: raised.append(1))
+        write(uart, 0x0C, 1)  # IRQ_EN
+        uart.feed(b"x")
+        assert raised
+
+
+class TestSensor:
+    def run_for(self, kernel, time):
+        kernel.run(until=time)
+
+    def test_periodic_frame_generation(self):
+        kernel = Kernel()
+        raised = []
+        sensor = SimpleSensor(kernel, "sensor0",
+                              raise_irq=lambda: raised.append(1),
+                              period=SimTime.us(100))
+        self.run_for(kernel, SimTime.us(350))
+        assert sensor.frame_no == 3
+        assert len(raised) == 3
+
+    def test_frame_data_printable(self):
+        kernel = Kernel()
+        sensor = SimpleSensor(kernel, "sensor0", period=SimTime.us(10))
+        self.run_for(kernel, SimTime.us(15))
+        assert all(32 <= b < 128 for b in sensor.frame)
+
+    def test_frame_reads_carry_data_tag(self):
+        engine = make_engine()
+        kernel = Kernel()
+        sensor = SimpleSensor(kernel, "sensor0", engine=engine,
+                              period=SimTime.us(10))
+        hc = engine.lattice.tag_of(HC)
+        write(sensor, DATA_TAG, hc)
+        self.run_for(kernel, SimTime.us(15))
+        __, tag = read(sensor, 0, size=4, tagged=True)
+        assert tag == hc
+
+    def test_data_tag_register_round_trip(self):
+        engine = make_engine()
+        sensor = SimpleSensor(Kernel(), "sensor0", engine=engine)
+        hc = engine.lattice.tag_of(HC)
+        write(sensor, DATA_TAG, hc)
+        value, tag = read(sensor, DATA_TAG, tagged=True)
+        assert value == hc
+        # reading the *configuration* is public (paper Fig. 4, line 45)
+        assert tag == engine.bottom_tag
+
+    def test_invalid_data_tag_ignored(self):
+        engine = make_engine()
+        sensor = SimpleSensor(Kernel(), "sensor0", engine=engine)
+        before = sensor.data_tag
+        write(sensor, DATA_TAG, 200)  # out of lattice range
+        assert sensor.data_tag == before
+
+    def test_frame_counter_register(self):
+        kernel = Kernel()
+        sensor = SimpleSensor(kernel, "sensor0", period=SimTime.us(10))
+        self.run_for(kernel, SimTime.us(25))
+        assert read(sensor, FRAME_NO)[0] == 2
+
+    def test_deterministic_given_seed(self):
+        def frames(seed):
+            kernel = Kernel()
+            sensor = SimpleSensor(kernel, "s", period=SimTime.us(10),
+                                  seed=seed)
+            kernel.run(until=SimTime.us(15))
+            return bytes(sensor.frame)
+
+        assert frames(1) == frames(1)
+        assert frames(1) != frames(2)
+
+    def test_frame_read_only_to_software(self):
+        sensor = SimpleSensor(Kernel(), "sensor0")
+        before = bytes(sensor.frame)
+        write(sensor, 0, 0xFFFFFFFF)
+        assert bytes(sensor.frame) == before

@@ -1,0 +1,193 @@
+"""End-to-end platform tests: load/run guests, console, budgets."""
+
+import pytest
+
+from repro.policy import SecurityPolicy, builders
+from repro.sw import runtime
+from repro.vp import Platform, run_program
+from repro.vp.platform import STACK_TOP
+from tests.conftest import run_guest
+
+
+class TestBasicExecution:
+    def test_exit_code(self):
+        result, __ = run_guest(runtime.program("""
+.text
+main:
+    li a0, 42
+    ret
+"""))
+        assert result.reason == "halt"
+        assert result.exit_code == 42
+
+    def test_console_output(self):
+        result, platform = run_guest(runtime.program("""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    la a0, msg
+    call puts
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    li a0, 0
+    ret
+.data
+msg: .asciz "hello, world"
+"""))
+        assert platform.console() == "hello, world"
+        assert result.exit_code == 0
+
+    def test_stack_pointer_initialized(self):
+        result, platform = run_guest(runtime.program("""
+.text
+main:
+    mv a0, sp
+    ret
+"""))
+        # exit codes are full 32-bit in our model
+        assert result.exit_code == STACK_TOP
+        assert platform.cpu.exit_code == STACK_TOP
+
+    def test_instruction_budget(self):
+        result, __ = run_guest(runtime.program("""
+.text
+main:
+    j main
+"""), max_instructions=10_000)
+        assert result.reason == "budget"
+        assert result.instructions >= 10_000
+
+    def test_sim_time_advances(self):
+        result, __ = run_guest(runtime.program("""
+.text
+main:
+    li t0, 1000
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    ret
+"""))
+        # ~2000 instructions @ 10ns
+        assert result.sim_time.to_us() > 15
+
+    def test_run_program_one_shot(self):
+        from repro.asm import assemble
+        program = assemble(runtime.program("""
+.text
+main:
+    li a0, 7
+    ret
+"""))
+        result = run_program(program)
+        assert result.exit_code == 7
+
+
+class TestUartRoundTrip:
+    def test_echo(self):
+        source = runtime.program("""
+.text
+main:
+    li t0, UART_STATUS
+    li t1, UART_RXDATA
+    li t2, UART_TXDATA
+echo_loop:
+    lw t3, 0(t0)
+    andi t3, t3, 1
+    beqz t3, echo_done
+    lw t4, 0(t1)
+    sb t4, 0(t2)
+    j echo_loop
+echo_done:
+    li a0, 0
+    ret
+""")
+        result, platform = run_guest(source, uart_input=b"ping")
+        assert platform.console() == "ping"
+
+
+class TestDiftPlatform:
+    def test_secret_leak_detected_and_blocked(self):
+        policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+        policy.clear_sink("uart0.tx", builders.LC)
+        source = runtime.program("""
+.text
+main:
+    la t0, secret
+    lbu t1, 0(t0)
+    li t2, UART_TXDATA
+    sb t1, 0(t2)
+    li a0, 0
+    ret
+.data
+secret: .byte 0x42
+""")
+        from repro.asm import assemble
+        program = assemble(source)
+        policy.classify_region(program.symbol("secret"),
+                               program.symbol("secret") + 1, builders.HC)
+        platform = Platform(policy=policy, engine_mode="record")
+        platform.load(program)
+        result = platform.run(max_instructions=100_000)
+        assert result.detected
+        assert platform.console() == ""
+        assert platform.uart.blocked_tx == 1
+
+    def test_public_output_allowed(self):
+        policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+        policy.clear_sink("uart0.tx", builders.LC)
+        result, platform = run_guest(runtime.program("""
+.text
+main:
+    li t1, 'x'
+    li t2, UART_TXDATA
+    sb t1, 0(t2)
+    li a0, 0
+    ret
+"""), policy=policy)
+        assert not result.detected
+        assert platform.console() == "x"
+
+    def test_memory_region_classified_at_load(self):
+        policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+        policy.classify_region(0x2000, 0x2004, builders.HC)
+        platform = Platform(policy=policy)
+        from repro.asm import assemble
+        platform.load(assemble(runtime.program("""
+.text
+main:
+    li a0, 0
+    ret
+""")))
+        hc = platform.engine.lattice.tag_of(builders.HC)
+        assert platform.memory.tag_of(0x2000) == hc
+        assert platform.memory.tag_of(0x2004) == platform.engine.default_tag
+
+    def test_is_dift_flag(self):
+        assert not Platform().is_dift
+        policy = SecurityPolicy(builders.ifp1())
+        assert Platform(policy=policy).is_dift
+
+
+class TestLoader:
+    def test_program_too_big_rejected(self):
+        from repro.errors import SimulationError
+        platform = Platform(ram_size=64)
+        from repro.asm import assemble
+        program = assemble(".data\nblob: .space 128")
+        with pytest.raises(SimulationError):
+            platform.load(program)
+
+    def test_symbol_lookup(self):
+        __, platform = run_guest(runtime.program("""
+.text
+main:
+    li a0, 0
+    ret
+.data
+marker: .word 0
+"""))
+        assert platform.symbol("marker") > 0
+        with pytest.raises(ValueError):
+            Platform().symbol("nothing-loaded")

@@ -1,0 +1,137 @@
+"""Tests for SecurityPolicy: classification, clearance, declassification."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import SecurityPolicy, builders
+from repro.policy.policy import ExecutionClearance, MemoryClassification
+
+
+def make_policy() -> SecurityPolicy:
+    return SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+
+
+class TestDefaults:
+    def test_default_class_defaults_to_bottom(self):
+        policy = SecurityPolicy(builders.ifp1())
+        assert policy.default_class == builders.LC
+
+    def test_explicit_default(self):
+        policy = SecurityPolicy(builders.ifp2(),
+                                default_class=builders.LI)
+        assert policy.default_class == builders.LI
+        assert policy.default_tag() == policy.lattice.tag_of(builders.LI)
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(PolicyError):
+            SecurityPolicy(builders.ifp1(), default_class="XX")
+
+
+class TestClassification:
+    def test_source_classification(self):
+        policy = make_policy().classify_source("sensor0", builders.HC)
+        assert policy.source_class("sensor0") == builders.HC
+        assert policy.source_class("unknown") == builders.LC
+
+    def test_source_tag(self):
+        policy = make_policy().classify_source("sensor0", builders.HC)
+        assert policy.source_tag("sensor0") == \
+            policy.lattice.tag_of(builders.HC)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(PolicyError):
+            make_policy().classify_source("sensor0", "nope")
+
+    def test_region_classification(self):
+        policy = make_policy().classify_region(0x100, 0x110, builders.HC)
+        assert policy.region_class(0x100) == builders.HC
+        assert policy.region_class(0x10F) == builders.HC
+        assert policy.region_class(0x110) == builders.LC
+        assert policy.region_class(0xFF) == builders.LC
+
+    def test_later_region_wins(self):
+        policy = make_policy()
+        policy.classify_region(0x000, 0x200, builders.HC)
+        policy.classify_region(0x100, 0x110, builders.LC)
+        assert policy.region_class(0x0FF) == builders.HC
+        assert policy.region_class(0x105) == builders.LC
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(PolicyError):
+            make_policy().classify_region(0x100, 0x100, builders.HC)
+
+    def test_iter_regions_order(self):
+        policy = make_policy()
+        policy.classify_region(0, 4, builders.HC)
+        policy.classify_region(8, 12, builders.LC)
+        regions = list(policy.iter_regions())
+        assert [r.start for r in regions] == [0, 8]
+
+    def test_membership(self):
+        region = MemoryClassification(0x10, 0x20, builders.HC)
+        assert 0x10 in region
+        assert 0x1F in region
+        assert 0x20 not in region
+
+
+class TestClearance:
+    def test_sink_clearance(self):
+        policy = make_policy().clear_sink("uart0.tx", builders.LC)
+        assert policy.sink_clearance("uart0.tx") == builders.LC
+        assert policy.has_sink("uart0.tx")
+        assert not policy.has_sink("uart1.tx")
+
+    def test_sink_default(self):
+        assert make_policy().sink_clearance("anything") == builders.LC
+
+    def test_execution_clearance_defaults_off(self):
+        policy = make_policy()
+        assert policy.execution.fetch is None
+        assert policy.execution.branch is None
+        assert policy.execution.mem_addr is None
+
+    def test_execution_clearance_configurable(self):
+        policy = make_policy().set_execution_clearance(
+            fetch=builders.LC, branch=builders.LC)
+        assert policy.execution.fetch == builders.LC
+        assert policy.execution.branch == builders.LC
+        assert policy.execution.mem_addr is None
+
+    def test_execution_clearance_unknown_class(self):
+        with pytest.raises(PolicyError):
+            make_policy().set_execution_clearance(fetch="bogus")
+
+    def test_execution_units_iterator(self):
+        clearance = ExecutionClearance(fetch="LC")
+        units = dict(clearance.units())
+        assert units == {"fetch": "LC", "branch": None, "mem-addr": None}
+
+
+class TestDeclassification:
+    def test_not_allowed_by_default(self):
+        assert not make_policy().may_declassify("aes0", builders.LC)
+
+    def test_allow_any_target(self):
+        policy = make_policy().allow_declassification("aes0")
+        assert policy.may_declassify("aes0", builders.LC)
+        assert policy.may_declassify("aes0", builders.HC)
+
+    def test_pinned_target(self):
+        policy = make_policy().allow_declassification("aes0", builders.LC)
+        assert policy.may_declassify("aes0", builders.LC)
+        assert not policy.may_declassify("aes0", builders.HC)
+
+    def test_unknown_pinned_class_rejected(self):
+        with pytest.raises(PolicyError):
+            make_policy().allow_declassification("aes0", "bogus")
+
+
+class TestChaining:
+    def test_fluent_api(self):
+        policy = (make_policy()
+                  .classify_source("a", builders.HC)
+                  .clear_sink("b", builders.LC)
+                  .classify_region(0, 4, builders.HC)
+                  .allow_declassification("c"))
+        assert policy.source_class("a") == builders.HC
+        assert "SecurityPolicy" in repr(policy)

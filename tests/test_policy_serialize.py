@@ -1,0 +1,134 @@
+"""Tests for policy/lattice (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import builders
+from repro.policy.serialize import (
+    lattice_from_spec,
+    lattice_to_spec,
+    policy_from_dict,
+    policy_to_dict,
+)
+
+EXAMPLE = {
+    "name": "example",
+    "ifp": "ifp3",
+    "default_class": "(LC,LI)",
+    "sources": {"can0.rx": "(LC,LI)", "sensor0": "(HC,HI)"},
+    "sinks": {"uart0.tx": "(LC,LI)", "aes0.in": "(HC,HI)"},
+    "regions": [[0x1000, 0x1010, "(HC,HI)"]],
+    "execution": {"fetch": "(LC,LI)", "branch": None, "mem_addr": None},
+    "declassify": {"aes0": "(LC,LI)"},
+}
+
+
+class TestLatticeSpec:
+    def test_builtin_names(self):
+        assert len(lattice_from_spec("ifp1")) == 2
+        assert len(lattice_from_spec("ifp2")) == 2
+        assert len(lattice_from_spec("ifp3")) == 4
+
+    def test_unknown_builtin(self):
+        with pytest.raises(PolicyError, match="unknown builtin"):
+            lattice_from_spec("ifp9")
+
+    def test_explicit_object(self):
+        lattice = lattice_from_spec(
+            {"classes": ["low", "high"], "flows": [["low", "high"]]})
+        assert lattice.allowed_flow("low", "high")
+        assert not lattice.allowed_flow("high", "low")
+
+    def test_malformed_object(self):
+        with pytest.raises(PolicyError, match="malformed"):
+            lattice_from_spec({"flows": []})
+
+    def test_bad_type(self):
+        with pytest.raises(PolicyError):
+            lattice_from_spec(42)
+
+    def test_round_trip(self):
+        original = builders.ifp3()
+        rebuilt = lattice_from_spec(lattice_to_spec(original))
+        assert set(rebuilt.classes) == set(original.classes)
+        for a in original.classes:
+            for b in original.classes:
+                assert rebuilt.allowed_flow(a, b) == \
+                    original.allowed_flow(a, b)
+                assert rebuilt.lub(a, b) == original.lub(a, b)
+
+
+class TestPolicyDict:
+    def test_from_dict(self):
+        policy = policy_from_dict(EXAMPLE)
+        assert policy.name == "example"
+        assert policy.default_class == "(LC,LI)"
+        assert policy.source_class("sensor0") == "(HC,HI)"
+        assert policy.sink_clearance("uart0.tx") == "(LC,LI)"
+        assert policy.region_class(0x1008) == "(HC,HI)"
+        assert policy.execution.fetch == "(LC,LI)"
+        assert policy.execution.branch is None
+        assert policy.may_declassify("aes0", "(LC,LI)")
+        assert not policy.may_declassify("aes0", "(HC,HI)")
+
+    def test_round_trip(self):
+        policy = policy_from_dict(EXAMPLE)
+        rebuilt = policy_from_dict(policy_to_dict(policy))
+        assert rebuilt.default_class == policy.default_class
+        assert rebuilt.source_class("sensor0") == "(HC,HI)"
+        assert rebuilt.region_class(0x1000) == "(HC,HI)"
+        assert rebuilt.execution.fetch == policy.execution.fetch
+
+    def test_json_round_trip(self):
+        policy = policy_from_dict(EXAMPLE)
+        blob = json.dumps(policy_to_dict(policy))
+        rebuilt = policy_from_dict(json.loads(blob))
+        assert rebuilt.sink_clearance("aes0.in") == "(HC,HI)"
+
+    def test_minimal_dict(self):
+        policy = policy_from_dict({})
+        assert policy.default_class == policy.lattice.bottom
+
+    def test_bad_region_shape(self):
+        with pytest.raises(PolicyError, match="region"):
+            policy_from_dict({"ifp": "ifp1", "regions": [[0, 4]]})
+
+    def test_declassify_null_means_any(self):
+        policy = policy_from_dict(
+            {"ifp": "ifp1", "declassify": {"hw": None}})
+        assert policy.may_declassify("hw", "LC")
+        assert policy.may_declassify("hw", "HC")
+
+    def test_policy_actually_enforces(self):
+        """A deserialized policy drives a real platform."""
+        from repro.asm import assemble
+        from repro.sw import runtime
+        from repro.vp import Platform
+
+        source = runtime.program("""
+.text
+main:
+    la t0, key
+    lbu t1, 0(t0)
+    li t2, UART_TXDATA
+    sb t1, 0(t2)
+    li a0, 0
+    ret
+.data
+key: .byte 0x7F
+""", include_lib=False)
+        program = assemble(source)
+        key = program.symbol("key")
+        data = {
+            "ifp": "ifp1",
+            "default_class": "LC",
+            "sinks": {"uart0.tx": "LC"},
+            "regions": [[key, key + 1, "HC"]],
+        }
+        platform = Platform(policy=policy_from_dict(data),
+                            engine_mode="record")
+        platform.load(program)
+        result = platform.run(max_instructions=50_000)
+        assert result.detected

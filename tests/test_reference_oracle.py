@@ -1,0 +1,122 @@
+"""Tests for the reference interpreter and the ISS-vs-oracle differential."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.verify.reference import (
+    OracleUnsupported,
+    ReferenceCpu,
+    compare_with_iss,
+)
+
+
+def run_reference(source: str, max_instructions: int = 10_000):
+    program = assemble(".text\n_start:\n" + source)
+    cpu = ReferenceCpu(memory_size=1 << 20)
+    cpu.load(program, stack_top=(1 << 20) - 16)
+    return cpu.run(max_instructions=max_instructions)
+
+
+class TestReferenceBasics:
+    def test_exit_code(self):
+        state = run_reference("""
+    li a0, 42
+    li a7, 93
+    ecall
+""")
+        assert state.halted
+        assert state.exit_code == 42
+
+    def test_arithmetic(self):
+        state = run_reference("""
+    li t0, 6
+    li t1, 7
+    mul t2, t0, t1
+    mv a0, t2
+    li a7, 93
+    ecall
+""")
+        assert state.exit_code == 42
+
+    def test_memory_round_trip(self):
+        state = run_reference("""
+    li t0, 0x8000
+    li t1, 0xABCD
+    sw t1, 0(t0)
+    lhu a0, 0(t0)
+    li a7, 93
+    ecall
+""")
+        assert state.exit_code == 0xABCD
+
+    def test_branches_and_loop(self):
+        state = run_reference("""
+    li t0, 5
+    li a0, 0
+loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+""")
+        assert state.exit_code == 15
+
+    def test_signed_ops(self):
+        state = run_reference("""
+    li t0, -8
+    li t1, 3
+    div a0, t0, t1
+    li a7, 93
+    ecall
+""")
+        assert state.exit_code == (-2) & 0xFFFFFFFF
+
+    def test_x0_pinned(self):
+        state = run_reference("""
+    addi zero, zero, 9
+    mv a0, zero
+    li a7, 93
+    ecall
+""")
+        assert state.exit_code == 0
+
+    def test_instruction_count(self):
+        state = run_reference("""
+    nop
+    nop
+    li a7, 93
+    ecall
+""")
+        # nop + nop + (li = 2 words) + ecall
+        assert state.instructions == 5
+
+
+class TestOracleLimits:
+    def test_csr_unsupported(self):
+        with pytest.raises(OracleUnsupported):
+            run_reference("csrr a0, mstatus")
+
+    def test_non_exit_ecall_unsupported(self):
+        with pytest.raises(OracleUnsupported):
+            run_reference("li a7, 1\necall")
+
+    def test_illegal_unsupported(self):
+        with pytest.raises(OracleUnsupported):
+            run_reference(".word 0xFFFFFFFF")
+
+
+class TestIssDifferential:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_iss_matches_oracle(self, seed):
+        result = compare_with_iss(seed, n_instructions=120)
+        assert result.equivalent, result.mismatch
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_random_seeds(self, seed):
+        result = compare_with_iss(seed, n_instructions=80)
+        assert result.equivalent, result.mismatch

@@ -1,0 +1,212 @@
+"""Tests for the guest runtime library (puts, print_*, mem*, setjmp)."""
+
+from repro.sw import runtime
+from tests.conftest import run_guest
+
+
+def lib_main(body: str, data: str = "") -> str:
+    return runtime.program(f"""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+{body}
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    li a0, 0
+    ret
+{data}
+""")
+
+
+class TestOutput:
+    def test_putc(self):
+        __, platform = run_guest(lib_main("""
+    li a0, 'A'
+    call putc
+"""))
+        assert platform.console() == "A"
+
+    def test_puts_returns_length(self):
+        result, platform = run_guest(runtime.program("""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    la a0, msg
+    call puts
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret                     # exit code = puts() = strlen
+.data
+msg: .asciz "four"
+"""))
+        assert platform.console() == "four"
+        assert result.exit_code == 4
+
+    def test_print_hex(self):
+        __, platform = run_guest(lib_main("""
+    li a0, 0x0BADF00D
+    call print_hex
+"""))
+        assert platform.console() == "0badf00d"
+
+    def test_print_dec(self):
+        __, platform = run_guest(lib_main("""
+    li a0, 1234567890
+    call print_dec
+"""))
+        assert platform.console() == "1234567890"
+
+    def test_print_dec_zero(self):
+        __, platform = run_guest(lib_main("""
+    li a0, 0
+    call print_dec
+"""))
+        assert platform.console() == "0"
+
+
+class TestStringOps:
+    def test_strlen(self):
+        result, __ = run_guest(runtime.program("""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    la a0, msg
+    call strlen
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+.data
+msg: .asciz "hello!"
+"""))
+        assert result.exit_code == 6
+
+    def test_strcpy(self):
+        __, platform = run_guest(lib_main("""
+    la a0, dst
+    la a1, src
+    call strcpy
+    la a0, dst
+    call puts
+""", data="""
+.data
+src: .asciz "copied"
+.bss
+dst: .space 16
+"""))
+        assert platform.console() == "copied"
+
+    def test_memcpy_memset(self):
+        __, platform = run_guest(lib_main("""
+    la a0, buf
+    li a1, '.'
+    li a2, 8
+    call memset
+    la a0, buf
+    la a1, src
+    li a2, 3
+    call memcpy
+    la a0, buf
+    call puts
+""", data="""
+.data
+src: .ascii "abcXXX"
+.bss
+buf: .space 9
+"""))
+        assert platform.console() == "abc....."
+
+
+class TestSetjmpLongjmp:
+    def test_longjmp_returns_value(self):
+        result, platform = run_guest(runtime.program("""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    la a0, jbuf
+    call setjmp
+    bnez a0, after_jump
+    li t0, UART_TXDATA
+    li t1, '1'
+    sb t1, 0(t0)
+    la a0, jbuf
+    li a1, 7
+    call longjmp
+    li t1, 'X'              # unreachable
+    sb t1, 0(t0)
+after_jump:
+    # a0 = longjmp value
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+.data
+.align 2
+jbuf: .space 56
+"""))
+        assert result.exit_code == 7
+        assert platform.console() == "1"
+
+    def test_longjmp_zero_becomes_one(self):
+        result, __ = run_guest(runtime.program("""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    la a0, jbuf
+    call setjmp
+    bnez a0, out
+    la a0, jbuf
+    li a1, 0
+    call longjmp
+out:
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+.data
+.align 2
+jbuf: .space 56
+"""))
+        assert result.exit_code == 1
+
+    def test_longjmp_restores_saved_registers(self):
+        result, __ = run_guest(runtime.program("""
+.text
+main:
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    li s3, 111
+    la a0, jbuf
+    call setjmp
+    bnez a0, check
+    li s3, 222              # clobber after setjmp
+    la a0, jbuf
+    li a1, 1
+    call longjmp
+check:
+    mv a0, s3               # setjmp-time value restored
+    lw ra, 12(sp)
+    addi sp, sp, 16
+    ret
+.data
+.align 2
+jbuf: .space 56
+"""))
+        assert result.exit_code == 111
+
+
+class TestHeaderConstants:
+    def test_header_matches_platform_map(self):
+        from repro.vp import platform as plat
+        assert f"{plat.UART_BASE:#x}" in runtime.HEADER
+        assert f"{plat.AES_BASE:#x}" in runtime.HEADER
+        assert f"{plat.STACK_TOP:#x}" in runtime.HEADER
+
+    def test_program_composition_without_lib(self):
+        source = runtime.program(".text\nmain:\n    li a0, 3\n    ret",
+                                 include_lib=False)
+        assert "puts:" not in source
+        result, __ = run_guest(source)
+        assert result.exit_code == 3

@@ -1,0 +1,82 @@
+"""Tests for the byte-granular shadow tag store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dift.shadow import MAX_TAG, ShadowTags
+from repro.policy.builders import ifp3
+
+
+class TestBasics:
+    def test_initial_fill(self):
+        shadow = ShadowTags(16, fill=3)
+        assert len(shadow) == 16
+        assert all(t == 3 for t in shadow.tags)
+
+    def test_fill_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowTags(4, fill=MAX_TAG + 1)
+
+    def test_get_set(self):
+        shadow = ShadowTags(8)
+        shadow.set(3, 2)
+        assert shadow.get(3) == 2
+        assert shadow.get(2) == 0
+
+
+class TestRanges:
+    def test_set_get_range(self):
+        shadow = ShadowTags(8)
+        shadow.set_range(2, [1, 2, 3])
+        assert shadow.get_range(2, 3) == bytes([1, 2, 3])
+        assert shadow.get_range(0, 2) == bytes([0, 0])
+
+    def test_fill_range(self):
+        shadow = ShadowTags(8)
+        shadow.fill_range(2, 4, 5)
+        assert shadow.get_range(0, 8) == bytes([0, 0, 5, 5, 5, 5, 0, 0])
+
+    def test_fill_range_bad_tag(self):
+        with pytest.raises(ValueError):
+            ShadowTags(4).fill_range(0, 2, 300)
+
+    def test_uniform(self):
+        shadow = ShadowTags(8, fill=1)
+        assert shadow.uniform(0, 8)
+        shadow.set(4, 2)
+        assert not shadow.uniform(0, 8)
+        assert shadow.uniform(0, 4)
+        assert shadow.uniform(4, 1)
+
+
+class TestLubRange:
+    def test_lub_range_with_lattice(self):
+        lattice = ifp3()
+        lub = lattice.lub_table
+        shadow = ShadowTags(8, fill=lattice.tag_of("(LC,HI)"))
+        shadow.set(3, lattice.tag_of("(HC,HI)"))
+        shadow.set(5, lattice.tag_of("(LC,LI)"))
+        merged = shadow.lub_range(0, 8, lub,
+                                  initial=lattice.tag_of("(LC,HI)"))
+        assert lattice.name_of(merged) == "(HC,LI)"
+
+    def test_lub_range_partial_window(self):
+        lattice = ifp3()
+        shadow = ShadowTags(8, fill=0)
+        shadow.set(7, lattice.tag_of("(HC,HI)"))
+        merged = shadow.lub_range(0, 4, lattice.lub_table, initial=0)
+        assert merged == 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                max_size=32))
+def test_lub_range_matches_reference(tags):
+    lattice = ifp3()
+    shadow = ShadowTags(len(tags))
+    shadow.set_range(0, tags)
+    expected = lattice.tag_of(
+        lattice.lub_many([lattice.name_of(t) for t in tags]))
+    bottom = lattice.tag_of(lattice.bottom)
+    assert shadow.lub_range(0, len(tags), lattice.lub_table,
+                            initial=bottom) == expected

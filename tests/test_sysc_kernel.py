@@ -1,0 +1,287 @@
+"""Tests for the SystemC-style kernel: processes, events, delta cycles."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sysc import DELTA, Event, Kernel, SimTime
+from repro.sysc.module import Module
+
+
+class TestTime:
+    def test_units(self):
+        assert SimTime.ns(1).ps == 1_000
+        assert SimTime.us(1).ps == 1_000_000
+        assert SimTime.ms(1).ps == 1_000_000_000
+        assert SimTime.sec(1).ps == 1_000_000_000_000
+
+    def test_arithmetic(self):
+        assert (SimTime.ns(3) + SimTime.ns(2)).ps == 5_000
+        assert (SimTime.ns(3) - SimTime.ns(2)).ps == 1_000
+        assert (SimTime.ns(3) * 4).ps == 12_000
+        assert (4 * SimTime.ns(3)).ps == 12_000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(-1)
+        with pytest.raises(ValueError):
+            SimTime.ns(1) - SimTime.ns(2)
+
+    def test_comparisons(self):
+        assert SimTime.ns(1) < SimTime.ns(2)
+        assert SimTime.ns(2) >= SimTime.ns(2)
+        assert SimTime.ns(2) == SimTime(2, unit=1000)
+        assert bool(SimTime.zero()) is False
+
+    def test_conversions(self):
+        assert SimTime.ms(1).to_us() == 1000.0
+        assert SimTime.us(1).to_ns() == 1000.0
+        assert SimTime.sec(2).to_seconds() == 2.0
+
+    def test_repr_picks_unit(self):
+        assert "ms" in repr(SimTime.ms(25))
+        assert "ns" in repr(SimTime.ns(10))
+
+
+class TestProcesses:
+    def test_timed_wait_advances_clock(self):
+        kernel = Kernel()
+        log = []
+
+        def proc():
+            log.append(kernel.now.ps)
+            yield SimTime.ns(10)
+            log.append(kernel.now.ps)
+            yield SimTime.ns(5)
+            log.append(kernel.now.ps)
+
+        kernel.spawn(proc, "p")
+        kernel.run()
+        assert log == [0, 10_000, 15_000]
+
+    def test_two_processes_interleave(self):
+        kernel = Kernel()
+        log = []
+
+        def proc(name, period):
+            def body():
+                for _ in range(3):
+                    yield SimTime.ns(period)
+                    log.append((name, kernel.now.ps))
+            return body
+
+        kernel.spawn(proc("a", 10), "a")
+        kernel.spawn(proc("b", 15), "b")
+        kernel.run()
+        # at t=30us both are due; the one *scheduled* earlier (b, at 15us)
+        # runs first — deterministic FIFO tie-breaking
+        assert log == [("a", 10_000), ("b", 15_000), ("a", 20_000),
+                       ("b", 30_000), ("a", 30_000), ("b", 45_000)]
+
+    def test_run_until_limit(self):
+        kernel = Kernel()
+
+        def forever():
+            while True:
+                yield SimTime.ns(10)
+
+        kernel.spawn(forever, "f")
+        end = kernel.run(until=SimTime.ns(55))
+        assert end.ps == 55_000
+
+    def test_stop(self):
+        kernel = Kernel()
+        log = []
+
+        def proc():
+            yield SimTime.ns(1)
+            log.append("ran")
+            kernel.stop()
+            yield SimTime.ns(1)
+            log.append("never")
+
+        kernel.spawn(proc, "p")
+        kernel.run()
+        assert log == ["ran"]
+        assert kernel.stopped
+
+    def test_non_generator_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(SimulationError, match="generator"):
+            kernel.spawn(lambda: 42, "bad")
+
+    def test_invalid_wait_request(self):
+        kernel = Kernel()
+
+        def proc():
+            yield "bogus"
+
+        kernel.spawn(proc, "p")
+        with pytest.raises(SimulationError, match="invalid wait"):
+            kernel.run()
+
+    def test_run_not_reentrant(self):
+        kernel = Kernel()
+
+        def proc():
+            with pytest.raises(SimulationError):
+                kernel.run()
+            yield SimTime.ns(1)
+
+        kernel.spawn(proc, "p")
+        kernel.run()
+
+
+class TestEvents:
+    def test_event_wakeup(self):
+        kernel = Kernel()
+        event = Event("e")
+        log = []
+
+        def waiter():
+            yield event
+            log.append(("woke", kernel.now.ps))
+
+        def notifier():
+            yield SimTime.ns(42)
+            event.notify()
+
+        kernel.spawn(waiter, "w")
+        kernel.spawn(notifier, "n")
+        kernel.run()
+        assert log == [("woke", 42_000)]
+
+    def test_timed_notification(self):
+        kernel = Kernel()
+        event = Event("e")
+        log = []
+
+        def waiter():
+            yield event
+            log.append(kernel.now.ps)
+
+        def notifier():
+            event.notify(SimTime.ns(30))
+            yield SimTime.ns(1)
+
+        kernel.spawn(waiter, "w")
+        kernel.spawn(notifier, "n")
+        kernel.run()
+        assert log == [30_000]
+
+    def test_notify_without_waiters_is_fine(self):
+        event = Event("lonely")
+        event.notify()  # no kernel bound, no waiters: no-op
+
+    def test_multiple_waiters_all_wake(self):
+        kernel = Kernel()
+        event = Event("e")
+        woke = []
+
+        def waiter(i):
+            def body():
+                yield event
+                woke.append(i)
+            return body
+
+        for i in range(3):
+            kernel.spawn(waiter(i), f"w{i}")
+
+        def notifier():
+            yield SimTime.ns(5)
+            event.notify()
+
+        kernel.spawn(notifier, "n")
+        kernel.run()
+        assert sorted(woke) == [0, 1, 2]
+
+    def test_event_reuse_across_kernels_rejected(self):
+        event = Event("shared")
+        k1, k2 = Kernel(), Kernel()
+
+        def waiter():
+            yield event
+
+        k1.spawn(waiter, "w1")
+        k1.run(until=SimTime.ns(1))
+        k2.spawn(waiter, "w2")
+        with pytest.raises(RuntimeError, match="two kernels"):
+            k2.run(until=SimTime.ns(1))
+
+
+class TestDeltaCycles:
+    def test_delta_wait_same_time(self):
+        kernel = Kernel()
+        log = []
+
+        def proc():
+            log.append(kernel.now.ps)
+            yield DELTA
+            log.append(kernel.now.ps)
+
+        kernel.spawn(proc, "p")
+        kernel.run()
+        assert log == [0, 0]
+        assert kernel.delta_count >= 1
+
+    def test_delta_notification_ordering(self):
+        """A delta notification wakes waiters in the *next* delta."""
+        kernel = Kernel()
+        event = Event("e")
+        log = []
+
+        def waiter():
+            yield event
+            log.append("woke")
+
+        def notifier():
+            log.append("notify")
+            event.notify()
+            log.append("after-notify")
+            yield SimTime.ns(1)
+
+        kernel.spawn(waiter, "w")
+        kernel.spawn(notifier, "n")
+        kernel.run()
+        assert log == ["notify", "after-notify", "woke"]
+
+    def test_delta_loop_detected(self):
+        kernel = Kernel()
+        ping, pong = Event("ping"), Event("pong")
+
+        def a():
+            while True:
+                pong.notify()
+                yield ping
+
+        def b():
+            while True:
+                ping.notify()
+                yield pong
+
+        kernel.spawn(a, "a")
+        kernel.spawn(b, "b")
+        with pytest.raises(SimulationError, match="delta-cycle loop"):
+            kernel.run(max_deltas_per_instant=100)
+
+
+class TestModule:
+    def test_module_thread_and_event(self):
+        kernel = Kernel()
+
+        class Blinker(Module):
+            def __init__(self, kernel):
+                super().__init__(kernel, "blinker")
+                self.ticks = 0
+                self.sc_thread(self.run, "run")
+
+            def run(self):
+                for _ in range(3):
+                    yield SimTime.ns(10)
+                    self.ticks += 1
+
+        blinker = Blinker(kernel)
+        kernel.run()
+        assert blinker.ticks == 3
+        event = blinker.make_event("done")
+        assert event.name == "blinker.done"
+        assert "Blinker" in repr(blinker)

@@ -1,0 +1,216 @@
+"""Tests for the Taint data type (paper Fig. 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dift.engine import RAISE, RECORD, DiftEngine
+from repro.dift.taint import Taint
+from repro.errors import ClearanceException, DeclassificationError
+from repro.policy import SecurityPolicy, builders
+
+
+def engine(mode=RAISE) -> DiftEngine:
+    policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+    policy.allow_declassification("aes0", builders.LC)
+    return DiftEngine(policy, mode=mode)
+
+
+@pytest.fixture(name="eng")
+def engine_fixture():
+    return engine()
+
+
+def lc(eng):
+    return eng.lattice.tag_of(builders.LC)
+
+
+def hc(eng):
+    return eng.lattice.tag_of(builders.HC)
+
+
+class TestConstruction:
+    def test_wraps_to_width(self, eng):
+        assert Taint(0x1_0000_0005, lc(eng), eng).value == 5
+        assert Taint(0x1FF, lc(eng), eng, width=1).value == 0xFF
+
+    def test_bad_width_rejected(self, eng):
+        with pytest.raises(ValueError):
+            Taint(0, lc(eng), eng, width=3)
+
+    def test_signed_view(self, eng):
+        assert Taint(0xFFFFFFFF, lc(eng), eng).signed() == -1
+        assert Taint(0x7FFFFFFF, lc(eng), eng).signed() == 0x7FFFFFFF
+        assert Taint(0x80, lc(eng), eng, width=1).signed() == -128
+
+
+class TestTagPropagation:
+    def test_add_merges_tags(self, eng):
+        result = Taint(1, lc(eng), eng) + Taint(2, hc(eng), eng)
+        assert result.value == 3
+        assert result.tag == hc(eng)
+
+    def test_plain_int_is_untainted(self, eng):
+        result = Taint(1, hc(eng), eng) + 5
+        assert result.value == 6
+        assert result.tag == hc(eng)
+
+    def test_reflected_ops(self, eng):
+        assert (10 + Taint(1, hc(eng), eng)).tag == hc(eng)
+        assert (10 - Taint(1, hc(eng), eng)).value == 9
+        assert (8 * Taint(2, lc(eng), eng)).value == 16
+
+    def test_all_binops_propagate(self, eng):
+        a = Taint(0xF0, hc(eng), eng)
+        b = Taint(0x0F, lc(eng), eng)
+        for op in ("__add__", "__sub__", "__mul__", "__and__", "__or__",
+                   "__xor__", "__lshift__", "__rshift__", "__floordiv__",
+                   "__mod__"):
+            result = getattr(a, op)(b)
+            assert result.tag == hc(eng), op
+
+    def test_unary_keeps_tag(self, eng):
+        a = Taint(5, hc(eng), eng)
+        assert (~a).tag == hc(eng)
+        assert (-a).tag == hc(eng)
+        assert (-a).value == (0x100000000 - 5)
+
+    def test_comparisons_are_tainted(self, eng):
+        a = Taint(5, hc(eng), eng)
+        b = Taint(5, lc(eng), eng)
+        eq = a.eq(b)
+        assert eq.value == 1
+        assert eq.tag == hc(eng)
+        assert eq.width == 1
+        assert a.ne(b).value == 0
+        assert a.lt(6).value == 1
+
+    def test_signed_compare(self, eng):
+        a = Taint(0xFFFFFFFF, lc(eng), eng)  # -1 signed
+        assert a.lt_signed(0).value == 1
+        assert a.lt(0).value == 0            # unsigned: max value
+
+    def test_mixed_engines_rejected(self, eng):
+        other = engine()
+        with pytest.raises(ValueError):
+            Taint(1, lc(eng), eng) + Taint(1, 0, other)
+
+
+class TestByteConversion:
+    def test_to_bytes_little_endian(self, eng):
+        parts = Taint(0x11223344, hc(eng), eng).to_bytes()
+        assert [p.value for p in parts] == [0x44, 0x33, 0x22, 0x11]
+        assert all(p.tag == hc(eng) for p in parts)
+        assert all(p.width == 1 for p in parts)
+
+    def test_from_bytes_round_trip(self, eng):
+        original = Taint(0xDEADBEEF, hc(eng), eng)
+        rebuilt = Taint.from_bytes(original.to_bytes(), eng)
+        assert rebuilt.value == original.value
+        assert rebuilt.tag == original.tag
+        assert rebuilt.width == 4
+
+    def test_from_bytes_lubs_tags(self, eng):
+        parts = [Taint(0, lc(eng), eng, width=1) for _ in range(4)]
+        parts[2] = Taint(0, hc(eng), eng, width=1)
+        assert Taint.from_bytes(parts, eng).tag == hc(eng)
+
+    def test_from_bytes_empty_rejected(self, eng):
+        with pytest.raises(ValueError):
+            Taint.from_bytes([], eng)
+
+
+class TestClearance:
+    def test_check_clearance_pass(self, eng):
+        Taint(1, lc(eng), eng).check_clearance(hc(eng))  # LC -> HC ok
+
+    def test_check_clearance_violation(self, eng):
+        with pytest.raises(ClearanceException):
+            Taint(1, hc(eng), eng).check_clearance(lc(eng))
+
+    def test_implicit_cast_requires_bottom(self, eng):
+        """Paper: implicit cast to the underlying type needs LC clearance."""
+        assert int(Taint(42, lc(eng), eng)) == 42
+        with pytest.raises(ClearanceException):
+            int(Taint(42, hc(eng), eng))
+
+    def test_index_protocol(self, eng):
+        data = [10, 20, 30]
+        assert data[Taint(1, lc(eng), eng)] == 20
+
+    def test_expose_bypasses_check(self, eng):
+        assert Taint(42, hc(eng), eng).expose() == 42
+
+    def test_declassified_copy(self, eng):
+        secret = Taint(42, hc(eng), eng)
+        public = secret.declassified("aes0", builders.LC)
+        assert public.value == 42
+        assert public.tag == lc(eng)
+        assert secret.tag == hc(eng)  # original untouched
+
+    def test_declassification_denied(self, eng):
+        with pytest.raises(DeclassificationError):
+            Taint(42, hc(eng), eng).declassified("mallory", builders.LC)
+
+
+class TestEquality:
+    def test_equal_needs_value_and_tag(self, eng):
+        assert Taint(5, lc(eng), eng) == Taint(5, lc(eng), eng)
+        assert Taint(5, lc(eng), eng) != Taint(5, hc(eng), eng)
+        assert Taint(5, lc(eng), eng) == 5
+
+    def test_hashable(self, eng):
+        seen = {Taint(5, lc(eng), eng)}
+        assert Taint(5, lc(eng), eng) in seen
+        assert Taint(5, hc(eng), eng) not in seen
+
+    def test_repr_shows_class(self, eng):
+        assert "HC" in repr(Taint(1, hc(eng), eng))
+
+
+# ----------------------------------------------------------------- #
+# property tests: Taint arithmetic == plain modular arithmetic
+# ----------------------------------------------------------------- #
+
+_ENG = engine()
+_WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@given(_WORD, _WORD)
+def test_add_matches_modular(a, b):
+    result = Taint(a, 0, _ENG) + Taint(b, 0, _ENG)
+    assert result.value == (a + b) & 0xFFFFFFFF
+
+
+@given(_WORD, _WORD)
+def test_sub_matches_modular(a, b):
+    result = Taint(a, 0, _ENG) - Taint(b, 0, _ENG)
+    assert result.value == (a - b) & 0xFFFFFFFF
+
+
+@given(_WORD, _WORD)
+def test_mul_matches_modular(a, b):
+    result = Taint(a, 0, _ENG) * Taint(b, 0, _ENG)
+    assert result.value == (a * b) & 0xFFFFFFFF
+
+
+@given(_WORD, st.integers(min_value=0, max_value=63))
+def test_shifts_mask_amount(a, sh):
+    """Shift amounts wrap at the word size, like hardware shifters."""
+    left = Taint(a, 0, _ENG) << sh
+    assert left.value == (a << (sh & 31)) & 0xFFFFFFFF
+    right = Taint(a, 0, _ENG) >> sh
+    assert right.value == a >> (sh & 31)
+
+
+@given(_WORD)
+def test_byte_round_trip_any_value(a):
+    taint = Taint(a, 1, _ENG)
+    assert Taint.from_bytes(taint.to_bytes(), _ENG).value == a
+
+
+@given(st.integers(min_value=0, max_value=1),
+       st.integers(min_value=0, max_value=1))
+def test_tag_always_lub(ta, tb):
+    result = Taint(1, ta, _ENG) + Taint(2, tb, _ENG)
+    assert result.tag == _ENG.lub[ta][tb]

@@ -1,0 +1,92 @@
+"""Tests for the instruction/taint tracer."""
+
+from repro.asm import assemble
+from repro.policy import SecurityPolicy, builders
+from repro.sw import runtime
+from repro.vp import Platform
+from repro.vp.tracer import Tracer
+
+SOURCE = runtime.program("""
+.text
+main:
+    li   t0, 5
+    la   t1, secret
+    lw   t2, 0(t1)
+    add  t3, t2, t0
+    li   a0, 0
+    ret
+.data
+secret: .word 0x1234
+""", include_lib=False)
+
+
+def make_platform(dift: bool) -> Platform:
+    program = assemble(SOURCE)
+    policy = None
+    if dift:
+        policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
+        policy.classify_region(program.symbol("secret"),
+                               program.symbol("secret") + 4, builders.HC)
+    platform = Platform(policy=policy)
+    platform.load(program)
+    return platform
+
+
+class TestTrace:
+    def test_trace_captures_every_step(self):
+        platform = make_platform(dift=False)
+        trace = Tracer(platform).run(max_instructions=100)
+        assert trace[0].pc == 0
+        assert trace[-1].reason == "halt"
+        # every step disassembles to something meaningful
+        assert all(step.text and not step.text.startswith(".word")
+                   for step in trace)
+
+    def test_trace_records_register_writes(self):
+        platform = make_platform(dift=False)
+        trace = Tracer(platform).run(max_instructions=100)
+        li_step = next(s for s in trace if "addi t0, zero, 5" in s.text)
+        assert (5, 5, None) in li_step.reg_writes  # x5 = t0
+
+    def test_trace_stops_at_limit(self):
+        platform = make_platform(dift=False)
+        trace = Tracer(platform).run(max_instructions=3)
+        assert len(trace) == 3
+
+    def test_tainted_filter(self):
+        platform = make_platform(dift=True)
+        tracer = Tracer(platform)
+        trace = tracer.run(max_instructions=100)
+        tainted = tracer.tainted_only(trace)
+        # the lw of the secret and the dependent add must be in there
+        texts = " | ".join(step.text for step in tainted)
+        assert "lw" in texts
+        assert "add t3" in texts or "add" in texts
+        # the plain li of 5 must not
+        assert all("addi t0, zero, 5" not in step.text for step in tainted)
+
+    def test_tainted_filter_empty_on_plain(self):
+        platform = make_platform(dift=False)
+        tracer = Tracer(platform)
+        trace = tracer.run(max_instructions=10)
+        assert tracer.tainted_only(trace) == []
+
+    def test_tag_names_in_writes(self):
+        platform = make_platform(dift=True)
+        trace = Tracer(platform).run(max_instructions=100)
+        lw_step = next(s for s in trace if s.text.startswith("lw"))
+        tags = [tag for __, __, tag in lw_step.reg_writes]
+        assert "HC" in tags
+
+    def test_format(self):
+        platform = make_platform(dift=False)
+        tracer = Tracer(platform)
+        trace = tracer.run(max_instructions=5)
+        text = tracer.format(trace)
+        assert "addi" in text
+        assert tracer.format([]) == "(empty trace)"
+
+    def test_str_of_step(self):
+        platform = make_platform(dift=True)
+        trace = Tracer(platform).run(max_instructions=2)
+        assert "00000000" in str(trace[0])

@@ -1,0 +1,92 @@
+"""Tests for the verification harnesses (differential + policy fuzzing)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.verify.differential import (
+    random_program,
+    run_differential,
+    sweep,
+)
+from repro.verify.policy_fuzz import (
+    LEAKING_COMMANDS,
+    fuzz_immobilizer,
+    random_command_script,
+    run_script,
+    summarize,
+)
+
+
+class TestRandomProgram:
+    def test_assembles(self):
+        program = assemble(random_program(seed=1, n_instructions=100))
+        assert program.n_instructions > 100
+
+    def test_deterministic(self):
+        assert random_program(7, 50) == random_program(7, 50)
+        assert random_program(7, 50) != random_program(8, 50)
+
+    def test_terminates(self):
+        from repro.vp import Platform
+        platform = Platform()
+        platform.load(assemble(random_program(seed=3, n_instructions=300)))
+        result = platform.run(max_instructions=50_000)
+        assert result.reason == "halt"
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_vp_plus_is_architecturally_invisible(self, seed):
+        result = run_differential(seed, n_instructions=150)
+        assert result.equivalent, result.mismatch
+
+    def test_sweep(self):
+        results = sweep(range(3), n_instructions=80)
+        assert len(results) == 3
+        assert all(r.equivalent for r in results)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_random_seeds_property(self, seed):
+        result = run_differential(seed, n_instructions=60)
+        assert result.equivalent, result.mismatch
+
+
+class TestPolicyFuzz:
+    def test_script_generation(self):
+        import random
+        rng = random.Random(0)
+        script = random_command_script(rng, 8, leak_probability=0.5)
+        assert script.endswith(b"q")
+        assert len(script) == 9
+
+    def test_leaking_script_detected(self):
+        outcome = run_script(b"1q")
+        assert outcome.contains_leak
+        assert outcome.detected
+        assert outcome.sound
+
+    def test_benign_script_clean(self):
+        outcome = run_script(b"zz?q")
+        assert not outcome.contains_leak
+        assert not outcome.detected
+        assert outcome.sound
+
+    def test_fuzz_run_is_sound(self):
+        outcomes = fuzz_immobilizer(n_runs=8, seed=123)
+        assert len(outcomes) == 8
+        assert all(o.sound for o in outcomes), summarize(outcomes)
+
+    def test_summary_counts(self):
+        outcomes = fuzz_immobilizer(n_runs=4, seed=5)
+        text = summarize(outcomes)
+        assert "fuzzed 4 command scripts" in text
+        assert "sound: 4/4" in text
+
+    def test_every_leaking_command_detected_alone(self):
+        for command in LEAKING_COMMANDS:
+            outcome = run_script(bytes([command]) + b"q")
+            assert outcome.detected, chr(command)

@@ -1,0 +1,130 @@
+"""Table I reproduction tests: the Wilander–Kamkar attack suite."""
+
+import pytest
+
+from repro.bench import table1
+from repro.sw import wk_suite
+
+APPLICABLE = [3, 5, 6, 7, 9, 10, 11, 13, 14, 17]
+NOT_APPLICABLE = [1, 2, 4, 8, 12, 15, 16, 18]
+
+#: the paper's Table I Result column
+PAPER_RESULTS = {
+    1: "N/A", 2: "N/A", 3: "Detected", 4: "N/A", 5: "Detected",
+    6: "Detected", 7: "Detected", 8: "N/A", 9: "Detected", 10: "Detected",
+    11: "Detected", 12: "N/A", 13: "Detected", 14: "Detected", 15: "N/A",
+    16: "N/A", 17: "Detected", 18: "N/A",
+}
+
+
+class TestSpecs:
+    def test_eighteen_rows(self):
+        assert len(wk_suite.SPECS) == 18
+        assert [spec.number for spec in wk_suite.SPECS] == \
+            list(range(1, 19))
+
+    def test_applicability_matches_paper(self):
+        for spec in wk_suite.SPECS:
+            expected = PAPER_RESULTS[spec.number] != "N/A"
+            assert spec.applicable == expected, spec.number
+
+    def test_na_have_reasons(self):
+        for number in NOT_APPLICABLE:
+            assert wk_suite.spec(number).reason
+
+    def test_building_na_attack_rejected(self):
+        with pytest.raises(ValueError, match="not applicable"):
+            wk_suite.build_attack(1)
+
+    def test_attack_programs_export_symbols(self):
+        for number in APPLICABLE:
+            program, attacker_input = wk_suite.build_attack(number)
+            assert "attack_code" in program.symbols
+            assert "attack_code_end" in program.symbols
+            assert len(attacker_input) == wk_suite.INPUT_LEN
+
+
+@pytest.mark.parametrize("number", APPLICABLE)
+class TestEachAttack:
+    def test_exploit_works_unprotected_and_is_detected(self, number):
+        result = table1.run_attack(number)
+        assert result.exploit_works, \
+            f"attack {number} failed to divert control on the plain VP"
+        assert result.detected, \
+            f"attack {number} was not detected by VP+ ({result.detail})"
+        assert result.result == "Detected"
+        # detection happens at the instruction fetch of the LI payload
+        assert "fetch" in result.detail
+
+
+class TestFullTable:
+    def test_results_match_paper(self):
+        results = table1.run_suite()
+        for row in results:
+            assert row.result == PAPER_RESULTS[row.number], row
+
+    def test_format_table(self):
+        results = table1.run_suite()
+        text = table1.format_table(results)
+        assert "detected: 10" in text
+        assert "N/A: 8" in text
+        assert "missed: 0" in text
+
+
+class TestPolicyShape:
+    def test_policy_classifies_text_hi_and_payload_li(self):
+        program, __ = wk_suite.build_attack(3)
+        policy = table1.code_injection_policy(program)
+        text_start = program.sections[".text"][0]
+        atk = program.symbol("attack_code")
+        assert policy.region_class(text_start) == "HI"
+        assert policy.region_class(atk) == "LI"
+        assert policy.execution.fetch == "HI"
+
+    def test_benign_input_no_detection(self):
+        """Same binary, non-overflowing input: runs clean, no violation."""
+        from repro.dift.engine import RECORD
+        from repro.vp.platform import Platform
+
+        program, __ = wk_suite.build_attack(5)
+        policy = table1.code_injection_policy(program)
+        platform = Platform(policy=policy, engine_mode=RECORD)
+        platform.load(program)
+        # input that does not reach the function pointer: 40 filler bytes
+        # would; send only zeros that keep the pointer intact is impossible
+        # with the fixed-length read, so craft input that rewrites the
+        # pointer with its original value (safe_func)
+        safe = program.symbol("safe_func")
+        benign = (b"A" * 40 + safe.to_bytes(4, "little")).ljust(
+            wk_suite.INPUT_LEN, b"B")
+        platform.uart.feed(benign)
+        result = platform.run(max_instructions=200_000)
+        assert not result.detected
+        assert result.reason == "halt"
+        assert result.exit_code == 2  # the clean-return marker
+
+
+class TestCodeReuseLimitation:
+    """The paper's acknowledged blind spot, demonstrated (Section V-B2b)."""
+
+    def test_return_to_trusted_code_is_not_detected(self):
+        from repro.dift.engine import RECORD
+        from repro.vp.platform import Platform
+
+        program, attacker_input = wk_suite.build_code_reuse_attack()
+        policy = table1.code_injection_policy(program)
+        platform = Platform(policy=policy, engine_mode=RECORD)
+        platform.load(program)
+        platform.uart.feed(attacker_input)
+        result = platform.run(max_instructions=200_000)
+        # control was diverted to the privileged function...
+        assert result.reason == "ebreak"
+        assert "P" in platform.console()
+        # ... and the fetch-clearance policy could not object: every
+        # executed instruction is trusted (HI) firmware code
+        assert not result.detected
+
+    def test_same_overflow_with_injected_code_is_detected(self):
+        """Contrast: the identical overflow aimed at LI bytes is caught."""
+        result = table1.run_attack(3)
+        assert result.detected
