@@ -14,21 +14,29 @@ from repro.bench.instmix import (
     profile_workload,
 )
 from repro.bench.workloads import TABLE2_ORDER
+from repro.obs import Observability
 
 _STEPS = 40_000
 _MIXES = {}
 
 
 @pytest.mark.parametrize("name", TABLE2_ORDER)
-def test_profile(benchmark, name):
+def test_profile(benchmark, name, bench_json):
     benchmark.group = "instruction-mix"
+    obs = Observability()
     mix = benchmark.pedantic(profile_workload, args=(name, _STEPS),
-                             rounds=1, iterations=1)
+                             kwargs={"obs": obs}, rounds=1, iterations=1)
     assert mix.total > 1_000
     benchmark.extra_info.update(
         {cat: round(100 * mix.fraction(cat), 1)
          for cat in mix.counts})
     _MIXES[name] = mix
+    bench_json(f"instmix_{name}",
+               {"workload": name, "total": mix.total,
+                "counts": dict(mix.counts),
+                "fractions": {cat: mix.fraction(cat)
+                              for cat in mix.counts}},
+               registry=obs.metrics)
 
 
 def test_workload_characters(benchmark, capsys):

@@ -4,7 +4,14 @@ Each benchmark rebuilds its platform per round (a halted guest cannot be
 re-run), so round counts are kept low via ``benchmark.pedantic``.  The
 ``--benchmark-scale=full`` option switches the Table II workloads from
 the quick (test-sized) scales to the paper-sized reproduction scales.
+
+``--metrics-json=DIR`` enables machine-readable output: any benchmark
+may call the ``bench_json`` fixture to drop a ``BENCH_<name>.json``
+record (schema ``repro.bench/1``, see :mod:`repro.obs.export`) into
+DIR — the artifact CI uploads so perf claims are diffable across runs.
 """
+
+import os
 
 import pytest
 
@@ -17,8 +24,40 @@ def pytest_addoption(parser):
         choices=("quick", "full"),
         help="workload scale for the Table II reproduction benchmarks",
     )
+    parser.addoption(
+        "--metrics-json",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<name>.json records (repro.obs.export schema) "
+             "into DIR",
+    )
 
 
 @pytest.fixture(scope="session")
 def scale(request):
     return request.config.getoption("--benchmark-scale")
+
+
+@pytest.fixture
+def bench_json(request):
+    """Writer for ``BENCH_<name>.json`` records; no-op unless enabled.
+
+    Usage::
+
+        def test_something(benchmark, bench_json):
+            ...
+            bench_json("my_bench", {"seconds": 1.2}, registry=obs.metrics)
+    """
+    out_dir = request.config.getoption("--metrics-json")
+
+    def write(name, payload, registry=None):
+        if not out_dir:
+            return None
+        from repro.obs.export import write_bench_json
+
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+        return write_bench_json(path, name, payload, registry)
+
+    return write

@@ -11,7 +11,8 @@ API surfaces the four layers of the system:
 * :mod:`repro.asm`    — the RV32IM assembler for guest software;
 * :mod:`repro.sw`     — guest benchmarks and attack suites;
 * :mod:`repro.bench`  — Table I / Table II reproduction harness;
-* :mod:`repro.casestudy` — the Section VI-A immobilizer case study.
+* :mod:`repro.casestudy` — the Section VI-A immobilizer case study;
+* :mod:`repro.obs`    — observability: metrics, structured tracing.
 
 Quick start::
 
@@ -34,6 +35,7 @@ from repro.errors import (
     ReproError,
     SecurityViolation,
 )
+from repro.obs import MetricsRegistry, Observability
 from repro.policy import Lattice, SecurityPolicy, builders
 from repro.vp import Platform, RunResult, run_program
 
@@ -50,6 +52,8 @@ __all__ = [
     "Taint",
     "ShadowTags",
     "ViolationRecord",
+    "Observability",
+    "MetricsRegistry",
     "Assembler",
     "Program",
     "assemble",

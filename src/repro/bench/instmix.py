@@ -95,12 +95,12 @@ def profile_platform(platform: Platform, name: str,
     return mix
 
 
-def profile_workload(name: str, max_instructions: int = 150_000
-                     ) -> InstructionMix:
+def profile_workload(name: str, max_instructions: int = 150_000,
+                     obs=None) -> InstructionMix:
     """Profile one registry workload (quick scale, plain VP)."""
     from repro.bench.workloads import WORKLOADS
 
-    platform = WORKLOADS[name].make_platform("quick", dift=False)
+    platform = WORKLOADS[name].make_platform("quick", dift=False, obs=obs)
     return profile_platform(platform, name, max_instructions)
 
 

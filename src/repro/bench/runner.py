@@ -50,9 +50,14 @@ class Comparison:
 
 
 def run_workload(workload: Workload, scale: str, dift: bool,
-                 max_instructions: Optional[int] = None) -> Measurement:
-    """Build, load and run one workload once."""
-    platform = workload.make_platform(scale, dift)
+                 max_instructions: Optional[int] = None,
+                 obs=None) -> Measurement:
+    """Build, load and run one workload once.
+
+    ``obs`` — optional :class:`~repro.obs.Observability`; its metrics
+    then cover this run (shared instances aggregate across runs).
+    """
+    platform = workload.make_platform(scale, dift, obs=obs)
     result: RunResult = platform.run(max_instructions=max_instructions)
     if result.reason not in ("halt", "budget"):
         raise RuntimeError(

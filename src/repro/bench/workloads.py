@@ -62,10 +62,11 @@ class Workload:
     policy: Callable[[Program], Optional[SecurityPolicy]]
     prepare: Callable[[Platform, Program, str], None]
 
-    def make_platform(self, scale: str, dift: bool) -> Platform:
+    def make_platform(self, scale: str, dift: bool, obs=None) -> Platform:
         program = self.build(scale)
         policy = self.policy(program) if dift else None
-        platform = Platform(policy=policy, **self.platform_kwargs(scale))
+        platform = Platform(policy=policy, obs=obs,
+                            **self.platform_kwargs(scale))
         platform.load(program)
         self.prepare(platform, program, scale)
         return platform

@@ -183,13 +183,18 @@ class ScenarioResult:
 def run_scenario(name: str, commands: bytes, expected_detected: bool,
                  variant: str = "vulnerable", per_byte: bool = False,
                  n_challenges: int = 2,
-                 max_instructions: int = 3_000_000) -> ScenarioResult:
-    """Run the immobilizer with the given UART command script."""
+                 max_instructions: int = 3_000_000,
+                 obs=None) -> ScenarioResult:
+    """Run the immobilizer with the given UART command script.
+
+    ``obs`` — optional :class:`~repro.obs.Observability`; a shared
+    instance aggregates metrics/trace across scenarios.
+    """
     program = immo_sw.build(variant=variant, n_challenges=n_challenges)
     policy = (per_byte_policy if per_byte else baseline_policy)(program)
     declassify_to = "(LC,LI)"
     platform = Platform(policy=policy, engine_mode=RECORD,
-                        aes_declassify_to=declassify_to)
+                        aes_declassify_to=declassify_to, obs=obs)
     platform.load(program)
     engine = EngineEcu(platform.can_bus, PIN, n_challenges=n_challenges)
     platform.uart.feed(commands)
@@ -208,32 +213,40 @@ def run_scenario(name: str, commands: bytes, expected_detected: bool,
     )
 
 
-def run_case_study(n_challenges: int = 2) -> List[ScenarioResult]:
-    """The full Section VI-A narrative, one scenario per row."""
+def run_case_study(n_challenges: int = 2, obs=None) -> List[ScenarioResult]:
+    """The full Section VI-A narrative, one scenario per row.
+
+    ``obs`` metrics aggregate over all nine scenario platforms.
+    """
     nc = n_challenges
+
+    def scenario(name, commands, expected_detected, **kwargs):
+        return run_scenario(name, commands, expected_detected, obs=obs,
+                            **kwargs)
+
     results = [
-        run_scenario("protocol-only (fixed SW, baseline policy)",
-                     b"c", expected_detected=False, variant="fixed",
-                     n_challenges=nc),
-        run_scenario("debug dump (vulnerable SW)",
-                     b"d", expected_detected=True, variant="vulnerable"),
-        run_scenario("debug dump (fixed SW)",
-                     b"dq", expected_detected=False, variant="fixed"),
-        run_scenario("attack 1: direct PIN -> UART",
-                     b"1", expected_detected=True, variant="fixed"),
-        run_scenario("attack 1b: PIN -> buffer -> UART",
-                     b"b", expected_detected=True, variant="fixed"),
-        run_scenario("attack 2: branch on PIN",
-                     b"2", expected_detected=True, variant="fixed"),
-        run_scenario("attack 3: overwrite PIN with external data",
-                     b"3" + bytes(16) + b"c", expected_detected=True,
-                     variant="fixed", n_challenges=nc),
-        run_scenario("attack 4: entropy reduction (baseline policy)",
-                     b"4c", expected_detected=False, variant="fixed",
-                     n_challenges=nc),
-        run_scenario("attack 4: entropy reduction (per-byte policy)",
-                     b"4c", expected_detected=True, variant="fixed",
-                     per_byte=True, n_challenges=nc),
+        scenario("protocol-only (fixed SW, baseline policy)",
+                 b"c", expected_detected=False, variant="fixed",
+                 n_challenges=nc),
+        scenario("debug dump (vulnerable SW)",
+                 b"d", expected_detected=True, variant="vulnerable"),
+        scenario("debug dump (fixed SW)",
+                 b"dq", expected_detected=False, variant="fixed"),
+        scenario("attack 1: direct PIN -> UART",
+                 b"1", expected_detected=True, variant="fixed"),
+        scenario("attack 1b: PIN -> buffer -> UART",
+                 b"b", expected_detected=True, variant="fixed"),
+        scenario("attack 2: branch on PIN",
+                 b"2", expected_detected=True, variant="fixed"),
+        scenario("attack 3: overwrite PIN with external data",
+                 b"3" + bytes(16) + b"c", expected_detected=True,
+                 variant="fixed", n_challenges=nc),
+        scenario("attack 4: entropy reduction (baseline policy)",
+                 b"4c", expected_detected=False, variant="fixed",
+                 n_challenges=nc),
+        scenario("attack 4: entropy reduction (per-byte policy)",
+                 b"4c", expected_detected=True, variant="fixed",
+                 per_byte=True, n_challenges=nc),
     ]
     return results
 

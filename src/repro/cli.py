@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -57,12 +58,60 @@ def _load_policy(path: Optional[str]):
         return policy_from_dict(json.load(handle))
 
 
+def _add_obs_options(parser) -> None:
+    """Observability options shared by the simulating commands."""
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write a metrics-snapshot JSON to FILE")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace_event JSON to FILE "
+                             "(open in chrome://tracing / Perfetto)")
+    parser.add_argument("--obs-level", choices=("quantum", "instruction"),
+                        default="quantum",
+                        help="metric granularity; 'instruction' adds "
+                             "per-opcode-group counts but single-steps "
+                             "the ISS (slow); only takes effect together "
+                             "with --metrics-out / --trace-out")
+
+
+def _make_obs(args):
+    """Build an Observability from CLI flags, or None if none requested."""
+    if not (args.metrics_out or args.trace_out):
+        return None
+    # Fail on an unwritable destination *before* simulating, not after —
+    # the export is the last step of a potentially minutes-long run.
+    for path in (args.metrics_out, args.trace_out):
+        if path:
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"error: output directory {parent!r} does not exist")
+    from repro.obs import Observability
+
+    return Observability(trace=args.trace_out is not None,
+                         level=args.obs_level)
+
+
+def _write_obs(obs, args) -> None:
+    if obs is None:
+        return
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"trace: {args.trace_out} "
+              f"({len(obs.tracer.events())} events, "
+              f"{obs.tracer.dropped} dropped)")
+
+
 def _cmd_run(args) -> int:
     with open(args.source) as handle:
         program = assemble(handle.read(), base=args.base)
     policy = _load_policy(args.policy)
+    obs = _make_obs(args)
     platform = Platform(policy=policy,
-                        engine_mode=RECORD if args.record else RAISE)
+                        engine_mode=RECORD if args.record else RAISE,
+                        obs=obs)
     platform.load(program)
     if args.uart_input:
         platform.uart.feed(args.uart_input.encode())
@@ -75,6 +124,7 @@ def _cmd_run(args) -> int:
         print(f"uart: {platform.console()!r}")
     for violation in result.violations:
         print(f"violation: {violation}")
+    _write_obs(obs, args)
     return 1 if result.violations else 0
 
 
@@ -104,8 +154,10 @@ def _cmd_table2(args) -> int:
 def _cmd_casestudy(args) -> int:
     from repro.casestudy import immobilizer as cs
 
-    results = cs.run_case_study()
+    obs = _make_obs(args)
+    results = cs.run_case_study(obs=obs)
     print(cs.format_report(results))
+    _write_obs(obs, args)
     recovered = cs.capture_and_brute_force()
     print()
     print(f"brute force through the baseline-policy gap: recovered PIN "
@@ -199,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-instructions", type=int, default=None)
     p.add_argument("--record", action="store_true",
                    help="record violations instead of raising")
+    _add_obs_options(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("table1", help="reproduce Table I")
@@ -209,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("casestudy", help="run the Section VI-A case study")
+    _add_obs_options(p)
     p.set_defaults(fn=_cmd_casestudy)
 
     p = sub.add_parser("locdelta", help="Section V-B1 LoC measurement")

@@ -78,6 +78,22 @@ class DiftEngine:
         self.violations: List[ViolationRecord] = []
         #: number of clearance checks performed (all kinds)
         self.checks_performed = 0
+        # observability; None keeps the checks free of metric lookups
+        self._metrics = None
+        self._tracer = None
+        self._m_lub = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` sink.
+
+        The ISS hot loop indexes ``lub``/``flow`` raw and is *not*
+        counted here; only the engine's own entry points (MMIO tag
+        merges, clearance checks, violations) record metrics — all of
+        them off the per-instruction path.
+        """
+        self._metrics = obs.metrics
+        self._tracer = obs.tracer
+        self._m_lub = obs.metrics.counter("engine.lub_calls")
 
     # ------------------------------------------------------------------ #
     # propagation
@@ -85,10 +101,14 @@ class DiftEngine:
 
     def lub2(self, a: Tag, b: Tag) -> Tag:
         """LUB of two tags (bounds-checked; hot paths index ``.lub`` raw)."""
+        if self._m_lub is not None:
+            self._m_lub.inc()
         return self.lattice.lub_tag(a, b)
 
     def lub_bytes(self, tags) -> Tag:
         """LUB across an iterable of byte tags (paper ``from_bytes``)."""
+        if self._m_lub is not None:
+            self._m_lub.inc()
         lub = self.lub
         acc = self.bottom_tag
         for t in tags:
@@ -140,6 +160,13 @@ class DiftEngine:
             context=context,
         )
         self.violations.append(record)
+        if self._metrics is not None:
+            self._metrics.counter(f"engine.violations.{kind}").inc()
+        if self._tracer is not None:
+            self._tracer.instant(
+                "violation", "dift",
+                args={"kind": kind, "tag": record.tag,
+                      "required": record.required, "unit": unit, "pc": pc})
         if self.mode == RAISE:
             if kind == "execution":
                 raise ExecutionClearanceError(tag, required, unit, pc)

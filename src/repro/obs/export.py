@@ -1,0 +1,65 @@
+"""JSON documents for metrics snapshots and benchmark records.
+
+Two schemas, both versioned so downstream tooling can evolve:
+
+* ``repro.metrics/1`` — a metrics snapshot (``repro --metrics-out``);
+* ``repro.bench/1``   — one benchmark record (``BENCH_<name>.json``),
+  carrying the benchmark's own payload plus an optional metrics
+  snapshot, so CI artifacts are self-describing and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _host
+import sys
+from typing import Any, Dict, Optional
+
+METRICS_SCHEMA = "repro.metrics/1"
+BENCH_SCHEMA = "repro.bench/1"
+
+
+def _host_info() -> Dict[str, str]:
+    return {
+        "python": sys.version.split()[0],
+        "implementation": _host.python_implementation(),
+        "machine": _host.machine(),
+        "system": _host.system(),
+    }
+
+
+def metrics_document(registry) -> Dict[str, Any]:
+    """Wrap a :class:`MetricsRegistry` snapshot in the export schema."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "host": _host_info(),
+        "metrics": registry.snapshot(),
+    }
+
+
+def bench_record(name: str, payload: Dict[str, Any],
+                 registry=None) -> Dict[str, Any]:
+    """Build one ``BENCH_*.json``-compatible benchmark record."""
+    record: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "host": _host_info(),
+        "data": payload,
+    }
+    if registry is not None:
+        record["metrics"] = registry.snapshot()
+    return record
+
+
+def write_json(path: str, document: Dict[str, Any]) -> str:
+    """Write ``document`` as pretty-printed JSON; returns ``path``."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def write_bench_json(path: str, name: str, payload: Dict[str, Any],
+                     registry=None) -> str:
+    """Build and write one benchmark record; returns ``path``."""
+    return write_json(path, bench_record(name, payload, registry))

@@ -1,0 +1,266 @@
+"""Metrics primitives: counters, gauges and fixed-bucket histograms.
+
+The registry is deliberately small and allocation-free on the hot side:
+a :class:`Counter` is a mutable cell with an ``inc`` method, looked up
+*once* at attach time and then held directly by the instrumented module,
+so recording a sample is one attribute increment — no name resolution,
+no labels, no locks (the simulation is single-threaded).
+
+Gauges come in two flavours: eager (``set`` a value) and lazy (a
+zero-argument callable registered with :meth:`MetricsRegistry.set_gauge_fn`
+that is evaluated only at snapshot time).  Expensive derived metrics —
+the taint-spread scan over 4 MiB of shadow memory, decode-cache hit
+arithmetic — are lazy gauges so they cost nothing while simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.vp import decode as D
+
+# --------------------------------------------------------------------- #
+# opcode grouping (shared by the CPU's instruction-level profile and the
+# instruction-mix benchmark)
+# --------------------------------------------------------------------- #
+
+#: Opcode groups, in reporting order.
+OPCODE_GROUPS = ("alu", "muldiv", "load", "store", "branch", "jump",
+                 "system")
+
+_GROUP_INDEX = {name: i for i, name in enumerate(OPCODE_GROUPS)}
+
+
+def _classify(op: int) -> int:
+    if D.LB <= op <= D.LHU:
+        return _GROUP_INDEX["load"]
+    if D.SB <= op <= D.SW:
+        return _GROUP_INDEX["store"]
+    if D.BEQ <= op <= D.BGEU:
+        return _GROUP_INDEX["branch"]
+    if op in (D.JAL, D.JALR):
+        return _GROUP_INDEX["jump"]
+    if D.MUL <= op <= D.REMU:
+        return _GROUP_INDEX["muldiv"]
+    if D.ADDI <= op <= D.AND or op in (D.LUI, D.AUIPC):
+        return _GROUP_INDEX["alu"]
+    return _GROUP_INDEX["system"]
+
+
+#: ``GROUP_OF_OP[op]`` — group index (into :data:`OPCODE_GROUPS`) of a
+#: dense decoder opcode ID.
+GROUP_OF_OP: List[int] = [_classify(op) for op in range(D.N_OPS)]
+
+
+# --------------------------------------------------------------------- #
+# instruments
+# --------------------------------------------------------------------- #
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (eager flavour)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed samples.
+
+    ``bounds`` are the inclusive upper edges of the buckets; one overflow
+    bucket catches everything above the last bound.  Bucket counts, the
+    running sum, min and max are kept so mean and coarse percentiles can
+    be derived from the snapshot.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty ascending")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)   # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Coarse quantile: the upper edge of the bucket holding rank q.
+
+        Resolution is bucket-width; good enough to spot tail latencies.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max if self.max is not None else self.bounds[-1]
+        return self.max if self.max is not None else self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.1f})"
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+
+class MetricsRegistry:
+    """Name -> instrument registry with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._gauge_fns: Dict[str, Callable[[], Union[int, float]]] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- creation / lookup --------------------------------------------- #
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_fresh(name, self._counters)
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_fresh(name, self._gauges)
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def set_gauge_fn(self, name: str,
+                     fn: Callable[[], Union[int, float]]) -> None:
+        """Register a lazy gauge, evaluated only at snapshot time."""
+        self._gauge_fns[name] = fn
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_fresh(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def _check_fresh(self, name: str, own: dict) -> None:
+        for family in (self._counters, self._gauges, self._gauge_fns,
+                       self._histograms):
+            if family is not own and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with a different "
+                    "instrument type")
+
+    # -- convenience ---------------------------------------------------- #
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def value(self, name: str):
+        """Current value of a counter / gauge / lazy gauge by name."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._gauge_fns:
+            return self._gauge_fns[name]()
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._gauge_fns) + len(self._histograms))
+
+    def __contains__(self, name: str) -> bool:
+        return (name in self._counters or name in self._gauges
+                or name in self._gauge_fns or name in self._histograms)
+
+    # -- snapshot ------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """Flatten everything (resolving lazy gauges) into a plain dict.
+
+        Counters and gauges map to their scalar values; histograms map to
+        their ``to_dict`` form.  Keys are sorted for stable diffs.
+        """
+        out: dict = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, fn in self._gauge_fns.items():
+            out[name] = fn()
+        for name, h in self._histograms.items():
+            out[name] = h.to_dict()
+        return dict(sorted(out.items()))
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} instruments)"
+
+
+#: Fixed bucket edges (µs) for per-quantum host wall-time; spans the
+#: ~100 µs (idle quantum) to ~100 ms (8192-instruction DIFT quantum on a
+#: slow host) range the Python ISS actually produces.
+QUANTUM_WALL_US_BUCKETS = (50, 100, 250, 500, 1000, 2500, 5000, 10000,
+                           25000, 50000, 100000, 250000)

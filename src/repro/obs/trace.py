@@ -1,0 +1,143 @@
+"""Structured event tracing with Chrome ``trace_event`` export.
+
+Events are stored in a fixed-capacity ring buffer (old events are
+overwritten, never reallocated), so tracing a long run keeps the *tail*
+of the execution — usually the interesting part when chasing a policy
+violation or a performance cliff.
+
+The export format is the Chrome Trace Event JSON object form
+(``{"traceEvents": [...]}``) understood by ``chrome://tracing`` and
+Perfetto.  Three phases are used:
+
+* ``"X"`` — complete events (a span with ``ts`` + ``dur``): instruction
+  quanta, TLM transactions, traced instructions;
+* ``"i"`` — instant events: security violations, IRQ entries;
+* ``"M"`` — metadata (process/thread names), emitted by the exporter.
+
+Timestamps are **simulated** microseconds: the trace shows where
+simulated time goes, aligned across CPU and peripherals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Valid trace-event phases this tracer emits.
+PHASES = ("X", "i", "M")
+
+
+@dataclass
+class TraceEvent:
+    """One structured event (field names follow the Chrome schema)."""
+
+    name: str
+    cat: str
+    ph: str
+    ts: float                      # microseconds
+    dur: Optional[float] = None    # microseconds, "X" events only
+    pid: int = 0
+    tid: int = 0
+    args: Dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        out = {"name": self.name, "cat": self.cat, "ph": self.ph,
+               "ts": self.ts, "pid": self.pid, "tid": self.tid}
+        if self.ph == "X":
+            out["dur"] = self.dur if self.dur is not None else 0.0
+        if self.ph == "i":
+            out["s"] = "g"         # global-scope instant
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class EventTracer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent` objects.
+
+    ``clock`` is a zero-argument callable returning the current simulated
+    time in microseconds; the platform installs one at attach time so
+    modules can emit instants without threading timestamps through.
+    """
+
+    def __init__(self, capacity: int = 65536,
+                 clock: Optional[Callable[[], float]] = None):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._ring: List[TraceEvent] = []
+        self._emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(event)
+        else:
+            self._ring[self._emitted % self.capacity] = event
+        self._emitted += 1
+
+    def complete(self, name: str, cat: str, ts: float, dur: float,
+                 args: Optional[dict] = None, tid: int = 0) -> None:
+        """Record a span (Chrome ``"X"`` complete event)."""
+        self.emit(TraceEvent(name=name, cat=cat, ph="X", ts=ts, dur=dur,
+                             tid=tid, args=args or {}))
+
+    def instant(self, name: str, cat: str, ts: Optional[float] = None,
+                args: Optional[dict] = None, tid: int = 0) -> None:
+        """Record a point event; ``ts`` defaults to the installed clock."""
+        self.emit(TraceEvent(name=name, cat=cat, ph="i",
+                             ts=self.clock() if ts is None else ts,
+                             tid=tid, args=args or {}))
+
+    # ------------------------------------------------------------------ #
+    # inspection / export
+    # ------------------------------------------------------------------ #
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted (including any overwritten)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        return max(0, self._emitted - self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """Buffered events, oldest first."""
+        if self._emitted <= self.capacity:
+            return list(self._ring)
+        pivot = self._emitted % self.capacity
+        return self._ring[pivot:] + self._ring[:pivot]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._emitted = 0
+
+    def chrome_trace(self, process_name: str = "vp-dift") -> dict:
+        """Build the Chrome Trace Event JSON object form."""
+        events = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": process_name}},
+        ]
+        events.extend(e.to_json() for e in self.events())
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "emitted": self._emitted,
+                "dropped": self.dropped,
+                "timeUnit": "simulated-us",
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (f"EventTracer(capacity={self.capacity}, "
+                f"buffered={len(self._ring)}, dropped={self.dropped})")

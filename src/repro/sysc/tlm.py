@@ -174,6 +174,20 @@ class Router:
         self._map: List[MapEntry] = []
         self._dmi_providers: dict = {}
         self.transactions_routed = 0
+        # observability; None keeps routing free of metric lookups.  The
+        # per-target counter dict is filled lazily because targets may be
+        # mapped after attach.
+        self._metrics = None
+        self._target_counters: dict = {}
+
+    def attach_metrics(self, metrics) -> None:
+        """Count routed transactions per target into ``metrics``."""
+        self._metrics = metrics
+        self._target_counters = {
+            entry.name: metrics.counter(
+                f"tlm.target.{entry.name}.transactions")
+            for entry in self._map
+        }
 
     def map_target(self, start: int, size: int, socket: TargetSocket,
                    name: str = "") -> None:
@@ -219,6 +233,13 @@ class Router:
                 payload.address,
             )
         self.transactions_routed += 1
+        if self._metrics is not None:
+            counter = self._target_counters.get(entry.name)
+            if counter is None:
+                counter = self._metrics.counter(
+                    f"tlm.target.{entry.name}.transactions")
+                self._target_counters[entry.name] = counter
+            counter.inc()
         global_address = payload.address
         payload.address = global_address - entry.start
         try:

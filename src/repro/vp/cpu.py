@@ -25,6 +25,7 @@ carry per-byte tags on the DIFT platform.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.dift.engine import DiftEngine
@@ -96,6 +97,15 @@ class Cpu(Module):
         self._take_irq = False
         self.irq_event = self.make_event("irq")
 
+        # observability; None keeps every hook a single per-quantum check
+        self._obs = None
+        self._m_instructions = None
+        self._m_quanta = None
+        self._m_irqs = None
+        self._m_quantum_wall = None
+        self._m_groups: Optional[list] = None
+        self._group_of_op: Optional[list] = None
+
         # lifecycle
         self.halted = False
         self.exit_code = 0
@@ -113,6 +123,29 @@ class Cpu(Module):
         self.ram_end = base + len(data)
         self.ram = data
         self.ram_tags = tags
+
+    def attach_obs(self, obs) -> None:
+        """Attach an :class:`~repro.obs.Observability` sink.
+
+        Resolves every instrument once, here, so the enabled path does
+        plain attribute increments and the disabled path (``_obs is
+        None``) stays a single check per quantum in :meth:`run`.
+        """
+        from repro.obs.metrics import (
+            GROUP_OF_OP,
+            OPCODE_GROUPS,
+            QUANTUM_WALL_US_BUCKETS,
+        )
+        self._obs = obs
+        metrics = obs.metrics
+        self._m_instructions = metrics.counter("cpu.instructions")
+        self._m_quanta = metrics.counter("cpu.quanta")
+        self._m_irqs = metrics.counter("cpu.irqs_taken")
+        self._m_quantum_wall = metrics.histogram(
+            "cpu.quantum_wall_us", QUANTUM_WALL_US_BUCKETS)
+        self._m_groups = [metrics.counter(f"cpu.inst.{group}")
+                          for group in OPCODE_GROUPS]
+        self._group_of_op = GROUP_OF_OP
 
     def reset(self, pc: int) -> None:
         """Reset architectural state and start executing at ``pc``."""
@@ -154,7 +187,13 @@ class Cpu(Module):
             cause = CSR.IRQ_M_SOFT
         else:
             cause = CSR.IRQ_M_TIMER
-        return self._trap(CSR.INTERRUPT_BIT | cause, 0)
+        entered = self._trap(CSR.INTERRUPT_BIT | cause, 0)
+        if entered and self._obs is not None:
+            self._m_irqs.inc()
+            if self._obs.tracer is not None:
+                self._obs.tracer.instant(
+                    "irq", "cpu", args={"cause": cause, "pc": self.pc})
+        return entered
 
     def _trap(self, cause: int, tval: int) -> bool:
         """Enter a trap.  Returns False if the DIFT engine vetoed the entry
@@ -238,9 +277,76 @@ class Cpu(Module):
         """Execute up to ``max_instructions``; returns (executed, reason)."""
         if self.halted:
             return 0, HALT
+        if self._obs is not None:
+            return self._run_observed(max_instructions)
         if self.dift is None:
             return self._run_plain(max_instructions)
         return self._run_dift(max_instructions)
+
+    # ---- observability wrappers (never entered when _obs is None) -------- #
+
+    def _run_observed(self, n: int) -> Tuple[int, str]:
+        """One quantum with metrics/tracing; hooks fire per quantum only."""
+        obs = self._obs
+        sim_start_ps = self.kernel.now.ps
+        started = perf_counter()
+        if obs.level == "instruction":
+            executed, reason = self._run_counted(n)
+        elif self.dift is None:
+            executed, reason = self._run_plain(n)
+        else:
+            executed, reason = self._run_dift(n)
+        wall_us = (perf_counter() - started) * 1e6
+        self._m_instructions.inc(executed)
+        self._m_quanta.inc()
+        self._m_quantum_wall.observe(wall_us)
+        obs.metrics.counter(f"cpu.stop.{reason}").inc()
+        tracer = obs.tracer
+        if tracer is not None and executed:
+            tracer.complete(
+                "quantum", "cpu", ts=sim_start_ps / 1e6,
+                dur=executed * self.clock_period.ps / 1e6,
+                args={"executed": executed, "reason": reason,
+                      "wall_us": round(wall_us, 1)})
+        return executed, reason
+
+    def _run_counted(self, n: int) -> Tuple[int, str]:
+        """Single-step a quantum, attributing retirements to opcode groups.
+
+        This is the ``level="instruction"`` profile: several-fold slower
+        than the flat loops, so it is only reachable when explicitly
+        requested.  Interrupt entries are left unattributed (the
+        pre-fetched opcode would misattribute the handler's first
+        instruction).
+        """
+        groups = self._m_groups
+        group_of = self._group_of_op
+        assert groups is not None and group_of is not None
+        cache = self._decode_cache
+        decode = D.decode
+        run1 = self._run_plain if self.dift is None else self._run_dift
+        frombytes = int.from_bytes
+        executed = 0
+        reason = QUANTUM
+        while executed < n:
+            op = None
+            pc = self.pc
+            if not self._take_irq and \
+                    self.ram_base <= pc <= self.ram_end - 4 and not pc & 3:
+                off = pc - self.ram_base
+                word = frombytes(self.ram[off:off + 4], "little")
+                d = cache.get(word)
+                if d is None:
+                    d = decode(word)
+                    cache[word] = d
+                op = d[0]
+            stepped, reason = run1(1)
+            executed += stepped
+            if stepped and op is not None:
+                groups[group_of[op]].inc()
+            if reason != QUANTUM or not stepped:
+                break
+        return executed, reason
 
     # ---- plain VP -------------------------------------------------------- #
 

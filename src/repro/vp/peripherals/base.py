@@ -34,6 +34,16 @@ class MmioPeripheral(Module):
         self.access_delay = access_delay
         self.tsock = TargetSocket(f"{name}.tsock")
         self.tsock.register_b_transport(self.transport)
+        # observability; None keeps transport free of metric lookups
+        self._obs_tracer = None
+        self._m_reads = None
+        self._m_writes = None
+
+    def attach_obs(self, obs) -> None:
+        """Count register accesses / emit TLM spans into ``obs``."""
+        self._obs_tracer = obs.tracer
+        self._m_reads = obs.metrics.counter(f"periph.{self.name}.reads")
+        self._m_writes = obs.metrics.counter(f"periph.{self.name}.writes")
 
     @property
     def bottom_tag(self) -> int:
@@ -63,6 +73,14 @@ class MmioPeripheral(Module):
             trans.response = "command-error"
             return delay
         trans.response = OK
+        if self._m_reads is not None:
+            (self._m_reads if trans.is_read() else self._m_writes).inc()
+            if self._obs_tracer is not None:
+                self._obs_tracer.complete(
+                    f"{self.name}.{'rd' if trans.is_read() else 'wr'}",
+                    "tlm", ts=self._obs_tracer.clock(),
+                    dur=self.access_delay.ps / 1e6,
+                    args={"offset": offset, "length": length})
         return delay + self.access_delay
 
     # -- register interface; peripherals override these ------------------- #

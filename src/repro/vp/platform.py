@@ -119,6 +119,7 @@ class Platform:
         sensor_period: SimTime = SimTime.ms(25),
         aes_declassify_to: Optional[str] = None,
         seed: int = 0x5EED,
+        obs=None,
     ):
         self.kernel = Kernel()
         self.engine: Optional[DiftEngine] = (
@@ -168,6 +169,73 @@ class Platform:
         self.total_instructions = 0
         self._cpu_proc = self.kernel.spawn(self._cpu_process,
                                            name="cpu0.process")
+
+        self.obs = obs
+        if obs is not None:
+            self._attach_obs(obs)
+
+    def _attach_obs(self, obs) -> None:
+        """Wire an :class:`~repro.obs.Observability` through every layer."""
+        if obs.tracer is not None:
+            obs.tracer.clock = lambda: self.kernel.now.ps / 1e6
+        self.cpu.attach_obs(obs)
+        self.router.attach_metrics(obs.metrics)
+        for peripheral in (self.uart, self.sensor, self.can, self.aes,
+                           self.dma, self.clint, self.plic):
+            peripheral.attach_obs(obs)
+        metrics = obs.metrics
+        # Derived metrics are lazy gauges: evaluated at snapshot time
+        # only, so they may scan megabytes of shadow state for free
+        # during simulation.
+        metrics.set_gauge_fn("sim.time_us",
+                             lambda: self.kernel.now.ps / 1e6)
+        metrics.set_gauge_fn("sim.delta_cycles",
+                             lambda: self.kernel.delta_count)
+        metrics.set_gauge_fn("tlm.transactions_routed",
+                             lambda: self.router.transactions_routed)
+        # Every retired instruction is one decode-cache lookup; every
+        # cache entry was exactly one miss — hit/miss falls out of
+        # instret and the cache size with zero hot-loop cost.
+        metrics.set_gauge_fn("cpu.decode_cache.entries",
+                             lambda: len(self.cpu._decode_cache))
+        metrics.set_gauge_fn("cpu.decode_cache.misses",
+                             lambda: len(self.cpu._decode_cache))
+        metrics.set_gauge_fn(
+            "cpu.decode_cache.hits",
+            lambda: max(0, self.cpu.csr.instret
+                        - len(self.cpu._decode_cache)))
+        engine = self.engine
+        if engine is not None:
+            engine.attach_obs(obs)
+            metrics.set_gauge_fn("engine.checks_performed",
+                                 lambda: engine.checks_performed)
+            metrics.set_gauge_fn("engine.violations",
+                                 lambda: engine.violation_count)
+            metrics.set_gauge_fn("taint.tagged_regs", self._tagged_regs)
+            metrics.set_gauge_fn("taint.tagged_mem_bytes",
+                                 self._tagged_mem_bytes)
+            metrics.set_gauge_fn("taint.mem_spread_ratio",
+                                 self._mem_spread_ratio)
+
+    # -- taint-spread gauges (snapshot-time scans of the shadow state) --- #
+
+    def _tagged_regs(self) -> int:
+        bottom = self.engine.bottom_tag
+        return sum(1 for tag in self.cpu.tags if tag != bottom)
+
+    def _tagged_mem_bytes(self) -> int:
+        # Spread is measured against the policy *default* classification:
+        # bytes the guest (or a peripheral) re-tagged away from it.
+        tags = self.memory.tags
+        if tags is None:
+            return 0
+        return len(tags) - tags.count(self.engine.default_tag)
+
+    def _mem_spread_ratio(self) -> float:
+        tags = self.memory.tags
+        if not tags:
+            return 0.0
+        return self._tagged_mem_bytes() / len(tags)
 
     def detach_cpu_process(self) -> None:
         """Remove the CPU from kernel scheduling (external drivers only).
@@ -233,6 +301,13 @@ class Platform:
         host = _time.perf_counter() - started
         if not self.stop_reason:
             self.stop_reason = "time-limit" if max_time else "idle"
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.gauge("run.wall_seconds").set(host)
+            metrics.gauge("run.instructions").set(self.total_instructions)
+            if host > 0:
+                metrics.gauge("run.mips").set(
+                    self.total_instructions / host / 1e6)
         return RunResult(
             instructions=self.total_instructions,
             host_seconds=host,

@@ -6,12 +6,18 @@ it on the failing window, not whole benchmarks), recording for each step
 the PC, disassembly, register writes and their tags, so the propagation
 chain leading to a violation can be inspected.
 
+The tracer is built on the :mod:`repro.obs` event layer: every step can
+be mirrored into an :class:`~repro.obs.trace.EventTracer` ring buffer,
+and any captured window exports to Chrome ``trace_event`` JSON for
+visual inspection alongside the platform's quantum/TLM spans.
+
 Typical use::
 
     tracer = Tracer(platform)
     trace = tracer.run(max_instructions=500)
     print(tracer.format(trace[-20:]))          # the last 20 steps
     print(tracer.format(tracer.tainted_only(trace)))
+    json.dump(tracer.chrome_trace(trace), open("trace.json", "w"))
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.asm.disasm import disassemble_word
+from repro.obs.trace import EventTracer
 from repro.vp import cpu as cpu_mod
 from repro.vp.platform import Platform
 
@@ -41,13 +48,33 @@ class TraceStep:
             for reg, value, tag in self.reg_writes)
         return f"{self.index:>6}  {self.pc:08x}  {self.text:<32} {writes}"
 
+    def to_event_args(self) -> dict:
+        """The structured-event payload for this step."""
+        return {
+            "pc": self.pc,
+            "word": self.word,
+            "writes": [
+                {"reg": reg, "value": value,
+                 **({"tag": tag} if tag else {})}
+                for reg, value, tag in self.reg_writes
+            ],
+            "reason": self.reason,
+        }
+
 
 class Tracer:
-    """Single-step driver capturing an instruction-level trace."""
+    """Single-step driver capturing an instruction-level trace.
 
-    def __init__(self, platform: Platform):
+    ``events`` — an optional obs ring buffer; every step is mirrored
+    into it as an instruction span (simulated-time timestamps), so the
+    window survives in the platform-wide trace export.
+    """
+
+    def __init__(self, platform: Platform,
+                 events: Optional[EventTracer] = None):
         self.platform = platform
         self.cpu = platform.cpu
+        self.events = events
 
     def run(self, max_instructions: int = 10_000,
             stop_reasons: tuple = (cpu_mod.HALT, cpu_mod.EBREAK,
@@ -61,6 +88,9 @@ class Tracer:
         the platform quantum instead.
         """
         cpu = self.cpu
+        events = self.events
+        period_us = cpu.clock_period.ps / 1e6
+        base_us = self.platform.kernel.now.ps / 1e6
         trace: List[TraceStep] = []
         for index in range(max_instructions):
             pc = cpu.pc
@@ -86,12 +116,16 @@ class Tracer:
                             cpu.tags[reg])
                     step.reg_writes.append((reg, cpu.regs[reg], tag))
             trace.append(step)
+            if events is not None:
+                events.complete(step.text, "insn",
+                                ts=base_us + index * period_us,
+                                dur=period_us, args=step.to_event_args())
             if not executed or reason in stop_reasons:
                 break
         return trace
 
     # ------------------------------------------------------------------ #
-    # filters / rendering
+    # filters / rendering / export
     # ------------------------------------------------------------------ #
 
     def tainted_only(self, trace: List[TraceStep],
@@ -106,6 +140,17 @@ class Tracer:
             if any(tag not in (None, bottom)
                    for __, __, tag in step.reg_writes)
         ]
+
+    def chrome_trace(self, trace: List[TraceStep],
+                     clock_period_us: Optional[float] = None) -> dict:
+        """Export a captured window as a Chrome ``trace_event`` document."""
+        period_us = (clock_period_us if clock_period_us is not None
+                     else self.cpu.clock_period.ps / 1e6)
+        tracer = EventTracer(capacity=max(1, len(trace)))
+        for step in trace:
+            tracer.complete(step.text, "insn", ts=step.index * period_us,
+                            dur=period_us, args=step.to_event_args())
+        return tracer.chrome_trace(process_name="vp-dift-tracer")
 
     @staticmethod
     def format(trace: List[TraceStep]) -> str:

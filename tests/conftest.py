@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from typing import List, Optional, Tuple
 
 import pytest
@@ -16,6 +17,35 @@ from repro.vp.memory import Memory
 from repro.vp.platform import Platform
 
 RAM_SIZE = 256 * 1024
+
+#: default seed for the randomized (fuzz) tests — deterministic so CI is
+#: stable; override with ``--seed=N`` to explore or reproduce a failure.
+DEFAULT_FUZZ_SEED = 0xD1F7
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed",
+        action="store",
+        type=int,
+        default=DEFAULT_FUZZ_SEED,
+        help="seed for the randomized tests (test_taint_fuzz, decode-cache "
+             "differential); failures report the seed — rerun with "
+             "--seed=N to reproduce",
+    )
+
+
+@pytest.fixture
+def fuzz_rng(request):
+    """A seeded ``random.Random`` for randomized tests.
+
+    The seed is attached as ``rng.seed_value`` so tests can embed it in
+    assertion messages, making any failure reproducible via ``--seed``.
+    """
+    seed = request.config.getoption("--seed")
+    rng = random.Random(seed)
+    rng.seed_value = seed
+    return rng
 
 
 def assemble_words(source: str) -> List[int]:

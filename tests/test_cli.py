@@ -111,6 +111,55 @@ class TestAnalysisCommands:
         assert "DETECTED" in capsys.readouterr().out
 
 
+class TestObservabilityCli:
+    def test_run_metrics_and_trace_out(self, guest_file, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        assert main(["run", str(guest_file),
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert str(metrics) in out and str(trace) in out
+
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.metrics/1"
+        assert doc["metrics"]["cpu.instructions"] > 0
+        assert doc["metrics"]["cpu.stop.halt"] == 1
+
+        tdoc = json.loads(trace.read_text())
+        assert tdoc["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "quantum"
+                   for e in tdoc["traceEvents"])
+
+    def test_run_obs_level_instruction(self, guest_file, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main(["run", str(guest_file), "--metrics-out", str(metrics),
+                     "--obs-level", "instruction"]) == 0
+        snap = json.loads(metrics.read_text())["metrics"]
+        groups = {k: v for k, v in snap.items()
+                  if k.startswith("cpu.inst.")}
+        assert groups and sum(groups.values()) == snap["cpu.instructions"]
+
+    def test_casestudy_metrics_and_trace_out(self, tmp_path, capsys):
+        metrics = tmp_path / "cs_metrics.json"
+        trace = tmp_path / "cs_trace.json"
+        assert main(["casestudy", "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro.metrics/1"
+        snap = doc["metrics"]
+        # metrics aggregate across all nine scenario platforms
+        assert snap["cpu.instructions"] > 0
+        assert snap["engine.lub_calls"] > 0
+        # the attack scenarios each record a detection
+        violation_total = sum(v for k, v in snap.items()
+                              if k.startswith("engine.violations."))
+        assert violation_total >= 6
+        tdoc = json.loads(trace.read_text())
+        assert any(e["name"] == "violation" and e["ph"] == "i"
+                   for e in tdoc["traceEvents"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,163 @@
+"""Differential test for the ISS decode cache (``Cpu._decode_cache``).
+
+The hot loops memoize ``decode(word)`` per instruction word.  A stale or
+corrupted cache entry would silently execute the wrong operation, so this
+suite drives randomized instruction-word streams through both paths:
+
+* the normal cached decode, and
+* a *bypassed* cache (a dict whose ``get`` never hits), forcing a fresh
+  ``decode()`` on every fetch,
+
+and asserts the two produce identical decode tuples and — when executed —
+identical architectural state.  Seeded via the ``--seed`` conftest option.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vp import decode as D
+from tests.conftest import BareCpu
+
+N_WORDS = 4_000
+N_STREAM = 600
+SCRATCH = 0x8000  # data region the random stores are confined to
+
+
+class _BypassCache(dict):
+    """A decode cache that never hits: every lookup is a fresh decode."""
+
+    def get(self, key, default=None):  # noqa: ARG002 - dict signature
+        return None
+
+
+def test_decode_tuples_cached_vs_bypassed(fuzz_rng):
+    """Fully random words: cache memoization is semantically invisible."""
+    rng = fuzz_rng
+    cache = {}
+    seen = []
+    for trial in range(N_WORDS):
+        # revisit earlier words a third of the time so the cached path
+        # actually *hits*; otherwise this would only test cold misses
+        if seen and rng.random() < 0.35:
+            word = rng.choice(seen)
+        else:
+            word = rng.randrange(1 << 32)
+            seen.append(word)
+        cached = cache.get(word)
+        if cached is None:
+            cached = D.decode(word)
+            cache[word] = cached
+        fresh = D.decode(word)
+        assert cached == fresh, (
+            f"word={word:#010x} cached={cached} fresh={fresh} "
+            f"seed={rng.seed_value}")
+
+
+def _random_stream(rng):
+    """Random straight-line RV32IM words that cannot fault.
+
+    Registers x5..x15 hold arbitrary values; x1 is pinned at SCRATCH so
+    loads/stores stay inside RAM.  Duplicated words are likely (small
+    field ranges), which is exactly what exercises cache hits.
+    """
+    words = []
+    regs = list(range(5, 16))
+
+    def r():
+        return rng.choice(regs)
+
+    for _ in range(N_STREAM):
+        kind = rng.randrange(8)
+        if kind == 0:      # op-imm: addi/slti/sltiu/xori/ori/andi
+            f3 = rng.choice((0b000, 0b010, 0b011, 0b100, 0b110, 0b111))
+            imm = rng.randrange(-2048, 2048) & 0xFFF
+            words.append((imm << 20) | (r() << 15) | (f3 << 12) |
+                         (r() << 7) | 0x13)
+        elif kind == 1:    # shifts: slli/srli/srai
+            f3, f7 = rng.choice(((1, 0), (5, 0), (5, 0x20)))
+            sh = rng.randrange(32)
+            words.append((f7 << 25) | (sh << 20) | (r() << 15) |
+                         (f3 << 12) | (r() << 7) | 0x13)
+        elif kind == 2:    # register ALU incl. M extension
+            f3 = rng.randrange(8)
+            f7 = rng.choice((0, 1)) if rng.random() < 0.5 else 0
+            if f7 == 0 and f3 in (0, 5) and rng.random() < 0.5:
+                f7 = 0x20  # sub / sra
+            words.append((f7 << 25) | (r() << 20) | (r() << 15) |
+                         (f3 << 12) | (r() << 7) | 0x33)
+        elif kind == 3:    # lui / auipc
+            op = rng.choice((0x37, 0x17))
+            words.append((rng.randrange(1 << 20) << 12) | (r() << 7) | op)
+        elif kind == 4:    # load from [x1 + small aligned offset]
+            f3, align = rng.choice(((0b010, 4), (0b001, 2), (0b101, 2),
+                                    (0b000, 1), (0b100, 1)))
+            off = rng.randrange(0, 256 // align) * align
+            words.append((off << 20) | (1 << 15) | (f3 << 12) |
+                         (r() << 7) | 0x03)
+        elif kind == 5:    # store to [x1 + small aligned offset]
+            f3, align = rng.choice(((0b010, 4), (0b001, 2), (0b000, 1)))
+            off = rng.randrange(0, 256 // align) * align
+            words.append(((off >> 5) << 25) | (r() << 20) | (1 << 15) |
+                         (f3 << 12) | ((off & 0x1F) << 7) | 0x23)
+        else:              # repeat an earlier word → guaranteed cache hits
+            words.append(rng.choice(words) if words else 0x00000013)
+    return words
+
+
+def _fresh_cpu(words, rng_state_regs):
+    harness = BareCpu()
+    harness.put_code(words, base=0)
+    # identical starting register state on both CPUs
+    for i, value in enumerate(rng_state_regs, start=5):
+        harness.cpu.regs[i] = value
+    harness.cpu.regs[1] = SCRATCH
+    return harness
+
+
+def test_execution_cached_vs_bypassed(fuzz_rng):
+    """The same random stream executes identically with and without cache."""
+    rng = fuzz_rng
+    words = _random_stream(rng)
+    words.append(0x00100073)  # ebreak terminator
+    state = [rng.randrange(1 << 32) for _ in range(11)]
+
+    cached = _fresh_cpu(words, state)
+    bypassed = _fresh_cpu(words, state)
+    bypassed.cpu._decode_cache = _BypassCache()
+
+    res_a = cached.step(len(words) + 10)
+    res_b = bypassed.step(len(words) + 10)
+
+    why = f"seed={rng.seed_value}"
+    assert res_a == res_b, why
+    assert cached.cpu.pc == bypassed.cpu.pc, why
+    assert list(cached.cpu.regs) == list(bypassed.cpu.regs), why
+    assert bytes(cached.memory.data) == bytes(bypassed.memory.data), why
+
+    # the cached CPU actually used its cache, and every entry is exactly
+    # what a fresh decode produces
+    assert 0 < len(cached.cpu._decode_cache) <= len(set(words))
+    for word, entry in cached.cpu._decode_cache.items():
+        assert entry == D.decode(word), f"word={word:#010x} {why}"
+    # the bypass really bypassed: misses on every step, so the bypass
+    # dict accumulated one entry per distinct executed word too, but its
+    # get() never served them
+    assert isinstance(bypassed.cpu._decode_cache, _BypassCache)
+
+
+def test_execution_differential_many_seeds(fuzz_rng):
+    """Short streams across derived seeds — broader input coverage."""
+    base = fuzz_rng
+    for sub in range(8):
+        rng = type(base)(base.seed_value + sub + 1)
+        rng.seed_value = base.seed_value + sub + 1
+        words = _random_stream(rng)[:120]
+        words.append(0x00100073)
+        state = [rng.randrange(1 << 32) for _ in range(11)]
+        cached = _fresh_cpu(words, state)
+        bypassed = _fresh_cpu(words, state)
+        bypassed.cpu._decode_cache = _BypassCache()
+        assert cached.step(200) == bypassed.step(200), f"seed={rng.seed_value}"
+        assert list(cached.cpu.regs) == list(bypassed.cpu.regs), \
+            f"seed={rng.seed_value}"

@@ -1,0 +1,181 @@
+"""Randomized property test for the ``Taint`` operator dunders.
+
+Every arithmetic/bitwise/comparison operator of
+:class:`repro.dift.taint.Taint` is exercised with random operands at all
+four machine widths, in all three operand mixes (``Taint ⊕ Taint``,
+``Taint ⊕ int`` and — where a reflected dunder exists — ``int ⊕ Taint``),
+and the result is checked against two independent references:
+
+* the *value* against plain-int arithmetic reduced mod ``2**(8*width)``;
+* the *tag* against the lattice LUB of the operand tags (a plain ``int``
+  operand carries the lattice bottom).
+
+Seeded via the ``--seed`` conftest option; failures embed the seed so
+they reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import pytest
+
+from repro.dift.engine import DiftEngine
+from repro.dift.taint import Taint
+from repro.policy import SecurityPolicy, builders
+
+WIDTHS = (1, 2, 4, 8)
+N_TRIALS = 300  # per operator table entry; keep the suite fast
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """IFP-3 engine: 4-class product lattice with a non-trivial LUB."""
+    policy = SecurityPolicy(builders.ifp3(), default_class=builders.LC_LI,
+                            name="fuzz")
+    return DiftEngine(policy)
+
+
+def _mask(width: int) -> int:
+    return (1 << (8 * width)) - 1
+
+
+def _signed(value: int, width: int) -> int:
+    sign = 1 << (8 * width - 1)
+    return value - (1 << (8 * width)) if value & sign else value
+
+
+# (name, python operator on Taint operands, reference on plain ints,
+#  has a reflected dunder for the int ⊕ Taint mix)
+BINOPS = [
+    ("add", operator.add, lambda a, b, w: a + b, True),
+    ("sub", operator.sub, lambda a, b, w: a - b, True),
+    ("mul", operator.mul, lambda a, b, w: a * b, True),
+    ("floordiv", operator.floordiv,
+     lambda a, b, w: a // b if b else _mask(w), False),
+    ("mod", operator.mod, lambda a, b, w: a % b if b else a, False),
+    ("and", operator.and_, lambda a, b, w: a & b, True),
+    ("or", operator.or_, lambda a, b, w: a | b, True),
+    ("xor", operator.xor, lambda a, b, w: a ^ b, True),
+    ("lshift", operator.lshift,
+     lambda a, b, w: a << (b & (8 * w - 1)), False),
+    ("rshift", operator.rshift,
+     lambda a, b, w: a >> (b & (8 * w - 1)), False),
+]
+
+
+def _draw(rng, engine, width):
+    """Random (value, tag) pair for one operand."""
+    value = rng.randrange(1 << (8 * width))
+    tag = rng.randrange(len(engine.lattice))
+    return value, tag
+
+
+@pytest.mark.parametrize("name,op,ref,has_reflected",
+                         BINOPS, ids=[b[0] for b in BINOPS])
+def test_binop_fuzz(fuzz_rng, engine, name, op, ref, has_reflected):
+    rng = fuzz_rng
+    lub = engine.lattice.lub_tag
+    bottom = engine.bottom_tag
+    for trial in range(N_TRIALS):
+        width = rng.choice(WIDTHS)
+        av, at = _draw(rng, engine, width)
+        bv, bt = _draw(rng, engine, width)
+        ta = Taint(av, at, engine, width)
+        tb = Taint(bv, bt, engine, width)
+        why = (f"op={name} width={width} a={av:#x}/{at} b={bv:#x}/{bt} "
+               f"trial={trial} seed={rng.seed_value}")
+
+        # Taint ⊕ Taint
+        r = op(ta, tb)
+        assert isinstance(r, Taint), why
+        assert r.width == width, why
+        assert r.value == ref(av, bv, width) & _mask(width), why
+        assert r.tag == lub(at, bt), why
+        assert r.engine is engine, why
+
+        # Taint ⊕ int: the plain operand carries lattice bottom
+        r = op(ta, bv)
+        assert r.value == ref(av, bv, width) & _mask(width), why
+        assert r.tag == lub(at, bottom) == at, why
+
+        # int ⊕ Taint (reflected dunder where defined)
+        if has_reflected:
+            r = op(av, tb)
+            assert isinstance(r, Taint), why
+            assert r.value == ref(av, bv, width) & _mask(width), why
+            assert r.tag == lub(bottom, bt) == bt, why
+
+
+def test_unary_fuzz(fuzz_rng, engine):
+    rng = fuzz_rng
+    for trial in range(N_TRIALS):
+        width = rng.choice(WIDTHS)
+        av, at = _draw(rng, engine, width)
+        t = Taint(av, at, engine, width)
+        why = f"width={width} a={av:#x}/{at} seed={rng.seed_value}"
+
+        inv = ~t
+        assert inv.value == ~av & _mask(width), why
+        assert inv.tag == at and inv.width == width, why
+
+        neg = -t
+        assert neg.value == -av & _mask(width), why
+        assert neg.tag == at and neg.width == width, why
+
+
+def test_compare_fuzz(fuzz_rng, engine):
+    """Comparisons return a 1-byte Taint whose tag is the operand LUB."""
+    rng = fuzz_rng
+    lub = engine.lattice.lub_tag
+    for trial in range(N_TRIALS):
+        width = rng.choice(WIDTHS)
+        av, at = _draw(rng, engine, width)
+        # bias toward equal values so eq/ne see both outcomes
+        bv = av if rng.random() < 0.3 else rng.randrange(1 << (8 * width))
+        bt = rng.randrange(len(engine.lattice))
+        ta = Taint(av, at, engine, width)
+        tb = Taint(bv, bt, engine, width)
+        why = (f"width={width} a={av:#x}/{at} b={bv:#x}/{bt} "
+               f"seed={rng.seed_value}")
+
+        for meth, expect in (
+            ("eq", int(av == bv)),
+            ("ne", int(av != bv)),
+            ("lt", int(av < bv)),
+            ("lt_signed", int(_signed(av, width) < _signed(bv, width))),
+        ):
+            r = getattr(ta, meth)(tb)
+            assert r.value == expect, f"{meth}: {why}"
+            assert r.width == 1, f"{meth}: {why}"
+            assert r.tag == lub(at, bt), f"{meth}: {why}"
+            # int operand → bottom tag, so the result keeps ta's tag
+            r2 = getattr(ta, meth)(bv)
+            assert r2.value == expect and r2.tag == at, f"{meth}: {why}"
+
+
+def test_bytes_roundtrip_fuzz(fuzz_rng, engine):
+    """to_bytes/from_bytes preserve the value; tag = LUB of byte tags."""
+    rng = fuzz_rng
+    lub = engine.lattice.lub_tag
+    for trial in range(N_TRIALS):
+        width = rng.choice(WIDTHS)
+        av, at = _draw(rng, engine, width)
+        t = Taint(av, at, engine, width)
+        parts = t.to_bytes()
+        assert len(parts) == width
+        assert all(p.width == 1 and p.tag == at for p in parts)
+        back = Taint.from_bytes(parts, engine)
+        assert back.value == av and back.tag == at and back.width == width
+
+        # independent per-byte tags: rebuilt tag is the LUB across bytes
+        tags = [rng.randrange(len(engine.lattice)) for _ in range(width)]
+        parts = [Taint((av >> (8 * i)) & 0xFF, tg, engine, width=1)
+                 for i, tg in enumerate(tags)]
+        back = Taint.from_bytes(parts, engine)
+        expected = engine.bottom_tag
+        for tg in tags:
+            expected = lub(expected, tg)
+        why = f"width={width} tags={tags} seed={rng.seed_value}"
+        assert back.value == av, why
+        assert back.tag == expected, why
