@@ -7,6 +7,8 @@ compare-and-call heavy, dhrystone is string/branch heavy, simple-sensor
 is load/store (MMIO) heavy.
 """
 
+from time import perf_counter
+
 import pytest
 
 from repro.bench.instmix import (
@@ -17,15 +19,25 @@ from repro.bench.workloads import TABLE2_ORDER
 from repro.obs import Observability
 
 _STEPS = 40_000
+_QUICK_STEPS = 5_000
 _MIXES = {}
 
 
 @pytest.mark.parametrize("name", TABLE2_ORDER)
-def test_profile(benchmark, name, bench_json):
+def test_profile(benchmark, name, bench_json, quick):
     benchmark.group = "instruction-mix"
+    steps = _QUICK_STEPS if quick else _STEPS
     obs = Observability()
-    mix = benchmark.pedantic(profile_workload, args=(name, _STEPS),
+    started = perf_counter()
+    mix = benchmark.pedantic(profile_workload, args=(name, steps),
                              kwargs={"obs": obs}, rounds=1, iterations=1)
+    elapsed = perf_counter() - started
+    # regression-gate timing: min of three runs, so the committed
+    # baseline tracks the code's speed rather than host scheduling noise
+    for __ in range(2):
+        t0 = perf_counter()
+        profile_workload(name, steps, obs=Observability())
+        elapsed = min(elapsed, perf_counter() - t0)
     assert mix.total > 1_000
     benchmark.extra_info.update(
         {cat: round(100 * mix.fraction(cat), 1)
@@ -33,14 +45,17 @@ def test_profile(benchmark, name, bench_json):
     _MIXES[name] = mix
     bench_json(f"instmix_{name}",
                {"workload": name, "total": mix.total,
+                "seconds": elapsed,
                 "counts": dict(mix.counts),
                 "fractions": {cat: mix.fraction(cat)
                               for cat in mix.counts}},
                registry=obs.metrics)
 
 
-def test_workload_characters(benchmark, capsys):
+def test_workload_characters(benchmark, capsys, quick):
     """The claims the substitutions rest on, asserted."""
+    if quick:
+        pytest.skip("character assertions need the full step budget")
     benchmark.group = "instruction-mix"
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     if len(_MIXES) < len(TABLE2_ORDER):

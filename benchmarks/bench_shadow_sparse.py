@@ -1,0 +1,104 @@
+"""Sparse shadow-memory microbenchmark (copy-on-taint page storage).
+
+Three access patterns over a RAM-sized :class:`ShadowTags` store:
+
+* **clean-run** — bulk reads and LUB folds over a store nothing ever
+  tainted: the sparse win case (every page is the shared clean
+  sentinel, so predicates are O(1) per page);
+* **sparse-taint** — a few scattered tainted buffers, the common DIFT
+  steady state: only the touched pages materialize;
+* **dense-taint** — every page tainted, the adversarial worst case: the
+  store degrades to flat storage plus page bookkeeping, which must stay
+  within a small constant factor of a plain ``bytearray``.
+
+Each pattern also records the materialized-page footprint so the memory
+side of the copy-on-taint claim is in the JSON record, not just the
+timing.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.dift.shadow import PAGE_SIZE, ShadowTags
+from repro.policy import builders
+
+_SIZE = 4 * 1024 * 1024          # RAM-sized store (1024 pages)
+_QUICK_SIZE = 256 * 1024
+
+
+def _lattice():
+    lattice = builders.ifp3()
+    return (lattice.lub_table, lattice.tag_of(lattice.bottom),
+            lattice.tag_of(builders.HC_HI))
+
+
+def _clean_run(shadow, lub_table, rounds):
+    acc = 0
+    for __ in range(rounds):
+        shadow.get_range(0, 4096)
+        acc = shadow.lub_range(0, shadow.size, lub_table, acc)
+        shadow.any_tainted(0, shadow.size)
+    return acc
+
+
+def _sparse_taint(shadow, lub_table, rounds, tag):
+    stride = shadow.size // 8
+    for __ in range(rounds):
+        for buffer in range(8):
+            start = buffer * stride
+            shadow.fill_range(start, 64, tag)
+            shadow.lub_range(start, 4096, lub_table, 0)
+            shadow.fill_range(start, 64, shadow.fill)
+        shadow.any_tainted(0, shadow.size)
+    return shadow.materialized_pages
+
+
+def _dense_taint(shadow, lub_table, rounds, tag):
+    for __ in range(rounds):
+        shadow.fill_range(0, shadow.size, tag)
+        shadow.any_tainted(0, shadow.size)
+        shadow.fill_range(0, shadow.size, shadow.fill)
+    return shadow.materialized_pages
+
+
+_PATTERNS = {
+    "clean-run": _clean_run,
+    "sparse-taint": _sparse_taint,
+    "dense-taint": _dense_taint,
+}
+
+
+@pytest.mark.parametrize("pattern", sorted(_PATTERNS))
+def test_shadow_pattern(benchmark, bench_json, quick, pattern):
+    benchmark.group = "shadow-sparse"
+    size = _QUICK_SIZE if quick else _SIZE
+    rounds = 2 if quick else 10
+    lub_table, bottom, tainted = _lattice()
+    shadow = ShadowTags(size, fill=bottom)
+    fn = _PATTERNS[pattern]
+    args = (shadow, lub_table, rounds) if pattern == "clean-run" \
+        else (shadow, lub_table, rounds, tainted)
+
+    started = perf_counter()
+    benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+    elapsed = perf_counter() - started
+    # min-of-3 for the regression gate (see bench_instruction_mix)
+    for __ in range(2):
+        t0 = perf_counter()
+        fn(*args)
+        elapsed = min(elapsed, perf_counter() - t0)
+
+    materialized = shadow.materialized_pages
+    if pattern == "clean-run":
+        # the whole point of copy-on-taint: reads never materialize
+        assert materialized == 0
+    benchmark.extra_info.update(
+        materialized_pages=materialized,
+        total_pages=shadow.page_count,
+    )
+    bench_json(f"shadow_{pattern.replace('-', '_')}",
+               {"pattern": pattern, "seconds": elapsed,
+                "size": size, "page_size": PAGE_SIZE,
+                "materialized_pages": materialized,
+                "total_pages": shadow.page_count})

@@ -23,17 +23,28 @@ from repro.bench.workloads import TABLE2_ORDER, WORKLOADS
 
 _ROWS = {}
 
+#: filesystem-safe slug per platform mode (for BENCH_*.json names)
+_MODE_SLUG = {"VP": "vp", "VP+": "vpp", "VP+d": "vppd"}
 
-@pytest.mark.parametrize("mode", ["VP", "VP+"])
+
+@pytest.mark.parametrize("mode", ["VP", "VP+", "VP+d"])
 @pytest.mark.parametrize("name", TABLE2_ORDER)
-def test_workload(benchmark, scale, name, mode):
-    """One (benchmark, platform) cell of Table II."""
+def test_workload(benchmark, scale, quick, name, mode, bench_json):
+    """One (benchmark, platform) cell of Table II.
+
+    ``VP+d`` is demand-driven DIFT: same detections as VP+, fast-stepping
+    while the machine holds no taint.
+    """
     workload = WORKLOADS[name]
-    dift = mode == "VP+"
+    dift = mode != "VP"
+    dift_mode = "demand" if mode == "VP+d" else "full"
     benchmark.group = f"table2-{name}"
 
     measurement = benchmark.pedantic(
-        run_workload, args=(workload, scale, dift), rounds=1, iterations=1)
+        run_workload, args=(workload, scale, dift),
+        kwargs={"dift_mode": dift_mode,
+                "max_instructions": 60_000 if quick else None},
+        rounds=1, iterations=1)
 
     assert measurement.violations == 0
     benchmark.extra_info.update(
@@ -42,10 +53,17 @@ def test_workload(benchmark, scale, name, mode):
         mips=round(measurement.mips, 3),
     )
     _ROWS.setdefault(name, {})[mode] = measurement
+    bench_json(f"table2_{name}_{_MODE_SLUG[mode]}",
+               {"workload": name, "mode": mode,
+                "seconds": measurement.host_seconds,
+                "instructions": measurement.instructions,
+                "mips": round(measurement.mips, 3)})
 
 
-def test_render_table2(benchmark, capsys, scale):
+def test_render_table2(benchmark, capsys, scale, quick):
     """Assemble the Table II rows measured above and print the table."""
+    if quick:
+        pytest.skip("overhead-shape assertions need full-length runs")
     benchmark.group = "table2-render"
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []
@@ -74,3 +92,14 @@ def test_render_table2(benchmark, capsys, scale):
         print(format_table(rows))
         print()
         print(format_against_paper(rows))
+        demand = [(name, _ROWS[name]["VP+d"]) for name in TABLE2_ORDER
+                  if "VP+d" in _ROWS.get(name, {})]
+        if demand:
+            print()
+            print("VP+d -- demand-driven DIFT (identical detections)")
+            for name, m in demand:
+                vp_plus = _ROWS[name]["VP+"]
+                ratio = (vp_plus.host_seconds / m.host_seconds
+                         if m.host_seconds > 0 else float("nan"))
+                print(f"  {name:<16} {m.host_seconds:8.3f}s "
+                      f"({ratio:4.2f}x vs VP+)")

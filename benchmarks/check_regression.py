@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over ``BENCH_*.json`` records.
+
+Compares a fresh ``--metrics-json`` benchmark run against the committed
+baselines and fails (exit 1) when any benchmark's ``data.seconds`` got
+more than ``--threshold`` slower.  Timings are the only gated quantity;
+deterministic counters (``data.total``, ``data.instructions``) are
+compared too but only *warn* on drift — counts changing is a
+correctness question for the test suite, not for this gate.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --metrics-json fresh/
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines --current fresh \
+        --output comparison.md
+
+    # refresh the committed baselines from a run
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/baselines --current fresh --update
+
+Benchmarks present only in the current run (new benchmarks) or only in
+the baselines (removed/skipped benchmarks) are reported but never fail
+the gate, so adding a benchmark does not require a lockstep baseline
+commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from typing import Dict, Optional
+
+
+def load_records(directory: str) -> Dict[str, dict]:
+    """Map bench name -> record for every BENCH_*.json in ``directory``."""
+    records: Dict[str, dict] = {}
+    if not os.path.isdir(directory):
+        return records
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        name = record.get("bench") or entry[len("BENCH_"):-len(".json")]
+        records[name] = record
+    return records
+
+
+def _seconds(record: dict) -> Optional[float]:
+    value = record.get("data", {}).get("seconds")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _count(record: dict) -> Optional[int]:
+    data = record.get("data", {})
+    for key in ("total", "instructions"):
+        if isinstance(data.get(key), int):
+            return data[key]
+    return None
+
+
+def compare(baseline: Dict[str, dict], current: Dict[str, dict],
+            threshold: float, min_delta: float = 0.05):
+    """Build comparison rows; returns (rows, regressions, warnings).
+
+    A benchmark regresses when its timing is both *relatively* slower
+    (``ratio > 1 + threshold``) and *absolutely* slower by more than
+    ``min_delta`` seconds — the floor keeps millisecond-scale timings,
+    where host jitter dwarfs the threshold, from tripping the gate.
+    """
+    rows = []
+    regressions = []
+    warnings = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            rows.append((name, None, _seconds(cur), None, "new"))
+            warnings.append(f"{name}: no baseline (new benchmark)")
+            continue
+        if cur is None:
+            rows.append((name, _seconds(base), None, None, "missing"))
+            warnings.append(f"{name}: present in baseline but not in "
+                            "the current run")
+            continue
+        base_s, cur_s = _seconds(base), _seconds(cur)
+        if base_s is None or cur_s is None or base_s <= 0:
+            rows.append((name, base_s, cur_s, None, "no-timing"))
+            continue
+        ratio = cur_s / base_s
+        status = "ok"
+        if ratio > 1.0 + threshold and cur_s - base_s > min_delta:
+            status = "REGRESSION"
+            regressions.append(
+                f"{name}: {base_s:.3f}s -> {cur_s:.3f}s "
+                f"({100 * (ratio - 1):+.1f}%)")
+        rows.append((name, base_s, cur_s, ratio, status))
+        base_n, cur_n = _count(base), _count(cur)
+        if base_n is not None and cur_n is not None and base_n != cur_n:
+            warnings.append(
+                f"{name}: deterministic count drifted "
+                f"{base_n} -> {cur_n} (not gated; check the test suite)")
+    return rows, regressions, warnings
+
+
+def render_markdown(rows, threshold: float) -> str:
+    lines = [
+        f"# Benchmark regression gate (threshold {100 * threshold:.0f}%)",
+        "",
+        "| benchmark | baseline | current | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base_s, cur_s, ratio, status in rows:
+        base_cell = f"{base_s:.3f}s" if base_s is not None else "-"
+        cur_cell = f"{cur_s:.3f}s" if cur_s is not None else "-"
+        ratio_cell = f"{ratio:.2f}x" if ratio is not None else "-"
+        lines.append(f"| {name} | {base_cell} | {cur_cell} "
+                     f"| {ratio_cell} | {status} |")
+    return "\n".join(lines) + "\n"
+
+
+def update_baselines(baseline_dir: str, current_dir: str) -> int:
+    os.makedirs(baseline_dir, exist_ok=True)
+    copied = 0
+    for entry in sorted(os.listdir(current_dir)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            shutil.copyfile(os.path.join(current_dir, entry),
+                            os.path.join(baseline_dir, entry))
+            copied += 1
+    return copied
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail CI when benchmark timings regress past the "
+                    "threshold")
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the committed BENCH_*.json "
+                             "baselines")
+    parser.add_argument("--current", required=True,
+                        help="directory holding the fresh --metrics-json run")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed slowdown fraction (default 0.15)")
+    parser.add_argument("--min-delta", type=float, default=0.05,
+                        metavar="SECONDS",
+                        help="absolute slowdown floor below which the ratio "
+                             "gate never fires (default 0.05s; guards "
+                             "sub-second timings against host jitter, which "
+                             "routinely exceeds 15%% at that scale)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="also write the markdown comparison table here")
+    parser.add_argument("--update", action="store_true",
+                        help="copy the current records over the baselines "
+                             "instead of gating")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        copied = update_baselines(args.baseline, args.current)
+        print(f"updated {copied} baseline records in {args.baseline}")
+        return 0
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    if not baseline:
+        print(f"warning: no baselines in {args.baseline!r}; nothing gated "
+              "(run with --update to create them)", file=sys.stderr)
+    rows, regressions, warnings = compare(baseline, current, args.threshold,
+                                          args.min_delta)
+    table = render_markdown(rows, args.threshold)
+    print(table)
+    for message in warnings:
+        print(f"warning: {message}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(table)
+            if regressions:
+                handle.write("\nRegressions:\n")
+                for message in regressions:
+                    handle.write(f"- {message}\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    if regressions:
+        print("FAIL: benchmark regressions past the threshold:",
+              file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    print("OK: no timing regressions past the threshold", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

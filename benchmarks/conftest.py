@@ -32,11 +32,24 @@ def pytest_addoption(parser):
         help="write BENCH_<name>.json records (repro.obs.export schema) "
              "into DIR",
     )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke variant: shrink step counts / instruction budgets and "
+             "skip the cross-workload assertion tests, so the benchmark "
+             "modules can run inside the tier-1 CI matrix",
+    )
 
 
 @pytest.fixture(scope="session")
 def scale(request):
     return request.config.getoption("--benchmark-scale")
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture

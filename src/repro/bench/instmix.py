@@ -68,30 +68,48 @@ def profile_platform(platform: Platform, name: str,
     cpu = platform.cpu
     mix = InstructionMix(name)
     decode = D.decode
-    cache: Dict[int, int] = {}
+    cache: Dict[int, str] = {}
+    # everything below runs once per guest instruction: bind the loop
+    # invariants to locals and fetch the opcode word straight from the
+    # DMI bytearray instead of round-tripping through read_word()
+    counts = mix.counts
+    category_of = _CATEGORY_OF
+    ram = cpu.ram
+    ram_base = cpu.ram_base
+    ram_hi = cpu.ram_end - 4
+    run = cpu.run
+    advance = platform.kernel.advance_ps
+    step_ps = cpu.clock_period.ps
+    wfi_ps = step_ps * 100_000
+    frombytes = int.from_bytes
+    quantum = cpu_mod.QUANTUM
+    stops = (cpu_mod.HALT, cpu_mod.EBREAK, cpu_mod.FAULT, cpu_mod.SECURITY)
+    wfi = cpu_mod.WFI
+    total = 0
     for __ in range(max_instructions):
         pc = cpu.pc
-        if not (cpu.ram_base <= pc <= cpu.ram_end - 4):
+        if not (ram_base <= pc <= ram_hi):
             break
-        word = cpu.read_word(pc)
-        op = cache.get(word)
-        if op is None:
-            op = decode(word)[0]
-            cache[word] = op
-        executed, reason = cpu.run(1)
+        off = pc - ram_base
+        word = frombytes(ram[off:off + 4], "little")
+        cat = cache.get(word)
+        if cat is None:
+            cat = category_of[decode(word)[0]]
+            cache[word] = cat
+        executed, reason = run(1)
         if not executed:
             break
-        mix.counts[_CATEGORY_OF[op]] += 1
-        mix.total += 1
-        platform.kernel.run(
-            until=platform.kernel.now + cpu.clock_period)
-        if reason in (cpu_mod.HALT, cpu_mod.EBREAK, cpu_mod.FAULT,
-                      cpu_mod.SECURITY):
+        counts[cat] += 1
+        total += 1
+        advance(step_ps)
+        if reason == quantum:
+            continue
+        if reason in stops:
             break
-        if reason == cpu_mod.WFI:
+        if reason == wfi:
             # fast-forward to the next event so wfi workloads progress
-            platform.kernel.run(
-                until=platform.kernel.now + cpu.clock_period * 100_000)
+            advance(wfi_ps)
+    mix.total = total
     return mix
 
 

@@ -20,7 +20,7 @@ class Measurement:
     """One (workload, platform-mode) run."""
 
     workload: str
-    mode: str                 # "VP" or "VP+"
+    mode: str                 # "VP", "VP+" or "VP+d" (demand DIFT)
     instructions: int
     loc_asm: int
     host_seconds: float
@@ -51,17 +51,23 @@ class Comparison:
 
 def run_workload(workload: Workload, scale: str, dift: bool,
                  max_instructions: Optional[int] = None,
-                 obs=None) -> Measurement:
+                 obs=None, dift_mode: str = "full") -> Measurement:
     """Build, load and run one workload once.
 
     ``obs`` — optional :class:`~repro.obs.Observability`; its metrics
     then cover this run (shared instances aggregate across runs).
+    ``dift_mode`` — ``"full"`` (classic VP+) or ``"demand"`` (VP+d).
     """
-    platform = workload.make_platform(scale, dift, obs=obs)
+    platform = workload.make_platform(scale, dift, obs=obs,
+                                      dift_mode=dift_mode)
+    if dift:
+        mode = "VP+d" if dift_mode == "demand" else "VP+"
+    else:
+        mode = "VP"
     result: RunResult = platform.run(max_instructions=max_instructions)
     if result.reason not in ("halt", "budget"):
         raise RuntimeError(
-            f"workload {workload.name!r} ({'VP+' if dift else 'VP'}) ended "
+            f"workload {workload.name!r} ({mode}) ended "
             f"abnormally: {result.reason} "
             f"(violations={len(result.violations)})")
     if result.reason == "halt" and result.exit_code != 0:
@@ -71,7 +77,7 @@ def run_workload(workload: Workload, scale: str, dift: bool,
     program = platform.program
     return Measurement(
         workload=workload.name,
-        mode="VP+" if dift else "VP",
+        mode=mode,
         instructions=result.instructions,
         loc_asm=program.n_instructions if program else 0,
         host_seconds=result.host_seconds,

@@ -38,8 +38,15 @@ def benchmark_policy() -> SecurityPolicy:
     IFP-3 with all three execution-clearance checks enabled and
     input/output devices cleared — the full per-instruction DIFT cost
     without (expected) violations.
+
+    Memory defaults to the lattice *bottom* class ``(LC, HI)``: untouched
+    RAM carries no information, and classifying sources/sinks at
+    ``(LC, LI)`` keeps every flow of the compute benchmarks legal exactly
+    as before (nothing ever flows *into* plain RAM's class — only out of
+    sources and into cleared sinks).  Starting at bottom also lets
+    demand-mode DIFT begin in the clean state.
     """
-    policy = SecurityPolicy(builders.ifp3(), default_class=builders.LC_LI,
+    policy = SecurityPolicy(builders.ifp3(), default_class=builders.LC_HI,
                             name="benchmark")
     policy.classify_source("sensor0", builders.LC_LI)
     policy.classify_source("uart0.rx", builders.LC_LI)
@@ -62,10 +69,11 @@ class Workload:
     policy: Callable[[Program], Optional[SecurityPolicy]]
     prepare: Callable[[Platform, Program, str], None]
 
-    def make_platform(self, scale: str, dift: bool, obs=None) -> Platform:
+    def make_platform(self, scale: str, dift: bool, obs=None,
+                      dift_mode: str = "full") -> Platform:
         program = self.build(scale)
         policy = self.policy(program) if dift else None
-        platform = Platform(policy=policy, obs=obs,
+        platform = Platform(policy=policy, obs=obs, dift_mode=dift_mode,
                             **self.platform_kwargs(scale))
         platform.load(program)
         self.prepare(platform, program, scale)

@@ -184,7 +184,7 @@ def run_scenario(name: str, commands: bytes, expected_detected: bool,
                  variant: str = "vulnerable", per_byte: bool = False,
                  n_challenges: int = 2,
                  max_instructions: int = 3_000_000,
-                 obs=None) -> ScenarioResult:
+                 obs=None, dift_mode: str = "full") -> ScenarioResult:
     """Run the immobilizer with the given UART command script.
 
     ``obs`` — optional :class:`~repro.obs.Observability`; a shared
@@ -194,7 +194,8 @@ def run_scenario(name: str, commands: bytes, expected_detected: bool,
     policy = (per_byte_policy if per_byte else baseline_policy)(program)
     declassify_to = "(LC,LI)"
     platform = Platform(policy=policy, engine_mode=RECORD,
-                        aes_declassify_to=declassify_to, obs=obs)
+                        aes_declassify_to=declassify_to, obs=obs,
+                        dift_mode=dift_mode)
     platform.load(program)
     engine = EngineEcu(platform.can_bus, PIN, n_challenges=n_challenges)
     platform.uart.feed(commands)
@@ -213,7 +214,8 @@ def run_scenario(name: str, commands: bytes, expected_detected: bool,
     )
 
 
-def run_case_study(n_challenges: int = 2, obs=None) -> List[ScenarioResult]:
+def run_case_study(n_challenges: int = 2, obs=None,
+                   dift_mode: str = "full") -> List[ScenarioResult]:
     """The full Section VI-A narrative, one scenario per row.
 
     ``obs`` metrics aggregate over all nine scenario platforms.
@@ -222,7 +224,7 @@ def run_case_study(n_challenges: int = 2, obs=None) -> List[ScenarioResult]:
 
     def scenario(name, commands, expected_detected, **kwargs):
         return run_scenario(name, commands, expected_detected, obs=obs,
-                            **kwargs)
+                            dift_mode=dift_mode, **kwargs)
 
     results = [
         scenario("protocol-only (fixed SW, baseline policy)",

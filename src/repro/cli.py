@@ -111,7 +111,7 @@ def _cmd_run(args) -> int:
     obs = _make_obs(args)
     platform = Platform(policy=policy,
                         engine_mode=RECORD if args.record else RAISE,
-                        obs=obs)
+                        obs=obs, dift_mode=args.dift_mode)
     platform.load(program)
     if args.uart_input:
         platform.uart.feed(args.uart_input.encode())
@@ -155,7 +155,7 @@ def _cmd_casestudy(args) -> int:
     from repro.casestudy import immobilizer as cs
 
     obs = _make_obs(args)
-    results = cs.run_case_study(obs=obs)
+    results = cs.run_case_study(obs=obs, dift_mode=args.dift_mode)
     print(cs.format_report(results))
     _write_obs(obs, args)
     recovered = cs.capture_and_brute_force()
@@ -251,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-instructions", type=int, default=None)
     p.add_argument("--record", action="store_true",
                    help="record violations instead of raising")
+    p.add_argument("--dift-mode", choices=("full", "demand"),
+                   default="full",
+                   help="DIFT execution mode: 'demand' skips tag "
+                        "bookkeeping while the machine holds no taint "
+                        "(identical detections, lower overhead)")
     _add_obs_options(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -262,6 +267,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("casestudy", help="run the Section VI-A case study")
+    p.add_argument("--dift-mode", choices=("full", "demand"),
+                   default="full",
+                   help="DIFT execution mode for every scenario platform")
     _add_obs_options(p)
     p.set_defaults(fn=_cmd_casestudy)
 

@@ -1,0 +1,170 @@
+"""Taint-liveness tracking for demand-driven DIFT.
+
+The observation (shared with hardware-assisted DIFT designs): most
+instructions of most workloads never touch tainted data.  When *nothing*
+in the machine carries a non-bottom tag, tag propagation is the identity
+(every LUB is ``lub(bottom, bottom) = bottom``) and every execution-
+clearance check trivially passes (bottom flows to every class) — so the
+full DIFT loop performs work whose outcome is statically known.
+
+:class:`TaintLiveness` maintains the single bit that makes the fast path
+sound — **is the machine clean?** — plus the bookkeeping needed to get
+back to clean:
+
+* ``clean`` — True iff every register tag, every CSR tag and every RAM
+  byte tag equals the lattice bottom.  This is the *only* state in which
+  skipping tag bookkeeping is exact: bottom is the unique fixed point of
+  propagation (immediates produce bottom, ``lub(bottom, bottom)`` is
+  bottom) and the unique tag for which every ``allowed_flow`` check
+  passes without producing a violation record.
+* ``dirty_pages`` — RAM pages (:data:`PAGE_SIZE` granularity) that may
+  hold non-bottom tags.  Fed by the DIFT loop's store path and by the
+  memory module's taint listener (TLM/DMA writes, load-time region
+  classification, host-side pokes).
+* a **reclaim** state machine: after taint is introduced, the machine
+  periodically re-checks whether everything decayed back to bottom
+  (secrets overwritten, registers recycled); on success the fast path
+  resumes.  Re-checks back off exponentially so workloads that stay
+  tainted pay a bounded cost.
+
+Invalidation rules — events that clear ``clean``:
+
+1. an MMIO read returns a non-bottom tag (classified peripheral source);
+2. the memory module stores non-bottom tags (TLM write with tags, e.g. a
+   DMA copy; loader region classification; host-side ``fill_tags``);
+3. host code calls :meth:`taint_introduced` directly.
+
+If the policy's *default* memory classification is not the lattice
+bottom the machine can never become clean (4 MiB of non-bottom tags is
+the steady state); :meth:`disable` pins the engine to the full path so
+demand mode silently equals full mode — zero drift by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+#: Dirty-set granularity in bytes.  4 KiB balances set size (1024 pages
+#: for the default 4 MiB RAM) against reclaim-scan precision.
+PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
+
+#: Reclaim back-off bound, in quanta between re-checks.
+_MAX_BACKOFF = 64
+
+
+class TaintLiveness:
+    """Machine-clean tracking + reclaim for one hart."""
+
+    __slots__ = (
+        "bottom", "clean", "dirty_pages", "fast_steps", "slow_steps",
+        "reclaims", "reclaim_attempts", "disabled", "disabled_reason",
+        "_backoff", "_quanta_since_check",
+    )
+
+    def __init__(self, bottom_tag: int):
+        self.bottom = bottom_tag
+        #: True iff every reg/CSR/memory tag is the lattice bottom.
+        self.clean = True
+        #: RAM pages that may carry non-bottom tags.
+        self.dirty_pages: Set[int] = set()
+        #: instructions retired on the fast (clean) path
+        self.fast_steps = 0
+        #: instructions retired on the full DIFT path
+        self.slow_steps = 0
+        #: successful tainted->clean transitions
+        self.reclaims = 0
+        #: reclaim scans performed (successful or not)
+        self.reclaim_attempts = 0
+        self.disabled = False
+        self.disabled_reason = ""
+        self._backoff = 1
+        self._quanta_since_check = 0
+
+    # ------------------------------------------------------------------ #
+    # invalidation (clean -> tainted)
+    # ------------------------------------------------------------------ #
+
+    def disable(self, reason: str) -> None:
+        """Pin the machine to the full path (demand == full, no drift)."""
+        self.disabled = True
+        self.disabled_reason = reason
+        self.clean = False
+
+    def taint_introduced(self) -> None:
+        """A non-bottom tag entered a register (e.g. via an MMIO read)."""
+        self.clean = False
+        self._backoff = 1
+        self._quanta_since_check = 0
+
+    def note_memory_taint(self, offset: int, length: int) -> None:
+        """Possibly-non-bottom tags were written to RAM ``[offset, +length)``."""
+        if length <= 0:
+            return
+        first = offset >> _PAGE_SHIFT
+        last = (offset + length - 1) >> _PAGE_SHIFT
+        if first == last:
+            self.dirty_pages.add(first)
+        else:
+            self.dirty_pages.update(range(first, last + 1))
+        self.clean = False
+        self._backoff = 1
+        self._quanta_since_check = 0
+
+    # ------------------------------------------------------------------ #
+    # reclaim (tainted -> clean)
+    # ------------------------------------------------------------------ #
+
+    def maybe_reclaim(self, cpu) -> bool:
+        """Back-off-gated reclaim attempt; call once per dirty quantum."""
+        if self.disabled or self.clean:
+            return self.clean
+        self._quanta_since_check += 1
+        if self._quanta_since_check < self._backoff:
+            return False
+        self._quanta_since_check = 0
+        if self.try_reclaim(cpu):
+            return True
+        if self._backoff < _MAX_BACKOFF:
+            self._backoff *= 2
+        return False
+
+    def try_reclaim(self, cpu) -> bool:
+        """Scan regs, CSR tags and dirty pages; go clean if all bottom.
+
+        Register and CSR scans are O(32) / O(#written CSRs); each dirty
+        page is one C-speed ``bytearray.count`` over :data:`PAGE_SIZE`
+        bytes, so the scan cost is proportional to the *spread* of the
+        taint, not to RAM size.
+        """
+        if self.disabled:
+            return False
+        self.reclaim_attempts += 1
+        bottom = self.bottom
+        for tag in cpu.tags:
+            if tag != bottom:
+                return False
+        for tag in cpu.csr.tag_values():
+            if tag != bottom:
+                return False
+        mtags = cpu.ram_tags
+        if mtags is not None and self.dirty_pages:
+            size = len(mtags)
+            for page in self.dirty_pages:
+                start = page << _PAGE_SHIFT
+                end = min(start + PAGE_SIZE, size)
+                if start >= size:
+                    continue
+                if mtags.count(bottom, start, end) != end - start:
+                    return False
+        self.dirty_pages.clear()
+        self.clean = True
+        self.reclaims += 1
+        self._backoff = 1
+        return True
+
+    def __repr__(self) -> str:
+        state = ("disabled" if self.disabled
+                 else "clean" if self.clean else "tainted")
+        return (f"TaintLiveness({state}, dirty_pages={len(self.dirty_pages)}, "
+                f"fast={self.fast_steps}, slow={self.slow_steps})")

@@ -1,44 +1,118 @@
-"""Byte-granular shadow tag storage.
+"""Byte-granular shadow tag storage, sparse and page-granular.
 
 The paper tags every memory byte (``Taint<uint8_t>``).  :class:`ShadowTags`
-is the shared tag store used by RAM and peripherals: a ``bytearray`` of one
-tag per data byte (tags fit in ``uint8_t``, matching the paper's
-``typedef uint8_t Tag``), with bulk operations for the TLM data path.
+is the shared tag store used by peripherals and tooling: one ``uint8_t``
+tag per data byte (matching the paper's ``typedef uint8_t Tag``), with
+bulk operations for the TLM data path.
+
+Storage is **copy-on-taint**: the address space is split into fixed-size
+pages and a page is materialized as a ``bytearray`` only once a tag
+different from the uniform fill is written to it.  Clean pages are a
+shared ``None`` sentinel, so an untainted 4 MiB shadow costs a
+1024-entry list instead of 4 MiB — and bulk predicates over clean pages
+(:meth:`any_tainted`, :meth:`lub_range`, :meth:`uniform`) are O(1) per
+page instead of O(page size).
+
+The ISS's RAM keeps flat ``bytearray`` DMI views (see
+:class:`repro.vp.memory.Memory`): per-instruction indexing must stay a
+single C-level subscript.  ``ShadowTags`` serves everything *off* that
+hot loop; the demand-driven fast path (``repro.dift.liveness``) is what
+makes clean RAM cheap for the ISS.
+
+All range operations validate bounds: ``start`` and ``length`` must be
+non-negative and lie inside the store (``IndexError`` otherwise), and
+tags must fit ``uint8`` (``ValueError``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.policy.lattice import Tag
 
-#: Tags are stored per byte in a bytearray, so the lattice may have at most
-#: 256 classes — same bound as the paper's ``uint8_t`` tag.
+#: Tags are stored per byte, so the lattice may have at most 256 classes —
+#: same bound as the paper's ``uint8_t`` tag.
 MAX_TAG = 255
+
+#: Copy-on-taint page size in bytes.
+PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
+_PAGE_MASK = PAGE_SIZE - 1
 
 
 class ShadowTags:
     """One security tag per data byte, with bulk get/set/LUB helpers."""
 
-    __slots__ = ("tags",)
+    __slots__ = ("size", "fill", "_pages")
 
     def __init__(self, size: int, fill: Tag = 0):
         if not 0 <= fill <= MAX_TAG:
             raise ValueError(f"tag {fill} does not fit in uint8")
-        self.tags = bytearray([fill]) * size
+        if size < 0:
+            raise ValueError(f"negative shadow size {size}")
+        self.size = size
+        self.fill = fill
+        n_pages = (size + PAGE_SIZE - 1) >> _PAGE_SHIFT
+        # None = clean page (every byte carries ``fill``), shared singleton.
+        self._pages: List[Optional[bytearray]] = [None] * n_pages
 
     def __len__(self) -> int:
-        return len(self.tags)
+        return self.size
+
+    # ------------------------------------------------------------------ #
+    # validation / page plumbing
+    # ------------------------------------------------------------------ #
+
+    def _check_range(self, start: int, length: int) -> None:
+        if length < 0:
+            raise IndexError(f"negative shadow range length {length}")
+        if start < 0 or start + length > self.size:
+            raise IndexError(
+                f"shadow range [{start}, {start + length}) outside "
+                f"[0, {self.size})")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"shadow index {index} outside [0, {self.size})")
+
+    def _page_len(self, page: int) -> int:
+        """Bytes the (possibly short, final) page actually covers."""
+        return min(PAGE_SIZE, self.size - (page << _PAGE_SHIFT))
+
+    def _materialize(self, page: int) -> bytearray:
+        data = self._pages[page]
+        if data is None:
+            data = self._pages[page] = \
+                bytearray([self.fill]) * self._page_len(page)
+        return data
+
+    def _chunks(self, start: int, length: int):
+        """Yield ``(page, page_offset, chunk_len)`` covering the range."""
+        while length > 0:
+            page = start >> _PAGE_SHIFT
+            offset = start & _PAGE_MASK
+            chunk = min(PAGE_SIZE - offset, length)
+            yield page, offset, chunk
+            start += chunk
+            length -= chunk
 
     # ------------------------------------------------------------------ #
     # single byte
     # ------------------------------------------------------------------ #
 
     def get(self, index: int) -> Tag:
-        return self.tags[index]
+        self._check_index(index)
+        data = self._pages[index >> _PAGE_SHIFT]
+        return self.fill if data is None else data[index & _PAGE_MASK]
 
     def set(self, index: int, tag: Tag) -> None:
-        self.tags[index] = tag
+        self._check_index(index)
+        if not 0 <= tag <= MAX_TAG:
+            raise ValueError(f"tag {tag} does not fit in uint8")
+        page = index >> _PAGE_SHIFT
+        if self._pages[page] is None and tag == self.fill:
+            return  # clean page stays clean
+        self._materialize(page)[index & _PAGE_MASK] = tag
 
     # ------------------------------------------------------------------ #
     # ranges
@@ -46,31 +120,132 @@ class ShadowTags:
 
     def get_range(self, start: int, length: int) -> bytes:
         """Tags of ``length`` bytes starting at ``start``."""
-        return bytes(self.tags[start:start + length])
+        self._check_range(start, length)
+        out = bytearray([self.fill]) * length
+        pos = 0
+        for page, offset, chunk in self._chunks(start, length):
+            data = self._pages[page]
+            if data is not None:
+                out[pos:pos + chunk] = data[offset:offset + chunk]
+            pos += chunk
+        return bytes(out)
 
     def set_range(self, start: int, tags: Iterable[Tag]) -> None:
         """Write per-byte tags starting at ``start``."""
-        data = bytes(tags)
-        self.tags[start:start + len(data)] = data
+        data = bytes(tags)  # raises ValueError for tags outside uint8
+        self._check_range(start, len(data))
+        pos = 0
+        for page, offset, chunk in self._chunks(start, len(data)):
+            piece = data[pos:pos + chunk]
+            if self._pages[page] is None and \
+                    piece.count(self.fill) == chunk:
+                pos += chunk
+                continue  # writing fill to a clean page: no-op
+            self._materialize(page)[offset:offset + chunk] = piece
+            pos += chunk
 
     def fill_range(self, start: int, length: int, tag: Tag) -> None:
         """Tag ``length`` bytes starting at ``start`` with ``tag``."""
         if not 0 <= tag <= MAX_TAG:
             raise ValueError(f"tag {tag} does not fit in uint8")
-        self.tags[start:start + length] = bytes([tag]) * length
+        self._check_range(start, length)
+        fill = self.fill
+        for page, offset, chunk in self._chunks(start, length):
+            if tag == fill:
+                if self._pages[page] is None:
+                    continue
+                if chunk == self._page_len(page):
+                    self._pages[page] = None  # whole page back to clean
+                    continue
+            self._materialize(page)[offset:offset + chunk] = \
+                bytes([tag]) * chunk
 
     def lub_range(self, start: int, length: int, lub_table: List[List[Tag]],
                   initial: Tag = 0) -> Tag:
-        """LUB of the tags of ``length`` bytes (paper ``from_bytes`` rule)."""
+        """LUB of the tags of ``length`` bytes (paper ``from_bytes`` rule).
+
+        LUB is idempotent, so a clean (or uniform) page contributes one
+        table lookup regardless of its length.
+        """
+        self._check_range(start, length)
         acc = initial
-        for t in self.tags[start:start + length]:
-            acc = lub_table[acc][t]
+        fill = self.fill
+        for page, offset, chunk in self._chunks(start, length):
+            data = self._pages[page]
+            if data is None:
+                acc = lub_table[acc][fill]
+                continue
+            for t in data[offset:offset + chunk]:
+                acc = lub_table[acc][t]
         return acc
 
     def uniform(self, start: int, length: int) -> bool:
         """True iff all ``length`` bytes carry the same tag."""
-        window = self.tags[start:start + length]
-        return len(set(window)) <= 1
+        self._check_range(start, length)
+        seen = None
+        for page, offset, chunk in self._chunks(start, length):
+            data = self._pages[page]
+            if data is None:
+                values = {self.fill}
+            else:
+                values = set(data[offset:offset + chunk])
+            seen = values if seen is None else seen | values
+            if len(seen) > 1:
+                return False
+        return True
+
+    def any_tainted(self, start: int, length: int,
+                    clean_tag: Optional[Tag] = None) -> bool:
+        """True iff any byte in the range differs from ``clean_tag``.
+
+        ``clean_tag`` defaults to the store's fill tag, so for a shadow
+        initialized with the lattice bottom this answers "is this buffer
+        tainted?" in one call — O(1) per clean page, one C-speed
+        ``count`` per materialized page — instead of a per-byte Python
+        loop at the call site.
+        """
+        self._check_range(start, length)
+        clean = self.fill if clean_tag is None else clean_tag
+        for page, offset, chunk in self._chunks(start, length):
+            data = self._pages[page]
+            if data is None:
+                if self.fill != clean:
+                    return True
+                continue
+            if data.count(clean, offset, offset + chunk) != chunk:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # introspection (gauges / microbenchmarks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def materialized_pages(self) -> int:
+        """Pages backed by real storage (ever written a non-fill tag)."""
+        return sum(1 for page in self._pages if page is not None)
+
+    def tainted_pages(self, clean_tag: Optional[Tag] = None) -> int:
+        """Pages holding at least one byte that differs from ``clean_tag``."""
+        clean = self.fill if clean_tag is None else clean_tag
+        count = 0
+        for index, data in enumerate(self._pages):
+            if data is None:
+                if self.fill != clean:
+                    count += 1
+            elif data.count(clean) != len(data):
+                count += 1
+        return count
+
+    @property
+    def tags(self) -> bytes:
+        """Flat snapshot of every tag (read-only; for tests/tooling)."""
+        return self.get_range(0, self.size)
 
     def __repr__(self) -> str:
-        return f"ShadowTags(size={len(self.tags)})"
+        return (f"ShadowTags(size={self.size}, "
+                f"pages={self.materialized_pages}/{len(self._pages)})")

@@ -25,6 +25,13 @@ from repro.policy.lattice import Tag
 
 IntLike = Union[int, "Taint"]
 
+#: Cached per-width constants: computing ``(1 << (8*width)) - 1`` on
+#: every operation shows up in the Taint-heavy peripheral paths; the four
+#: legal widths make these trivial lookup tables.
+_MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: 0xFFFFFFFFFFFFFFFF}
+_SIGN_BIT = {w: 1 << (8 * w - 1) for w in _MASK}
+_MODULUS = {w: 1 << (8 * w) for w in _MASK}
+
 
 class Taint:
     """An unsigned integer of ``width`` bytes carrying a security tag.
@@ -45,10 +52,11 @@ class Taint:
     __slots__ = ("value", "tag", "engine", "width")
 
     def __init__(self, value: int, tag: Tag, engine: DiftEngine, width: int = 4):
-        if width not in (1, 2, 4, 8):
+        mask = _MASK.get(width)
+        if mask is None:
             raise ValueError(f"unsupported Taint width {width}")
         self.width = width
-        self.value = value & ((1 << (8 * width)) - 1)
+        self.value = value & mask
         self.tag = tag
         self.engine = engine
 
@@ -95,12 +103,13 @@ class Taint:
 
     @property
     def mask(self) -> int:
-        return (1 << (8 * self.width)) - 1
+        return _MASK[self.width]
 
     def signed(self) -> int:
         """Two's-complement signed interpretation of the value."""
-        sign_bit = 1 << (8 * self.width - 1)
-        return self.value - (1 << (8 * self.width)) if self.value & sign_bit else self.value
+        if self.value & _SIGN_BIT[self.width]:
+            return self.value - _MODULUS[self.width]
+        return self.value
 
     def with_value(self, value: int) -> "Taint":
         """Same tag, new value."""

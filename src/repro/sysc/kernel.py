@@ -83,6 +83,11 @@ class Kernel:
         return SimTime(self._now_ps)
 
     @property
+    def now_ps(self) -> int:
+        """Current simulation time in picoseconds (allocation-free)."""
+        return self._now_ps
+
+    @property
     def delta_count(self) -> int:
         """Number of delta cycles executed (diagnostic)."""
         return self._delta_count
@@ -168,6 +173,27 @@ class Kernel:
             return self.now
         finally:
             self._running = False
+
+    def advance_ps(self, delta_ps: int) -> None:
+        """Fast-forward simulated time by up to ``delta_ps`` picoseconds.
+
+        Semantically identical to ``run(until=now + delta)`` — including
+        the quirk that time does not advance when the timed queue is
+        empty — but allocation-free on the common single-stepping path
+        where nothing is runnable and the next timed notification lies
+        beyond the window.  External drivers (the instruction-mix
+        profiler, the debugger) call this once per guest instruction, so
+        the no-work case must cost a few comparisons, not a ``SimTime``
+        round-trip through the full scheduler loop.
+        """
+        limit_ps = self._now_ps + delta_ps
+        if (not self._stopped and not self._runnable
+                and not self._next_delta
+                and (not self._timed or self._timed[0][0] > limit_ps)):
+            if self._timed:
+                self._now_ps = limit_ps
+            return
+        self.run(until=SimTime(limit_ps))
 
     # ------------------------------------------------------------------ #
     # notification plumbing (used by Event)

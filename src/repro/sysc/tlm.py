@@ -174,6 +174,10 @@ class Router:
         self._map: List[MapEntry] = []
         self._dmi_providers: dict = {}
         self.transactions_routed = 0
+        # MRU decode cache: MMIO traffic clusters on one target (a guest
+        # polling a peripheral), making the last entry the overwhelmingly
+        # likely hit before the linear scan
+        self._last_entry: Optional[MapEntry] = None
         # observability; None keeps routing free of metric lookups.  The
         # per-target counter dict is filled lazily because targets may be
         # mapped after attach.
@@ -202,6 +206,7 @@ class Router:
                 )
         self._map.append(MapEntry(start, end, socket, name or socket.name))
         self._map.sort(key=lambda e: e.start)
+        self._last_entry = None
 
     def register_dmi(self, start: int, size: int, data: bytearray,
                      tags: Optional[bytearray] = None) -> None:
@@ -217,8 +222,12 @@ class Router:
 
     def decode(self, address: int) -> MapEntry:
         """Map entry covering ``address`` (raises BusError if unmapped)."""
+        last = self._last_entry
+        if last is not None and last.start <= address < last.end:
+            return last
         for entry in self._map:
             if address in entry:
+                self._last_entry = entry
                 return entry
         raise BusError(f"no target mapped at address {address:#010x}", address)
 

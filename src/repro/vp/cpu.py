@@ -29,6 +29,7 @@ from time import perf_counter
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.dift.engine import DiftEngine
+from repro.dift.liveness import TaintLiveness
 from repro.errors import BusError, GuestFault
 from repro.sysc.kernel import Kernel
 from repro.sysc.module import Module
@@ -46,6 +47,16 @@ WFI = "wfi"           # waiting for interrupt
 SECURITY = "security" # DIFT violation recorded (record-mode engines only)
 FAULT = "fault"       # unhandled guest fault with no trap handler
 
+# Internal to the demand-mode dispatcher: the fast (clean-machine) path
+# observed a non-bottom tag entering the machine and handed control back
+# so the quantum can continue on the full DIFT path.  Never escapes
+# Cpu.run().
+RETAINT = "retaint"
+
+# DIFT execution modes
+DIFT_FULL = "full"     # every instruction pays the tag bookkeeping
+DIFT_DEMAND = "demand" # fast path while the machine is provably clean
+
 _MASK32 = 0xFFFFFFFF
 
 
@@ -59,9 +70,13 @@ class Cpu(Module):
         dift: Optional[DiftEngine] = None,
         clock_period: SimTime = SimTime.ns(10),
         quantum: int = 4096,
+        dift_mode: str = DIFT_FULL,
     ):
         super().__init__(kernel, name)
+        if dift_mode not in (DIFT_FULL, DIFT_DEMAND):
+            raise ValueError(f"unknown dift_mode {dift_mode!r}")
         self.dift = dift
+        self.dift_mode = dift_mode
         self.clock_period = clock_period
         self.quantum = quantum
         self.isock = InitiatorSocket(f"{name}.isock")
@@ -93,12 +108,21 @@ class Cpu(Module):
             if execution.mem_addr is not None:
                 self._memaddr_req = dift.policy.tag_of(execution.mem_addr)
 
+        # demand-mode taint liveness; None in plain and full modes so the
+        # existing loops stay hook-free
+        self.liveness: Optional[TaintLiveness] = None
+        self._live: Optional[TaintLiveness] = None
+        if dift is not None and dift_mode == DIFT_DEMAND:
+            self.liveness = TaintLiveness(bottom_tag=bottom)
+            self._live = self.liveness
+
         # interrupt lines
         self._take_irq = False
         self.irq_event = self.make_event("irq")
 
         # observability; None keeps every hook a single per-quantum check
         self._obs = None
+        self._m_stop: Optional[Dict[str, object]] = None
         self._m_instructions = None
         self._m_quanta = None
         self._m_irqs = None
@@ -146,6 +170,11 @@ class Cpu(Module):
         self._m_groups = [metrics.counter(f"cpu.inst.{group}")
                           for group in OPCODE_GROUPS]
         self._group_of_op = GROUP_OF_OP
+        # stop-reason counters, resolved once: the per-quantum f-string +
+        # registry lookup showed up in single-stepping profiles
+        self._m_stop = {reason: metrics.counter(f"cpu.stop.{reason}")
+                        for reason in (QUANTUM, HALT, EBREAK, WFI,
+                                       SECURITY, FAULT)}
 
     def reset(self, pc: int) -> None:
         """Reset architectural state and start executing at ``pc``."""
@@ -279,32 +308,73 @@ class Cpu(Module):
             return 0, HALT
         if self._obs is not None:
             return self._run_observed(max_instructions)
+        return self._run_core(max_instructions)
+
+    def _run_core(self, n: int) -> Tuple[int, str]:
+        """Pick the execution loop for the configured DIFT mode."""
         if self.dift is None:
-            return self._run_plain(max_instructions)
-        return self._run_dift(max_instructions)
+            return self._run_plain(n)
+        live = self._live
+        if live is None or live.disabled:
+            return self._run_dift(n)
+        return self._run_demand(n)
+
+    def _run_demand(self, n: int) -> Tuple[int, str]:
+        """Demand-driven DIFT: fast-step while the machine is clean.
+
+        While every register, CSR and RAM byte tag is lattice bottom, the
+        full propagation is the identity (immediates produce bottom,
+        ``lub(bottom, bottom) == bottom``, and every flow check from
+        bottom passes), so the plain loop computes the exact same
+        architectural *and* tag state — without touching a single tag.
+        The fast loop watches the only entry point for new taint inside
+        a quantum (MMIO) and returns :data:`RETAINT` to fall back to the
+        full loop; between quanta the platform's memory taint listener
+        marks DMA/host taint, and :class:`TaintLiveness` reclaims the
+        clean state once taint dies out again.
+        """
+        live = self._live
+        assert live is not None
+        executed = 0
+        reason = QUANTUM
+        while executed < n:
+            if live.clean:
+                stepped, reason = self._run_plain(n - executed)
+                live.fast_steps += stepped
+                executed += stepped
+                if reason == RETAINT:
+                    reason = QUANTUM
+                    continue
+            else:
+                stepped, reason = self._run_dift(n - executed)
+                live.slow_steps += stepped
+                executed += stepped
+                live.maybe_reclaim(self)
+            if reason != QUANTUM or executed >= n:
+                break
+        return executed, reason
 
     # ---- observability wrappers (never entered when _obs is None) -------- #
 
     def _run_observed(self, n: int) -> Tuple[int, str]:
         """One quantum with metrics/tracing; hooks fire per quantum only."""
         obs = self._obs
-        sim_start_ps = self.kernel.now.ps
+        tracer = obs.tracer
         started = perf_counter()
         if obs.level == "instruction":
             executed, reason = self._run_counted(n)
-        elif self.dift is None:
-            executed, reason = self._run_plain(n)
         else:
-            executed, reason = self._run_dift(n)
+            executed, reason = self._run_core(n)
         wall_us = (perf_counter() - started) * 1e6
         self._m_instructions.inc(executed)
         self._m_quanta.inc()
         self._m_quantum_wall.observe(wall_us)
-        obs.metrics.counter(f"cpu.stop.{reason}").inc()
-        tracer = obs.tracer
+        self._m_stop[reason].inc()
         if tracer is not None and executed:
+            # sim time does not advance inside cpu.run, so "now" is still
+            # the quantum's start time
             tracer.complete(
-                "quantum", "cpu", ts=sim_start_ps / 1e6,
+                "quantum", "cpu", ts=self.kernel.now_ps / 1e6,
                 dur=executed * self.clock_period.ps / 1e6,
                 args={"executed": executed, "reason": reason,
                       "wall_us": round(wall_us, 1)})
@@ -324,7 +394,7 @@ class Cpu(Module):
         assert groups is not None and group_of is not None
         cache = self._decode_cache
         decode = D.decode
-        run1 = self._run_plain if self.dift is None else self._run_dift
+        run1 = self._run_core
         frombytes = int.from_bytes
         executed = 0
         reason = QUANTUM
@@ -362,6 +432,9 @@ class Cpu(Module):
         executed = 0
         reason = QUANTUM
         frombytes = int.from_bytes
+        # demand mode only: watch MMIO for taint entering a clean machine
+        live = self._live
+        bottom = self._bottom
 
         while executed < n:
             if self._take_irq:
@@ -447,7 +520,7 @@ class Cpu(Module):
                     try:
                         size = 4 if op == D.LW else (1 if op in (D.LB, D.LBU)
                                                      else 2)
-                        value, __ = self._mmio_read(addr, size)
+                        value, t = self._mmio_read(addr, size)
                         if op == D.LB and value >= 0x80:
                             value += 0xFFFFFF00
                         elif op == D.LH and value >= 0x8000:
@@ -459,6 +532,17 @@ class Cpu(Module):
                             break
                         pc = self.pc
                         continue
+                    if live is not None and t != bottom:
+                        # tainted peripheral read: retire this instruction
+                        # with its tag, then fall back to the full loop
+                        if d[1]:
+                            regs[d[1]] = value & _MASK32
+                            self.tags[d[1]] = t
+                        live.taint_introduced()
+                        self.pc = next_pc
+                        csr.instret += executed
+                        csr.cycle += executed
+                        return executed, RETAINT
                 if d[1]:
                     regs[d[1]] = value & _MASK32
 
@@ -486,6 +570,13 @@ class Cpu(Module):
                             break
                         pc = self.pc
                         continue
+                    if live is not None and not live.clean:
+                        # the write triggered a synchronous taint side
+                        # effect (e.g. peripheral DMA into RAM)
+                        self.pc = next_pc
+                        csr.instret += executed
+                        csr.cycle += executed
+                        return executed, RETAINT
 
             elif op <= D.ANDI:  # immediate ALU
                 a = regs[d[2]]
@@ -646,6 +737,10 @@ class Cpu(Module):
         executed = 0
         reason = QUANTUM
         frombytes = int.from_bytes
+        # demand mode only: record which RAM pages receive non-bottom tags
+        # so reclaiming the clean state scans dirty pages, not all of RAM
+        live = self._live
+        dirty = live.dirty_pages if live is not None else None
 
         while executed < n:
             if self._take_irq:
@@ -829,6 +924,9 @@ class Cpu(Module):
                         ram[o + 1] = (value >> 8) & 0xFF
                         mtags[o] = t
                         mtags[o + 1] = t
+                    if dirty is not None and t != bottom:
+                        dirty.add(o >> 12)
+                        dirty.add((o + size - 1) >> 12)
                 else:
                     self.pc = pc
                     try:

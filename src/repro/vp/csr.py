@@ -94,6 +94,10 @@ class CsrFile:
     def set_tag(self, csr: int, tag: int) -> None:
         self._tags[csr] = tag
 
+    def tag_values(self):
+        """All explicitly written CSR tags (unwritten CSRs are bottom)."""
+        return self._tags.values()
+
     # ------------------------------------------------------------------ #
     # instruction-level access (csrrw family)
     # ------------------------------------------------------------------ #

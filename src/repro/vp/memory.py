@@ -32,6 +32,14 @@ class Memory(Module):
         self.access_delay = access_delay
         self.tsock = TargetSocket(f"{name}.tsock")
         self.tsock.register_b_transport(self.transport)
+        # demand-DIFT hook: called as fn(offset, length, tags) whenever
+        # tags are written outside the ISS hot loop (TLM/DMA writes,
+        # loader classification, host-side pokes)
+        self._taint_listener = None
+
+    def set_taint_listener(self, fn) -> None:
+        """Register a callback observing every non-ISS tag write."""
+        self._taint_listener = fn
 
     def transport(self, trans: GenericPayload, delay: SimTime) -> SimTime:
         """TLM blocking transport (payload address is memory-local)."""
@@ -49,9 +57,14 @@ class Memory(Module):
             if self.tags is not None:
                 if trans.tags is not None:
                     self.tags[address:address + length] = trans.tags
+                    if self._taint_listener is not None:
+                        self._taint_listener(address, length, trans.tags)
                 else:
                     self.tags[address:address + length] = \
                         bytes([self.default_tag]) * length
+                    if self._taint_listener is not None:
+                        self._taint_listener(address, length,
+                                             self.default_tag)
         trans.response = OK
         return delay + self.access_delay
 
@@ -64,6 +77,8 @@ class Memory(Module):
         self.data[offset:offset + len(blob)] = blob
         if self.tags is not None and tag is not None:
             self.tags[offset:offset + len(blob)] = bytes([tag]) * len(blob)
+            if self._taint_listener is not None:
+                self._taint_listener(offset, len(blob), tag)
 
     def read_word(self, offset: int) -> int:
         return int.from_bytes(self.data[offset:offset + 4], "little")
@@ -74,6 +89,8 @@ class Memory(Module):
             4, "little")
         if self.tags is not None and tag is not None:
             self.tags[offset:offset + 4] = bytes([tag]) * 4
+            if self._taint_listener is not None:
+                self._taint_listener(offset, 4, tag)
 
     def read_block(self, offset: int, length: int) -> bytes:
         return bytes(self.data[offset:offset + length])
@@ -84,3 +101,5 @@ class Memory(Module):
     def fill_tags(self, offset: int, length: int, tag: int) -> None:
         if self.tags is not None:
             self.tags[offset:offset + length] = bytes([tag]) * length
+            if self._taint_listener is not None:
+                self._taint_listener(offset, length, tag)

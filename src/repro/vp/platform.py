@@ -120,6 +120,7 @@ class Platform:
         aes_declassify_to: Optional[str] = None,
         seed: int = 0x5EED,
         obs=None,
+        dift_mode: str = cpu_mod.DIFT_FULL,
     ):
         self.kernel = Kernel()
         self.engine: Optional[DiftEngine] = (
@@ -127,14 +128,28 @@ class Platform:
         self.router = Router("bus")
         tagged = self.engine is not None
         default_tag = self.engine.default_tag if self.engine else 0
+        self.dift_mode = dift_mode
 
         self.memory = Memory(self.kernel, "ram", ram_size, tagged=tagged,
                              default_tag=default_tag)
         self.cpu = Cpu(self.kernel, "cpu0", dift=self.engine,
-                       clock_period=clock_period, quantum=quantum)
+                       clock_period=clock_period, quantum=quantum,
+                       dift_mode=dift_mode)
         self.cpu.isock.bind(self.router)  # router duck-types a target socket
         self.cpu.attach_ram(RAM_BASE, self.memory.data, self.memory.tags)
         self.cpu.ecall_handler = _default_ecall
+
+        live = self.cpu.liveness
+        if live is not None:
+            if self.engine.default_tag != self.engine.bottom_tag:
+                # memory starts (and stays) classified above bottom: the
+                # machine can never be clean, so demand == full by fiat
+                live.disable(
+                    "default memory classification is not lattice bottom")
+            else:
+                # wired before load() so the loader's region
+                # classification marks its dirty pages automatically
+                self.memory.set_taint_listener(self._on_memory_taint)
 
         self.plic = Plic(self.kernel, "plic0", self.engine, cpu=self.cpu)
         self.clint = Clint(self.kernel, "clint0", self.engine, cpu=self.cpu)
@@ -216,6 +231,29 @@ class Platform:
                                  self._tagged_mem_bytes)
             metrics.set_gauge_fn("taint.mem_spread_ratio",
                                  self._mem_spread_ratio)
+            live = self.cpu.liveness
+            if live is not None:
+                metrics.set_gauge_fn("dift.fast_steps",
+                                     lambda: live.fast_steps)
+                metrics.set_gauge_fn("dift.slow_steps",
+                                     lambda: live.slow_steps)
+                metrics.set_gauge_fn("dift.reclaims",
+                                     lambda: live.reclaims)
+                metrics.set_gauge_fn("shadow.tainted_pages",
+                                     self._tainted_pages)
+
+    def _on_memory_taint(self, offset: int, length: int, tags) -> None:
+        """Memory taint listener (demand mode): filter bottom-only writes."""
+        live = self.cpu.liveness
+        if live is None:
+            return
+        bottom = self.engine.bottom_tag
+        if isinstance(tags, int):
+            if tags == bottom:
+                return
+        elif tags.count(bottom) == len(tags):
+            return
+        live.note_memory_taint(offset, length)
 
     # -- taint-spread gauges (snapshot-time scans of the shadow state) --- #
 
@@ -236,6 +274,20 @@ class Platform:
         if not tags:
             return 0.0
         return self._tagged_mem_bytes() / len(tags)
+
+    def _tainted_pages(self) -> int:
+        """RAM pages holding at least one above-bottom tag (lazy scan)."""
+        tags = self.memory.tags
+        if tags is None:
+            return 0
+        bottom = self.engine.bottom_tag
+        size = len(tags)
+        count = 0
+        for start in range(0, size, 4096):
+            end = min(start + 4096, size)
+            if tags.count(bottom, start, end) != end - start:
+                count += 1
+        return count
 
     def detach_cpu_process(self) -> None:
         """Remove the CPU from kernel scheduling (external drivers only).
@@ -331,7 +383,10 @@ class Platform:
         return self.program.symbol(name)
 
     def __repr__(self) -> str:
-        mode = "VP+" if self.is_dift else "VP"
+        if self.is_dift:
+            mode = "VP+d" if self.dift_mode == cpu_mod.DIFT_DEMAND else "VP+"
+        else:
+            mode = "VP"
         return f"Platform({mode}, instret={self.cpu.csr.instret})"
 
 

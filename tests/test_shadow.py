@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dift.shadow import MAX_TAG, ShadowTags
+from repro.dift.shadow import MAX_TAG, PAGE_SIZE, ShadowTags
 from repro.policy.builders import ifp3
 
 
@@ -48,6 +48,99 @@ class TestRanges:
         assert not shadow.uniform(0, 8)
         assert shadow.uniform(0, 4)
         assert shadow.uniform(4, 1)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("start,length", [
+        (-1, 2), (0, -1), (7, 2), (8, 1), (0, 9), (-4, 4),
+    ])
+    def test_bad_ranges_rejected(self, start, length):
+        shadow = ShadowTags(8)
+        with pytest.raises(IndexError):
+            shadow.get_range(start, length)
+        with pytest.raises(IndexError):
+            shadow.fill_range(start, length, 1)
+        with pytest.raises(IndexError):
+            shadow.lub_range(start, length, ifp3().lub_table)
+        with pytest.raises(IndexError):
+            shadow.any_tainted(start, length)
+
+    @pytest.mark.parametrize("index", [-1, 8, 100])
+    def test_bad_indices_rejected(self, index):
+        shadow = ShadowTags(8)
+        with pytest.raises(IndexError):
+            shadow.get(index)
+        with pytest.raises(IndexError):
+            shadow.set(index, 1)
+
+    def test_set_range_past_end_rejected(self):
+        with pytest.raises(IndexError):
+            ShadowTags(8).set_range(6, [1, 2, 3])
+
+    def test_oversized_tags_rejected(self):
+        shadow = ShadowTags(8)
+        with pytest.raises(ValueError):
+            shadow.set(0, MAX_TAG + 1)
+        with pytest.raises(ValueError):
+            shadow.set_range(0, [0, 300])
+
+    def test_zero_length_range_at_end_ok(self):
+        shadow = ShadowTags(8)
+        assert shadow.get_range(8, 0) == b""
+        assert not shadow.any_tainted(8, 0)
+
+
+class TestSparsity:
+    def test_clean_store_materializes_nothing(self):
+        shadow = ShadowTags(PAGE_SIZE * 4)
+        shadow.get_range(0, shadow.size)
+        shadow.lub_range(0, shadow.size, ifp3().lub_table)
+        assert not shadow.any_tainted(0, shadow.size)
+        shadow.fill_range(0, shadow.size, shadow.fill)   # fill with fill
+        assert shadow.materialized_pages == 0
+
+    def test_taint_materializes_only_touched_pages(self):
+        shadow = ShadowTags(PAGE_SIZE * 4)
+        shadow.set(PAGE_SIZE * 2 + 5, 3)
+        assert shadow.materialized_pages == 1
+        assert shadow.get(PAGE_SIZE * 2 + 5) == 3
+        assert shadow.get(0) == 0
+
+    def test_full_page_clean_fill_demotes_page(self):
+        shadow = ShadowTags(PAGE_SIZE * 2)
+        shadow.fill_range(0, PAGE_SIZE, 2)
+        assert shadow.materialized_pages == 1
+        shadow.fill_range(0, PAGE_SIZE, shadow.fill)
+        assert shadow.materialized_pages == 0
+
+
+class TestAnyTainted:
+    def test_clean_store_is_untainted(self):
+        assert not ShadowTags(64).any_tainted(0, 64)
+
+    def test_detects_single_tainted_byte(self):
+        shadow = ShadowTags(PAGE_SIZE * 2)
+        shadow.set(PAGE_SIZE + 17, 2)
+        assert shadow.any_tainted(0, shadow.size)
+        assert shadow.any_tainted(PAGE_SIZE, PAGE_SIZE)
+        assert not shadow.any_tainted(0, PAGE_SIZE)
+        assert not shadow.any_tainted(PAGE_SIZE, 17)
+        assert shadow.any_tainted(PAGE_SIZE + 17, 1)
+
+    def test_custom_clean_tag(self):
+        shadow = ShadowTags(16, fill=1)
+        assert not shadow.any_tainted(0, 16, clean_tag=1)
+        # relative to a different notion of clean, the fill *is* taint
+        assert shadow.any_tainted(0, 16, clean_tag=0)
+
+    def test_retagged_back_to_clean_is_untainted(self):
+        shadow = ShadowTags(PAGE_SIZE)
+        shadow.fill_range(10, 32, 3)
+        assert shadow.any_tainted(0, PAGE_SIZE)
+        shadow.fill_range(10, 32, shadow.fill)
+        # page stays materialized (partial fill), but holds no taint
+        assert shadow.materialized_pages == 1
+        assert not shadow.any_tainted(0, PAGE_SIZE)
 
 
 class TestLubRange:
