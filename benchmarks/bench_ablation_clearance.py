@@ -15,8 +15,6 @@ reports the all-on overhead.  This ablation fills that gap:
 import pytest
 
 from repro.asm import assemble
-from repro.bench.workloads import WORKLOADS
-from repro.bench.runner import run_workload
 from repro.dift.engine import RECORD
 from repro.policy import SecurityPolicy, builders
 from repro.sw import runtime

@@ -19,10 +19,13 @@ Usage::
     python benchmarks/check_regression.py \
         --baseline benchmarks/baselines --current fresh --update
 
-Benchmarks present only in the current run (new benchmarks) or only in
-the baselines (removed/skipped benchmarks) are reported but never fail
-the gate, so adding a benchmark does not require a lockstep baseline
-commit.
+Benchmarks present only in the current run (new benchmarks) warn but
+never fail the gate, so adding a benchmark does not require a lockstep
+baseline commit.  Benchmarks present in the baselines but **missing
+from the current run fail the gate** — a silently dropped benchmark is
+indistinguishable from an unbounded regression.  If the benchmark was
+removed on purpose, refresh the baselines with ``--update`` (or pass
+``--allow-missing`` for a one-off run of a benchmark subset).
 """
 
 from __future__ import annotations
@@ -70,13 +73,17 @@ def _count(record: dict) -> Optional[int]:
 
 
 def compare(baseline: Dict[str, dict], current: Dict[str, dict],
-            threshold: float, min_delta: float = 0.05):
-    """Build comparison rows; returns (rows, regressions, warnings).
+            threshold: float, min_delta: float = 0.05,
+            allow_missing: bool = False):
+    """Build comparison rows; returns (rows, failures, warnings).
 
     A benchmark regresses when its timing is both *relatively* slower
     (``ratio > 1 + threshold``) and *absolutely* slower by more than
     ``min_delta`` seconds — the floor keeps millisecond-scale timings,
     where host jitter dwarfs the threshold, from tripping the gate.
+    A benchmark with a committed baseline but no current record is a
+    failure (unless ``allow_missing``): dropped benchmarks must not
+    pass silently.
     """
     rows = []
     regressions = []
@@ -89,9 +96,16 @@ def compare(baseline: Dict[str, dict], current: Dict[str, dict],
             warnings.append(f"{name}: no baseline (new benchmark)")
             continue
         if cur is None:
-            rows.append((name, _seconds(base), None, None, "missing"))
-            warnings.append(f"{name}: present in baseline but not in "
-                            "the current run")
+            rows.append((name, _seconds(base), None, None, "MISSING"))
+            message = (
+                f"{name}: baseline exists but the current run produced no "
+                "record — the benchmark was dropped, renamed or crashed. "
+                "If intentional, refresh baselines with --update "
+                "(or pass --allow-missing for a partial run).")
+            if allow_missing:
+                warnings.append(message)
+            else:
+                regressions.append(message)
             continue
         base_s, cur_s = _seconds(base), _seconds(cur)
         if base_s is None or cur_s is None or base_s <= 0:
@@ -157,6 +171,10 @@ def main(argv=None) -> int:
                              "gate never fires (default 0.05s; guards "
                              "sub-second timings against host jitter, which "
                              "routinely exceeds 15%% at that scale)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="downgrade baseline-but-no-current-record "
+                             "failures to warnings (for deliberate runs of "
+                             "a benchmark subset)")
     parser.add_argument("--output", metavar="FILE",
                         help="also write the markdown comparison table here")
     parser.add_argument("--update", action="store_true",
@@ -175,7 +193,8 @@ def main(argv=None) -> int:
         print(f"warning: no baselines in {args.baseline!r}; nothing gated "
               "(run with --update to create them)", file=sys.stderr)
     rows, regressions, warnings = compare(baseline, current, args.threshold,
-                                          args.min_delta)
+                                          args.min_delta,
+                                          allow_missing=args.allow_missing)
     table = render_markdown(rows, args.threshold)
     print(table)
     for message in warnings:
@@ -184,12 +203,12 @@ def main(argv=None) -> int:
         with open(args.output, "w") as handle:
             handle.write(table)
             if regressions:
-                handle.write("\nRegressions:\n")
+                handle.write("\nFailures:\n")
                 for message in regressions:
                     handle.write(f"- {message}\n")
         print(f"wrote {args.output}", file=sys.stderr)
     if regressions:
-        print("FAIL: benchmark regressions past the threshold:",
+        print("FAIL: benchmark regressions / missing benchmarks:",
               file=sys.stderr)
         for message in regressions:
             print(f"  {message}", file=sys.stderr)

@@ -581,8 +581,11 @@ class Assembler:
         m = stmt.mnemonic
         line = stmt.line
         ops = stmt.operands
-        ev = lambda text: evaluate(text, symbols, line)
-        reg = lambda text: self._reg(text, line)
+        def ev(text):
+            return evaluate(text, symbols, line)
+
+        def reg(text):
+            return self._reg(text, line)
 
         # ---- R-type ---------------------------------------------------- #
         if m in isa.R_OPS:
@@ -666,8 +669,11 @@ class Assembler:
         m = stmt.mnemonic
         line = stmt.line
         ops = stmt.operands
-        ev = lambda text: evaluate(text, symbols, line)
-        reg = lambda text: self._reg(text, line)
+        def ev(text):
+            return evaluate(text, symbols, line)
+
+        def reg(text):
+            return self._reg(text, line)
         x0 = 0
 
         if m == "nop":

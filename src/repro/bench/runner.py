@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.bench.workloads import WORKLOADS, Workload
+from repro.bench.workloads import Workload, get_workload
 from repro.vp.platform import RunResult
 
 
@@ -91,7 +91,7 @@ def run_workload(workload: Workload, scale: str, dift: bool,
 def compare_workload(name: str, scale: str = "quick",
                      max_instructions: Optional[int] = None) -> Comparison:
     """Run one workload on VP and on VP+ and build the comparison row."""
-    workload = WORKLOADS[name]
+    workload = get_workload(name)
     vp = run_workload(workload, scale, dift=False,
                       max_instructions=max_instructions)
     vp_plus = run_workload(workload, scale, dift=True,

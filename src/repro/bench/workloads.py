@@ -15,9 +15,10 @@ the iteration counts and keep the workload character).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.asm.assembler import Program
+from repro.dift.engine import RAISE
 from repro.policy import SecurityPolicy, builders
 from repro.sw import (
     dhrystone,
@@ -70,11 +71,16 @@ class Workload:
     prepare: Callable[[Platform, Program, str], None]
 
     def make_platform(self, scale: str, dift: bool, obs=None,
-                      dift_mode: str = "full") -> Platform:
+                      dift_mode: str = "full",
+                      seed: Optional[int] = None,
+                      engine_mode: str = RAISE) -> Platform:
         program = self.build(scale)
         policy = self.policy(program) if dift else None
-        platform = Platform(policy=policy, obs=obs, dift_mode=dift_mode,
-                            **self.platform_kwargs(scale))
+        kwargs = self.platform_kwargs(scale)
+        if seed is not None:
+            kwargs.setdefault("seed", seed)
+        platform = Platform(policy=policy, engine_mode=engine_mode,
+                            obs=obs, dift_mode=dift_mode, **kwargs)
         platform.load(program)
         self.prepare(platform, program, scale)
         return platform
@@ -173,3 +179,26 @@ WORKLOADS: Dict[str, Workload] = {
 #: paper order for Table II
 TABLE2_ORDER = ["qsort", "dhrystone", "primes", "sha512", "simple-sensor",
                 "freertos-tasks", "immo-fixed"]
+
+
+class UnknownWorkloadError(LookupError):
+    """Raised when a workload name is not in the registry."""
+
+
+def workload_names() -> List[str]:
+    """Registry names in paper (Table II) order."""
+    return list(TABLE2_ORDER)
+
+
+def get_workload(name: str) -> Workload:
+    """Registry lookup by name, with an error listing what exists.
+
+    Campaign matrices and CLI flags reference workloads by name; a typo
+    should name the valid choices, not die with a bare ``KeyError``.
+    """
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(workload_names())
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; available: {known}") from None

@@ -1,0 +1,58 @@
+"""Parallel simulation campaigns: matrix → worker pool → report.
+
+The paper sweeps binaries × policies × modes by hand; this package
+industrializes that batch workload.  A declarative JSON matrix
+(:mod:`repro.campaign.matrix`) expands to jobs, a process-per-job
+scheduler (:mod:`repro.campaign.scheduler`) runs them with crash
+isolation, per-job wall-clock timeouts and bounded retry, and the
+results aggregate into versioned reports
+(:mod:`repro.campaign.report`, schema ``repro.campaign/1``).
+
+CLI::
+
+    python -m repro campaign run --matrix campaign.json \\
+        --jobs 4 --out results/
+    python -m repro campaign report --results results/
+"""
+
+from __future__ import annotations
+
+from repro.campaign.matrix import (
+    MATRIX_SCHEMA,
+    JobSpec,
+    Matrix,
+    MatrixError,
+    full_matrix,
+    load_matrix,
+    parse_matrix,
+)
+from repro.campaign.report import (
+    CAMPAIGN_SCHEMA,
+    aggregate,
+    deterministic_view,
+    load_jsonl,
+    render_markdown,
+    write_outputs,
+)
+from repro.campaign.scheduler import CampaignResult, run_campaign
+from repro.campaign.worker import JOB_SCHEMA, execute_job
+
+__all__ = [
+    "JobSpec",
+    "Matrix",
+    "MatrixError",
+    "CampaignResult",
+    "MATRIX_SCHEMA",
+    "CAMPAIGN_SCHEMA",
+    "JOB_SCHEMA",
+    "load_matrix",
+    "parse_matrix",
+    "full_matrix",
+    "run_campaign",
+    "execute_job",
+    "aggregate",
+    "deterministic_view",
+    "load_jsonl",
+    "render_markdown",
+    "write_outputs",
+]

@@ -1,0 +1,193 @@
+"""Campaign reports: versioned JSONL records, aggregate, markdown.
+
+Three artifacts per campaign, all derived from the same job records:
+
+* ``campaign.jsonl`` — one ``repro.campaign.job/1`` record per line, in
+  job-id order (worker count never reorders the file);
+* ``aggregate.json`` — the ``repro.campaign/1`` summary.  Everything
+  outside its ``"timing"`` key is deterministic: two runs of the same
+  matrix agree byte-for-byte there regardless of ``--jobs``;
+* the markdown summary table (``campaign report``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import merge_snapshots
+
+CAMPAIGN_SCHEMA = "repro.campaign/1"
+
+JSONL_NAME = "campaign.jsonl"
+AGGREGATE_NAME = "aggregate.json"
+
+
+def write_jsonl(path: str, records: List[dict]) -> str:
+    """Write records (sorted by job id) as one JSON object per line."""
+    ordered = sorted(records, key=lambda r: r["job"]["job_id"])
+    with open(path, "w") as handle:
+        for record in ordered:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_jsonl(path: str) -> List[dict]:
+    records = []
+    with open(path) as handle:
+        for n, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{n}: not valid JSON: {exc}")
+    return records
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank quantile over an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def aggregate(records: List[dict],
+              wall_seconds: Optional[float] = None) -> dict:
+    """Fold job records into the ``repro.campaign/1`` summary document."""
+    ordered = sorted(records, key=lambda r: r["job"]["job_id"])
+    by_status: Dict[str, List[str]] = {}
+    violations_by_policy: Dict[str, int] = {}
+    instructions = 0
+    snapshots = []
+    latencies = []
+    for record in ordered:
+        job = record["job"]
+        by_status.setdefault(record["status"], []).append(job["job_id"])
+        if record["status"] in ("ok", "failed"):
+            policy = job["policy"]
+            violations_by_policy[policy] = (
+                violations_by_policy.get(policy, 0)
+                + record.get("violations", 0))
+            instructions += record.get("instructions", 0)
+            snapshots.append(record.get("metrics", {}))
+            timing = record.get("timing", {})
+            if "wall_seconds" in timing:
+                latencies.append(timing["wall_seconds"])
+    latencies.sort()
+    completed = sum(len(ids) for status, ids in by_status.items()
+                    if status in ("ok", "failed"))
+    document = {
+        "schema": CAMPAIGN_SCHEMA,
+        "jobs": {
+            "total": len(ordered),
+            "by_status": {status: len(ids)
+                          for status, ids in sorted(by_status.items())},
+            "not_ok": sorted(job_id
+                             for status, ids in by_status.items()
+                             if status != "ok" for job_id in ids),
+        },
+        "instructions_total": instructions,
+        "violations_by_policy": dict(sorted(violations_by_policy.items())),
+        "metrics": merge_snapshots(*snapshots),
+        "timing": {
+            "campaign_wall_seconds": wall_seconds,
+            "job_latency_p50_s": _quantile(latencies, 0.50),
+            "job_latency_p95_s": _quantile(latencies, 0.95),
+            "throughput_jobs_per_s": (
+                completed / wall_seconds
+                if wall_seconds else None),
+        },
+    }
+    return document
+
+
+def deterministic_view(document: dict) -> dict:
+    """The aggregate minus its host-timing key (for run-to-run diffs)."""
+    return {key: value for key, value in document.items()
+            if key != "timing"}
+
+
+def write_outputs(out_dir: str, records: List[dict],
+                  wall_seconds: Optional[float] = None) -> dict:
+    """Write ``campaign.jsonl`` + ``aggregate.json`` into ``out_dir``."""
+    os.makedirs(out_dir, exist_ok=True)
+    write_jsonl(os.path.join(out_dir, JSONL_NAME), records)
+    document = aggregate(records, wall_seconds=wall_seconds)
+    with open(os.path.join(out_dir, AGGREGATE_NAME), "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def find_jsonl(results: str) -> str:
+    """Accept either a results directory or the JSONL file itself."""
+    if os.path.isdir(results):
+        return os.path.join(results, JSONL_NAME)
+    return results
+
+
+def render_markdown(records: List[dict],
+                    document: Optional[dict] = None) -> str:
+    """Markdown summary: per-job table plus the aggregate section."""
+    if document is None:
+        document = aggregate(records)
+    ordered = sorted(records, key=lambda r: r["job"]["job_id"])
+    lines = [
+        "# Campaign report",
+        "",
+        "| job | workload | policy | mode | seed | status | attempts "
+        "| instructions | violations | wall [s] |",
+        "|---|---|---|---|---:|---|---:|---:|---:|---:|",
+    ]
+    for record in ordered:
+        job = record["job"]
+        wall = record.get("timing", {}).get("wall_seconds")
+        if wall is not None:
+            tail = (f"{record.get('instructions', 0):,} "
+                    f"| {record.get('violations', 0)} | {wall:.2f} |")
+        else:
+            tail = "- | - | - |"
+        lines.append(
+            f"| {job['job_id']} | {job['workload']} | {job['policy']} "
+            f"| {job['dift_mode']} | {job['seed']} | {record['status']} "
+            f"| {record.get('attempts', 1)} | {tail}")
+    jobs = document["jobs"]
+    timing = document.get("timing", {})
+    lines += [
+        "",
+        "## Aggregate",
+        "",
+        f"- jobs: {jobs['total']} total, "
+        + ", ".join(f"{n} {status}"
+                    for status, n in jobs["by_status"].items()),
+        f"- instructions (completed jobs): "
+        f"{document['instructions_total']:,}",
+        f"- violations by policy: "
+        + (", ".join(f"{policy}: {count}" for policy, count
+                     in document["violations_by_policy"].items())
+           or "none"),
+    ]
+    p50 = timing.get("job_latency_p50_s")
+    p95 = timing.get("job_latency_p95_s")
+    if p50 is not None:
+        lines.append(f"- job latency: p50 {p50:.2f}s, p95 {p95:.2f}s")
+    throughput = timing.get("throughput_jobs_per_s")
+    if throughput:
+        lines.append(f"- throughput: {throughput:.2f} jobs/s "
+                     f"over {timing['campaign_wall_seconds']:.2f}s")
+    if jobs["not_ok"]:
+        lines += ["", "## Jobs needing attention", ""]
+        for record in ordered:
+            if record["status"] == "ok":
+                continue
+            error = record.get("error", {})
+            lines.append(f"- `{record['job']['job_id']}` "
+                         f"({record['status']}): "
+                         f"{error.get('type', record.get('reason', '?'))}"
+                         f" — {error.get('message', '')}".rstrip(" —"))
+    return "\n".join(lines) + "\n"

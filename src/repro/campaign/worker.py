@@ -1,0 +1,144 @@
+"""Campaign worker: runs ONE job in a child process.
+
+The child builds a fresh platform from the job spec, simulates it, and
+ships a plain-dict result back through a pipe.  Everything here must
+stay picklable and import-light: under the ``spawn`` start method the
+module is re-imported in every worker.
+
+Failure injection
+-----------------
+A job spec may carry ``inject`` to exercise the scheduler's isolation
+machinery (the campaign-level analogue of
+``tests/test_failure_injection.py``):
+
+* ``"crash"``   — raise inside the worker (well-behaved failure: the
+  traceback travels back through the pipe);
+* ``"die"``     — ``os._exit(13)`` (hard death: the parent sees the pipe
+  close and a non-zero exit code, no payload);
+* ``"hang"``    — spin forever; the parent's per-job timeout terminates
+  the process;
+* ``"flaky:N"`` — raise on the first N attempts, succeed afterwards
+  (exercises retry-with-backoff deterministically).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from contextlib import redirect_stderr, redirect_stdout
+from typing import Tuple
+
+from repro.campaign.matrix import JobSpec
+
+JOB_SCHEMA = "repro.campaign.job/1"
+
+#: hard-death exit code (distinguishable from interpreter crashes)
+DIE_EXIT_CODE = 13
+
+#: substrings marking host-timing metrics, excluded from deterministic
+#: aggregation (two campaign runs must agree on everything else)
+TIMING_METRIC_MARKERS = ("wall", "mips", "seconds")
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by the ``crash`` / ``flaky`` injection hooks."""
+
+
+def is_timing_metric(name: str) -> bool:
+    return any(marker in name for marker in TIMING_METRIC_MARKERS)
+
+
+def split_timing_metrics(snapshot: dict) -> Tuple[dict, dict]:
+    """Split a metrics snapshot into (deterministic, host-timing) parts."""
+    deterministic, timing = {}, {}
+    for name, value in snapshot.items():
+        (timing if is_timing_metric(name) else deterministic)[name] = value
+    return deterministic, timing
+
+
+def _apply_injection(spec: JobSpec, attempt: int) -> None:
+    inject = spec.inject
+    if not inject:
+        return
+    if inject == "crash":
+        raise InjectedFailure(f"injected worker crash in {spec.job_id}")
+    if inject == "die":
+        print(f"worker {spec.job_id}: injected hard death", flush=True)
+        os._exit(DIE_EXIT_CODE)
+    if inject == "hang":
+        print(f"worker {spec.job_id}: injected hang", flush=True)
+        while True:
+            time.sleep(0.05)
+    kind, _, count = inject.partition(":")
+    if kind == "flaky" and attempt < int(count):
+        raise InjectedFailure(
+            f"injected flaky failure in {spec.job_id} "
+            f"(attempt {attempt} of {count} injected failures)")
+
+
+def execute_job(spec: JobSpec, attempt: int) -> dict:
+    """Run one job to completion in the current process."""
+    from repro.bench.workloads import get_workload
+    from repro.dift.engine import RECORD
+    from repro.obs import Observability
+
+    _apply_injection(spec, attempt)
+    workload = get_workload(spec.workload)
+    dift = spec.policy != "none"
+    platform = workload.make_platform(
+        spec.scale, dift, obs=Observability(),
+        dift_mode=spec.dift_mode if dift else "full",
+        seed=spec.seed, engine_mode=RECORD)
+    started = time.perf_counter()
+    result = platform.run(max_instructions=spec.max_instructions)
+    wall = time.perf_counter() - started
+    ok = (result.reason == "budget"
+          or (result.reason == "halt" and result.exit_code == 0))
+    deterministic, timing = split_timing_metrics(platform.obs.snapshot())
+    return {
+        "schema": JOB_SCHEMA,
+        "job": spec.to_dict(),
+        "status": "ok" if ok else "failed",
+        "reason": result.reason,
+        "exit_code": result.exit_code,
+        "instructions": result.instructions,
+        "violations": len(result.violations),
+        "metrics": deterministic,
+        "timing": {
+            "wall_seconds": wall,
+            "mips": result.mips,
+            "metrics": timing,
+        },
+    }
+
+
+def child_main(conn, spec_dict: dict, attempt: int, log_path: str) -> None:
+    """Process entry point: run the job, send the payload, exit.
+
+    All worker output (including an exception traceback) lands in
+    ``log_path`` so the parent can attach a log tail to failed jobs; the
+    pipe carries exactly zero or one payload.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    with open(log_path, "w", buffering=1) as log, \
+            redirect_stdout(log), redirect_stderr(log):
+        try:
+            payload = execute_job(spec, attempt)
+        except BaseException as exc:   # isolation boundary: report, never leak
+            traceback.print_exc()
+            tail = traceback.format_exc().splitlines()[-8:]
+            payload = {
+                "schema": JOB_SCHEMA,
+                "job": spec.to_dict(),
+                "status": "crashed",
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback_tail": tail,
+                },
+            }
+        try:
+            conn.send(payload)
+        finally:
+            conn.close()

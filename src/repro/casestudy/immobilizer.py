@@ -23,7 +23,7 @@ Public entry point: :func:`run_case_study` returns one
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dift.engine import RECORD

@@ -13,6 +13,7 @@ Commands
 ``report``       run every experiment and emit a markdown report
 ``differential`` VP-vs-VP+ differential testing on random programs
 ``fuzz``         policy stress-fuzzing of the immobilizer firmware
+``campaign``     parallel simulation campaigns (``run`` / ``report``)
 """
 
 from __future__ import annotations
@@ -224,6 +225,65 @@ def _cmd_fuzz(args) -> int:
     return 0 if all(o.sound for o in outcomes) else 1
 
 
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import (
+        MatrixError,
+        load_matrix,
+        run_campaign,
+        write_outputs,
+    )
+
+    try:
+        specs = load_matrix(args.matrix).jobs()
+    except MatrixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    os.makedirs(args.out, exist_ok=True)
+    progress = None if args.quiet else print
+    result = run_campaign(specs, jobs=args.jobs,
+                          log_dir=os.path.join(args.out, "logs"),
+                          timeout=args.timeout, retries=args.retries,
+                          progress=progress)
+    document = write_outputs(args.out, result.records,
+                             wall_seconds=result.wall_seconds)
+    counts = result.status_counts
+    summary = ", ".join(f"{counts[status]} {status}"
+                        for status in ("ok", "failed", "crashed", "timeout")
+                        if counts[status])
+    print(f"campaign: {len(result.records)} jobs in "
+          f"{result.wall_seconds:.2f}s with --jobs {args.jobs}: {summary}")
+    print(f"results: {args.out}/campaign.jsonl, {args.out}/aggregate.json")
+    for job_id in document["jobs"]["not_ok"]:
+        print(f"  not ok: {job_id}")
+    if args.strict and not result.all_ok:
+        print("error: --strict and not every job is ok", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    from repro.campaign import aggregate, load_jsonl, render_markdown
+    from repro.campaign.report import find_jsonl
+
+    path = find_jsonl(args.results)
+    try:
+        records = load_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no job records in {path}", file=sys.stderr)
+        return 2
+    markdown = render_markdown(records, aggregate(records))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -295,6 +355,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel simulation campaigns over a job matrix")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    cp = csub.add_parser(
+        "run", help="fan a job matrix out across a worker pool")
+    cp.add_argument("--matrix", required=True, metavar="FILE",
+                    help="JSON job matrix (repro.campaign.matrix/1)")
+    cp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes (default 1)")
+    cp.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="per-job wall-clock timeout override (seconds)")
+    cp.add_argument("--retries", type=int, default=None, metavar="N",
+                    help="retry-after-crash override")
+    cp.add_argument("--out", default="campaign-out", metavar="DIR",
+                    help="output directory (JSONL, aggregate, worker "
+                         "logs; default campaign-out)")
+    cp.add_argument("--strict", action="store_true",
+                    help="exit 1 unless every job ended ok")
+    cp.add_argument("--quiet", action="store_true",
+                    help="suppress per-job progress lines")
+    cp.set_defaults(fn=_cmd_campaign_run)
+
+    cp = csub.add_parser(
+        "report", help="render a markdown summary from campaign results")
+    cp.add_argument("--results", required=True, metavar="PATH",
+                    help="campaign output directory or campaign.jsonl")
+    cp.add_argument("-o", "--output", metavar="FILE",
+                    help="write the markdown here instead of stdout")
+    cp.set_defaults(fn=_cmd_campaign_report)
 
     return parser
 

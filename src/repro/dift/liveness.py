@@ -42,7 +42,7 @@ demand mode silently equals full mode — zero drift by construction.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Set
 
 #: Dirty-set granularity in bytes.  4 KiB balances set size (1024 pages
 #: for the default 4 MiB RAM) against reclaim-scan precision.

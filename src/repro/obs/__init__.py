@@ -52,6 +52,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
 )
 from repro.obs.trace import EventTracer, TraceEvent
 
@@ -118,6 +119,7 @@ __all__ = [
     "GROUP_OF_OP",
     "QUANTUM",
     "INSTRUCTION",
+    "merge_snapshots",
     "metrics_document",
     "bench_record",
     "write_json",

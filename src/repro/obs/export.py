@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import platform as _host
 import sys
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 METRICS_SCHEMA = "repro.metrics/1"
 BENCH_SCHEMA = "repro.bench/1"

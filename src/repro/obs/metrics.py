@@ -259,6 +259,61 @@ class MetricsRegistry:
         return f"MetricsRegistry({len(self)} instruments)"
 
 
+# --------------------------------------------------------------------- #
+# snapshot merging (campaign aggregation)
+# --------------------------------------------------------------------- #
+
+
+def _merge_histograms(name: str, into: dict, other: dict) -> dict:
+    if list(into.get("bounds", [])) != list(other.get("bounds", [])):
+        raise ValueError(
+            f"metric {name!r}: histogram bucket bounds differ between "
+            "snapshots; cannot merge")
+    merged = dict(into)
+    merged["counts"] = [a + b for a, b in zip(into["counts"],
+                                              other["counts"])]
+    merged["count"] = into["count"] + other["count"]
+    merged["sum"] = into["sum"] + other["sum"]
+    merged["mean"] = (merged["sum"] / merged["count"]
+                      if merged["count"] else 0.0)
+    mins = [m for m in (into.get("min"), other.get("min")) if m is not None]
+    maxs = [m for m in (into.get("max"), other.get("max")) if m is not None]
+    merged["min"] = min(mins) if mins else None
+    merged["max"] = max(maxs) if maxs else None
+    return merged
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts from independent runs.
+
+    Worker processes cannot share a registry, so each campaign job ships
+    its snapshot back to the parent and the parent folds them together:
+    scalar instruments (counters *and* gauges) **sum**, histograms merge
+    bucket-wise (bounds must match).  Summing is exact for counters and
+    the run-total gauges (``run.instructions``); point-in-time gauges
+    become "total across jobs", which is the quantity a campaign summary
+    wants anyway.  Keys are sorted like :meth:`snapshot` for stable
+    diffs.  A type mismatch between snapshots raises ``ValueError``.
+    """
+    out: dict = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if name not in out:
+                out[name] = (dict(value) if isinstance(value, dict)
+                             else value)
+                continue
+            have = out[name]
+            if isinstance(have, dict) != isinstance(value, dict):
+                raise ValueError(
+                    f"metric {name!r}: histogram in one snapshot but "
+                    "scalar in another; cannot merge")
+            if isinstance(value, dict):
+                out[name] = _merge_histograms(name, have, value)
+            else:
+                out[name] = have + value
+    return dict(sorted(out.items()))
+
+
 #: Fixed bucket edges (µs) for per-quantum host wall-time; spans the
 #: ~100 µs (idle quantum) to ~100 ms (8192-instruction DIFT quantum on a
 #: slow host) range the Python ISS actually produces.

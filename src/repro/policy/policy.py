@@ -20,7 +20,7 @@ re-tag data, and the DIFT engine enforces that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import PolicyError

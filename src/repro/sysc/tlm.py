@@ -20,7 +20,7 @@ Reproduces the parts of OSCI TLM-2.0 the VP uses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import BusError
 from repro.sysc.time import SimTime

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.asm import assemble
 from repro.policy import SecurityPolicy, builders

@@ -16,8 +16,8 @@ needs:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.casestudy.immobilizer import PIN, EngineEcu, baseline_policy
 from repro.dift.engine import RECORD

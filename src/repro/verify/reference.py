@@ -15,7 +15,7 @@ programs that need them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.asm.assembler import Program

@@ -30,7 +30,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.dift.engine import DiftEngine
 from repro.dift.liveness import TaintLiveness
-from repro.errors import BusError, GuestFault
+from repro.errors import BusError
 from repro.sysc.kernel import Kernel
 from repro.sysc.module import Module
 from repro.sysc.time import SimTime

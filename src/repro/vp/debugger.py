@@ -19,9 +19,8 @@ reports :class:`DebugEvent` objects for:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from repro.sysc.time import SimTime
 from repro.vp import cpu as cpu_mod
 from repro.vp.platform import Platform
 
@@ -129,7 +128,6 @@ class Debugger:
         tags = self.platform.memory.tags
         if tags is None:
             return b""
-        base = self.platform.memory
         return bytes(tags[start:end])
 
     def _check_watches(self) -> Optional[DebugEvent]:

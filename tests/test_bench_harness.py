@@ -1,11 +1,23 @@
-"""Tests for the benchmark harness (Table II machinery + LoC delta)."""
+"""Tests for the benchmark harness (Table II machinery + LoC delta) and
+the ``check_regression.py`` gate script."""
+
+import importlib.util
+import json
+import os
 
 import pytest
 
 from repro.bench import locdelta
 from repro.bench.runner import compare_workload, run_workload
 from repro.bench.table2 import PAPER_TABLE2, format_against_paper, format_table
-from repro.bench.workloads import TABLE2_ORDER, WORKLOADS, benchmark_policy
+from repro.bench.workloads import (
+    TABLE2_ORDER,
+    WORKLOADS,
+    UnknownWorkloadError,
+    benchmark_policy,
+    get_workload,
+    workload_names,
+)
 
 
 class TestWorkloadRegistry:
@@ -23,6 +35,21 @@ class TestWorkloadRegistry:
         assert policy.execution.fetch is not None
         assert policy.execution.branch is not None
         assert policy.execution.mem_addr is not None
+
+    def test_workload_names_matches_table_order(self):
+        assert workload_names() == TABLE2_ORDER
+        assert workload_names() is not workload_names()   # defensive copy
+
+    def test_get_workload(self):
+        assert get_workload("primes") is WORKLOADS["primes"]
+
+    def test_get_workload_unknown_lists_registry(self):
+        with pytest.raises(UnknownWorkloadError) as err:
+            get_workload("nonesuch")
+        message = str(err.value)
+        assert "nonesuch" in message
+        for name in TABLE2_ORDER:
+            assert name in message
 
 
 class TestRunner:
@@ -105,3 +132,88 @@ class TestLocDelta:
         delta = locdelta.analyze_file(source)
         assert delta.code_lines == 2
         assert delta.dift_lines == 1
+
+
+def _load_check_regression():
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "benchmarks", "check_regression.py")
+    spec = importlib.util.spec_from_file_location("check_regression", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_bench(directory, name, seconds, total=100):
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {"schema": "repro.bench/1", "bench": name,
+              "data": {"seconds": seconds, "total": total}}
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(record))
+
+
+class TestRegressionGate:
+    """The CI gate script must fail loudly on dropped benchmarks."""
+
+    @pytest.fixture(scope="class")
+    def gate(self):
+        return _load_check_regression()
+
+    def test_identical_runs_pass(self, gate, tmp_path):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 1.0)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")]) == 0
+
+    def test_regression_fails(self, gate, tmp_path, capsys):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 2.0)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_benchmark_fails_with_clear_message(self, gate,
+                                                        tmp_path, capsys):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "base", "beta", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 1.0)
+        code = gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "MISSING" in captured.out
+        assert "beta" in captured.err
+        assert "dropped, renamed or crashed" in captured.err
+
+    def test_allow_missing_downgrades_to_warning(self, gate, tmp_path,
+                                                 capsys):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "base", "beta", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 1.0)
+        code = gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur"),
+                          "--allow-missing"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warning" in captured.err
+        assert "beta" in captured.err
+
+    def test_new_benchmark_only_warns(self, gate, tmp_path, capsys):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 1.0)
+        _write_bench(tmp_path / "cur", "gamma", 1.0)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")]) == 0
+        assert "new benchmark" in capsys.readouterr().err
+
+    def test_count_drift_warns_but_passes(self, gate, tmp_path, capsys):
+        _write_bench(tmp_path / "base", "alpha", 1.0, total=100)
+        _write_bench(tmp_path / "cur", "alpha", 1.0, total=200)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")]) == 0
+        assert "drifted" in capsys.readouterr().err
+
+    def test_min_delta_floor_guards_jitter(self, gate, tmp_path):
+        # 2x relative slowdown but only 20ms absolute: under the floor
+        _write_bench(tmp_path / "base", "alpha", 0.02)
+        _write_bench(tmp_path / "cur", "alpha", 0.04)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")]) == 0

@@ -1,0 +1,150 @@
+"""Tests for the ``repro campaign`` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def write_matrix(tmp_path, document, name="matrix.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+def small_matrix(**extra):
+    document = {
+        "schema": "repro.campaign.matrix/1",
+        "defaults": {"max_instructions": 20000},
+        "axes": {
+            "workload": ["primes"],
+            "policy": ["default"],
+            "dift_mode": ["full", "demand"],
+            "seed": [0],
+        },
+    }
+    document.update(extra)
+    return document
+
+
+class TestCampaignRun:
+    def test_happy_path_writes_outputs(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        out = tmp_path / "out"
+        code = main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(out), "--quiet"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "2 jobs" in text
+        assert "2 ok" in text
+        lines = (out / "campaign.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["schema"] == "repro.campaign.job/1"
+        doc = json.loads((out / "aggregate.json").read_text())
+        assert doc["schema"] == "repro.campaign/1"
+        assert doc["jobs"]["by_status"] == {"ok": 2}
+        # per-attempt worker logs are kept under out/logs
+        assert any((out / "logs").iterdir())
+
+    def test_missing_matrix_file_is_a_usage_error(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--matrix",
+                     str(tmp_path / "nope.json"), "--out",
+                     str(tmp_path / "out")])
+        assert code == 2
+        assert "cannot read matrix file" in capsys.readouterr().err
+
+    def test_invalid_matrix_is_a_usage_error(self, tmp_path, capsys):
+        matrix = write_matrix(
+            tmp_path, small_matrix(axes={"workload": ["nonesuch"]}))
+        code = main(["campaign", "run", "--matrix", matrix,
+                     "--out", str(tmp_path / "out")])
+        assert code == 2
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_timeout_path_contained_and_exit_zero(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix(
+            include=[{"workload": "primes", "inject": "hang",
+                      "timeout": 1.0}]))
+        out = tmp_path / "out"
+        code = main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(out), "--quiet"])
+        # isolation contract: a hung job never fails the campaign itself
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "1 timeout" in text
+        assert "not ok:" in text
+        records = [json.loads(line) for line
+                   in (out / "campaign.jsonl").read_text().splitlines()]
+        timed_out = [r for r in records if r["status"] == "timeout"]
+        assert len(timed_out) == 1
+        assert timed_out[0]["error"]["type"] == "JobTimeout"
+
+    def test_strict_turns_failures_into_exit_one(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix(
+            include=[{"workload": "primes", "inject": "crash",
+                      "retries": 0}]))
+        code = main(["campaign", "run", "--matrix", matrix,
+                     "--out", str(tmp_path / "out"), "--strict", "--quiet"])
+        assert code == 1
+        assert "--strict" in capsys.readouterr().err
+
+    def test_retry_then_succeed_via_flaky_injection(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, {
+            "schema": "repro.campaign.matrix/1",
+            "defaults": {"max_instructions": 20000, "backoff": 0.01},
+            "axes": {"workload": ["primes"]},
+            "include": [{"workload": "primes", "inject": "flaky:1",
+                         "retries": 2}],
+        })
+        out = tmp_path / "out"
+        code = main(["campaign", "run", "--matrix", matrix,
+                     "--out", str(out), "--strict", "--quiet"])
+        assert code == 0          # strict passes: the retry recovered it
+        records = [json.loads(line) for line
+                   in (out / "campaign.jsonl").read_text().splitlines()]
+        flaky = [r for r in records if r["job"]["inject"] == "flaky:1"][0]
+        assert flaky["status"] == "ok"
+        assert flaky["attempts"] == 2
+        assert flaky["retried_errors"][0]["type"] == "InjectedFailure"
+
+
+class TestCampaignReport:
+    @pytest.fixture
+    def results_dir(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        out = tmp_path / "out"
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(out), "--quiet"]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_report_to_stdout(self, results_dir, capsys):
+        assert main(["campaign", "report", "--results",
+                     str(results_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "# Campaign report" in text
+        assert "primes.default.full.s0" in text
+        assert "## Aggregate" in text
+
+    def test_report_to_file_and_jsonl_path(self, results_dir, capsys):
+        target = results_dir / "report.md"
+        assert main(["campaign", "report",
+                     "--results", str(results_dir / "campaign.jsonl"),
+                     "-o", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "# Campaign report" in target.read_text()
+
+    def test_report_missing_results(self, tmp_path, capsys):
+        code = main(["campaign", "report", "--results",
+                     str(tmp_path / "void")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_corrupt_jsonl(self, tmp_path, capsys):
+        bad = tmp_path / "campaign.jsonl"
+        bad.write_text('{"ok": 1}\n{broken\n')
+        code = main(["campaign", "report", "--results", str(bad)])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err

@@ -8,7 +8,7 @@ target / trap handler, and memory-access address.
 
 import pytest
 
-from repro.errors import ClearanceException, ExecutionClearanceError
+from repro.errors import ExecutionClearanceError
 from repro.policy import SecurityPolicy, builders
 from repro.vp import cpu as cpu_mod
 from tests.conftest import BareCpu

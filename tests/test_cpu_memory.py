@@ -1,7 +1,5 @@
 """ISS memory access: loads, stores, sign extension, faults, MMIO."""
 
-import pytest
-
 from repro.vp import cpu as cpu_mod
 from tests.conftest import RAM_SIZE, BareCpu
 
@@ -137,7 +135,6 @@ handler:
 class TestMmio:
     def test_mmio_read_write_via_router(self):
         """Map a second memory as an 'MMIO device' outside RAM."""
-        from repro.sysc.kernel import Kernel
         from repro.vp.memory import Memory
 
         harness = BareCpu()

@@ -14,7 +14,6 @@ identical architectural state.  Seeded via the ``--seed`` conftest option.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.vp import decode as D
 from tests.conftest import BareCpu

@@ -10,7 +10,7 @@ from repro.sw import runtime
 from repro.sysc import GenericPayload, SimTime
 from repro.sysc.time import SimTime as T
 from repro.vp import Platform
-from tests.conftest import BareCpu, run_guest
+from tests.conftest import run_guest
 
 
 class TestDmaFailures:

@@ -22,6 +22,7 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     Observability,
+    merge_snapshots,
     TraceEvent,
     bench_record,
     metrics_document,
@@ -123,6 +124,60 @@ class TestRegistry:
     def test_value_unknown_name(self):
         with pytest.raises(KeyError):
             MetricsRegistry().value("nope")
+
+
+class TestMergeSnapshots:
+    """Cross-process snapshot folding used by the campaign runner."""
+
+    def _registry(self, count, observations):
+        r = MetricsRegistry()
+        r.inc("cpu.instructions", count)
+        r.gauge("shadow.pages").set(count // 2)
+        h = r.histogram("wall_us", (10, 100))
+        for value in observations:
+            h.observe(value)
+        return r
+
+    def test_scalars_sum_and_histograms_merge(self):
+        a = self._registry(10, [5, 50]).snapshot()
+        b = self._registry(4, [500]).snapshot()
+        merged = merge_snapshots(a, b)
+        assert merged["cpu.instructions"] == 14
+        assert merged["shadow.pages"] == 7
+        hist = merged["wall_us"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 555
+        assert hist["min"] == 5 and hist["max"] == 500
+        assert hist["counts"] == [1, 1, 1]   # one per bucket incl. overflow
+        assert list(merged) == sorted(merged)
+
+    def test_disjoint_keys_pass_through(self):
+        merged = merge_snapshots({"a": 1}, {"b": 2}, {"a": 3})
+        assert merged == {"a": 4, "b": 2}
+
+    def test_zero_snapshots(self):
+        assert merge_snapshots() == {}
+
+    def test_type_mismatch_rejected(self):
+        hist = self._registry(1, [1]).snapshot()["wall_us"]
+        with pytest.raises(ValueError, match="scalar"):
+            merge_snapshots({"x": 1}, {"x": hist})
+
+    def test_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("h", (1, 3)).observe(1)
+        with pytest.raises(ValueError, match="bounds"):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_merge_is_associative_on_real_shapes(self):
+        snaps = [self._registry(n, [n]).snapshot() for n in (1, 2, 3)]
+        left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]),
+                               snaps[2])
+        right = merge_snapshots(snaps[0],
+                                merge_snapshots(snaps[1], snaps[2]))
+        assert left == right == merge_snapshots(*snaps)
 
 
 def test_opcode_group_table_is_total():

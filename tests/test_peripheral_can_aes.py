@@ -3,7 +3,6 @@
 import pytest
 
 from repro.dift.engine import RECORD, DiftEngine
-from repro.errors import ClearanceException
 from repro.policy import SecurityPolicy, builders
 from repro.sysc import GenericPayload, Kernel, SimTime
 from repro.vp.peripherals import aes as aes_regs

@@ -5,8 +5,6 @@ import pytest
 from repro.errors import BusError
 from repro.sysc import (
     OK,
-    READ,
-    WRITE,
     GenericPayload,
     InitiatorSocket,
     Kernel,

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dift.engine import RAISE, RECORD, DiftEngine
+from repro.dift.engine import RAISE, DiftEngine
 from repro.dift.taint import Taint
 from repro.errors import ClearanceException, DeclassificationError
 from repro.policy import SecurityPolicy, builders
