@@ -13,6 +13,7 @@ from repro.asm import disassemble_word
 from repro.bench import table1
 from repro.dift.engine import RECORD
 from repro.sw import wk_suite
+from repro.vp.config import PlatformConfig
 from repro.vp import Platform
 
 
@@ -47,7 +48,7 @@ def main() -> None:
 
     # --- protected ------------------------------------------------------- #
     policy = table1.code_injection_policy(program)
-    protected = Platform(policy=policy, engine_mode=RECORD)
+    protected = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD))
     protected.load(program)
     protected.uart.feed(attacker_input)
     result = protected.run(max_instructions=200_000)

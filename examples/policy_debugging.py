@@ -14,6 +14,7 @@ firmware with a two-hop leak (secret -> staging buffer -> UART):
 Run:  python examples/policy_debugging.py
 """
 
+from repro.vp.config import PlatformConfig
 from repro import Platform, SecurityPolicy, assemble, builders
 from repro.sw import runtime
 from repro.vp import Debugger, Tracer
@@ -58,7 +59,7 @@ def build(engine_mode="record"):
     secret = program.symbol("secret")
     policy.classify_region(secret, secret + 4, builders.HC)
     policy.clear_sink("uart0.tx", builders.LC)
-    platform = Platform(policy=policy, engine_mode=engine_mode)
+    platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=engine_mode))
     platform.load(program)
     return platform, program
 

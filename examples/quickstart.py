@@ -13,6 +13,7 @@ Walks through the paper's core loop in ~60 lines of user code:
 Run:  python examples/quickstart.py
 """
 
+from repro.vp.config import PlatformConfig
 from repro import Platform, SecurityPolicy, assemble, builders
 from repro.sw import runtime
 
@@ -59,7 +60,7 @@ key:    .word 0xC0DE5EC7
                                    mem_addr=builders.LC_LI)
 
     # --- 4. run on VP+ in record mode ----------------------------------- #
-    vp_plus = Platform(policy=policy, engine_mode="record")
+    vp_plus = Platform.from_config(PlatformConfig(policy=policy, engine_mode="record"))
     vp_plus.load(program)
     result = vp_plus.run(max_instructions=1_000_000)
 

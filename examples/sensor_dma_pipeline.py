@@ -15,6 +15,7 @@ the sensor's data_tag register (the UART write is blocked).
 Run:  python examples/sensor_dma_pipeline.py
 """
 
+from repro.vp.config import PlatformConfig
 from repro import Platform, SecurityPolicy, assemble, builders
 from repro.dift.engine import RECORD
 from repro.sw import runtime
@@ -86,8 +87,8 @@ def build_policy() -> SecurityPolicy:
 
 def run_once(tag_request: int, label: str) -> None:
     program = assemble(GUEST)
-    platform = Platform(policy=build_policy(), engine_mode=RECORD,
-                        sensor_period=SimTime.us(100))
+    platform = Platform.from_config(PlatformConfig(policy=build_policy(), engine_mode=RECORD,
+                        sensor_period=SimTime.us(100)))
     platform.load(program)
     # patch the guest's requested sensor classification
     platform.memory.write_word(program.symbol("tag_request"), tag_request)

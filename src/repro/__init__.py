@@ -12,16 +12,18 @@ API surfaces the four layers of the system:
 * :mod:`repro.sw`     — guest benchmarks and attack suites;
 * :mod:`repro.bench`  — Table I / Table II reproduction harness;
 * :mod:`repro.casestudy` — the Section VI-A immobilizer case study;
-* :mod:`repro.obs`    — observability: metrics, structured tracing.
+* :mod:`repro.obs`    — observability: metrics, structured tracing;
+* :mod:`repro.state`  — checkpoint/restore snapshot artifacts.
 
 Quick start::
 
-    from repro import Platform, SecurityPolicy, builders, assemble
+    from repro import (Platform, PlatformConfig, SecurityPolicy,
+                       builders, assemble)
 
     program = assemble(open("guest.s").read())
     policy = SecurityPolicy(builders.ifp1(), default_class="LC")
     policy.clear_sink("uart0.tx", "LC")
-    vp_plus = Platform(policy=policy)
+    vp_plus = Platform.from_config(PlatformConfig(policy=policy))
     vp_plus.load(program)
     result = vp_plus.run()
 """
@@ -37,12 +39,13 @@ from repro.errors import (
 )
 from repro.obs import MetricsRegistry, Observability
 from repro.policy import Lattice, SecurityPolicy, builders
-from repro.vp import Platform, RunResult, run_program
+from repro.vp import Platform, PlatformConfig, RunResult, run_program
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Platform",
+    "PlatformConfig",
     "RunResult",
     "run_program",
     "SecurityPolicy",

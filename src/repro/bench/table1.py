@@ -17,6 +17,7 @@ from repro.asm.assembler import Program
 from repro.dift.engine import RECORD
 from repro.policy import SecurityPolicy, builders
 from repro.sw import wk_suite
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 HI = builders.HI
@@ -86,7 +87,8 @@ def run_attack(number: int) -> AttackResult:
 
     # 2. protected: the DIFT engine must detect the injected control flow
     policy = code_injection_policy(program)
-    protected = Platform(policy=policy, engine_mode=RECORD)
+    protected = Platform.from_config(
+        PlatformConfig(policy=policy, engine_mode=RECORD))
     protected.load(program)
     protected.uart.feed(attacker_input)
     protected_result = protected.run(max_instructions=_BUDGET)

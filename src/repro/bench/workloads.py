@@ -30,6 +30,7 @@ from repro.sw import (
     sha512,
 )
 from repro.sysc.time import SimTime
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 
@@ -60,34 +61,65 @@ def benchmark_policy() -> SecurityPolicy:
     return policy
 
 
+def _noop_prepare(platform: "Platform", program: Program, scale: str) -> None:
+    return None
+
+
+def _noop_externals(platform: "Platform", scale: str) -> None:
+    return None
+
+
 @dataclass
 class Workload:
-    """One benchmark: program builder + platform configuration."""
+    """One benchmark: program builder + platform configuration.
+
+    ``externals`` constructs non-kernel environment models (e.g. the
+    engine ECU on the CAN bus) and registers them on the platform;
+    ``prepare`` injects the initial stimulus (UART feeds, first
+    challenge).  They are separate hooks because snapshot restore must
+    re-run ``externals`` (the objects live outside the snapshot's module
+    tree and are re-created, then loaded from the ``externals`` section)
+    but must *not* re-run ``prepare`` — the stimulus already happened and
+    its effects are part of the checkpointed state.
+    """
 
     name: str
     build: Callable[[str], Program]            # scale -> program
     platform_kwargs: Callable[[str], dict]
     policy: Callable[[Program], Optional[SecurityPolicy]]
     prepare: Callable[[Platform, Program, str], None]
+    externals: Callable[[Platform, str], None] = _noop_externals
 
-    def make_platform(self, scale: str, dift: bool, obs=None,
-                      dift_mode: str = "full",
-                      seed: Optional[int] = None,
-                      engine_mode: str = RAISE) -> Platform:
+    def make_config(self, scale: str, dift: bool, obs=None,
+                    dift_mode: str = "full",
+                    seed: Optional[int] = None,
+                    engine_mode: str = RAISE) -> "tuple[Program, PlatformConfig]":
+        """Build the guest program and its :class:`PlatformConfig`."""
         program = self.build(scale)
         policy = self.policy(program) if dift else None
         kwargs = self.platform_kwargs(scale)
         if seed is not None:
             kwargs.setdefault("seed", seed)
-        platform = Platform(policy=policy, engine_mode=engine_mode,
-                            obs=obs, dift_mode=dift_mode, **kwargs)
+        config = PlatformConfig(policy=policy, engine_mode=engine_mode,
+                                obs=obs, dift_mode=dift_mode, **kwargs)
+        return program, config
+
+    def make_platform(self, scale: str, dift: bool, obs=None,
+                      dift_mode: str = "full",
+                      seed: Optional[int] = None,
+                      engine_mode: str = RAISE) -> Platform:
+        program, config = self.make_config(
+            scale, dift, obs=obs, dift_mode=dift_mode, seed=seed,
+            engine_mode=engine_mode)
+        platform = Platform.from_config(config)
         platform.load(program)
+        self.externals(platform, scale)
         self.prepare(platform, program, scale)
         return platform
 
-
-def _noop_prepare(platform: Platform, program: Program, scale: str) -> None:
-    return None
+    def restore_externals(self, scale: str):
+        """``externals=`` callback for :meth:`Platform.restore`."""
+        return lambda platform: self.externals(platform, scale)
 
 
 def _default_policy(program: Program) -> SecurityPolicy:
@@ -112,12 +144,16 @@ def _immo_policy(program: Program) -> SecurityPolicy:
     return baseline_policy(program)
 
 
-def _immo_prepare(platform: Platform, program: Program, scale: str) -> None:
+def _immo_externals(platform: Platform, scale: str) -> None:
     from repro.casestudy.immobilizer import PIN, EngineEcu
     n = 40 if scale == "quick" else 400
     engine = EngineEcu(platform.can_bus, PIN, n_challenges=n)
+    platform.register_external("engine_ecu", engine)
+
+
+def _immo_prepare(platform: Platform, program: Program, scale: str) -> None:
     platform.uart.feed(b"c")
-    engine.start()
+    platform.external("engine_ecu").start()
 
 
 def _immo_platform_kwargs(scale: str) -> dict:
@@ -135,6 +171,7 @@ def _make_immo() -> Workload:
         platform_kwargs=_immo_platform_kwargs,
         policy=_immo_policy,
         prepare=_immo_prepare,
+        externals=_immo_externals,
     )
 
 

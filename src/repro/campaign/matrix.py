@@ -18,7 +18,10 @@ A matrix file is JSON (schema ``repro.campaign.matrix/1``)::
 
 ``axes`` expands to the cartesian product; ``exclude`` entries drop
 every product job whose fields all match; ``include`` entries append
-explicit extra jobs (with ``defaults`` applied).  Axis semantics:
+explicit extra jobs (with ``defaults`` applied).  A top-level
+``"warm_start": true`` makes the scheduler boot each distinct platform
+configuration once, snapshot it at instruction zero, and fork every job
+from the snapshot instead of re-booting per job.  Axis semantics:
 
 * ``workload`` — a :mod:`repro.bench.workloads` registry name;
 * ``policy`` — ``"default"`` runs the workload's own security policy
@@ -71,6 +74,9 @@ class JobSpec:
     retries: int = 1                   # extra attempts after a crash
     backoff: float = 0.1               # base retry delay (doubles)
     inject: Optional[str] = None       # crash / die / hang / flaky:N
+    #: warm-start snapshot path, filled by the scheduler (not a matrix
+    #: field): the worker restores this instead of booting the platform
+    snapshot: Optional[str] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -154,6 +160,9 @@ class Matrix:
     include: List[dict] = field(default_factory=list)
     exclude: List[dict] = field(default_factory=list)
     source: str = "<memory>"
+    #: boot/prepare each distinct platform configuration once, snapshot
+    #: it at instruction zero, and fork every job from the snapshot
+    warm_start: bool = False
 
     def jobs(self) -> List[JobSpec]:
         specs: Dict[str, JobSpec] = {}
@@ -189,7 +198,7 @@ def parse_matrix(document: dict, source: str = "<memory>") -> Matrix:
             f"{source}: unsupported matrix schema {schema!r} "
             f"(expected {MATRIX_SCHEMA!r})")
     unknown = set(document) - {"schema", "defaults", "axes", "include",
-                               "exclude"}
+                               "exclude", "warm_start"}
     if unknown:
         raise MatrixError(
             f"{source}: unknown top-level key(s) {sorted(unknown)}")
@@ -217,8 +226,11 @@ def parse_matrix(document: dict, source: str = "<memory>") -> Matrix:
     if not axes.get("workload") and not include:
         raise MatrixError(
             f"{source}: need a 'workload' axis or explicit 'include' jobs")
+    warm_start = document.get("warm_start", False)
+    if not isinstance(warm_start, bool):
+        raise MatrixError(f"{source}: 'warm_start' must be a boolean")
     return Matrix(axes=axes, defaults=defaults, include=include,
-                  exclude=exclude, source=source)
+                  exclude=exclude, source=source, warm_start=warm_start)
 
 
 def load_matrix(path: str) -> Matrix:

@@ -96,19 +96,63 @@ class _Pending:
     history: List[dict] = field(default_factory=list)
 
 
+def _prepare_warm_snapshots(specs: List[JobSpec], snapshot_dir: str,
+                            note: Callable[[str], None]) -> List[JobSpec]:
+    """Boot each distinct platform configuration once and snapshot it.
+
+    Jobs sharing (workload, policy, dift_mode, seed, scale) fork from
+    one instruction-zero snapshot — boot and stimulus preparation run
+    once per configuration instead of once per job.  The snapshot is
+    taken before any guest instruction retires and no SystemC process
+    has started, so a restored platform is indistinguishable from a
+    freshly booted one.
+    """
+    from dataclasses import replace
+
+    from repro.bench.workloads import get_workload
+    from repro.dift.engine import RECORD
+    from repro.obs import Observability
+
+    paths: Dict[tuple, str] = {}
+    out = []
+    for spec in specs:
+        key = (spec.workload, spec.policy, spec.dift_mode, spec.seed,
+               spec.scale)
+        path = paths.get(key)
+        if path is None:
+            workload = get_workload(spec.workload)
+            dift = spec.policy != "none"
+            platform = workload.make_platform(
+                spec.scale, dift, obs=Observability(),
+                dift_mode=spec.dift_mode if dift else "full",
+                seed=spec.seed, engine_mode=RECORD)
+            path = os.path.join(
+                snapshot_dir,
+                f"warm.{spec.workload}.{spec.policy}.{spec.dift_mode}"
+                f".s{spec.seed}.{spec.scale}.json")
+            platform.save_snapshot(path)
+            paths[key] = path
+            note(f"warm  {os.path.basename(path)}")
+        out.append(replace(spec, snapshot=path))
+    return out
+
+
 def run_campaign(specs: List[JobSpec], jobs: int = 1,
                  log_dir: Optional[str] = None,
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
                  progress: Optional[Callable[[str], None]] = None,
-                 poll_interval: float = 0.05) -> CampaignResult:
+                 poll_interval: float = 0.05,
+                 warm_start: bool = False) -> CampaignResult:
     """Run every spec to a terminal status; never raises for job failures.
 
     ``timeout`` / ``retries`` override the per-spec values when given
     (the CLI's ``--timeout`` / ``--retries`` flags).  ``log_dir``
     receives one ``<job_id>.a<attempt>.log`` per attempt; when omitted,
     logs go to a temporary directory and only their tails survive (in
-    the records of failed jobs).
+    the records of failed jobs).  ``warm_start`` boots each distinct
+    platform configuration once in the parent, snapshots it at
+    instruction zero, and has every worker resume from the snapshot.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -128,6 +172,8 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
 
     ctx = _mp_context()
     note = progress or (lambda message: None)
+    if warm_start:
+        specs = _prepare_warm_snapshots(list(specs), log_dir, note)
     pending = deque(_Pending(spec, 0) for spec in specs)
     delayed: List[_Pending] = []
     running: List[_Running] = []

@@ -86,10 +86,21 @@ def execute_job(spec: JobSpec, attempt: int) -> dict:
     _apply_injection(spec, attempt)
     workload = get_workload(spec.workload)
     dift = spec.policy != "none"
-    platform = workload.make_platform(
-        spec.scale, dift, obs=Observability(),
-        dift_mode=spec.dift_mode if dift else "full",
-        seed=spec.seed, engine_mode=RECORD)
+    if spec.snapshot:
+        # warm start: resume the instruction-zero snapshot the scheduler
+        # prepared instead of re-booting the platform.  The snapshot
+        # carries the boot-time metrics, so the aggregate's deterministic
+        # part is identical to a cold-started run.
+        from repro.vp.platform import Platform
+        platform = Platform.restore(
+            spec.snapshot, obs=Observability(),
+            program=workload.build(spec.scale),
+            externals=workload.restore_externals(spec.scale))
+    else:
+        platform = workload.make_platform(
+            spec.scale, dift, obs=Observability(),
+            dift_mode=spec.dift_mode if dift else "full",
+            seed=spec.seed, engine_mode=RECORD)
     started = time.perf_counter()
     result = platform.run(max_instructions=spec.max_instructions)
     wall = time.perf_counter() - started

@@ -29,6 +29,7 @@ from typing import List, Optional
 from repro.dift.engine import RECORD
 from repro.policy import SecurityPolicy, builders
 from repro.sw import immobilizer as immo_sw
+from repro.vp.config import PlatformConfig
 from repro.vp.peripherals.aes_core import encrypt_block
 from repro.vp.peripherals.can import CanBus, CanFrame
 from repro.vp.platform import Platform
@@ -97,6 +98,31 @@ class EngineEcu:
             self.fail += 1
         self._chal = None
         self._send_challenge()
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore (registered as a platform external)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "sent": self._sent,
+            "ok": self.ok,
+            "fail": self.fail,
+            "rng_state": self._rng_state,
+            "chal": self._chal.hex() if self._chal is not None else None,
+            "resp": bytes(self._resp).hex(),
+            "responses": [r.hex() for r in self.responses],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._sent = state["sent"]
+        self.ok = state["ok"]
+        self.fail = state["fail"]
+        self._rng_state = state["rng_state"]
+        self._chal = (bytes.fromhex(state["chal"])
+                      if state["chal"] is not None else None)
+        self._resp = bytearray.fromhex(state["resp"])
+        self.responses = [bytes.fromhex(r) for r in state["responses"]]
 
 
 def brute_force_uniform_pin(challenge: bytes, response: bytes
@@ -192,12 +218,13 @@ def run_scenario(name: str, commands: bytes, expected_detected: bool,
     """
     program = immo_sw.build(variant=variant, n_challenges=n_challenges)
     policy = (per_byte_policy if per_byte else baseline_policy)(program)
-    declassify_to = "(LC,LI)"
-    platform = Platform(policy=policy, engine_mode=RECORD,
-                        aes_declassify_to=declassify_to, obs=obs,
-                        dift_mode=dift_mode)
+    config = PlatformConfig(policy=policy, engine_mode=RECORD,
+                            aes_declassify_to="(LC,LI)", obs=obs,
+                            dift_mode=dift_mode)
+    platform = Platform.from_config(config)
     platform.load(program)
     engine = EngineEcu(platform.can_bus, PIN, n_challenges=n_challenges)
+    platform.register_external("engine_ecu", engine)
     platform.uart.feed(commands)
     engine.start()
     result = platform.run(max_instructions=max_instructions)
@@ -257,8 +284,8 @@ def capture_and_brute_force() -> Optional[int]:
     """Entropy-reduce the PIN, capture one exchange, brute-force byte 0."""
     program = immo_sw.build(variant="fixed", n_challenges=1)
     policy = baseline_policy(program)
-    platform = Platform(policy=policy, engine_mode=RECORD,
-                        aes_declassify_to="(LC,LI)")
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD, aes_declassify_to="(LC,LI)"))
     platform.load(program)
 
     captured = {}

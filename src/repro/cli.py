@@ -14,6 +14,8 @@ Commands
 ``differential`` VP-vs-VP+ differential testing on random programs
 ``fuzz``         policy stress-fuzzing of the immobilizer firmware
 ``campaign``     parallel simulation campaigns (``run`` / ``report``)
+``snapshot``     checkpoint/restore (``save`` / ``resume`` / ``diff``)
+``replay``       snapshot-resume replay-equivalence verification
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from typing import List, Optional
 from repro.asm import assemble, disassemble
 from repro.dift.engine import RAISE, RECORD
 from repro.policy.serialize import policy_from_dict
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 
@@ -110,9 +113,10 @@ def _cmd_run(args) -> int:
         program = assemble(handle.read(), base=args.base)
     policy = _load_policy(args.policy)
     obs = _make_obs(args)
-    platform = Platform(policy=policy,
-                        engine_mode=RECORD if args.record else RAISE,
-                        obs=obs, dift_mode=args.dift_mode)
+    config = PlatformConfig(policy=policy,
+                            engine_mode=RECORD if args.record else RAISE,
+                            obs=obs, dift_mode=args.dift_mode)
+    platform = Platform.from_config(config)
     platform.load(program)
     if args.uart_input:
         platform.uart.feed(args.uart_input.encode())
@@ -234,7 +238,8 @@ def _cmd_campaign_run(args) -> int:
     )
 
     try:
-        specs = load_matrix(args.matrix).jobs()
+        matrix = load_matrix(args.matrix)
+        specs = matrix.jobs()
     except MatrixError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -243,7 +248,8 @@ def _cmd_campaign_run(args) -> int:
     result = run_campaign(specs, jobs=args.jobs,
                           log_dir=os.path.join(args.out, "logs"),
                           timeout=args.timeout, retries=args.retries,
-                          progress=progress)
+                          progress=progress,
+                          warm_start=matrix.warm_start or args.warm_start)
     document = write_outputs(args.out, result.records,
                              wall_seconds=result.wall_seconds)
     counts = result.status_counts
@@ -259,6 +265,121 @@ def _cmd_campaign_run(args) -> int:
         print("error: --strict and not every job is ok", file=sys.stderr)
         return 1
     return 0
+
+
+def _snapshot_platform(args) -> Platform:
+    """Build the platform ``snapshot save`` will checkpoint."""
+    from repro.obs import Observability
+
+    if bool(args.workload) == bool(args.source):
+        raise SystemExit(
+            "error: give exactly one of --workload NAME / --source FILE")
+    if args.workload:
+        from repro.bench.workloads import get_workload
+
+        workload = get_workload(args.workload)
+        dift = not args.plain
+        return workload.make_platform(
+            args.scale, dift, obs=Observability(),
+            dift_mode=args.dift_mode if dift else "full",
+            seed=args.seed, engine_mode=RECORD)
+    with open(args.source) as handle:
+        program = assemble(handle.read(), base=args.base)
+    config = PlatformConfig(policy=_load_policy(args.policy),
+                            engine_mode=RECORD, obs=Observability(),
+                            dift_mode=args.dift_mode, seed=args.seed)
+    platform = Platform.from_config(config)
+    platform.load(program)
+    if args.uart_input:
+        platform.uart.feed(args.uart_input.encode())
+    return platform
+
+
+def _cmd_snapshot_save(args) -> int:
+    platform = _snapshot_platform(args)
+    if args.pause_at is not None:
+        result = platform.run(pause_at=args.pause_at,
+                              max_instructions=args.max_instructions)
+        if result.reason != "paused":
+            print(f"note: run ended ({result.reason}) before reaching "
+                  f"{args.pause_at} instructions; snapshotting the final "
+                  "state", file=sys.stderr)
+    platform.save_snapshot(args.output)
+    print(f"{args.output}: snapshot at instruction "
+          f"{platform.total_instructions}, "
+          f"{platform.kernel.now.to_ms():.3f} ms simulated")
+    return 0
+
+
+def _cmd_snapshot_resume(args) -> int:
+    from repro.obs import Observability
+    from repro.state import SnapshotError
+
+    program = None
+    externals = None
+    if args.workload:
+        from repro.bench.workloads import get_workload
+
+        workload = get_workload(args.workload)
+        program = workload.build(args.scale)
+        externals = workload.restore_externals(args.scale)
+    try:
+        platform = Platform.restore(args.snapshot, obs=Observability(),
+                                    program=program, externals=externals)
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if platform.stop_reason:
+        # only paused / boot-state snapshots are resumable: a terminal
+        # stop means the guest's SystemC process has already returned
+        print(f"snapshot is of a finished run (stopped: "
+              f"{platform.stop_reason} after "
+              f"{platform.total_instructions} instructions); "
+              "nothing to resume")
+        if platform.console():
+            print(f"uart: {platform.console()!r}")
+        return 0
+    resumed_from = platform.total_instructions
+    result = platform.run(max_instructions=args.max_instructions)
+    print(f"stopped: {result.reason} (exit={result.exit_code}) after "
+          f"{platform.total_instructions} instructions "
+          f"(resumed from {resumed_from}), "
+          f"{result.sim_time.to_ms():.3f} ms simulated")
+    if platform.console():
+        print(f"uart: {platform.console()!r}")
+    for violation in result.violations:
+        print(f"violation: {violation}")
+    return 1 if result.violations else 0
+
+
+def _cmd_snapshot_diff(args) -> int:
+    from repro import state
+
+    try:
+        first = state.load_document(args.a)
+        second = state.load_document(args.b)
+    except state.SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ignore = tuple(args.ignore or ())
+    lines = state.diff_documents(first, second, ignore_prefixes=ignore)
+    for line in lines:
+        print(line)
+    if not lines:
+        print("snapshots identical"
+              + (f" (ignoring {', '.join(ignore)})" if ignore else ""))
+    return 1 if lines else 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.verify.replay import format_report, run_replay_suite
+
+    results = run_replay_suite(workloads=args.workloads or None,
+                               modes=args.modes,
+                               pause_at=args.pause_at,
+                               max_instructions=args.max_instructions)
+    print(format_report(results))
+    return 0 if all(r.equivalent for r in results) else 1
 
 
 def _cmd_campaign_report(args) -> int:
@@ -378,6 +499,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit 1 unless every job ended ok")
     cp.add_argument("--quiet", action="store_true",
                     help="suppress per-job progress lines")
+    cp.add_argument("--warm-start", action="store_true",
+                    help="boot each distinct platform configuration once, "
+                         "snapshot it, and fork every job from the "
+                         "snapshot (same as \"warm_start\": true in the "
+                         "matrix file)")
     cp.set_defaults(fn=_cmd_campaign_run)
 
     cp = csub.add_parser(
@@ -387,6 +513,71 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("-o", "--output", metavar="FILE",
                     help="write the markdown here instead of stdout")
     cp.set_defaults(fn=_cmd_campaign_report)
+
+    p = sub.add_parser(
+        "snapshot", help="checkpoint/restore (save / resume / diff)")
+    ssub = p.add_subparsers(dest="snapshot_command", required=True)
+
+    sp = ssub.add_parser(
+        "save", help="run to a pause point and write a snapshot file")
+    sp.add_argument("-o", "--output", required=True, metavar="FILE",
+                    help="snapshot destination (repro.snapshot/1 JSON)")
+    sp.add_argument("--workload", metavar="NAME",
+                    help="snapshot a bench-registry workload")
+    sp.add_argument("--source", metavar="FILE",
+                    help="snapshot a guest assembly source instead")
+    sp.add_argument("--pause-at", type=int, default=None, metavar="N",
+                    help="pause at the first quantum boundary where at "
+                         "least N instructions have retired (default: "
+                         "snapshot the boot state before the first "
+                         "instruction)")
+    sp.add_argument("--max-instructions", type=int, default=None)
+    sp.add_argument("--scale", choices=("quick", "full"), default="quick",
+                    help="workload scale (with --workload)")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--plain", action="store_true",
+                    help="with --workload: run without DIFT")
+    sp.add_argument("--dift-mode", choices=("full", "demand"),
+                    default="full")
+    sp.add_argument("--policy", metavar="FILE",
+                    help="with --source: JSON policy file (enables DIFT)")
+    sp.add_argument("--base", type=lambda x: int(x, 0), default=0)
+    sp.add_argument("--uart-input", default="")
+    sp.set_defaults(fn=_cmd_snapshot_save)
+
+    sp = ssub.add_parser(
+        "resume", help="restore a snapshot file and keep simulating")
+    sp.add_argument("snapshot")
+    sp.add_argument("--workload", metavar="NAME",
+                    help="workload the snapshot came from (re-attaches "
+                         "program symbols and external models; required "
+                         "for snapshots that carry externals)")
+    sp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    sp.add_argument("--max-instructions", type=int, default=None)
+    sp.set_defaults(fn=_cmd_snapshot_resume)
+
+    sp = ssub.add_parser(
+        "diff", help="field-level diff between two snapshot files")
+    sp.add_argument("a")
+    sp.add_argument("b")
+    sp.add_argument("--ignore", action="append", metavar="PREFIX",
+                    help="skip leaves whose dotted path starts with "
+                         "PREFIX (repeatable, e.g. --ignore obs.)")
+    sp.set_defaults(fn=_cmd_snapshot_diff)
+
+    p = sub.add_parser(
+        "replay",
+        help="verify snapshot-resume replay equivalence (fresh process)")
+    p.add_argument("--workloads", nargs="*", metavar="NAME",
+                   help="bench-registry workloads (default: all)")
+    p.add_argument("--modes", nargs="*",
+                   choices=("plain", "full", "demand"),
+                   default=["plain", "full", "demand"],
+                   help="engine/DIFT variants to sweep")
+    p.add_argument("--pause-at", type=int, default=9000, metavar="N",
+                   help="snapshot point (instructions retired)")
+    p.add_argument("--max-instructions", type=int, default=60000)
+    p.set_defaults(fn=_cmd_replay)
 
     return parser
 

@@ -206,6 +206,28 @@ class DiftEngine:
         return self.lattice.tag_of(to_class)
 
     # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Violation log + check counter.  The ``lub_bytes`` memo is a
+        pure cache (``lub_calls`` counts per call, not per miss), so it
+        is deliberately not persisted."""
+        return {
+            "checks_performed": self.checks_performed,
+            "violations": [
+                {"kind": v.kind, "tag": v.tag, "required": v.required,
+                 "unit": v.unit, "pc": v.pc, "context": v.context}
+                for v in self.violations
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.checks_performed = state["checks_performed"]
+        self.violations = [ViolationRecord(**v)
+                           for v in state["violations"]]
+
+    # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
 

@@ -163,6 +163,36 @@ class TaintLiveness:
         self._backoff = 1
         return True
 
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "dirty_pages": sorted(self.dirty_pages),
+            "fast_steps": self.fast_steps,
+            "slow_steps": self.slow_steps,
+            "reclaims": self.reclaims,
+            "reclaim_attempts": self.reclaim_attempts,
+            "disabled": self.disabled,
+            "disabled_reason": self.disabled_reason,
+            "backoff": self._backoff,
+            "quanta_since_check": self._quanta_since_check,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.clean = state["clean"]
+        self.dirty_pages = set(state["dirty_pages"])
+        self.fast_steps = state["fast_steps"]
+        self.slow_steps = state["slow_steps"]
+        self.reclaims = state["reclaims"]
+        self.reclaim_attempts = state["reclaim_attempts"]
+        self.disabled = state["disabled"]
+        self.disabled_reason = state["disabled_reason"]
+        self._backoff = state["backoff"]
+        self._quanta_since_check = state["quanta_since_check"]
+
     def __repr__(self) -> str:
         state = ("disabled" if self.disabled
                  else "clean" if self.clean else "tainted")

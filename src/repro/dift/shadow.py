@@ -244,7 +244,51 @@ class ShadowTags:
     @property
     def tags(self) -> bytes:
         """Flat snapshot of every tag (read-only; for tests/tooling)."""
-        return self.get_range(0, self.size)
+        return self.dump()
+
+    def dump(self, sparse: bool = False):
+        """Snapshot the tag state (for tests/tooling and checkpointing).
+
+        ``sparse=False`` materializes the full dense tag array — fine
+        for tests, pathological for checkpointing a clean multi-megabyte
+        shadow.  ``sparse=True`` returns ``{page_index: bytes}`` holding
+        only pages that differ from an all-``fill`` page: a clean store
+        dumps as an empty dict at O(materialized pages) cost, and pages
+        that were materialized but have decayed back to uniform fill are
+        skipped via one C-speed ``count`` each.
+        """
+        if not sparse:
+            return self.get_range(0, self.size)
+        out = {}
+        fill = self.fill
+        for index, data in enumerate(self._pages):
+            if data is not None and data.count(fill) != len(data):
+                out[index] = bytes(data)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        from repro.state import encode_bytes
+        return {
+            "size": self.size,
+            "fill": self.fill,
+            "pages": {str(index): encode_bytes(data)
+                      for index, data in self.dump(sparse=True).items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.state import decode_bytes
+        if state["size"] != self.size or state["fill"] != self.fill:
+            raise ValueError(
+                f"shadow geometry mismatch: snapshot "
+                f"(size={state['size']}, fill={state['fill']}) vs store "
+                f"(size={self.size}, fill={self.fill})")
+        self._pages = [None] * len(self._pages)
+        for key, encoded in state["pages"].items():
+            self._pages[int(key)] = bytearray(decode_bytes(encoded))
 
     def __repr__(self) -> str:
         return (f"ShadowTags(size={self.size}, "

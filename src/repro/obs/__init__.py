@@ -28,7 +28,7 @@ Typical use::
 
     from repro.obs import Observability
     obs = Observability(trace=True)
-    platform = Platform(policy=policy, obs=obs)
+    platform = Platform.from_config(PlatformConfig(policy=policy, obs=obs))
     platform.load(program)
     platform.run()
     obs.write_metrics("metrics.json")

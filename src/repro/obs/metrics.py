@@ -236,6 +236,38 @@ class MetricsRegistry:
         return (name in self._counters or name in self._gauges
                 or name in self._gauge_fns or name in self._histograms)
 
+    # -- checkpoint / restore ------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        """Persist instrument *values*.  Lazy gauges are excluded: their
+        callables are re-registered when modules attach to a fresh
+        registry and re-derive the same values from restored state."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {"bounds": list(h.bounds), "counts": list(h.counts),
+                       "count": h.count, "sum": h.sum,
+                       "min": h.min, "max": h.max}
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for name, value in state["counters"].items():
+            self.counter(name).value = value
+        for name, value in state["gauges"].items():
+            self.gauge(name).value = value
+        for name, data in state["histograms"].items():
+            h = self.histogram(name, data["bounds"])
+            h.counts = list(data["counts"])
+            h.count = data["count"]
+            h.sum = data["sum"]
+            h.min = data["min"]
+            h.max = data["max"]
+
     # -- snapshot ------------------------------------------------------- #
 
     def snapshot(self) -> dict:

@@ -45,13 +45,17 @@ ProcessBody = Generator[WaitRequest, None, None]
 class Process:
     """One SC_THREAD-style process (a generator driven by the kernel)."""
 
-    __slots__ = ("name", "body", "terminated", "waiting_on")
+    __slots__ = ("name", "body", "terminated", "waiting_on", "started")
 
     def __init__(self, name: str, body: ProcessBody):
         self.name = name
         self.body = body
         self.terminated = False
         self.waiting_on: Optional[Event] = None
+        # has the body run to its first yield?  Snapshot restore primes
+        # exactly the started processes (a never-started generator must
+        # stay un-started to match a cold boot).
+        self.started = False
 
     def __repr__(self) -> str:
         state = "terminated" if self.terminated else "active"
@@ -72,6 +76,7 @@ class Kernel:
         self._stopped = False
         self._running = False
         self._delta_count = 0
+        self._restoring = False
 
     # ------------------------------------------------------------------ #
     # public API
@@ -120,6 +125,35 @@ class Kernel:
     def stop(self) -> None:
         """Stop the simulation after the current process yields (sc_stop)."""
         self._stopped = True
+
+    def clear_stop(self) -> None:
+        """Re-arm a stopped kernel so :meth:`run` may be called again.
+
+        Pending runnable/delta/timed work is preserved; used when a
+        paused simulation (snapshot point) is continued in-process.
+        """
+        self._stopped = False
+
+    @property
+    def restoring(self) -> bool:
+        """True while a snapshot restore is priming process bodies.
+
+        Thread bodies with side effects before their loop-top yield gate
+        on this to make priming side-effect-free (``yield DELTA`` and
+        re-check).
+        """
+        return self._restoring
+
+    def make_runnable_front(self, process: Process) -> None:
+        """Move a waiting process to the *front* of the runnable list.
+
+        Continuing a paused simulation must resume the paused process
+        before the processes that were put back by :meth:`stop`, or the
+        evaluation order diverges from an uninterrupted run.
+        """
+        self._cancel_wait(process)
+        if process not in self._runnable:
+            self._runnable.insert(0, process)
 
     def run(
         self,
@@ -200,6 +234,11 @@ class Kernel:
     # ------------------------------------------------------------------ #
 
     def _notify_event(self, event: Event, delay: Optional[SimTime]) -> None:
+        if self._restoring:
+            # Restore priming replays code paths that already notified
+            # before the snapshot; the recorded schedule is re-applied
+            # verbatim afterwards, so these duplicates must be dropped.
+            return
         if delay is None or delay.ps == 0:
             self._wake_event_waiters(event, next_delta=True)
         else:
@@ -243,12 +282,116 @@ class Kernel:
                 return
 
     def _resume(self, process: Process) -> None:
+        process.started = True
         try:
             request = next(process.body)
         except StopIteration:
             process.terminated = True
             return
         self._apply_wait(process, request)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self, events: Tuple[Event, ...] = ()) -> dict:
+        """Serialize the pending-event schedule.
+
+        Processes are identified by name (unique per kernel); timed
+        entries are recorded in heap-pop order so re-pushing them with
+        fresh sequence numbers preserves same-instant ordering.
+        ``events`` lists every event that may appear in the timed queue
+        or hold waiters (the platform knows its event inventory).
+        """
+        timed = []
+        for time_ps, _seq, target in sorted(self._timed,
+                                            key=lambda e: (e[0], e[1])):
+            kind = "process" if isinstance(target, Process) else "event"
+            timed.append({"time_ps": time_ps, "kind": kind,
+                          "name": target.name})
+        waiters = {}
+        for event in events:
+            if event._waiters:
+                waiters[event.name] = [p.name for p in event._waiters]
+        return {
+            "now_ps": self._now_ps,
+            "delta_count": self._delta_count,
+            "runnable": [p.name for p in self._runnable
+                         if not p.terminated],
+            "next_delta": [p.name for p in self._next_delta
+                           if not p.terminated],
+            "timed": timed,
+            "event_waiters": waiters,
+            "started": [p.name for p in self._processes if p.started],
+            "terminated": [p.name for p in self._processes
+                           if p.terminated],
+        }
+
+    def load_state_dict(self, state: dict,
+                        events: Tuple[Event, ...] = ()) -> None:
+        """Rebuild the schedule on a freshly-constructed process set.
+
+        Module state must be restored *before* this call (primed bodies
+        read it); the recorded schedule is applied verbatim afterwards,
+        so anything the priming itself tried to schedule is discarded.
+        """
+        by_name = {p.name: p for p in self._processes}
+        event_by_name = {e.name: e for e in events}
+        self._now_ps = state["now_ps"]
+        self._delta_count = state["delta_count"]
+        self._stopped = False
+        self._runnable = []
+        self._next_delta = []
+        self._timed = []
+        for event in events:
+            event._waiters.clear()
+        for process in self._processes:
+            process.waiting_on = None
+        for name in state.get("terminated", ()):
+            self._lookup(by_name, name).terminated = True
+        # Prime started bodies to their first (restore-gated) yield with
+        # notification suppression on; never-started bodies stay cold so
+        # their eventual first run matches an uninterrupted boot.
+        self._restoring = True
+        try:
+            started = set(state.get("started", ()))
+            for process in self._processes:
+                if process.name in started and not process.terminated:
+                    self._prime(process)
+        finally:
+            self._restoring = False
+        for name in state["runnable"]:
+            self._runnable.append(self._lookup(by_name, name))
+        for name in state["next_delta"]:
+            self._next_delta.append(self._lookup(by_name, name))
+        for entry in state["timed"]:
+            table = by_name if entry["kind"] == "process" else event_by_name
+            self._push_timed(entry["time_ps"],
+                             self._lookup(table, entry["name"]))
+        for event_name, names in state["event_waiters"].items():
+            event = self._lookup(event_by_name, event_name)
+            for name in names:
+                process = self._lookup(by_name, name)
+                event._waiters.append(process)
+                process.waiting_on = event
+
+    def _prime(self, process: Process) -> None:
+        """Advance a fresh body to its first yield, discarding the wait."""
+        process.started = True
+        try:
+            next(process.body)
+        except StopIteration:
+            process.terminated = True
+
+    @staticmethod
+    def _lookup(table: dict, name: str):
+        try:
+            return table[name]
+        except KeyError:
+            raise SimulationError(
+                f"snapshot schedule references unknown entity {name!r}; "
+                "the restored platform was built with a different "
+                "configuration") from None
 
     def _apply_wait(self, process: Process, request: WaitRequest) -> None:
         if request is DELTA or request is None:

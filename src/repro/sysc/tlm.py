@@ -259,5 +259,13 @@ class Router:
     def target_names(self) -> List[str]:
         return [entry.name for entry in self._map]
 
+    def state_dict(self) -> dict:
+        """Per-target transaction counters live in the metrics registry
+        and are restored with it; only the raw total is owned here."""
+        return {"transactions_routed": self.transactions_routed}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.transactions_routed = state["transactions_routed"]
+
     def __repr__(self) -> str:
         return f"Router({self.name!r}, targets={self.target_names()})"

@@ -9,12 +9,21 @@ implements two such harnesses:
   must never change architectural results);
 * :mod:`repro.verify.policy_fuzz` — randomized command-sequence fuzzing of
   the immobilizer firmware against its security policy (attack commands
-  must always be detected, benign traffic never flagged).
+  must always be detected, benign traffic never flagged);
+* :mod:`repro.verify.replay` — checkpoint/replay equivalence: pausing,
+  snapshotting and resuming in a fresh process must be indistinguishable
+  from an uninterrupted run.
 """
 
 from repro.verify.differential import DifferentialResult, random_program, run_differential
 from repro.verify.policy_fuzz import FuzzOutcome, fuzz_immobilizer
 from repro.verify.reference import OracleComparison, ReferenceCpu, compare_with_iss
+from repro.verify.replay import (
+    REPLAY_MODES,
+    ReplayComparison,
+    run_replay_suite,
+    verify_replay,
+)
 
 __all__ = [
     "random_program",
@@ -25,4 +34,8 @@ __all__ = [
     "ReferenceCpu",
     "OracleComparison",
     "compare_with_iss",
+    "ReplayComparison",
+    "REPLAY_MODES",
+    "verify_replay",
+    "run_replay_suite",
 ]

@@ -23,6 +23,7 @@ from typing import List
 
 from repro.asm import assemble
 from repro.policy import SecurityPolicy, builders
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 #: registers the generator plays with (avoids sp/ra and the buffer base s0)
@@ -147,7 +148,7 @@ def run_differential(seed: int, n_instructions: int = 200,
 
     outcomes = []
     for policy in (None, _benign_policy()):
-        platform = Platform(policy=policy)
+        platform = Platform.from_config(PlatformConfig(policy=policy))
         platform.load(program)
         result = platform.run(max_instructions=max_instructions)
         scratch = program.symbol("scratch")

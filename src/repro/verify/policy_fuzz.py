@@ -22,6 +22,7 @@ from typing import List
 from repro.casestudy.immobilizer import PIN, EngineEcu, baseline_policy
 from repro.dift.engine import RECORD
 from repro.sw import immobilizer as immo_sw
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 #: commands that must trigger a detection under the baseline policy
@@ -64,8 +65,8 @@ def run_script(commands: bytes, n_challenges: int = 1,
     """Run one command script on the fixed firmware + baseline policy."""
     program = immo_sw.build(variant="fixed", n_challenges=n_challenges)
     policy = baseline_policy(program)
-    platform = Platform(policy=policy, engine_mode=RECORD,
-                        aes_declassify_to="(LC,LI)")
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD, aes_declassify_to="(LC,LI)"))
     platform.load(program)
     engine = EngineEcu(platform.can_bus, PIN, n_challenges=n_challenges)
     platform.uart.feed(commands)

@@ -1,5 +1,6 @@
 """The RISC-V virtual prototype: ISS, memory, bus, peripherals, platform."""
 
+from repro.vp.config import PlatformConfig
 from repro.vp.cpu import Cpu
 from repro.vp.debugger import DebugEvent, Debugger
 from repro.vp.memory import Memory
@@ -28,6 +29,7 @@ __all__ = [
     "Tracer",
     "TraceStep",
     "Platform",
+    "PlatformConfig",
     "RunResult",
     "run_program",
     "RAM_BASE",

@@ -188,6 +188,44 @@ class Cpu(Module):
         self.csr.cycle = 0
 
     # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Architectural + quantum-bookkeeping state.
+
+        The decode cache is included although it is semantically derived:
+        the ``cpu.decode_cache.*`` gauges are computed from its size, so
+        a replayed run must resume with the same cache population to
+        report identical metrics.  RAM/shadow content lives with the
+        memory module (the DMI arrays alias it).
+        """
+        return {
+            "regs": list(self.regs),
+            "tags": list(self.tags),
+            "pc": self.pc,
+            "halted": self.halted,
+            "exit_code": self.exit_code,
+            "fault_info": self.fault_info,
+            "csr": self.csr.state_dict(),
+            "decode_cache": {str(word): list(entry)
+                             for word, entry in self._decode_cache.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.regs = [value & _MASK32 for value in state["regs"]]
+        self.tags = list(state["tags"])
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+        self.exit_code = state["exit_code"]
+        self.fault_info = state["fault_info"]
+        self.csr.load_state_dict(state["csr"])
+        self._decode_cache = {int(word): tuple(entry)
+                              for word, entry
+                              in state["decode_cache"].items()}
+        self._update_irq()
+
+    # ------------------------------------------------------------------ #
     # interrupts
     # ------------------------------------------------------------------ #
 

@@ -130,3 +130,23 @@ class CsrFile:
     def known(self, csr: int) -> bool:
         return csr in self._values or csr in (
             MCYCLE, MINSTRET, CYCLE, TIME, INSTRET)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "values": {str(csr): value
+                       for csr, value in self._values.items()},
+            "tags": {str(csr): tag for csr, tag in self._tags.items()},
+            "instret": self.instret,
+            "cycle": self.cycle,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._values = {int(csr): value
+                        for csr, value in state["values"].items()}
+        self._tags = {int(csr): tag for csr, tag in state["tags"].items()}
+        self.instret = state["instret"]
+        self.cycle = state["cycle"]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.state import decode_sparse_pages, encode_sparse_pages
 from repro.sysc.kernel import Kernel
 from repro.sysc.module import Module
 from repro.sysc.time import SimTime
@@ -103,3 +104,33 @@ class Memory(Module):
             self.tags[offset:offset + length] = bytes([tag]) * length
             if self._taint_listener is not None:
                 self._taint_listener(offset, length, tag)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Sparse page encoding: only pages differing from the all-zero
+        (data) / all-default-tag (shadow) background are stored."""
+        state = {
+            "size": self.size,
+            "data_pages": encode_sparse_pages(self.data, 0),
+        }
+        if self.tags is not None:
+            state["tag_pages"] = encode_sparse_pages(self.tags,
+                                                     self.default_tag)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore **in place** — the CPU holds DMI references into the
+        same bytearrays, which re-assignment would silently orphan.
+        The taint listener is deliberately not fired: liveness state is
+        restored from its own snapshot section, not re-derived."""
+        if state["size"] != self.size:
+            raise ValueError(
+                f"snapshot RAM size {state['size']} != configured "
+                f"{self.size}")
+        decode_sparse_pages(state["data_pages"], self.data, 0)
+        if self.tags is not None:
+            decode_sparse_pages(state.get("tag_pages", {}), self.tags,
+                                self.default_tag)

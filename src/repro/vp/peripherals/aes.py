@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.dift.engine import DiftEngine
+from repro.state import decode_bytes, encode_bytes
 from repro.sysc.kernel import Kernel
 from repro.vp.peripherals.aes_core import encrypt_block
 from repro.vp.peripherals.base import MmioPeripheral
@@ -58,6 +59,34 @@ class AesAccelerator(MmioPeripheral):
         self._declassify_to = declassify_to
         self._clearance: Optional[int] = (
             engine.policy.sink_tag(f"{name}.in") if engine else None)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "key": encode_bytes(self.key),
+            "key_tags": encode_bytes(self.key_tags),
+            "input": encode_bytes(self.input),
+            "input_tags": encode_bytes(self.input_tags),
+            "output": encode_bytes(self.output),
+            "output_tag": self.output_tag,
+            "done": self.done,
+            "blocked_writes": self.blocked_writes,
+            "encryptions": self.encryptions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.key = bytearray(decode_bytes(state["key"]))
+        self.key_tags = bytearray(decode_bytes(state["key_tags"]))
+        self.input = bytearray(decode_bytes(state["input"]))
+        self.input_tags = bytearray(decode_bytes(state["input_tags"]))
+        self.output = bytearray(decode_bytes(state["output"]))
+        self.output_tag = state["output_tag"]
+        self.done = state["done"]
+        self.blocked_writes = state["blocked_writes"]
+        self.encryptions = state["encryptions"]
 
     # ------------------------------------------------------------------ #
     # register interface

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.dift.engine import DiftEngine
+from repro.state import decode_bytes, encode_bytes
 from repro.sysc.kernel import Kernel
 from repro.vp.peripherals.base import MmioPeripheral
 
@@ -59,6 +60,16 @@ class CanFrame:
         if self.tags and len(self.tags) != len(self.data):
             raise ValueError("CAN frame tag/data length mismatch")
 
+    def to_state(self) -> dict:
+        return {"data": encode_bytes(self.data),
+                "tags": encode_bytes(self.tags),
+                "sender": self.sender}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CanFrame":
+        return cls(decode_bytes(state["data"]), decode_bytes(state["tags"]),
+                   state["sender"])
+
 
 class CanBus:
     """A broadcast channel between CAN nodes.
@@ -79,6 +90,14 @@ class CanBus:
         for name, deliver in self._nodes:
             if name != frame.sender:
                 deliver(frame)
+
+    def state_dict(self) -> dict:
+        """Nodes re-attach at construction time; only the counter is
+        bus-owned state."""
+        return {"frames_transferred": self.frames_transferred}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.frames_transferred = state["frames_transferred"]
 
 
 class CanController(MmioPeripheral):
@@ -113,6 +132,28 @@ class CanController(MmioPeripheral):
         self._rx.append(frame)
         if self._raise_irq:
             self._raise_irq()
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "tx_buf": encode_bytes(self.tx_buf),
+            "tx_tags": encode_bytes(self.tx_tags),
+            "tx_len": self.tx_len,
+            "rx": [frame.to_state() for frame in self._rx],
+            "sent": [frame.to_state() for frame in self.sent],
+            "blocked_tx": self.blocked_tx,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.tx_buf = bytearray(decode_bytes(state["tx_buf"]))
+        self.tx_tags = bytearray(decode_bytes(state["tx_tags"]))
+        self.tx_len = state["tx_len"]
+        self._rx = [CanFrame.from_state(f) for f in state["rx"]]
+        self.sent = [CanFrame.from_state(f) for f in state["sent"]]
+        self.blocked_tx = state["blocked_tx"]
 
     # ------------------------------------------------------------------ #
     # register interface

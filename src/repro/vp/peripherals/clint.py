@@ -49,8 +49,17 @@ class Clint(MmioPeripheral):
         return self.kernel.now.ps // TICK_PS
 
     def run(self):
-        """Timer thread: assert MTIP whenever mtime >= mtimecmp."""
+        """Timer thread: assert MTIP whenever mtime >= mtimecmp.
+
+        Both yields return straight to the loop top, which re-derives
+        everything from ``mtimecmp`` and simulation time — so a fresh
+        generator primed during snapshot restore suspends at the guard
+        without perturbing the restored MIP level or wake schedule.
+        """
         while True:
+            if self.kernel.restoring:
+                yield None
+                continue
             now = self.mtime()
             if self.mtimecmp <= now:
                 if self.cpu is not None:
@@ -63,6 +72,18 @@ class Clint(MmioPeripheral):
                 # sleep until the programmed deadline (or a reprogram)
                 self._wake.notify(SimTime((self.mtimecmp - now) * TICK_PS))
                 yield self._wake
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """mtime is derived from simulation time; only the comparator is
+        CLINT-owned state."""
+        return {"mtimecmp": self.mtimecmp}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.mtimecmp = state["mtimecmp"]
 
     # ------------------------------------------------------------------ #
     # register interface

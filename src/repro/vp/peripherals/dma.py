@@ -59,6 +59,11 @@ class DmaController(MmioPeripheral):
         self.done = False
         self.transfers_completed = 0
         self._start_pending = False
+        # transfer cursor, held as instance state (not generator locals)
+        # so a checkpoint taken mid-transfer can resume the copy
+        self._cur_src = 0
+        self._cur_dst = 0
+        self._remaining = 0
         self._start_event = self.make_event("start")
         self.sc_thread(self.run, "run")
 
@@ -68,38 +73,87 @@ class DmaController(MmioPeripheral):
         A pending-start flag makes the handshake robust against the
         classic lost-wakeup: software may hit CTRL before this thread has
         reached its first wait.
+
+        The loop is restore-safe: every yield returns control to the loop
+        top, which re-reads the instance-attribute cursor — so a fresh
+        generator primed during snapshot restore (suspended side-effect
+        free at the guard) resumes a mid-transfer copy exactly where the
+        checkpointed one stopped.
         """
         while True:
-            while not self._start_pending:
+            if self.kernel.restoring:
+                yield None
+                continue
+            if self.busy:
+                if self._remaining > 0:
+                    if self._burst():
+                        yield self.burst_delay
+                        continue
+                    self._remaining = 0  # bus error: abandon the transfer
+                self.busy = False
+                self.done = True
+                self.transfers_completed += 1
+                if self._raise_irq:
+                    self._raise_irq()
+                continue
+            if not self._start_pending:
                 yield self._start_event
+                continue
             self._start_pending = False
             self.busy = True
             self.done = False
-            remaining = self.len
-            src = self.src
-            dst = self.dst
-            tagged = self.engine is not None
-            while remaining > 0:
-                chunk = min(remaining, BURST)
-                read = GenericPayload.make_read(src, chunk, tagged=tagged)
-                self.router.b_transport(read, SimTime(0))
-                if not read.ok():
-                    break
-                write = GenericPayload.make_write(
-                    dst, bytes(read.data),
-                    bytes(read.tags) if read.tags is not None else None)
-                self.router.b_transport(write, SimTime(0))
-                if not write.ok():
-                    break
-                src += chunk
-                dst += chunk
-                remaining -= chunk
-                yield self.burst_delay
-            self.busy = False
-            self.done = True
-            self.transfers_completed += 1
-            if self._raise_irq:
-                self._raise_irq()
+            self._cur_src = self.src
+            self._cur_dst = self.dst
+            self._remaining = self.len
+
+    def _burst(self) -> bool:
+        """Copy one burst at the cursor; False on a bus error."""
+        chunk = min(self._remaining, BURST)
+        tagged = self.engine is not None
+        read = GenericPayload.make_read(self._cur_src, chunk, tagged=tagged)
+        self.router.b_transport(read, SimTime(0))
+        if not read.ok():
+            return False
+        write = GenericPayload.make_write(
+            self._cur_dst, bytes(read.data),
+            bytes(read.tags) if read.tags is not None else None)
+        self.router.b_transport(write, SimTime(0))
+        if not write.ok():
+            return False
+        self._cur_src += chunk
+        self._cur_dst += chunk
+        self._remaining -= chunk
+        return True
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "len": self.len,
+            "busy": self.busy,
+            "done": self.done,
+            "transfers_completed": self.transfers_completed,
+            "start_pending": self._start_pending,
+            "cur_src": self._cur_src,
+            "cur_dst": self._cur_dst,
+            "remaining": self._remaining,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.src = state["src"]
+        self.dst = state["dst"]
+        self.len = state["len"]
+        self.busy = state["busy"]
+        self.done = state["done"]
+        self.transfers_completed = state["transfers_completed"]
+        self._start_pending = state["start_pending"]
+        self._cur_src = state["cur_src"]
+        self._cur_dst = state["cur_dst"]
+        self._remaining = state["remaining"]
 
     # ------------------------------------------------------------------ #
     # register interface

@@ -62,6 +62,19 @@ class Plic(MmioPeripheral):
             self.cpu.set_irq(MIP_MEIP, bool(self.pending & self.enable))
 
     # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {"pending": self.pending, "enable": self.enable,
+                "claims": self.claims}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.pending = state["pending"]
+        self.enable = state["enable"]
+        self.claims = state["claims"]
+
+    # ------------------------------------------------------------------ #
     # register interface
     # ------------------------------------------------------------------ #
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from repro.dift.engine import DiftEngine
+from repro.state import decode_bytes, encode_bytes
 from repro.sysc.kernel import Kernel
 from repro.vp.peripherals.base import MmioPeripheral
 
@@ -69,6 +70,26 @@ class Uart(MmioPeripheral):
     def text(self) -> str:
         """Transmitted bytes as text (lossy decode for reports)."""
         return self.tx_log.decode("ascii", errors="replace")
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        return {
+            "rx": [[byte, tag] for byte, tag in self._rx],
+            "tx_log": encode_bytes(self.tx_log),
+            "tx_tags": list(self.tx_tags),
+            "blocked_tx": self.blocked_tx,
+            "irq_en": self.irq_en,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rx = [(byte, tag) for byte, tag in state["rx"]]
+        self.tx_log = bytearray(decode_bytes(state["tx_log"]))
+        self.tx_tags = list(state["tx_tags"])
+        self.blocked_tx = state["blocked_tx"]
+        self.irq_en = state["irq_en"]
 
     # ------------------------------------------------------------------ #
     # register interface

@@ -24,16 +24,21 @@ exit code ``a0`` (other ecalls trap to ``mtvec`` if installed).
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro import state as state_mod
 from repro.asm.assembler import Program
-from repro.dift.engine import RAISE, DiftEngine, ViolationRecord
+from repro.dift.engine import DiftEngine, ViolationRecord
 from repro.policy.policy import SecurityPolicy
+from repro.state import SnapshotError
+from repro.sysc.event import Event
 from repro.sysc.kernel import Kernel
 from repro.sysc.time import SimTime
 from repro.sysc.tlm import Router
 from repro.vp import cpu as cpu_mod
+from repro.vp.config import PlatformConfig
 from repro.vp.cpu import Cpu
 from repro.vp.loader import load_program
 from repro.vp.memory import Memory
@@ -107,34 +112,44 @@ def _default_ecall(cpu: Cpu) -> Optional[str]:
 
 
 class Platform:
-    """A complete VP (plain) or VP+ (DIFT) instance."""
+    """A complete VP (plain) or VP+ (DIFT) instance.
 
-    def __init__(
-        self,
-        policy: Optional[SecurityPolicy] = None,
-        engine_mode: str = RAISE,
-        ram_size: int = RAM_SIZE,
-        quantum: int = 8192,
-        clock_period: SimTime = SimTime.ns(10),
-        sensor_period: SimTime = SimTime.ms(25),
-        aes_declassify_to: Optional[str] = None,
-        seed: int = 0x5EED,
-        obs=None,
-        dift_mode: str = cpu_mod.DIFT_FULL,
-    ):
+    Construct with a :class:`~repro.vp.config.PlatformConfig` (either
+    positionally or via :meth:`from_config`); the historical keyword
+    form ``Platform(policy=..., quantum=...)`` still works but emits a
+    :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, config: Optional[PlatformConfig] = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError(
+                "pass either a PlatformConfig or keyword arguments, "
+                "not both")
+        if config is None:
+            if kwargs:
+                warnings.warn(
+                    "Platform(**kwargs) is deprecated; build a "
+                    "PlatformConfig and call Platform.from_config(cfg)",
+                    DeprecationWarning, stacklevel=2)
+            config = PlatformConfig(**kwargs)
+        self.config = config
+        policy = config.policy
+        obs = config.obs
+
         self.kernel = Kernel()
         self.engine: Optional[DiftEngine] = (
-            DiftEngine(policy, mode=engine_mode) if policy else None)
+            DiftEngine(policy, mode=config.engine_mode) if policy else None)
         self.router = Router("bus")
         tagged = self.engine is not None
         default_tag = self.engine.default_tag if self.engine else 0
-        self.dift_mode = dift_mode
+        self.dift_mode = config.dift_mode
 
-        self.memory = Memory(self.kernel, "ram", ram_size, tagged=tagged,
-                             default_tag=default_tag)
+        self.memory = Memory(self.kernel, "ram", config.ram_size,
+                             tagged=tagged, default_tag=default_tag)
         self.cpu = Cpu(self.kernel, "cpu0", dift=self.engine,
-                       clock_period=clock_period, quantum=quantum,
-                       dift_mode=dift_mode)
+                       clock_period=config.clock_period,
+                       quantum=config.quantum,
+                       dift_mode=config.dift_mode)
         self.cpu.isock.bind(self.router)  # router duck-types a target socket
         self.cpu.attach_ram(RAM_BASE, self.memory.data, self.memory.tags)
         self.cpu.ecall_handler = _default_ecall
@@ -157,18 +172,20 @@ class Platform:
                          raise_irq=self.plic.irq_hook(IRQ_UART))
         self.sensor = SimpleSensor(self.kernel, "sensor0", self.engine,
                                    raise_irq=self.plic.irq_hook(IRQ_SENSOR),
-                                   period=sensor_period, seed=seed)
+                                   period=config.sensor_period,
+                                   seed=config.seed)
         self.can_bus = CanBus()
         self.can = CanController(self.kernel, "can0", self.engine,
                                  bus=self.can_bus,
                                  raise_irq=self.plic.irq_hook(IRQ_CAN))
         self.aes = AesAccelerator(self.kernel, "aes0", self.engine,
-                                  declassify_to=aes_declassify_to)
+                                  declassify_to=config.aes_declassify_to)
         self.dma = DmaController(self.kernel, "dma0", self.engine,
                                  router=self.router,
                                  raise_irq=self.plic.irq_hook(IRQ_DMA))
 
-        self.router.map_target(RAM_BASE, ram_size, self.memory.tsock, "ram")
+        self.router.map_target(RAM_BASE, config.ram_size,
+                               self.memory.tsock, "ram")
         self.router.map_target(CLINT_BASE, 0x10, self.clint.tsock, "clint0")
         self.router.map_target(PLIC_BASE, 0x0C, self.plic.tsock, "plic0")
         self.router.map_target(UART_BASE, 0x10, self.uart.tsock, "uart0")
@@ -182,12 +199,48 @@ class Platform:
         self.stop_reason = ""
         self._instr_budget: Optional[int] = None
         self.total_instructions = 0
+        # pause-at-quantum-boundary support (snapshotting): pausing at a
+        # natural boundary keeps quantum sizes — and hence the timed
+        # interleaving — identical to an uninterrupted run, which a
+        # max_instructions budget stop (min(quantum, remaining)) would
+        # not.
+        self._pause_at: Optional[int] = None
+        self._paused = False
+        self._await_irq = False
+        self._stop_pending = ""
+        self._resume_event = Event("platform.resume")
+        self._resume_event._bind(self.kernel)
+        # non-kernel behavioural models riding on the platform (e.g. the
+        # case study's engine-side ECU); registered so snapshots can
+        # carry their state
+        self._externals: Dict[str, object] = {}
         self._cpu_proc = self.kernel.spawn(self._cpu_process,
                                            name="cpu0.process")
 
         self.obs = obs
         if obs is not None:
             self._attach_obs(obs)
+
+    @classmethod
+    def from_config(cls, config: PlatformConfig) -> "Platform":
+        """Build a platform from a :class:`PlatformConfig` (preferred)."""
+        return cls(config)
+
+    # ------------------------------------------------------------------ #
+    # externals
+    # ------------------------------------------------------------------ #
+
+    def register_external(self, name: str, obj) -> None:
+        """Attach a non-kernel model (snapshotted alongside the VP)."""
+        if name in self._externals:
+            raise ValueError(f"external {name!r} already registered")
+        self._externals[name] = obj
+
+    def external(self, name: str):
+        try:
+            return self._externals[name]
+        except KeyError:
+            raise KeyError(f"no external registered as {name!r}") from None
 
     def _attach_obs(self, obs) -> None:
         """Wire an :class:`~repro.obs.Observability` through every layer."""
@@ -317,8 +370,46 @@ class Platform:
     # ------------------------------------------------------------------ #
 
     def _cpu_process(self):
+        # Loop-top-safe by construction: every loop-carried decision
+        # lives on instance attributes and every yield re-enters at the
+        # loop top, so a snapshot-restored (freshly primed) body behaves
+        # identically to the original suspended generator.
         cpu = self.cpu
-        while not cpu.halted:
+        while True:
+            if self.kernel.restoring:
+                # snapshot priming: park side-effect-free at the first
+                # yield; the recorded schedule is re-applied afterwards
+                yield None
+                continue
+            if self._stop_pending:
+                # a quantum ended in halt/ebreak/fault/security *after*
+                # yielding its executed time; stop now
+                self.stop_reason = self._stop_pending
+                self._stop_pending = ""
+                self.kernel.stop()
+                return
+            if self._await_irq:
+                # cleared before the yield so a restored waiter does not
+                # re-enter this branch on wake-up
+                self._await_irq = False
+                yield cpu.irq_event
+                continue
+            if cpu.halted:
+                self.stop_reason = cpu_mod.HALT
+                self.kernel.stop()
+                return
+            if (self._pause_at is not None
+                    and self.total_instructions >= self._pause_at):
+                # natural-boundary pause (snapshot point): stop the
+                # kernel and park on a never-notified event; quantum
+                # sizes stay untouched so a resumed run interleaves
+                # exactly like an uninterrupted one
+                self._paused = True
+                self.stop_reason = "paused"
+                self.kernel.stop()
+                yield self._resume_event
+                self._paused = False
+                continue
             quantum = cpu.quantum
             if self._instr_budget is not None:
                 remaining = self._instr_budget - self.total_instructions
@@ -329,25 +420,36 @@ class Platform:
                 quantum = min(quantum, remaining)
             executed, reason = cpu.run(quantum)
             self.total_instructions += executed
-            if executed:
-                yield cpu.clock_period * executed
             if reason == cpu_mod.WFI:
-                yield cpu.irq_event
+                self._await_irq = True
             elif reason in (cpu_mod.HALT, cpu_mod.EBREAK, cpu_mod.FAULT,
                             cpu_mod.SECURITY):
-                self.stop_reason = reason
-                self.kernel.stop()
-                return
-            elif not executed and reason == cpu_mod.QUANTUM:
+                self._stop_pending = reason
+            if executed:
+                yield cpu.clock_period * executed
+            elif reason == cpu_mod.QUANTUM:
                 # nothing ran and nothing to wait for: avoid spinning
                 yield cpu.clock_period
-        self.stop_reason = cpu_mod.HALT
-        self.kernel.stop()
 
     def run(self, max_instructions: Optional[int] = None,
-            max_time: Optional[SimTime] = None) -> RunResult:
-        """Simulate until the guest stops (or a budget is exhausted)."""
+            max_time: Optional[SimTime] = None,
+            pause_at: Optional[int] = None) -> RunResult:
+        """Simulate until the guest stops (or a budget is exhausted).
+
+        ``pause_at`` stops the run (``reason == "paused"``) at the first
+        quantum boundary where at least ``pause_at`` instructions have
+        retired — the replay-exact snapshot point.  A paused platform
+        may be snapshotted and/or continued with another :meth:`run`.
+        """
         self._instr_budget = max_instructions
+        self._pause_at = pause_at
+        if self._paused:
+            # continue a paused simulation: the parked CPU process must
+            # run before the processes stop() put back, or evaluation
+            # order diverges from an uninterrupted run
+            self.stop_reason = ""
+            self.kernel.clear_stop()
+            self.kernel.make_runnable_front(self._cpu_proc)
         started = _time.perf_counter()
         self.kernel.run(until=max_time)
         host = _time.perf_counter() - started
@@ -368,6 +470,151 @@ class Platform:
             exit_code=self.cpu.exit_code,
             violations=list(self.engine.violations) if self.engine else [],
         )
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore (repro.state)
+    # ------------------------------------------------------------------ #
+
+    def _snapshot_events(self):
+        """Every event that can appear in the kernel schedule."""
+        return (self.cpu.irq_event, self.clint._wake,
+                self.dma._start_event, self._resume_event)
+
+    def snapshot_document(self) -> dict:
+        """Compose the full ``repro.snapshot/1`` document.
+
+        Callable when the kernel is not mid-``run()`` — before the first
+        run (warm-start boot snapshots), after a ``pause_at`` stop, or
+        after any completed run.
+        """
+        kernel_state = self.kernel.state_dict(self._snapshot_events())
+        # A paused CPU parks on the private resume event.  Record it at
+        # the *front* of the runnable list instead: on resume it must
+        # execute before the processes stop() put back, exactly as the
+        # uninterrupted schedule would have run it.
+        waiters = kernel_state["event_waiters"]
+        parked = waiters.pop(self._resume_event.name, [])
+        kernel_state["runnable"] = parked + kernel_state["runnable"]
+        modules = {
+            "platform": {
+                "total_instructions": self.total_instructions,
+                "stop_reason": ("" if self.stop_reason == "paused"
+                                else self.stop_reason),
+                "await_irq": self._await_irq,
+                "stop_pending": self._stop_pending,
+            },
+            "cpu": self.cpu.state_dict(),
+            "memory": self.memory.state_dict(),
+            "router": self.router.state_dict(),
+            "uart0": self.uart.state_dict(),
+            "sensor0": self.sensor.state_dict(),
+            "can_bus": self.can_bus.state_dict(),
+            "can0": self.can.state_dict(),
+            "aes0": self.aes.state_dict(),
+            "dma0": self.dma.state_dict(),
+            "plic0": self.plic.state_dict(),
+            "clint0": self.clint.state_dict(),
+        }
+        if self.engine is not None:
+            modules["engine"] = self.engine.state_dict()
+        live = self.cpu.liveness
+        if live is not None:
+            modules["liveness"] = live.state_dict()
+        document = {
+            "schema": state_mod.SNAPSHOT_SCHEMA,
+            "config": self.config.to_json(),
+            "tag_names": (list(self.config.policy.lattice.classes)
+                          if self.engine is not None else None),
+            "kernel": kernel_state,
+            "modules": modules,
+            "externals": {name: obj.state_dict()
+                          for name, obj in sorted(self._externals.items())},
+        }
+        if self.obs is not None:
+            document["obs"] = self.obs.metrics.state_dict()
+        return document
+
+    def save_snapshot(self, path: str) -> str:
+        """Write the current simulation state as a snapshot file."""
+        return state_mod.save_document(path, self.snapshot_document())
+
+    def restore_snapshot(self, document: dict,
+                         program: Optional[Program] = None) -> None:
+        """Load a snapshot into this (identically-configured) platform.
+
+        Module state is restored first, then the kernel schedule is
+        rebuilt (priming restarted process bodies against the restored
+        state).  ``program`` re-attaches the guest image for symbol
+        lookups only — RAM content always comes from the snapshot.
+        """
+        state_mod.check_schema(document)
+        tag_names = document.get("tag_names")
+        current = (list(self.config.policy.lattice.classes)
+                   if self.engine is not None else None)
+        if tag_names != current:
+            raise SnapshotError(
+                f"snapshot tag numbering {tag_names!r} does not match "
+                f"this platform's policy classes {current!r}")
+        modules = document["modules"]
+        if ("engine" in modules) != (self.engine is not None):
+            raise SnapshotError(
+                "snapshot and platform disagree on DIFT instrumentation")
+        self.cpu.load_state_dict(modules["cpu"])
+        self.memory.load_state_dict(modules["memory"])
+        self.router.load_state_dict(modules["router"])
+        self.uart.load_state_dict(modules["uart0"])
+        self.sensor.load_state_dict(modules["sensor0"])
+        self.can_bus.load_state_dict(modules["can_bus"])
+        self.can.load_state_dict(modules["can0"])
+        self.aes.load_state_dict(modules["aes0"])
+        self.dma.load_state_dict(modules["dma0"])
+        self.plic.load_state_dict(modules["plic0"])
+        self.clint.load_state_dict(modules["clint0"])
+        if self.engine is not None:
+            self.engine.load_state_dict(modules["engine"])
+        live = self.cpu.liveness
+        if live is not None and "liveness" in modules:
+            live.load_state_dict(modules["liveness"])
+        for name, external_state in document.get("externals", {}).items():
+            if name not in self._externals:
+                raise SnapshotError(
+                    f"snapshot carries external {name!r} but nothing is "
+                    "registered under that name (attach externals before "
+                    "restoring)")
+            self._externals[name].load_state_dict(external_state)
+        plat = modules["platform"]
+        self.total_instructions = plat["total_instructions"]
+        self.stop_reason = plat["stop_reason"]
+        self._await_irq = plat["await_irq"]
+        self._stop_pending = plat["stop_pending"]
+        self._instr_budget = None
+        self._pause_at = None
+        self._paused = False
+        self.kernel.load_state_dict(document["kernel"],
+                                    self._snapshot_events())
+        if document.get("obs") is not None and self.obs is not None:
+            self.obs.metrics.load_state_dict(document["obs"])
+        self.program = program
+
+    @classmethod
+    def restore(cls, source, obs=None, program: Optional[Program] = None,
+                externals=None) -> "Platform":
+        """Rebuild a platform from a snapshot file (or loaded document).
+
+        The embedded :class:`PlatformConfig` drives construction;
+        ``externals`` is an optional ``callable(platform)`` run before
+        state load to re-attach non-kernel models the snapshot carries.
+        """
+        if isinstance(source, str):
+            document = state_mod.load_document(source)
+        else:
+            document = state_mod.check_schema(source)
+        config = PlatformConfig.from_json(document["config"], obs=obs)
+        platform = cls(config)
+        if externals is not None:
+            externals(platform)
+        platform.restore_snapshot(document, program=program)
+        return platform
 
     # ------------------------------------------------------------------ #
     # convenience
@@ -392,8 +639,18 @@ class Platform:
 
 def run_program(program: Program, policy: Optional[SecurityPolicy] = None,
                 max_instructions: Optional[int] = None,
+                config: Optional[PlatformConfig] = None,
                 **platform_kwargs) -> RunResult:
-    """One-shot: build a platform, load, run."""
-    platform = Platform(policy=policy, **platform_kwargs)
+    """One-shot: build a platform, load, run.
+
+    Pass a ready :class:`PlatformConfig` via ``config``; the loose
+    ``policy``/keyword form is folded into one internally.
+    """
+    if config is None:
+        config = PlatformConfig(policy=policy, **platform_kwargs)
+    elif policy is not None or platform_kwargs:
+        raise TypeError(
+            "pass either config= or policy=/platform kwargs, not both")
+    platform = Platform.from_config(config)
     platform.load(program)
     return platform.run(max_instructions=max_instructions)

@@ -14,6 +14,7 @@ from repro.sysc.kernel import Kernel
 from repro.sysc.tlm import Router
 from repro.vp.cpu import Cpu
 from repro.vp.memory import Memory
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 RAM_SIZE = 256 * 1024
@@ -127,8 +128,8 @@ def run_guest(source: str, policy: Optional[SecurityPolicy] = None,
               engine_mode: str = "raise", **platform_kwargs):
     """Assemble + run a full guest on the Platform; returns (result, platform)."""
     program = assemble(source)
-    platform = Platform(policy=policy, engine_mode=engine_mode,
-                        **platform_kwargs)
+    platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=engine_mode,
+                        **platform_kwargs))
     platform.load(program)
     if uart_input:
         platform.uart.feed(uart_input)

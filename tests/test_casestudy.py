@@ -17,14 +17,15 @@ class TestProtocol:
     def test_wrong_pin_fails_authentication(self):
         from repro.dift.engine import RECORD
         from repro.sw import immobilizer as immo_sw
+        from repro.vp.config import PlatformConfig
         from repro.vp.platform import Platform
 
         wrong_pin = bytes(16)
         program = immo_sw.build(variant="fixed", pin=wrong_pin,
                                 n_challenges=1)
         policy = cs.baseline_policy(program)
-        platform = Platform(policy=policy, engine_mode=RECORD,
-                            aes_declassify_to="(LC,LI)")
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD,
+                            aes_declassify_to="(LC,LI)"))
         platform.load(program)
         engine = cs.EngineEcu(platform.can_bus, cs.PIN, n_challenges=1)
         platform.uart.feed(b"c")

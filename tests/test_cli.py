@@ -180,3 +180,63 @@ class TestReport:
         assert "Table II" in text
         assert "immobilizer" in text
         assert "differential" in text
+
+
+class TestSnapshotCli:
+    def test_save_resume_workload(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(["snapshot", "save", "--workload", "qsort",
+                     "--pause-at", "3000", "-o", str(snap)]) == 0
+        assert "snapshot at instruction" in capsys.readouterr().out
+        assert main(["snapshot", "resume", str(snap),
+                     "--workload", "qsort"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped: halt" in out
+        assert "resumed from" in out
+
+    def test_save_source_and_diff(self, guest_file, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        # boot snapshots of the same guest are identical...
+        for path in (a, b):
+            assert main(["snapshot", "save", "--source", str(guest_file),
+                         "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+        # ...and differ from a paused mid-run snapshot
+        c = tmp_path / "c.json"
+        main(["snapshot", "save", "--workload", "qsort",
+              "--pause-at", "100", "-o", str(c)])
+        capsys.readouterr()
+        assert main(["snapshot", "diff", str(a), str(c)]) == 1
+        assert capsys.readouterr().out.strip()
+
+    def test_resume_finished_snapshot_is_a_noop(self, guest_file,
+                                                tmp_path, capsys):
+        snap = tmp_path / "done.json"
+        # the tiny guest halts before the pause point: the snapshot is
+        # of a finished run and must not be re-simulated
+        assert main(["snapshot", "save", "--source", str(guest_file),
+                     "--pause-at", "5", "-o", str(snap)]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", "resume", str(snap)]) == 0
+        assert "finished run" in capsys.readouterr().out
+
+    def test_resume_rejects_bad_schema(self, tmp_path, capsys):
+        snap = tmp_path / "bad.json"
+        snap.write_text(json.dumps({"schema": "repro.snapshot/99",
+                                    "config": {}, "kernel": {},
+                                    "modules": {}}))
+        assert main(["snapshot", "resume", str(snap)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_save_requires_exactly_one_input(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["snapshot", "save", "-o", str(tmp_path / "x.json")])
+
+    def test_replay_command(self, capsys):
+        assert main(["replay", "--workloads", "qsort", "--modes", "full",
+                     "--pause-at", "2000",
+                     "--max-instructions", "20000"]) == 0
+        assert "1/1 equivalent" in capsys.readouterr().out

@@ -3,6 +3,7 @@
 from repro.asm import assemble
 from repro.policy import SecurityPolicy, builders
 from repro.sw import runtime
+from repro.vp.config import PlatformConfig
 from repro.vp import Platform
 from repro.vp.debugger import Debugger
 
@@ -32,7 +33,7 @@ def make(dift: bool):
         policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
         policy.classify_region(program.symbol("secret"),
                                program.symbol("secret") + 1, builders.HC)
-    platform = Platform(policy=policy)
+    platform = Platform.from_config(PlatformConfig(policy=policy))
     platform.load(program)
     return platform, program
 

@@ -23,6 +23,7 @@ from repro.dift.engine import RECORD
 from repro.dift.liveness import TaintLiveness
 from repro.sw import immobilizer as immo_sw
 from repro.sw import wk_suite
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 #: identical instruction budget for both modes of a differential pair
@@ -73,8 +74,8 @@ def _run_immobilizer(commands, variant, per_byte, dift_mode):
     program = immo_sw.build(variant=variant, n_challenges=2)
     policy = (cs.per_byte_policy if per_byte else cs.baseline_policy)(
         program)
-    platform = Platform(policy=policy, engine_mode=RECORD,
-                        aes_declassify_to="(LC,LI)", dift_mode=dift_mode)
+    platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD,
+                        aes_declassify_to="(LC,LI)", dift_mode=dift_mode))
     platform.load(program)
     engine = cs.EngineEcu(platform.can_bus, cs.PIN, n_challenges=2)
     platform.uart.feed(commands)
@@ -115,8 +116,8 @@ _APPLICABLE = [spec.number for spec in wk_suite.SPECS if spec.applicable]
 def _run_attack(number, dift_mode):
     program, attacker_input = wk_suite.build_attack(number)
     policy = code_injection_policy(program)
-    platform = Platform(policy=policy, engine_mode=RECORD,
-                        dift_mode=dift_mode)
+    platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD,
+                        dift_mode=dift_mode))
     platform.load(program)
     platform.uart.feed(attacker_input)
     result = platform.run(max_instructions=_ATTACK_CAP)

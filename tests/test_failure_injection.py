@@ -9,6 +9,7 @@ from repro.policy import SecurityPolicy, builders
 from repro.sw import runtime
 from repro.sysc import GenericPayload, SimTime
 from repro.sysc.time import SimTime as T
+from repro.vp.config import PlatformConfig
 from repro.vp import Platform
 from tests.conftest import run_guest
 
@@ -148,8 +149,8 @@ wait:
     li a0, 0
     ret
 """, include_lib=False))
-        platform = Platform(policy=policy, engine_mode=RECORD,
-                            sensor_period=T.us(50))
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD,
+                            sensor_period=T.us(50)))
         platform.load(program)
         result = platform.run(max_instructions=200_000)
         assert result.detected
@@ -207,7 +208,7 @@ secret: .byte 9
         program = assemble(source)
         policy.classify_region(program.symbol("secret"),
                                program.symbol("secret") + 1, builders.HC)
-        platform = Platform(policy=policy, engine_mode=RECORD)
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD))
         platform.load(program)
         result = platform.run(max_instructions=50_000)
         # sink checks record and drop, execution does not happen here:

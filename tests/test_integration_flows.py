@@ -11,6 +11,7 @@ from repro.dift.engine import RECORD
 from repro.policy import SecurityPolicy, builders
 from repro.sw import runtime
 from repro.sysc.time import SimTime
+from repro.vp.config import PlatformConfig
 from repro.vp import Platform
 
 LC, HC = builders.LC, builders.HC
@@ -47,9 +48,9 @@ copy:
 
 class TestSensorToUart:
     def test_public_sensor_data_flows_out(self):
-        platform = Platform(policy=conf_policy(sensor_class=LC),
+        platform = Platform.from_config(PlatformConfig(policy=conf_policy(sensor_class=LC),
                             engine_mode=RECORD,
-                            sensor_period=SimTime.us(50))
+                            sensor_period=SimTime.us(50)))
         platform.load(assemble(SENSOR_COPY))
         result = platform.run(max_instructions=500_000)
         assert result.reason == "halt"
@@ -58,9 +59,9 @@ class TestSensorToUart:
 
     def test_confidential_sensor_data_blocked(self):
         """Reconfigure the sensor source to HC: the same copy now violates."""
-        platform = Platform(policy=conf_policy(sensor_class=HC),
+        platform = Platform.from_config(PlatformConfig(policy=conf_policy(sensor_class=HC),
                             engine_mode=RECORD,
-                            sensor_period=SimTime.us(50))
+                            sensor_period=SimTime.us(50)))
         platform.load(assemble(SENSOR_COPY))
         result = platform.run(max_instructions=500_000)
         assert result.detected
@@ -115,9 +116,9 @@ copy:
 
 class TestSensorDmaUartPipeline:
     def _run(self, sensor_class):
-        platform = Platform(policy=conf_policy(sensor_class=sensor_class),
+        platform = Platform.from_config(PlatformConfig(policy=conf_policy(sensor_class=sensor_class),
                             engine_mode=RECORD,
-                            sensor_period=SimTime.us(50))
+                            sensor_period=SimTime.us(50)))
         platform.load(assemble(DMA_PIPELINE))
         result = platform.run(max_instructions=1_000_000)
         return result, platform
@@ -200,8 +201,8 @@ trap_handler:
 .bss
 done_flag: .space 4
 """, include_lib=False)
-        platform = Platform(policy=conf_policy(LC), engine_mode=RECORD,
-                            sensor_period=SimTime.us(1000))
+        platform = Platform.from_config(PlatformConfig(policy=conf_policy(LC), engine_mode=RECORD,
+                            sensor_period=SimTime.us(1000)))
         platform.load(assemble(source))
         result = platform.run(max_instructions=500_000)
         assert result.reason == "halt"
@@ -256,8 +257,8 @@ key: .byte 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
         program = assemble(source)
         policy.classify_region(program.symbol("key"),
                                program.symbol("key") + 16, HC)
-        platform = Platform(policy=policy, engine_mode=RECORD,
-                            aes_declassify_to=LC)
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD,
+                            aes_declassify_to=LC))
         platform.load(program)
         result = platform.run(max_instructions=200_000)
         # 16 ciphertext bytes got out; the 17th (raw key) byte was blocked

@@ -4,6 +4,7 @@ import pytest
 
 from repro.policy import SecurityPolicy, builders
 from repro.sw import runtime
+from repro.vp.config import PlatformConfig
 from repro.vp import Platform, run_program
 from repro.vp.platform import STACK_TOP
 from tests.conftest import run_guest
@@ -127,7 +128,7 @@ secret: .byte 0x42
         program = assemble(source)
         policy.classify_region(program.symbol("secret"),
                                program.symbol("secret") + 1, builders.HC)
-        platform = Platform(policy=policy, engine_mode="record")
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode="record"))
         platform.load(program)
         result = platform.run(max_instructions=100_000)
         assert result.detected
@@ -152,7 +153,7 @@ main:
     def test_memory_region_classified_at_load(self):
         policy = SecurityPolicy(builders.ifp1(), default_class=builders.LC)
         policy.classify_region(0x2000, 0x2004, builders.HC)
-        platform = Platform(policy=policy)
+        platform = Platform.from_config(PlatformConfig(policy=policy))
         from repro.asm import assemble
         platform.load(assemble(runtime.program("""
 .text
@@ -167,13 +168,13 @@ main:
     def test_is_dift_flag(self):
         assert not Platform().is_dift
         policy = SecurityPolicy(builders.ifp1())
-        assert Platform(policy=policy).is_dift
+        assert Platform.from_config(PlatformConfig(policy=policy)).is_dift
 
 
 class TestLoader:
     def test_program_too_big_rejected(self):
         from repro.errors import SimulationError
-        platform = Platform(ram_size=64)
+        platform = Platform.from_config(PlatformConfig(ram_size=64))
         from repro.asm import assemble
         program = assemble(".data\nblob: .space 128")
         with pytest.raises(SimulationError):

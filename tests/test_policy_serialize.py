@@ -105,6 +105,7 @@ class TestPolicyDict:
         """A deserialized policy drives a real platform."""
         from repro.asm import assemble
         from repro.sw import runtime
+        from repro.vp.config import PlatformConfig
         from repro.vp import Platform
 
         source = runtime.program("""
@@ -127,8 +128,8 @@ key: .byte 0x7F
             "sinks": {"uart0.tx": "LC"},
             "regions": [[key, key + 1, "HC"]],
         }
-        platform = Platform(policy=policy_from_dict(data),
-                            engine_mode="record")
+        platform = Platform.from_config(PlatformConfig(policy=policy_from_dict(data),
+                            engine_mode="record"))
         platform.load(program)
         result = platform.run(max_instructions=50_000)
         assert result.detected

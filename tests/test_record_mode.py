@@ -27,6 +27,7 @@ from repro.errors import (
 )
 from repro.policy import SecurityPolicy, builders
 from repro.sw import immobilizer as immo_sw
+from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
 
@@ -114,8 +115,8 @@ class TestRecordKinds:
 def _attack_platform(mode: str) -> Platform:
     """Attack 1 from the case study: direct PIN -> UART, fixed SW."""
     program = immo_sw.build(variant="fixed", n_challenges=2)
-    platform = Platform(policy=baseline_policy(program), engine_mode=mode,
-                        aes_declassify_to=builders.LC_LI)
+    platform = Platform.from_config(PlatformConfig(policy=baseline_policy(program), engine_mode=mode,
+                        aes_declassify_to=builders.LC_LI))
     platform.load(program)
     ecu = EngineEcu(platform.can_bus, PIN, n_challenges=2)
     platform.uart.feed(b"1")

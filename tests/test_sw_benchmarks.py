@@ -14,11 +14,12 @@ from repro.sw import (
     sha512,
 )
 from repro.sysc.time import SimTime
+from repro.vp.config import PlatformConfig
 from repro.vp import Platform
 
 
 def run(program, max_instructions=3_000_000, **kwargs):
-    platform = Platform(**kwargs)
+    platform = Platform.from_config(PlatformConfig(**kwargs))
     platform.load(program)
     result = platform.run(max_instructions=max_instructions)
     return result, platform

@@ -84,11 +84,12 @@ class TestPolicyShape:
     def test_benign_input_no_detection(self):
         """Same binary, non-overflowing input: runs clean, no violation."""
         from repro.dift.engine import RECORD
+        from repro.vp.config import PlatformConfig
         from repro.vp.platform import Platform
 
         program, __ = wk_suite.build_attack(5)
         policy = table1.code_injection_policy(program)
-        platform = Platform(policy=policy, engine_mode=RECORD)
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD))
         platform.load(program)
         # input that does not reach the function pointer: 40 filler bytes
         # would; send only zeros that keep the pointer intact is impossible
@@ -109,11 +110,12 @@ class TestCodeReuseLimitation:
 
     def test_return_to_trusted_code_is_not_detected(self):
         from repro.dift.engine import RECORD
+        from repro.vp.config import PlatformConfig
         from repro.vp.platform import Platform
 
         program, attacker_input = wk_suite.build_code_reuse_attack()
         policy = table1.code_injection_policy(program)
-        platform = Platform(policy=policy, engine_mode=RECORD)
+        platform = Platform.from_config(PlatformConfig(policy=policy, engine_mode=RECORD))
         platform.load(program)
         platform.uart.feed(attacker_input)
         result = platform.run(max_instructions=200_000)
