@@ -89,6 +89,12 @@ class Workload:
     policy: Callable[[Program], Optional[SecurityPolicy]]
     prepare: Callable[[Platform, Program, str], None]
     externals: Callable[[Platform, str], None] = _noop_externals
+    #: optional success predicate ``(platform, result, dift) -> bool``;
+    #: when set, the campaign worker consults it instead of its default
+    #: "budget or exit 0" notion.  Generated attack workloads use it:
+    #: a *detected* attack stops early with reason ``security``, which
+    #: is the expected outcome, not a failure.
+    ok_check: Optional[Callable[[Platform, object, bool], bool]] = None
 
     def make_config(self, scale: str, dift: bool, obs=None,
                     dift_mode: str = "full",
@@ -233,9 +239,19 @@ def get_workload(name: str) -> Workload:
     Campaign matrices and CLI flags reference workloads by name; a typo
     should name the valid choices, not die with a bare ``KeyError``.
     """
+    if name.startswith("gen/"):
+        # dynamic generated-attack workload (repro.gen): resolved on
+        # demand rather than registered — the family is unbounded
+        from repro.gen.campaign import gen_workload
+        try:
+            return gen_workload(name)
+        except ValueError as exc:
+            raise UnknownWorkloadError(str(exc)) from None
     try:
         return WORKLOADS[name]
     except KeyError:
         known = ", ".join(workload_names())
         raise UnknownWorkloadError(
-            f"unknown workload {name!r}; available: {known}") from None
+            f"unknown workload {name!r}; available: {known} "
+            f"(or a dynamic 'gen/<case-seed-hex>/<attack|benign>' "
+            f"name)") from None

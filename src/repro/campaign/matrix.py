@@ -102,10 +102,18 @@ def _validate_job(entry: dict, where: str) -> None:
     workload = entry.get("workload")
     if not isinstance(workload, str):
         raise MatrixError(f"{where}: 'workload' (string) is required")
-    if workload not in workload_names():
+    if workload.startswith("gen/"):
+        # dynamic generated-attack workload: gen/<case-seed-hex>/<variant>
+        from repro.gen.campaign import parse_gen_name
+        try:
+            parse_gen_name(workload)
+        except ValueError as exc:
+            raise MatrixError(f"{where}: {exc}") from None
+    elif workload not in workload_names():
         raise MatrixError(
             f"{where}: unknown workload {workload!r}; available: "
-            f"{', '.join(workload_names())}")
+            f"{', '.join(workload_names())} (or a dynamic "
+            f"'gen/<case-seed-hex>/<attack|benign>' name)")
     if entry.get("policy", "default") not in POLICIES:
         raise MatrixError(
             f"{where}: policy must be one of {list(POLICIES)}, "

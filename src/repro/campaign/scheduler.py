@@ -189,8 +189,11 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
     def launch(item: _Pending) -> None:
         spec = item.spec
         recv, send = ctx.Pipe(duplex=False)
+        # job ids may embed path separators (dynamic gen/... workloads):
+        # flatten them so every log lands directly in log_dir
+        safe_id = spec.job_id.replace(os.sep, "_").replace("/", "_")
         log_path = os.path.join(log_dir,
-                                f"{spec.job_id}.a{item.attempt}.log")
+                                f"{safe_id}.a{item.attempt}.log")
         process = ctx.Process(
             target=child_main,
             args=(send, spec.to_dict(), item.attempt, log_path),

@@ -104,8 +104,11 @@ def execute_job(spec: JobSpec, attempt: int) -> dict:
     started = time.perf_counter()
     result = platform.run(max_instructions=spec.max_instructions)
     wall = time.perf_counter() - started
-    ok = (result.reason == "budget"
-          or (result.reason == "halt" and result.exit_code == 0))
+    if workload.ok_check is not None:
+        ok = bool(workload.ok_check(platform, result, dift))
+    else:
+        ok = (result.reason == "budget"
+              or (result.reason == "halt" and result.exit_code == 0))
     deterministic, timing = split_timing_metrics(platform.obs.snapshot())
     return {
         "schema": JOB_SCHEMA,

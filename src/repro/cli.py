@@ -12,7 +12,8 @@ Commands
 ``locdelta``     the Section V-B1 LoC integration-cost measurement
 ``report``       run every experiment and emit a markdown report
 ``differential`` VP-vs-VP+ differential testing on random programs
-``fuzz``         policy stress-fuzzing of the immobilizer firmware
+``fuzz``         adversarial attack-corpus generation + differential oracles
+``policyfuzz``   policy stress-fuzzing of the immobilizer firmware
 ``campaign``     parallel simulation campaigns (``run`` / ``report``)
 ``snapshot``     checkpoint/restore (``save`` / ``resume`` / ``diff``)
 ``replay``       snapshot-resume replay-equivalence verification
@@ -221,12 +222,53 @@ def _cmd_differential(args) -> int:
     return 1 if failures else 0
 
 
-def _cmd_fuzz(args) -> int:
+def _cmd_policyfuzz(args) -> int:
     from repro.verify.policy_fuzz import fuzz_immobilizer, summarize
 
     outcomes = fuzz_immobilizer(n_runs=args.runs, seed=args.seed)
     print(summarize(outcomes))
     return 0 if all(o.sound for o in outcomes) else 1
+
+
+def _cmd_fuzz(args) -> int:
+    """Adversarial corpus generation: generate, oracle-check, shrink."""
+    import hashlib
+
+    from repro.gen import generate_corpus, run_case, save_case, shrink
+    from repro.gen.corpus import case_document, default_corpus_dir, dump_case
+
+    cases = generate_corpus(args.seed, args.count)
+    distinct = {case.spec_hash for case in cases}
+    digest = hashlib.sha256()
+    for case in cases:
+        digest.update(dump_case(case_document(case)).encode())
+    print(f"fuzz: seed={args.seed}: {len(cases)} cases, "
+          f"{len(distinct)} distinct spec hashes")
+    print(f"corpus digest: {digest.hexdigest()}")
+    if args.out:
+        for case in cases:
+            save_case(args.out, case)
+        print(f"wrote {len(cases)} case files to {args.out}/")
+
+    failures = []
+    for n, case in enumerate(cases, start=1):
+        verdict = run_case(case, budget=args.budget)
+        if not verdict.passed:
+            failures.append(verdict)
+            print(f"FAIL {verdict.describe()}")
+        if not args.quiet and n % 50 == 0 and n < len(cases):
+            print(f"  ... {n}/{len(cases)} cases checked")
+    print(f"oracles: {len(cases) - len(failures)}/{len(cases)} green "
+          "(invisibility, mode-equivalence, detection)")
+
+    if failures and not args.no_shrink:
+        corpus_dir = args.corpus_dir or default_corpus_dir()
+        for verdict in failures:
+            small, small_verdict = shrink(verdict.case, verdict)
+            note = "failed: " + ", ".join(sorted(small_verdict.failures))
+            path = save_case(corpus_dir, small, origin="shrunk", note=note)
+            print(f"shrunk {verdict.case.name} -> minimal repro {path}")
+    return 1 if failures else 0
 
 
 def _cmd_campaign_run(args) -> int:
@@ -472,10 +514,34 @@ def build_parser() -> argparse.ArgumentParser:
                         "interpreter")
     p.set_defaults(fn=_cmd_differential)
 
-    p = sub.add_parser("fuzz", help="policy stress-fuzzing")
+    p = sub.add_parser(
+        "fuzz",
+        help="generate an adversarial attack corpus and run the three "
+             "differential oracles over every case")
+    p.add_argument("--seed", type=int, default=0,
+                   help="corpus seed: the same seed reproduces the "
+                        "identical corpus byte-for-byte (default 0)")
+    p.add_argument("--count", type=int, default=50, metavar="N",
+                   help="distinct cases to generate (default 50)")
+    p.add_argument("--out", metavar="DIR",
+                   help="also write every generated case file to DIR")
+    p.add_argument("--corpus-dir", metavar="DIR",
+                   help="where shrunk minimal repros of failing cases "
+                        "are committed (default: tests/corpus)")
+    p.add_argument("--budget", type=int, default=200_000, metavar="N",
+                   help="per-run instruction budget (default 200000)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report failures without shrinking them")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines")
+    p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser("policyfuzz",
+                       help="policy stress-fuzzing of the immobilizer "
+                            "firmware")
     p.add_argument("--runs", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
-    p.set_defaults(fn=_cmd_fuzz)
+    p.set_defaults(fn=_cmd_policyfuzz)
 
     p = sub.add_parser(
         "campaign",

@@ -1,0 +1,64 @@
+"""Adversarial attack-corpus generation (``repro.gen``).
+
+The paper validates its DIFT approach against the 18 fixed
+Wilander–Kamkar attack forms (Table I) and names "automatic test-case
+generation ... tailored for stress-testing security policies" as future
+work.  This package implements that future work: a **seeded adversarial
+workload generator** that composes W–K attack primitives (overflow
+location × target × directness, the same frame-layout knowledge as
+:mod:`repro.sw.wk_suite`) with **randomly generated policy lattices**
+into self-describing :class:`~repro.gen.spec.GeneratedAttack` specs that
+assemble into runnable guest binaries.
+
+Three differential oracles run over every generated case:
+
+1. **architectural invisibility** — the DIFT instrumentation must never
+   change what the guest computes (plain VP vs VP+ state equality);
+2. **mode equivalence** — ``full`` and ``demand`` DIFT must end in
+   snapshot-identical states (via the ``repro.state`` machinery);
+3. **detection soundness** — the generated policy must flag the attack
+   variant and stay silent on the auto-generated benign twin.
+
+Failing cases are automatically shrunk (:mod:`repro.gen.shrink`) to a
+minimal repro and written into the committed ``tests/corpus/``
+regression directory, which tier-1 replays on every run.  The ``repro
+fuzz`` CLI subcommand and the ``gen/<case-seed>/<variant>`` campaign
+workloads make the generator a standing campaign.
+"""
+
+from repro.gen.corpus import (
+    CASE_SCHEMA,
+    CorpusError,
+    case_filename,
+    iter_corpus,
+    load_case,
+    save_case,
+)
+from repro.gen.generator import case_from_seed, generate_corpus
+from repro.gen.lattices import GeneratedLattice, random_lattice
+from repro.gen.oracles import ORACLE_NAMES, OracleVerdict, run_case
+from repro.gen.primitives import LOCATIONS, TARGETS, TECHNIQUES, Primitive
+from repro.gen.shrink import shrink
+from repro.gen.spec import GeneratedAttack
+
+__all__ = [
+    "CASE_SCHEMA",
+    "CorpusError",
+    "GeneratedAttack",
+    "GeneratedLattice",
+    "LOCATIONS",
+    "ORACLE_NAMES",
+    "OracleVerdict",
+    "Primitive",
+    "TARGETS",
+    "TECHNIQUES",
+    "case_filename",
+    "case_from_seed",
+    "generate_corpus",
+    "iter_corpus",
+    "load_case",
+    "random_lattice",
+    "run_case",
+    "save_case",
+    "shrink",
+]

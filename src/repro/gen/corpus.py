@@ -1,0 +1,131 @@
+"""The committed regression corpus (``tests/corpus/``).
+
+Every file is one self-describing ``repro.gen.case/1`` document: the
+full :class:`~repro.gen.spec.GeneratedAttack` spec, its content hash
+and its provenance (a straight generator draw, or the shrunk minimal
+repro of a once-failing case).  Files are written with sorted keys and
+compact separators, so re-running ``repro fuzz`` with the same seed
+reproduces the corpus **byte-for-byte** — the property the acceptance
+gate checks.
+
+Tier-1 replays every corpus case through all three oracles
+(``tests/test_gen_corpus.py``), which is what turns a one-time fuzzing
+find into a permanent regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.gen.spec import GeneratedAttack
+
+CASE_SCHEMA = "repro.gen.case/1"
+
+#: provenance kinds a corpus file may carry
+ORIGINS = ("generated", "shrunk", "manual")
+
+
+class CorpusError(ReproError):
+    """A corpus case file is malformed or inconsistent."""
+
+
+def case_document(case: GeneratedAttack, origin: str = "generated",
+                  note: str = "") -> Dict[str, object]:
+    """The serializable corpus document for one case."""
+    if origin not in ORIGINS:
+        raise CorpusError(f"unknown corpus origin {origin!r}")
+    return {
+        "schema": CASE_SCHEMA,
+        "origin": {"kind": origin, "note": note},
+        "spec_hash": case.spec_hash,
+        "spec": case.to_dict(),
+    }
+
+
+def dump_case(document: Dict[str, object]) -> str:
+    """Deterministic text form (sorted keys, compact separators)."""
+    return json.dumps(document, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def case_filename(case: GeneratedAttack, origin: str = "generated") -> str:
+    prefix = "shrunk-" if origin == "shrunk" else ""
+    return f"{prefix}{case.name}-{case.spec_hash[:8]}.json"
+
+
+def save_case(directory: str, case: GeneratedAttack,
+              origin: str = "generated", note: str = "") -> str:
+    """Write one case into ``directory``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, case_filename(case, origin))
+    with open(path, "w") as handle:
+        handle.write(dump_case(case_document(case, origin, note)))
+    return path
+
+
+def parse_case(document: Dict[str, object],
+               name: str = "<corpus>") -> GeneratedAttack:
+    """Validate one corpus document and rebuild its case."""
+    if not isinstance(document, dict):
+        raise CorpusError(f"{name}: corpus case must be an object")
+    if document.get("schema") != CASE_SCHEMA:
+        raise CorpusError(
+            f"{name}: unsupported schema {document.get('schema')!r} "
+            f"(this build reads exactly {CASE_SCHEMA!r})")
+    try:
+        case = GeneratedAttack.from_dict(document["spec"])
+    except (KeyError, TypeError, ValueError, ReproError) as exc:
+        raise CorpusError(f"{name}: malformed spec: {exc}") from exc
+    recorded = document.get("spec_hash")
+    if recorded != case.spec_hash:
+        raise CorpusError(
+            f"{name}: spec_hash mismatch — file says {recorded!r}, "
+            f"spec hashes to {case.spec_hash!r} (corrupted or "
+            f"hand-edited without rehashing)")
+    return case
+
+
+def load_case(path: str) -> GeneratedAttack:
+    """Load and validate one corpus file."""
+    name = os.path.basename(path)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CorpusError(f"{name}: unreadable corpus case: {exc}") from exc
+    return parse_case(document, name)
+
+
+def corpus_files(directory: str) -> List[str]:
+    """Sorted corpus file paths under ``directory`` (may be empty)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, entry)
+        for entry in os.listdir(directory)
+        if entry.endswith(".json"))
+
+
+def iter_corpus(directory: str
+                ) -> Iterator[Tuple[str, GeneratedAttack]]:
+    """Yield ``(path, case)`` for every case file in ``directory``."""
+    for path in corpus_files(directory):
+        yield path, load_case(path)
+
+
+def default_corpus_dir(start: Optional[str] = None) -> str:
+    """The repository's committed corpus directory.
+
+    Resolved relative to this file so it works from any CWD; falls back
+    to ``<start or cwd>/tests/corpus`` when the source tree layout is
+    not recognizable (e.g. an installed package).
+    """
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    candidate = os.path.join(root, "tests", "corpus")
+    if os.path.isdir(candidate):
+        return candidate
+    return os.path.join(start or os.getcwd(), "tests", "corpus")

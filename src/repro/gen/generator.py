@@ -1,0 +1,85 @@
+"""Seeded case generation: seeds → :class:`GeneratedAttack` specs.
+
+Determinism contract:
+
+* :func:`case_from_seed` is a pure function of its ``case_seed`` — the
+  same seed always yields the identical spec (and, via
+  :meth:`GeneratedAttack.build`, identical binaries and inputs);
+* :func:`generate_corpus` derives per-case seeds from one corpus seed
+  and de-duplicates by ``spec_hash``, so ``repro fuzz --seed N`` always
+  reproduces the same corpus byte-for-byte.
+
+All randomness flows through locally constructed
+:class:`random.Random` instances — the module-level stream is never
+touched, so concurrent campaign jobs cannot perturb each other.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.gen.lattices import random_lattice
+from repro.gen.primitives import (
+    MAX_BUFFER,
+    MAX_GAP,
+    MIN_BUFFER,
+    SHAPES,
+    Primitive,
+)
+from repro.gen.spec import PAYLOAD_MODES, GeneratedAttack
+
+#: primitives per generated case
+MIN_PRIMITIVES = 1
+MAX_PRIMITIVES = 3
+
+#: stream separator so case seeds and lattice draws are independent
+_CASE_SALT = 0xA77AC4
+
+
+def random_primitive(rng: random.Random) -> Primitive:
+    """Draw one primitive: a W–K shape plus random frame geometry."""
+    location, target, technique = rng.choice(SHAPES)
+    buffer_size = 4 * rng.randint(MIN_BUFFER // 4, MAX_BUFFER // 4)
+    gap = 4 * rng.randint(0, MAX_GAP // 4)
+    return Primitive(location=location, target=target, technique=technique,
+                     buffer_size=buffer_size, gap=gap)
+
+
+def case_from_seed(case_seed: int) -> GeneratedAttack:
+    """Build the (unique) spec for one case seed."""
+    rng = random.Random(case_seed ^ _CASE_SALT)
+    generated = random_lattice(rng)
+    n = rng.randint(MIN_PRIMITIVES, MAX_PRIMITIVES)
+    primitives = tuple(random_primitive(rng) for _ in range(n))
+    victim = rng.randrange(n)
+    payload_mode = rng.choice(PAYLOAD_MODES)
+    return GeneratedAttack(
+        case_seed=case_seed,
+        primitives=primitives,
+        victim=victim,
+        payload_mode=payload_mode,
+        lattice_spec=generated.spec,
+        lattice_strategy=generated.strategy,
+        hi_class=generated.hi_class,
+        li_class=generated.li_class,
+    )
+
+
+def iter_cases(seed: int) -> Iterator[GeneratedAttack]:
+    """Infinite stream of distinct cases derived from one corpus seed."""
+    rng = random.Random(seed)
+    seen = set()
+    while True:
+        case = case_from_seed(rng.getrandbits(32))
+        digest = case.spec_hash
+        if digest in seen:
+            continue
+        seen.add(digest)
+        yield case
+
+
+def generate_corpus(seed: int, count: int) -> List[GeneratedAttack]:
+    """``count`` distinct cases (by spec hash), deterministically."""
+    stream = iter_cases(seed)
+    return [next(stream) for _ in range(count)]

@@ -1,0 +1,146 @@
+"""Random security-lattice generation for adversarial policies.
+
+The generator produces *random DAGs with valid LUB structure*: every
+result is a genuine finite lattice (verified constructively — the
+:class:`~repro.policy.lattice.Lattice` constructor rejects any poset
+without unique LUBs/GLBs), so generated policies can never crash the
+DIFT engine with a malformed IFP.
+
+Three strategies, chosen per seed:
+
+* ``chain``   — a random-length total order (always a lattice);
+* ``product`` — a product of two random chains (products of lattices
+  are lattices; this is how the paper builds IFP-3 from IFP-1 × IFP-2,
+  see :func:`repro.policy.lattice.product`);
+* ``dag``     — a genuinely random DAG over a topological order, closed
+  with an explicit bottom and top, then *rejection-sampled*: candidates
+  whose poset lacks unique least upper bounds are discarded and
+  re-drawn.  Falls back to a chain if no valid draw appears.
+
+Every generated lattice comes with the **(hi, li) class pair** the
+attack policy needs: ``li`` (the class of attacker input) must not be
+allowed to flow into ``hi`` (the fetch clearance).  A *demand-friendly*
+draw pins ``hi`` to the lattice bottom, so a generated guest starts
+with an all-bottom (clean) tag state and exercises the demand-mode
+fast-path handover the moment tainted input arrives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import LatticeError
+from repro.policy.lattice import Lattice, chain, product
+from repro.policy.serialize import lattice_from_spec, lattice_to_spec
+
+STRATEGIES = ("chain", "product", "dag")
+
+#: bounded rejection sampling for the ``dag`` strategy
+_DAG_ATTEMPTS = 12
+
+
+@dataclass(frozen=True)
+class GeneratedLattice:
+    """A generated IFP plus the class pair the attack policy uses.
+
+    ``spec`` is the serialized classes/flows form accepted by
+    :func:`repro.policy.serialize.lattice_from_spec`, so a generated
+    lattice survives a JSON round-trip bit-exactly.
+    """
+
+    lattice: Lattice
+    spec: Dict[str, object]
+    strategy: str
+    hi_class: str       # fetch clearance + program-image class
+    li_class: str       # attacker-input class; must NOT flow into hi
+
+    @property
+    def demand_friendly(self) -> bool:
+        """True iff ``hi`` is the bottom class (clean boot tag state)."""
+        return self.hi_class == self.lattice.bottom
+
+
+def _random_chain(rng: random.Random, prefix: str = "S") -> Lattice:
+    length = rng.randint(2, 4)
+    return chain([f"{prefix}{i}" for i in range(length)])
+
+
+def _random_product(rng: random.Random) -> Lattice:
+    a = chain([f"A{i}" for i in range(rng.randint(2, 3))])
+    b = chain([f"B{i}" for i in range(rng.randint(2, 3))])
+    return product(a, b)
+
+
+def _random_dag(rng: random.Random) -> Lattice:
+    """One candidate draw: random edges over a topological order, with
+    an explicit bottom/top welded on.  May raise :class:`LatticeError`
+    when the draw lacks unique LUBs — the caller resamples."""
+    n = rng.randint(2, 5)
+    names = [f"S{i}" for i in range(n)]
+    flows: List[Tuple[str, str]] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.35:
+                flows.append((names[i], names[j]))
+    classes = ["BOT"] + names + ["TOP"]
+    flows += [("BOT", name) for name in names]
+    flows += [(name, "TOP") for name in names]
+    flows.append(("BOT", "TOP"))
+    return Lattice(classes, flows)
+
+
+def random_lattice(rng: random.Random,
+                   demand_friendly_bias: float = 0.7) -> GeneratedLattice:
+    """Draw one random lattice and its (hi, li) attack-class pair.
+
+    All randomness comes from the injected ``rng`` — no module-level
+    stream is touched, so concurrent campaign jobs cannot perturb each
+    other.
+    """
+    strategy = rng.choice(STRATEGIES)
+    if strategy == "chain":
+        lattice = _random_chain(rng)
+    elif strategy == "product":
+        lattice = _random_product(rng)
+    else:
+        lattice = None
+        for _ in range(_DAG_ATTEMPTS):
+            try:
+                lattice = _random_dag(rng)
+                break
+            except LatticeError:
+                continue
+        if lattice is None:
+            strategy = "chain"
+            lattice = _random_chain(rng)
+
+    bottom = lattice.bottom
+    non_bottom = [name for name in lattice.classes if name != bottom]
+    if rng.random() < demand_friendly_bias:
+        # hi = bottom: any non-bottom li works (only bottom flows into
+        # bottom in a partial order), and the guest boots clean.
+        hi = bottom
+        li = rng.choice(non_bottom)
+    else:
+        pairs = [(h, l) for h in lattice.classes for l in lattice.classes
+                 if not lattice.allowed_flow(l, h)]
+        hi, li = rng.choice(pairs)
+    return GeneratedLattice(lattice=lattice, spec=lattice_to_spec(lattice),
+                            strategy=strategy, hi_class=hi, li_class=li)
+
+
+def minimal_lattice_spec() -> Dict[str, object]:
+    """The smallest valid attack lattice: a 2-chain ``HI -> LI``.
+
+    ``HI`` is the bottom (trusted code), ``LI`` the top (attacker
+    input); ``LI`` cannot flow into ``HI``.  Used by the shrinker to
+    replace an arbitrary generated lattice with the canonical minimum.
+    """
+    return lattice_to_spec(Lattice(["HI", "LI"], [("HI", "LI")]))
+
+
+def lattice_from_generated_spec(spec: Dict[str, object]) -> Lattice:
+    """Rebuild a generated lattice from its serialized spec."""
+    return lattice_from_spec(spec)

@@ -1,0 +1,328 @@
+"""Parameterized Wilander–Kamkar attack primitives.
+
+Each :class:`Primitive` is one generated overflow: a vulnerable function
+with an attacker-controlled ``memcpy`` length (the classic
+length-prefixed-protocol bug), parameterized along the three W–K axes
+
+* **location** — ``stack`` (locals) or ``data`` (adjacent globals),
+* **target** — ``ret`` (saved return address), ``fnptr`` (a function
+  pointer called after the copy) or ``jmpbuf`` (a ``setjmp`` buffer
+  later passed to ``longjmp``),
+* **technique** — ``direct`` (the overflow reaches the target slot
+  itself) or ``indirect`` (the overflow first corrupts a data pointer
+  and the program then writes an attacker word through it),
+
+plus layout parameters (``buffer_size``, ``gap``) that vary the frame
+geometry — the knowledge :mod:`repro.sw.wk_suite` hard-codes per attack
+is computed here from the parameters.
+
+Unlike the fixed Table I suite, every primitive has a true **benign
+twin**: the same binary driven with an in-bounds copy length performs
+the copy, calls through the (intact) pointer, returns cleanly.  The
+overflow only happens when the attacker supplies an out-of-bounds
+length, which is what makes the detection-soundness oracle (flag the
+attack, stay silent on the twin) meaningful.
+
+Input wire format: the guest reads ``n_primitives * SEG_SIZE`` bytes
+from the UART into ``input_buf``; primitive *i* owns segment ``i``:
+
+====================  =================================================
+``seg[0]``            copy length ``n`` (one byte, attacker-controlled)
+``seg[1 : 1+n]``      bytes copied over the buffer
+``seg[VALUE_OFF..]``  word written through the corrupted pointer
+                      (indirect technique only)
+``seg[PAYLOAD_OFF..]``injected machine code (``payload_mode="inject"``:
+                      the attack jumps *into the received bytes*)
+====================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Tuple
+
+from repro.vp.platform import STACK_TOP
+
+LOCATIONS = ("stack", "data")
+TARGETS = ("ret", "fnptr", "jmpbuf")
+TECHNIQUES = ("direct", "indirect")
+
+#: (location, target, technique) combinations the generator draws from.
+#: ``ret``/``jmpbuf`` only exist on the stack; ``jmpbuf`` only direct
+#: (the jmp_buf-through-pointer form is covered by ``fnptr/indirect``).
+SHAPES: Tuple[Tuple[str, str, str], ...] = (
+    ("stack", "ret", "direct"),
+    ("stack", "ret", "indirect"),
+    ("stack", "fnptr", "direct"),
+    ("stack", "fnptr", "indirect"),
+    ("stack", "jmpbuf", "direct"),
+    ("data", "fnptr", "direct"),
+    ("data", "fnptr", "indirect"),
+)
+
+#: one input segment per primitive, in bytes
+SEG_SIZE = 144
+#: segment offset of the indirect-write value word
+VALUE_OFF = 88
+#: segment offset of injected payload code (word-aligned)
+PAYLOAD_OFF = 96
+#: bytes available for injected payload code
+PAYLOAD_ROOM = SEG_SIZE - PAYLOAD_OFF
+
+#: layout bounds (bytes, multiples of 4)
+MIN_BUFFER = 8
+MAX_BUFFER = 64
+MAX_GAP = 16
+
+_JMPBUF_BYTES = 56  # ra, sp, s0..s11 (14 words) — see repro.sw.runtime
+
+#: every ``vulnerable_<i>`` runs with entry sp = STACK_TOP - 16
+#: (crt0 sets sp = STACK_TOP; main's frame is 16 bytes)
+VULN_SP = STACK_TOP - 16
+
+
+def _align16(n: int) -> int:
+    return (n + 15) & ~15
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One parameterized overflow primitive."""
+
+    location: str        # "stack" | "data"
+    target: str          # "ret" | "fnptr" | "jmpbuf"
+    technique: str       # "direct" | "indirect"
+    buffer_size: int     # overflowed buffer, bytes (multiple of 4)
+    gap: int             # buffer-to-target padding, bytes (multiple of 4)
+
+    def __post_init__(self) -> None:
+        if (self.location, self.target, self.technique) not in SHAPES:
+            raise ValueError(
+                f"unsupported primitive shape {self.location}/{self.target}"
+                f"/{self.technique}")
+        if self.buffer_size % 4 or not (
+                MIN_BUFFER <= self.buffer_size <= MAX_BUFFER):
+            raise ValueError(f"bad buffer_size {self.buffer_size}")
+        if self.gap % 4 or not (0 <= self.gap <= MAX_GAP):
+            raise ValueError(f"bad gap {self.gap}")
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+
+    @property
+    def slot(self) -> int:
+        """Byte offset of the first corrupted slot past the buffer."""
+        return self.buffer_size + self.gap
+
+    @property
+    def frame(self) -> int:
+        """Stack frame size (stack location only)."""
+        slot = self.slot
+        if self.target == "jmpbuf":
+            return _align16(slot + _JMPBUF_BYTES + 4)
+        if self.technique == "indirect":
+            # ptr at slot, then (fnptr at slot+4,) ra above
+            extra = 12 if self.target == "fnptr" else 8
+            return _align16(slot + extra)
+        if self.target == "ret":
+            return _align16(slot + 4)
+        return _align16(slot + 8)  # fnptr slot + saved ra
+
+    @property
+    def overflow_len(self) -> int:
+        """Attack copy length: everything up to and including the first
+        corrupted word (target slot or data pointer)."""
+        return self.slot + 4
+
+    def _frame_base(self) -> int:
+        return VULN_SP - self.frame
+
+    # ------------------------------------------------------------------ #
+    # code generation
+    # ------------------------------------------------------------------ #
+
+    def emit(self, index: int) -> Tuple[str, str]:
+        """(text-section code, bss declarations) for ``vulnerable_<i>``."""
+        seg = index * SEG_SIZE
+        read_seg = f"""\
+    la   a1, input_buf
+    addi a1, a1, {seg}
+    lbu  a2, 0(a1)
+    addi a1, a1, 1"""
+        if self.location == "data":
+            return self._emit_data(index, read_seg, seg)
+        if self.target == "jmpbuf":
+            return self._emit_jmpbuf(index, read_seg, seg)
+        return self._emit_stack(index, read_seg, seg)
+
+    def _indirect_write(self, seg: int, load_ptr: str) -> str:
+        return f"""\
+{load_ptr}
+    la   t1, input_buf
+    addi t1, t1, {seg + VALUE_OFF}
+    lw   t1, 0(t1)
+    sw   t1, 0(t0)"""
+
+    def _emit_stack(self, index: int, read_seg: str, seg: int
+                    ) -> Tuple[str, str]:
+        frame, slot = self.frame, self.slot
+        init: List[str] = []
+        post: List[str] = []
+        if self.target == "ret" and self.technique == "direct":
+            ra_off = slot                    # the saved ra IS the target
+        elif self.technique == "direct":     # fnptr direct
+            ra_off = frame - 4
+            init.append(f"""\
+    la   t0, safe_func
+    sw   t0, {slot}(sp)""")
+            post.append(f"""\
+    lw   t0, {slot}(sp)
+    jalr ra, t0, 0""")
+        else:                                # indirect (ret or fnptr)
+            ptr_off = slot
+            init.append(f"""\
+    la   t0, scratch_slot
+    sw   t0, {ptr_off}(sp)""")
+            if self.target == "fnptr":
+                ra_off = slot + 8
+                init.append(f"""\
+    la   t0, safe_func
+    sw   t0, {slot + 4}(sp)""")
+                post.append(self._indirect_write(
+                    seg, f"    lw   t0, {ptr_off}(sp)"))
+                post.append(f"""\
+    lw   t0, {slot + 4}(sp)
+    jalr ra, t0, 0""")
+            else:                            # ret indirect
+                ra_off = slot + 4
+                post.append(self._indirect_write(
+                    seg, f"    lw   t0, {ptr_off}(sp)"))
+        body = "\n".join(
+            [f"vulnerable_{index}:",
+             f"    addi sp, sp, -{frame}",
+             f"    sw   ra, {ra_off}(sp)"]
+            + init
+            + [read_seg,
+               "    mv   a0, sp",
+               "    call memcpy"]
+            + post
+            + [f"    lw   ra, {ra_off}(sp)",
+               f"    addi sp, sp, {frame}",
+               "    ret"])
+        return body, ""
+
+    def _emit_jmpbuf(self, index: int, read_seg: str, seg: int
+                     ) -> Tuple[str, str]:
+        frame, slot = self.frame, self.slot
+        body = f"""\
+vulnerable_{index}:
+    addi sp, sp, -{frame}
+    sw   ra, {frame - 4}(sp)
+    addi a0, sp, {slot}
+    call setjmp
+    bnez a0, vuln_out_{index}
+{read_seg}
+    mv   a0, sp
+    call memcpy
+    addi a0, sp, {slot}
+    li   a1, 1
+    call longjmp
+vuln_out_{index}:
+    lw   ra, {frame - 4}(sp)
+    addi sp, sp, {frame}
+    ret"""
+        return body, ""
+
+    def _emit_data(self, index: int, read_seg: str, seg: int
+                   ) -> Tuple[str, str]:
+        init = [f"""\
+    la   t0, safe_func
+    la   t1, g_fnptr_{index}
+    sw   t0, 0(t1)"""]
+        post: List[str] = []
+        if self.technique == "indirect":
+            init.append(f"""\
+    la   t0, scratch_slot
+    la   t1, g_ptr_{index}
+    sw   t0, 0(t1)""")
+            post.append(self._indirect_write(seg, f"""\
+    la   t1, g_ptr_{index}
+    lw   t0, 0(t1)"""))
+        post.append(f"""\
+    la   t1, g_fnptr_{index}
+    lw   t0, 0(t1)
+    jalr ra, t0, 0""")
+        body = "\n".join(
+            [f"vulnerable_{index}:",
+             "    addi sp, sp, -16",
+             "    sw   ra, 12(sp)"]
+            + init
+            + [read_seg,
+               f"    la   a0, g_buf_{index}",
+               "    call memcpy"]
+            + post
+            + ["    lw   ra, 12(sp)",
+               "    addi sp, sp, 16",
+               "    ret"])
+        bss = [f"g_buf_{index}:   .space {self.slot}"]
+        if self.technique == "indirect":
+            bss.append(f"g_ptr_{index}:   .space 4")
+        bss.append(f"g_fnptr_{index}: .space 4")
+        return body, "\n".join(bss)
+
+    # ------------------------------------------------------------------ #
+    # input segments
+    # ------------------------------------------------------------------ #
+
+    def attack_segment(self, program, index: int, payload_address: int,
+                       filler: int = 0x41) -> bytes:
+        """The attacker's input segment for this primitive."""
+        from struct import pack
+
+        seg = bytearray(SEG_SIZE)
+        n = self.overflow_len
+        seg[0] = n
+        data = bytes([filler]) * self.slot
+        if self.technique == "direct":
+            data += pack("<I", payload_address & 0xFFFFFFFF)
+        else:
+            # the corrupted pointer must aim at the real target slot:
+            # the fnptr global (data) or the fnptr/saved-ra stack slot,
+            # which both sit one word above the pointer (stack).
+            if self.location == "data":
+                slot_addr = program.symbol(f"g_fnptr_{index}")
+            else:
+                slot_addr = self._frame_base() + self.slot + 4
+            data += pack("<I", slot_addr & 0xFFFFFFFF)
+            seg[VALUE_OFF:VALUE_OFF + 4] = pack(
+                "<I", payload_address & 0xFFFFFFFF)
+        seg[1:1 + len(data)] = data
+        return bytes(seg)
+
+    def benign_segment(self, rng) -> bytes:
+        """An in-bounds segment: the copy stays inside the buffer."""
+        seg = bytearray(SEG_SIZE)
+        n = rng.randrange(0, self.buffer_size + 1)
+        seg[0] = n
+        for i in range(n):
+            seg[1 + i] = rng.randrange(0, 256)
+        return bytes(seg)
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Primitive":
+        return cls(location=data["location"], target=data["target"],
+                   technique=data["technique"],
+                   buffer_size=int(data["buffer_size"]),
+                   gap=int(data["gap"]))
+
+    @property
+    def shape(self) -> str:
+        return f"{self.location}/{self.target}/{self.technique}"

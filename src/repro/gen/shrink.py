@@ -1,0 +1,135 @@
+"""Automatic shrinking of failing generated cases.
+
+When an oracle fails, the raw case is rarely the best bug report: it may
+carry bystander primitives, a five-class product lattice and a large
+frame.  :func:`shrink` greedily reduces the case while re-checking that
+it *still fails the same oracle*, yielding the minimal repro that gets
+committed into ``tests/corpus/``.
+
+Reduction moves, applied to a fixpoint (greedy first-improvement):
+
+1. **drop primitives** — remove every non-victim primitive (the attack
+   carrier must stay);
+2. **simplify the lattice** — replace the generated lattice with the
+   canonical 2-chain ``HI -> LI`` (remapping the case's hi/li classes);
+3. **reduce payload geometry** — halve ``buffer_size`` toward the
+   minimum and drop ``gap`` to zero;
+4. **prefer the simpler payload mode** — ``reuse`` (a resident
+   function) over ``inject`` (code in the input bytes).
+
+Shrinking preserves the ``case_seed`` so the provenance of a shrunk
+repro remains traceable to the generating seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.gen.lattices import minimal_lattice_spec
+from repro.gen.oracles import OracleVerdict, run_case
+from repro.gen.primitives import MIN_BUFFER, Primitive
+from repro.gen.spec import GeneratedAttack
+
+#: safety valve: maximum oracle re-runs per shrink
+MAX_SHRINK_RUNS = 64
+
+
+def _with_primitives(case: GeneratedAttack,
+                     primitives: Tuple[Primitive, ...],
+                     victim: int) -> GeneratedAttack:
+    return replace(case, primitives=primitives, victim=victim, _cache={})
+
+
+def _candidates(case: GeneratedAttack) -> Iterator[GeneratedAttack]:
+    """Strictly simpler variants of ``case``, most aggressive first."""
+    # 1. drop all bystander primitives at once, then one at a time
+    if len(case.primitives) > 1:
+        yield _with_primitives(case, (case.primitives[case.victim],), 0)
+        for drop in range(len(case.primitives)):
+            if drop == case.victim:
+                continue
+            kept = tuple(p for i, p in enumerate(case.primitives)
+                         if i != drop)
+            victim = case.victim - (1 if drop < case.victim else 0)
+            yield _with_primitives(case, kept, victim)
+
+    # 2. canonical minimal lattice
+    minimal = minimal_lattice_spec()
+    if case.lattice_spec != minimal:
+        yield replace(case, lattice_spec=minimal, lattice_strategy="chain",
+                      hi_class="HI", li_class="LI", _cache={})
+
+    # 3. shrink the victim's frame geometry
+    prim = case.primitives[case.victim]
+    moves = []
+    if prim.buffer_size > MIN_BUFFER:
+        half = max(MIN_BUFFER, (prim.buffer_size // 8) * 4)
+        moves.append(replace(prim, buffer_size=half))
+        moves.append(replace(prim, buffer_size=MIN_BUFFER))
+    if prim.gap:
+        moves.append(replace(prim, gap=0))
+    if prim.buffer_size > MIN_BUFFER and prim.gap:
+        moves.append(replace(prim, buffer_size=MIN_BUFFER, gap=0))
+    for smaller in moves:
+        prims = list(case.primitives)
+        prims[case.victim] = smaller
+        yield _with_primitives(case, tuple(prims), case.victim)
+
+    # 4. simpler payload mode
+    if case.payload_mode == "inject":
+        yield replace(case, payload_mode="reuse", _cache={})
+
+
+def _complexity(case: GeneratedAttack) -> tuple:
+    prim = case.primitives[case.victim]
+    return (len(case.primitives),
+            len(case.lattice_spec.get("classes", ())),
+            prim.buffer_size + prim.gap,
+            0 if case.payload_mode == "reuse" else 1)
+
+
+def shrink(case: GeneratedAttack,
+           failed: OracleVerdict,
+           check: Optional[Callable[[GeneratedAttack], OracleVerdict]]
+           = None) -> Tuple[GeneratedAttack, OracleVerdict]:
+    """Minimize ``case`` while it keeps failing the same oracles.
+
+    ``check`` defaults to :func:`repro.gen.oracles.run_case`; mutation
+    tests pass a closure that re-applies their ``mutate`` hook.  Returns
+    the smallest failing case found and its verdict.
+    """
+    if failed.passed:
+        raise ValueError("shrink() needs a failing verdict to preserve")
+    if check is None:
+        check = run_case
+    target = frozenset(failed.failures)
+
+    best, best_verdict = case, failed
+    runs = 0
+    improved = True
+    while improved and runs < MAX_SHRINK_RUNS:
+        improved = False
+        for candidate in _candidates(best):
+            if _complexity(candidate) >= _complexity(best):
+                continue
+            runs += 1
+            try:
+                verdict = check(candidate)
+            except ReproError:
+                continue                     # candidate broke the build
+            if not verdict.passed and frozenset(verdict.failures) & target:
+                best, best_verdict = candidate, verdict
+                improved = True
+                break                        # greedy: restart from best
+            if runs >= MAX_SHRINK_RUNS:
+                break
+    return best, best_verdict
+
+
+def shrink_all(failures: List[OracleVerdict],
+               check: Optional[Callable[[GeneratedAttack], OracleVerdict]]
+               = None) -> List[Tuple[GeneratedAttack, OracleVerdict]]:
+    """Shrink every failing verdict; returns (minimal case, verdict)."""
+    return [shrink(v.case, v, check=check) for v in failures]

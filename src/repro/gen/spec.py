@@ -1,0 +1,287 @@
+"""Self-describing generated attack cases (:class:`GeneratedAttack`).
+
+A :class:`GeneratedAttack` is everything needed to rebuild one test
+case: the primitive list (:mod:`repro.gen.primitives`), which primitive
+carries the attack (``victim``), the payload mode, and the generated
+security lattice with its (hi, li) class pair.  From the spec alone the
+case assembles into a runnable guest binary, the paired **attack** and
+**benign** UART inputs, and the generated :class:`SecurityPolicy` — so
+a spec serialized into ``tests/corpus/`` replays bit-exactly forever.
+
+Payload modes:
+
+* ``inject`` — the payload is *real machine code carried in the
+  attacker's input bytes*: it arrives over the UART, lands in
+  ``input_buf`` (tainted LI by the generated policy's ``uart0.rx``
+  classification) and the hijacked control flow jumps straight into the
+  received bytes.  No pre-classified region needed — detection rests
+  purely on tag propagation through the copy chain.
+* ``reuse`` — the paper's Table I methodology: a resident
+  ``attack_code`` function pre-classified LI stands in for the payload
+  and the hijack jumps there.
+
+The guest program is honest about both variants: each ``vulnerable_<i>``
+reads a length-prefixed segment and the overflow only happens when the
+segment claims an out-of-bounds length, so the *same binary* serves the
+attack run and its benign twin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.asm import Program, assemble
+from repro.gen.lattices import lattice_from_generated_spec
+from repro.gen.primitives import PAYLOAD_OFF, PAYLOAD_ROOM, SEG_SIZE, Primitive
+from repro.policy import SecurityPolicy
+from repro.sw import runtime
+from repro.vp.platform import UART_BASE
+
+PAYLOAD_MODES = ("inject", "reuse")
+
+#: the "shellcode": print ``X`` on the UART, then exit(0) cleanly so an
+#: undetected hijack is observable (console contains ``X``) without
+#: wedging the simulation.
+_PAYLOAD_BODY = f"""\
+    li   t0, {UART_BASE:#x}
+    li   a0, 'X'
+    sb   a0, 0(t0)
+    li   a0, 0
+    li   a7, 93
+    ecall"""
+
+
+def _canonical_json(data) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class GeneratedAttack:
+    """One generated case: primitives × lattice × payload mode."""
+
+    case_seed: int
+    primitives: Tuple[Primitive, ...]
+    victim: int                      # index of the attacking primitive
+    payload_mode: str                # "inject" | "reuse"
+    lattice_spec: Dict[str, object]  # serialized classes/flows
+    lattice_strategy: str
+    hi_class: str
+    li_class: str
+    _cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.primitives:
+            raise ValueError("a case needs at least one primitive")
+        if not 0 <= self.victim < len(self.primitives):
+            raise ValueError(f"victim index {self.victim} out of range")
+        if self.payload_mode not in PAYLOAD_MODES:
+            raise ValueError(f"unknown payload mode {self.payload_mode!r}")
+
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "case_seed": self.case_seed,
+            "primitives": [p.to_dict() for p in self.primitives],
+            "victim": self.victim,
+            "payload_mode": self.payload_mode,
+            "lattice": {
+                "spec": self.lattice_spec,
+                "strategy": self.lattice_strategy,
+                "hi": self.hi_class,
+                "li": self.li_class,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GeneratedAttack":
+        lat = data["lattice"]
+        return cls(
+            case_seed=int(data["case_seed"]),
+            primitives=tuple(Primitive.from_dict(p)
+                             for p in data["primitives"]),
+            victim=int(data["victim"]),
+            payload_mode=data["payload_mode"],
+            lattice_spec=lat["spec"],
+            lattice_strategy=lat["strategy"],
+            hi_class=lat["hi"],
+            li_class=lat["li"],
+        )
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash of the spec (sha256 of its canonical JSON)."""
+        return hashlib.sha256(
+            _canonical_json(self.to_dict()).encode()).hexdigest()
+
+    @property
+    def name(self) -> str:
+        prim = self.primitives[self.victim]
+        return (f"gen-{self.case_seed:08x}-{prim.location}-{prim.target}"
+                f"-{prim.technique}-{self.payload_mode}")
+
+    # ------------------------------------------------------------------ #
+    # guest program
+    # ------------------------------------------------------------------ #
+
+    @property
+    def input_length(self) -> int:
+        return len(self.primitives) * SEG_SIZE
+
+    def source(self) -> str:
+        """The complete guest assembly source."""
+        texts, bsss = [], []
+        for index, prim in enumerate(self.primitives):
+            text, bss = prim.emit(index)
+            texts.append(text)
+            if bss:
+                bsss.append(bss)
+        calls = "\n".join(f"    call vulnerable_{i}"
+                          for i in range(len(self.primitives)))
+        reuse = ""
+        if self.payload_mode == "reuse":
+            reuse = f"""
+# ---- resident payload stand-in: pre-classified Low-Integrity ----
+.align 2
+attack_code:
+{_PAYLOAD_BODY}
+attack_code_end:
+"""
+        body = "\n\n".join(texts)
+        bss_decls = "\n".join(bsss)
+        return runtime.program(f"""
+.equ INPUT_LEN, {self.input_length}
+
+.text
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    call read_input
+{calls}
+    # clean finish: every overflow stayed in bounds
+    li   a0, 'B'
+    call putc
+    li   a0, 0
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+# read INPUT_LEN attacker bytes from the UART into input_buf
+read_input:
+    la   t0, input_buf
+    li   t1, INPUT_LEN
+ri_loop:
+    li   t2, UART_STATUS
+ri_wait:
+    lw   t3, 0(t2)
+    andi t3, t3, 1
+    beqz t3, ri_wait
+    li   t2, UART_RXDATA
+    lw   t3, 0(t2)
+    sb   t3, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, ri_loop
+    ret
+
+safe_func:
+    ret
+
+{body}
+{reuse}
+.bss
+.align 2
+input_buf:    .space INPUT_LEN
+scratch_slot: .space 4
+{bss_decls}
+""")
+
+    def build(self) -> Tuple[Program, bytes, bytes]:
+        """Assemble and return ``(program, attack_input, benign_input)``.
+
+        Deterministic: benign filler bytes come from an RNG derived from
+        ``case_seed``, so rebuilding a spec always yields identical
+        inputs (the corpus byte-for-byte guarantee).
+        """
+        if "build" in self._cache:
+            return self._cache["build"]
+        program = assemble(self.source())
+        payload_addr, payload_bytes = self._payload(program)
+
+        rng = random.Random(self.case_seed ^ 0xBE9161)
+        benign = b"".join(p.benign_segment(rng) for p in self.primitives)
+
+        rng = random.Random(self.case_seed ^ 0xBE9161)  # same twin filler
+        segments = []
+        for index, prim in enumerate(self.primitives):
+            if index == self.victim:
+                seg = bytearray(prim.attack_segment(program, index,
+                                                    payload_addr))
+                if payload_bytes:
+                    seg[PAYLOAD_OFF:PAYLOAD_OFF + len(payload_bytes)] = \
+                        payload_bytes
+                segments.append(bytes(seg))
+                prim.benign_segment(rng)     # keep twin streams aligned
+            else:
+                segments.append(prim.benign_segment(rng))
+        attack = b"".join(segments)
+        result = (program, attack, benign)
+        self._cache["build"] = result
+        return result
+
+    def _payload(self, program: Program) -> Tuple[int, bytes]:
+        """(payload address, injected bytes-or-empty) for this mode."""
+        if self.payload_mode == "reuse":
+            return program.symbol("attack_code"), b""
+        address = (program.symbol("input_buf")
+                   + self.victim * SEG_SIZE + PAYLOAD_OFF)
+        payload = assemble(f".text\npayload:\n{_PAYLOAD_BODY}\n",
+                           base=address)
+        if payload.size > PAYLOAD_ROOM:
+            raise AssertionError(
+                f"payload ({payload.size} B) exceeds segment room")
+        return address, payload.image
+
+    # ------------------------------------------------------------------ #
+    # generated policies
+    # ------------------------------------------------------------------ #
+
+    def policy(self, program: Program) -> SecurityPolicy:
+        """The full generated policy: detect li-tagged fetches.
+
+        Mirrors the paper's code-injection policy but over the generated
+        lattice: program image ``hi``, UART input ``li``, fetch
+        clearance ``hi``; ``reuse`` mode also classifies the resident
+        payload ``li``.  Default class is the lattice bottom so
+        demand-friendly draws boot with a clean tag state.
+        """
+        lattice = lattice_from_generated_spec(self.lattice_spec)
+        policy = SecurityPolicy(lattice, default_class=lattice.bottom,
+                                name=self.name)
+        text_start, text_end = program.sections[".text"]
+        policy.classify_region(text_start, text_end, self.hi_class)
+        if self.payload_mode == "reuse":
+            policy.classify_region(program.symbol("attack_code"),
+                                   program.symbol("attack_code_end"),
+                                   self.li_class)
+        policy.classify_source("uart0.rx", self.li_class)
+        policy.set_execution_clearance(fetch=self.hi_class)
+        return policy
+
+    def policy_stripped(self, program: Program) -> SecurityPolicy:
+        """The same classifications with **no clearance checks**.
+
+        Tag propagation runs identically to :meth:`policy` but nothing
+        can be flagged, so the attack executes to completion — the
+        architectural-invisibility oracle compares this run against the
+        plain (untagged) VP.
+        """
+        policy = self.policy(program)
+        policy.execution = type(policy.execution)()
+        return policy

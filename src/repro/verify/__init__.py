@@ -15,7 +15,13 @@ implements two such harnesses:
   from an uninterrupted run.
 """
 
-from repro.verify.differential import DifferentialResult, random_program, run_differential
+from repro.verify.differential import (
+    DifferentialResult,
+    arch_state,
+    random_program,
+    run_differential,
+    sweep,
+)
 from repro.verify.policy_fuzz import FuzzOutcome, fuzz_immobilizer
 from repro.verify.reference import OracleComparison, ReferenceCpu, compare_with_iss
 from repro.verify.replay import (
@@ -26,8 +32,10 @@ from repro.verify.replay import (
 )
 
 __all__ = [
+    "arch_state",
     "random_program",
     "run_differential",
+    "sweep",
     "DifferentialResult",
     "fuzz_immobilizer",
     "FuzzOutcome",

@@ -10,23 +10,32 @@ paper's references) applied to the DIFT layer.
 
 Program shape: a register-initialization prologue, ``n`` random
 instructions (ALU, mul/div, shifts, loads/stores confined to a scratch
-buffer, short *forward* branches — so termination is structural), and an
-epilogue that folds every register into a checksum and stores the scratch
-buffer state for comparison.
+buffer, short *forward* branches, *backward* branches bounded by a
+dedicated counter register — so termination stays structural — and
+``lui``/``auipc`` address-formation idioms), and an epilogue that folds
+every register into a checksum and stores the scratch buffer state for
+comparison.
+
+All randomness flows through an **injected** :class:`random.Random`
+instance — the module-level stream is never touched, so concurrent
+campaign jobs (each with their own seeds) cannot perturb each other.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.asm import assemble
 from repro.policy import SecurityPolicy, builders
 from repro.vp.config import PlatformConfig
 from repro.vp.platform import Platform
 
-#: registers the generator plays with (avoids sp/ra and the buffer base s0)
+#: registers the generator plays with.  ``sp``/``ra`` are off-limits,
+#: ``s0`` is the scratch-buffer base, ``t5`` the address temporary and
+#: ``t6`` the backward-branch loop counter.
 _WORK_REGS = ["t0", "t1", "t2", "a0", "a1", "a2", "a3", "a4",
               "a5", "s1", "s2", "s3", "t3", "t4"]
 
@@ -42,16 +51,73 @@ _BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
 _BUF_SIZE = 256
 
 
-def random_program(seed: int, n_instructions: int = 200) -> str:
-    """Generate a terminating RV32IM torture program (assembly text)."""
-    rng = random.Random(seed)
+def _emit_load(body: List[str], rng: random.Random, rd: str, rs1: str,
+               form_base: bool) -> None:
+    """A bounded load; with ``form_base`` the buffer base is re-formed
+    in-line with the ``lui``/``%lo`` idiom instead of reusing ``s0``."""
+    op = rng.choice(_LOADS)
+    align = {"lw": 0xFC, "lh": 0xFE, "lhu": 0xFE}.get(op, 0xFF)
+    body.append(f"    andi t5, {rs1}, {align:#x}")
+    if form_base:
+        base = rng.choice(_WORK_REGS)
+        body.append(f"    lui  {base}, %hi(scratch)")
+        body.append(f"    addi {base}, {base}, %lo(scratch)")
+        body.append(f"    add  t5, t5, {base}")
+    else:
+        body.append("    add  t5, t5, s0")
+    body.append(f"    {op} {rd}, 0(t5)")
+
+
+def _emit_store(body: List[str], rng: random.Random, rs1: str,
+                rs2: str) -> None:
+    op = rng.choice(_STORES)
+    align = {"sw": 0xFC, "sh": 0xFE}.get(op, 0xFF)
+    body.append(f"    andi t5, {rs1}, {align:#x}")
+    body.append("    add  t5, t5, s0")
+    body.append(f"    {op} {rs2}, 0(t5)")
+
+
+def _emit_bounded_loop(body: List[str], rng: random.Random,
+                       label: str) -> None:
+    """A backward branch bounded by the ``t6`` counter register.
+
+    The loop body only uses straight-line ALU ops over work registers
+    (never ``t6``), so the trip count — and with it termination — is
+    structural, exactly like the forward-branch guarantee.
+    """
+    trips = rng.randint(1, 4)
+    body.append(f"    li   t6, {trips}")
+    body.append(f"{label}:")
+    for _ in range(rng.randint(1, 3)):
+        rd = rng.choice(_WORK_REGS)
+        rs1 = rng.choice(_WORK_REGS)
+        if rng.random() < 0.5:
+            body.append(f"    {rng.choice(_RR_OPS)} {rd}, {rs1}, "
+                        f"{rng.choice(_WORK_REGS)}")
+        else:
+            body.append(f"    {rng.choice(_RI_OPS)} {rd}, {rs1}, "
+                        f"{rng.randint(-2048, 2047)}")
+    body.append("    addi t6, t6, -1")
+    body.append(f"    bnez t6, {label}")
+
+
+def random_program(seed: int = 0, n_instructions: int = 200,
+                   rng: Optional[random.Random] = None) -> str:
+    """Generate a terminating RV32IM torture program (assembly text).
+
+    Pass either a ``seed`` (a private :class:`random.Random` is built
+    from it) or an explicit ``rng`` — the generator never touches the
+    module-level random stream.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     lines: List[str] = [
         ".text",
         "_start:",
         "    la   s0, scratch",          # memory ops are buffer-relative
     ]
     # prologue: pseudo-random register init
-    for i, reg in enumerate(_WORK_REGS):
+    for reg in _WORK_REGS:
         lines.append(f"    li   {reg}, {rng.getrandbits(32):#010x}")
 
     label_counter = 0
@@ -68,29 +134,31 @@ def random_program(seed: int, n_instructions: int = 200) -> str:
         rd = rng.choice(_WORK_REGS)
         rs1 = rng.choice(_WORK_REGS)
         rs2 = rng.choice(_WORK_REGS)
-        if kind < 0.45:
+        if kind < 0.40:
             body.append(f"    {rng.choice(_RR_OPS)} {rd}, {rs1}, {rs2}")
-        elif kind < 0.60:
+        elif kind < 0.52:
             imm = rng.randint(-2048, 2047)
             body.append(f"    {rng.choice(_RI_OPS)} {rd}, {rs1}, {imm}")
-        elif kind < 0.70:
+        elif kind < 0.60:
             body.append(f"    {rng.choice(_SHIFT_OPS)} {rd}, {rs1}, "
                         f"{rng.randint(0, 31)}")
-        elif kind < 0.80:
-            # bounded load: mask the index into the buffer, align by op
-            op = rng.choice(_LOADS)
-            align = {"lw": 0xFC, "lh": 0xFE, "lhu": 0xFE}.get(op, 0xFF)
-            body.append(f"    andi t5, {rs1}, {align:#x}")
-            body.append("    add  t5, t5, s0")
-            body.append(f"    {op} {rd}, 0(t5)")
-        elif kind < 0.90:
-            op = rng.choice(_STORES)
-            align = {"sw": 0xFC, "sh": 0xFE}.get(op, 0xFF)
-            body.append(f"    andi t5, {rs1}, {align:#x}")
-            body.append("    add  t5, t5, s0")
-            body.append(f"    {op} {rs2}, 0(t5)")
+        elif kind < 0.66:
+            # upper-immediate / pc-relative address formation
+            if rng.random() < 0.5:
+                body.append(f"    lui  {rd}, {rng.randint(0, 0xFFFFF):#x}")
+            else:
+                body.append(f"    auipc {rd}, {rng.randint(0, 0xFFF):#x}")
+        elif kind < 0.76:
+            _emit_load(body, rng, rd, rs1, form_base=rng.random() < 0.3)
+        elif kind < 0.86:
+            _emit_store(body, rng, rs1, rs2)
+        elif kind < 0.93:
+            # backward branch, trip count pinned by the t6 counter
+            label = f"back{label_counter}"
+            label_counter += 1
+            _emit_bounded_loop(body, rng, label)
         else:
-            # short forward branch (never backward: termination is free)
+            # short forward branch
             label = f"fwd{label_counter}"
             label_counter += 1
             body.append(f"    {rng.choice(_BRANCHES)} {rs1}, {rs2}, {label}")
@@ -114,10 +182,29 @@ def random_program(seed: int, n_instructions: int = 200) -> str:
         ".data",
         "scratch:",
     ]
-    rng2 = random.Random(seed ^ 0x5A5A)
     for __ in range(_BUF_SIZE // 4):
-        lines.append(f"    .word {rng2.getrandbits(32):#010x}")
+        lines.append(f"    .word {rng.getrandbits(32):#010x}")
     return "\n".join(lines)
+
+
+def arch_state(platform: Platform, result) -> dict:
+    """The architecturally visible machine state after a run.
+
+    Everything a DIFT layer must leave untouched: stop disposition,
+    retired-instruction count, the register file, the program counter,
+    a digest of all of RAM, and the console transcript.  Tag state is
+    deliberately absent — that is the *invisible* part.
+    """
+    return {
+        "reason": result.reason,
+        "exit": result.exit_code,
+        "instructions": result.instructions,
+        "regs": list(platform.cpu.regs),
+        "pc": platform.cpu.pc,
+        "ram_digest": hashlib.sha256(bytes(platform.memory.data))
+        .hexdigest(),
+        "console": platform.console(),
+    }
 
 
 @dataclass
@@ -143,7 +230,8 @@ def run_differential(seed: int, n_instructions: int = 200,
                      max_instructions: int = 100_000
                      ) -> DifferentialResult:
     """Run one random program on VP and VP+ and compare all visible state."""
-    source = random_program(seed, n_instructions)
+    source = random_program(rng=random.Random(seed),
+                            n_instructions=n_instructions)
     program = assemble(source)
 
     outcomes = []
@@ -151,21 +239,16 @@ def run_differential(seed: int, n_instructions: int = 200,
         platform = Platform.from_config(PlatformConfig(policy=policy))
         platform.load(program)
         result = platform.run(max_instructions=max_instructions)
-        scratch = program.symbol("scratch")
-        outcomes.append({
-            "reason": result.reason,
-            "exit": result.exit_code,
-            "instructions": result.instructions,
-            "regs": list(platform.cpu.regs),
-            "buffer": platform.memory.read_block(scratch, _BUF_SIZE),
-            "violations": len(result.violations),
-        })
+        state = arch_state(platform, result)
+        state["violations"] = len(result.violations)
+        outcomes.append(state)
 
     vp, vp_plus = outcomes
     if vp_plus["violations"]:
         return DifferentialResult(seed, False, vp["instructions"],
                                   "unexpected policy violation on VP+")
-    for key in ("reason", "exit", "instructions", "regs", "buffer"):
+    for key in ("reason", "exit", "instructions", "regs", "pc",
+                "ram_digest", "console"):
         if vp[key] != vp_plus[key]:
             return DifferentialResult(
                 seed, False, vp["instructions"],

@@ -97,9 +97,36 @@ class TestAnalysisCommands:
         assert main(["differential", "--seeds", "2", "--length", "60"]) == 0
         assert "2 programs" in capsys.readouterr().out
 
-    def test_fuzz(self, capsys):
-        assert main(["fuzz", "--runs", "2"]) == 0
-        assert "sound: 2/2" in capsys.readouterr().out
+    def test_policyfuzz(self, capsys):
+        assert main(["policyfuzz", "--runs", "2"]) == 0
+
+    def test_fuzz_generates_and_checks(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        out = tmp_path / "out"
+        assert main(["fuzz", "--seed", "5", "--count", "2", "--quiet",
+                     "--out", str(out),
+                     "--corpus-dir", str(corpus)]) == 0
+        text = capsys.readouterr().out
+        assert "2 distinct spec hashes" in text
+        assert "oracles: 2/2 green" in text
+        assert len(list(out.glob("*.json"))) == 2
+
+    def test_fuzz_reproduces_corpus_byte_for_byte(self, capsys, tmp_path):
+        outs = []
+        for name in ("a", "b"):
+            out = tmp_path / name
+            assert main(["fuzz", "--seed", "7", "--count", "2", "--quiet",
+                         "--out", str(out)]) == 0
+            outs.append(sorted(p.read_bytes()
+                               for p in out.glob("*.json")))
+        first_digest = None
+        for chunk in capsys.readouterr().out.splitlines():
+            if chunk.startswith("corpus digest: "):
+                if first_digest is None:
+                    first_digest = chunk
+                else:
+                    assert chunk == first_digest
+        assert outs[0] == outs[1]
 
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

@@ -1,0 +1,112 @@
+"""Generated attacks as first-class campaign workloads.
+
+``gen/<case_seed>/<attack|benign>`` names resolve dynamically through
+the workload registry, so the campaign matrix can sweep generated cases
+across dift modes exactly like the hand-written benchmarks — including
+the per-workload ``ok_check`` hook (an attack job is *ok* when the
+attack is **detected**, not when the guest exits cleanly).
+"""
+
+import pytest
+
+from repro.bench.workloads import UnknownWorkloadError, get_workload
+from repro.campaign.matrix import JobSpec, MatrixError, parse_matrix
+from repro.campaign.worker import execute_job
+from repro.gen.campaign import (
+    gen_name,
+    gen_workload,
+    is_gen_name,
+    make_matrix,
+    parse_gen_name,
+)
+from repro.gen.generator import case_from_seed
+
+_CASE_SEED = 0xD82C07CD  # first seed-0 corpus case: stack/fnptr/indirect
+
+
+class TestNaming:
+    def test_round_trip(self):
+        name = gen_name(_CASE_SEED, "attack")
+        assert name == f"gen/{_CASE_SEED:08x}/attack"
+        assert is_gen_name(name)
+        assert parse_gen_name(name) == (_CASE_SEED, "attack")
+
+    def test_rejects_malformed_names(self):
+        for bad in ("gen/xyz/attack", "gen/12ab", "gen/12ab/evil",
+                    "gen//attack", "gen/12ab/attack/extra"):
+            with pytest.raises(ValueError):
+                parse_gen_name(bad)
+
+    def test_is_gen_name_is_a_cheap_filter(self):
+        assert not is_gen_name("qsort")
+        assert not is_gen_name("genuinely-not")
+
+
+class TestRegistry:
+    def test_get_workload_resolves_gen_names(self):
+        workload = get_workload(gen_name(_CASE_SEED, "attack"))
+        assert workload.name == gen_name(_CASE_SEED, "attack")
+        assert workload.ok_check is not None
+
+    def test_unknown_gen_name_raises_registry_error(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("gen/nothex/attack")
+
+    def test_unknown_plain_name_still_raises(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("no-such-workload")
+
+
+class TestExecuteJob:
+    """In-process job runs — the same code path the worker child uses."""
+
+    def _spec(self, variant, policy, dift_mode="full"):
+        workload = gen_name(_CASE_SEED, variant)
+        return JobSpec(
+            job_id=f"{workload}.{policy}.{dift_mode}.s0",
+            workload=workload, policy=policy, dift_mode=dift_mode,
+            seed=0, scale="quick", max_instructions=200_000)
+
+    def test_attack_with_dift_is_ok_because_detected(self):
+        payload = execute_job(self._spec("attack", "default"), attempt=0)
+        assert payload["status"] == "ok", payload
+        assert payload["reason"] == "security"
+        assert payload["violations"] >= 1
+
+    def test_attack_without_dift_is_ok_because_payload_ran(self):
+        payload = execute_job(self._spec("attack", "none"), attempt=0)
+        assert payload["status"] == "ok", payload
+        assert payload["reason"] == "halt"
+
+    def test_benign_with_dift_is_ok_and_silent(self):
+        for dift_mode in ("full", "demand"):
+            payload = execute_job(
+                self._spec("benign", "default", dift_mode), attempt=0)
+            assert payload["status"] == "ok", payload
+            assert payload["violations"] == 0
+
+
+class TestMatrix:
+    def test_make_matrix_shape(self):
+        document = make_matrix(seed=3, count=2)
+        jobs = parse_matrix(document).jobs()
+        # 2 cases x (attack, benign) x (full, demand)
+        assert len(jobs) == 8
+        names = {job.workload for job in jobs}
+        assert len(names) == 4
+        assert all(is_gen_name(n) for n in names)
+        assert all(job.max_instructions == 200_000 for job in jobs)
+
+    def test_matrix_validation_rejects_bad_gen_names(self):
+        document = make_matrix(seed=3, count=1)
+        document["axes"]["workload"] = ["gen/zz/attack"]
+        with pytest.raises(MatrixError):
+            parse_matrix(document).jobs()
+
+
+def test_gen_workload_builds_the_case_binary():
+    case = case_from_seed(_CASE_SEED)
+    program, _, _ = case.build()
+    for variant in ("attack", "benign"):
+        workload = gen_workload(gen_name(_CASE_SEED, variant))
+        assert workload.build("default").image == program.image

@@ -1,0 +1,125 @@
+"""Tier-1 corpus replay (regression mining's other half).
+
+Every committed case in ``tests/corpus/`` is replayed through all three
+differential oracles on every run of the ordinary test suite.  A case
+that ever regresses names its file in the failure message, so the repro
+is one ``repro fuzz``-free command away:
+
+    PYTHONPATH=src python -m pytest "tests/test_gen_corpus.py::test_corpus_case_passes_all_oracles[<file>]"
+
+Also covers the corpus container format itself: schema validation,
+hash-verified loading, and byte-for-byte stable serialization.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.gen.corpus import (
+    CASE_SCHEMA,
+    CorpusError,
+    case_document,
+    case_filename,
+    corpus_files,
+    default_corpus_dir,
+    load_case,
+    save_case,
+)
+from repro.gen.generator import case_from_seed
+from repro.gen.oracles import run_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_CASE_FILES = [os.path.basename(p) for p in corpus_files(CORPUS_DIR)]
+
+
+def test_corpus_is_not_empty():
+    """An empty corpus would silently turn the replay test into a no-op."""
+    assert len(_CASE_FILES) >= 7, \
+        f"expected the committed corpus in {CORPUS_DIR}, found {_CASE_FILES}"
+
+
+def test_default_corpus_dir_is_the_committed_one():
+    assert os.path.samefile(default_corpus_dir(), CORPUS_DIR)
+
+
+@pytest.mark.parametrize("filename", _CASE_FILES)
+def test_corpus_case_passes_all_oracles(filename):
+    path = os.path.join(CORPUS_DIR, filename)
+    case = load_case(path)
+    verdict = run_case(case)
+    assert verdict.exploit_works, \
+        (f"corpus case {filename}: attack no longer hijacks the plain VP "
+         f"-- {verdict.describe()}")
+    assert verdict.passed, \
+        (f"corpus case {filename} regressed: {verdict.describe()}")
+
+
+def test_corpus_covers_every_shape_and_both_payload_modes():
+    shapes = set()
+    modes = set()
+    for filename in _CASE_FILES:
+        case = load_case(os.path.join(CORPUS_DIR, filename))
+        shapes |= {prim.shape for prim in case.primitives}
+        modes.add(case.payload_mode)
+    assert len(shapes) == 7, f"missing shapes: only {sorted(shapes)}"
+    assert modes == {"inject", "reuse"}
+
+
+def test_corpus_has_a_shrunk_regression_case():
+    shrunk = [f for f in _CASE_FILES if f.startswith("shrunk-")]
+    assert shrunk, "no shrunk minimal repro committed"
+    for filename in shrunk:
+        case = load_case(os.path.join(CORPUS_DIR, filename))
+        document = json.loads(
+            open(os.path.join(CORPUS_DIR, filename)).read())
+        assert document["origin"]["kind"] == "shrunk"
+        assert document["origin"]["note"]
+        # a shrunk repro is minimal by construction
+        assert len(case.primitives) == 1
+
+
+class TestContainerFormat:
+    def test_round_trip_is_byte_stable(self, tmp_path):
+        case = case_from_seed(0x1234)
+        path = save_case(str(tmp_path), case, origin="generated")
+        first = open(path, "rb").read()
+        assert load_case(path).spec_hash == case.spec_hash
+        path2 = save_case(str(tmp_path / "again"), case, origin="generated")
+        assert open(path2, "rb").read() == first
+
+    def test_filename_embeds_name_and_hash(self):
+        case = case_from_seed(0x1234)
+        filename = case_filename(case)
+        assert case.name in filename
+        assert case.spec_hash[:8] in filename
+        assert case_filename(case, origin="shrunk").startswith("shrunk-")
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.gen.case/99"}))
+        with pytest.raises(CorpusError):
+            load_case(str(path))
+
+    def test_rejects_hand_edited_spec(self, tmp_path):
+        case = case_from_seed(0x1234)
+        document = case_document(case)
+        document["spec"]["payload_mode"] = (  # tamper without rehashing
+            "reuse" if case.payload_mode == "inject" else "inject")
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorpusError, match="hash"):
+            load_case(str(path))
+
+    def test_rejects_invalid_origin(self, tmp_path):
+        case = case_from_seed(0x1234)
+        with pytest.raises(CorpusError):
+            save_case(str(tmp_path), case, origin="vibes")
+
+    def test_schema_constant_matches_committed_files(self):
+        for filename in _CASE_FILES:
+            document = json.loads(
+                open(os.path.join(CORPUS_DIR, filename)).read())
+            assert document["schema"] == CASE_SCHEMA
+            assert document["spec_hash"]

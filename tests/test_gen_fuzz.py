@@ -1,0 +1,55 @@
+"""Wide seeded adversarial sweeps (opt-in: ``pytest -m fuzz``).
+
+Tier-1 replays the committed corpus and a two-case smoke; this module
+is the CI ``fuzz-smoke`` job's workload — a broader slice of the
+generator's space plus the cross-run determinism guarantees the
+acceptance gate relies on.
+"""
+
+import pytest
+
+from repro.gen.corpus import case_document, dump_case
+from repro.gen.generator import generate_corpus
+from repro.gen.oracles import run_case
+
+pytestmark = pytest.mark.fuzz
+
+#: cases per sweep — sized so the whole module stays inside the CI
+#: smoke budget (~0.2 s per case)
+SWEEP_COUNT = 40
+
+
+def _sweep_seed(request):
+    # derive the sweep stream from the conftest --seed option so CI can
+    # rotate corpora without a source edit
+    return request.config.getoption("--seed")
+
+
+def test_sweep_all_oracles_green(request):
+    seed = _sweep_seed(request)
+    cases = generate_corpus(seed, SWEEP_COUNT)
+    assert len({case.spec_hash for case in cases}) == SWEEP_COUNT
+    failures = []
+    for case in cases:
+        verdict = run_case(case)
+        if not verdict.passed:
+            failures.append(verdict.describe())
+    assert not failures, \
+        (f"seed {seed}: {len(failures)}/{SWEEP_COUNT} cases failed:\n"
+         + "\n".join(failures))
+
+
+def test_sweep_is_deterministic(request):
+    seed = _sweep_seed(request)
+    first = [dump_case(case_document(case))
+             for case in generate_corpus(seed, 10)]
+    second = [dump_case(case_document(case))
+              for case in generate_corpus(seed, 10)]
+    assert first == second
+
+
+def test_distinct_seeds_give_distinct_corpora(request):
+    seed = _sweep_seed(request)
+    a = {case.spec_hash for case in generate_corpus(seed, 10)}
+    b = {case.spec_hash for case in generate_corpus(seed + 1, 10)}
+    assert a != b

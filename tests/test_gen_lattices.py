@@ -1,0 +1,166 @@
+"""Property tests for the random security-lattice generator.
+
+Satellite of the adversarial-generation tentpole: every lattice drawn
+by :func:`repro.gen.lattices.random_lattice` must be a *genuine*
+lattice — LUB commutative/associative/idempotent, ``allowedFlow``
+monotone under the generated order — and its (hi, li) attack pair must
+actually forbid the li→hi flow the generated policy relies on.
+
+Seeded through the conftest ``--seed`` option (``fuzz_rng``): a failure
+message carries the seed, so any counterexample is reproducible.
+"""
+
+from itertools import product as iproduct
+
+from repro.gen.lattices import (
+    STRATEGIES,
+    GeneratedLattice,
+    lattice_from_generated_spec,
+    minimal_lattice_spec,
+    random_lattice,
+)
+
+#: lattices drawn per property test — small class counts keep the
+#: exhaustive pair/triple checks cheap
+N_DRAWS = 25
+
+
+def _draws(rng) -> "list[GeneratedLattice]":
+    return [random_lattice(rng) for _ in range(N_DRAWS)]
+
+
+class TestLubLaws:
+    def test_lub_commutative(self, fuzz_rng):
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a, b in iproduct(lattice.classes, repeat=2):
+                assert lattice.lub(a, b) == lattice.lub(b, a), \
+                    (f"seed {fuzz_rng.seed_value}: lub not commutative "
+                     f"on {a!r},{b!r} in {lattice!r}")
+
+    def test_lub_associative(self, fuzz_rng):
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a, b, c in iproduct(lattice.classes, repeat=3):
+                left = lattice.lub(lattice.lub(a, b), c)
+                right = lattice.lub(a, lattice.lub(b, c))
+                assert left == right, \
+                    (f"seed {fuzz_rng.seed_value}: lub not associative "
+                     f"on {a!r},{b!r},{c!r} in {lattice!r}")
+
+    def test_lub_idempotent_and_bounded(self, fuzz_rng):
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a in lattice.classes:
+                assert lattice.lub(a, a) == a
+                assert lattice.lub(a, lattice.bottom) == a
+                assert lattice.lub(a, lattice.top) == lattice.top
+
+    def test_lub_is_least_upper_bound(self, fuzz_rng):
+        """lub(a,b) is an upper bound, and no strictly smaller upper
+        bound exists — the defining property, checked exhaustively."""
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a, b in iproduct(lattice.classes, repeat=2):
+                join = lattice.lub(a, b)
+                assert lattice.allowed_flow(a, join)
+                assert lattice.allowed_flow(b, join)
+                for candidate in lattice.classes:
+                    if (lattice.allowed_flow(a, candidate)
+                            and lattice.allowed_flow(b, candidate)):
+                        assert lattice.allowed_flow(join, candidate), \
+                            (f"seed {fuzz_rng.seed_value}: {join!r} is "
+                             f"not the LEAST upper bound of {a!r},{b!r}")
+
+
+class TestFlowMonotonicity:
+    def test_flow_matches_order(self, fuzz_rng):
+        """allowedFlow(a, b) iff lub(a, b) == b (flow *is* the order)."""
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a, b in iproduct(lattice.classes, repeat=2):
+                assert (lattice.allowed_flow(a, b)
+                        == (lattice.lub(a, b) == b))
+
+    def test_flow_monotone_under_join(self, fuzz_rng):
+        """If a may flow to b, it may flow to anything above b."""
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a, b, c in iproduct(lattice.classes, repeat=3):
+                if lattice.allowed_flow(a, b):
+                    assert lattice.allowed_flow(a, lattice.lub(b, c)), \
+                        (f"seed {fuzz_rng.seed_value}: flow not monotone "
+                         f"on {a!r},{b!r},{c!r} in {lattice!r}")
+
+    def test_flow_transitive_and_reflexive(self, fuzz_rng):
+        for draw in _draws(fuzz_rng):
+            lattice = draw.lattice
+            for a in lattice.classes:
+                assert lattice.allowed_flow(a, a)
+            for a, b, c in iproduct(lattice.classes, repeat=3):
+                if (lattice.allowed_flow(a, b)
+                        and lattice.allowed_flow(b, c)):
+                    assert lattice.allowed_flow(a, c)
+
+
+class TestAttackClassPair:
+    def test_hi_li_pair_blocks_the_attack_flow(self, fuzz_rng):
+        """The pair the generated policy uses must forbid li -> hi."""
+        for draw in _draws(fuzz_rng):
+            assert not draw.lattice.allowed_flow(draw.li_class,
+                                                 draw.hi_class), \
+                (f"seed {fuzz_rng.seed_value}: li {draw.li_class!r} "
+                 f"flows into hi {draw.hi_class!r}")
+
+    def test_demand_friendly_means_hi_is_bottom(self, fuzz_rng):
+        for draw in _draws(fuzz_rng):
+            assert draw.demand_friendly == (
+                draw.hi_class == draw.lattice.bottom)
+
+    def test_strategies_all_reachable(self, fuzz_rng):
+        seen = {random_lattice(fuzz_rng).strategy for _ in range(80)}
+        assert seen <= set(STRATEGIES)
+        assert len(seen) >= 2, "strategy draw looks broken"
+
+
+class TestSerialization:
+    def test_spec_round_trip(self, fuzz_rng):
+        for draw in _draws(fuzz_rng):
+            rebuilt = lattice_from_generated_spec(draw.spec)
+            assert set(rebuilt.classes) == set(draw.lattice.classes)
+            for a, b in iproduct(draw.lattice.classes, repeat=2):
+                assert (rebuilt.allowed_flow(a, b)
+                        == draw.lattice.allowed_flow(a, b))
+
+    def test_minimal_lattice_is_the_two_chain(self):
+        lattice = lattice_from_generated_spec(minimal_lattice_spec())
+        assert sorted(lattice.classes) == ["HI", "LI"]
+        assert lattice.allowed_flow("HI", "LI")
+        assert not lattice.allowed_flow("LI", "HI")
+        assert lattice.bottom == "HI" and lattice.top == "LI"
+
+
+def test_same_seed_same_lattice():
+    import random
+
+    a = random_lattice(random.Random(1234))
+    b = random_lattice(random.Random(1234))
+    assert a.spec == b.spec and a.hi_class == b.hi_class \
+        and a.li_class == b.li_class
+
+
+def test_module_level_random_untouched():
+    """The generator must only consume the injected rng stream."""
+    import random
+
+    random.seed(99)
+    before = random.random()
+    random.seed(99)
+    random_lattice(random.Random(5))
+    assert random.random() == before
+
+
+def test_demand_friendly_bias_one_pins_hi_to_bottom(fuzz_rng):
+    for _ in range(10):
+        draw = random_lattice(fuzz_rng, demand_friendly_bias=1.0)
+        assert draw.demand_friendly

@@ -1,0 +1,152 @@
+"""Generated attack primitives: layout math, codegen, exploitability.
+
+Every supported (location, target, technique) shape must produce a
+guest whose **attack input actually hijacks control** on the plain
+(unprotected) VP — the payload prints ``X`` and exits — while the
+**benign twin** of the same binary runs the copy in bounds and finishes
+cleanly (prints ``B``, exit 0).  Without that ground truth the
+detection oracle would be vacuous.
+"""
+
+import pytest
+
+from repro.gen.lattices import minimal_lattice_spec
+from repro.gen.primitives import (
+    MIN_BUFFER,
+    PAYLOAD_OFF,
+    SEG_SIZE,
+    SHAPES,
+    Primitive,
+    VULN_SP,
+)
+from repro.gen.spec import GeneratedAttack
+from repro.vp.platform import STACK_TOP, Platform
+
+_BUDGET = 200_000
+
+
+def _case_for(prim: Primitive, payload_mode: str = "inject",
+              extra=(), victim: int = 0) -> GeneratedAttack:
+    prims = list(extra)
+    prims.insert(victim, prim)
+    return GeneratedAttack(
+        case_seed=0x5EED, primitives=tuple(prims), victim=victim,
+        payload_mode=payload_mode, lattice_spec=minimal_lattice_spec(),
+        lattice_strategy="chain", hi_class="HI", li_class="LI")
+
+
+def _run_plain(program, feed: bytes):
+    platform = Platform()
+    platform.load(program)
+    platform.uart.feed(feed)
+    result = platform.run(max_instructions=_BUDGET)
+    return result, platform
+
+
+class TestLayout:
+    def test_vuln_sp_matches_crt0_and_main_frame(self):
+        assert VULN_SP == STACK_TOP - 16
+
+    def test_frame_is_16_byte_aligned(self):
+        for shape in SHAPES:
+            prim = Primitive(*shape, buffer_size=20, gap=8)
+            assert prim.frame % 16 == 0
+            assert prim.frame >= prim.overflow_len
+
+    def test_overflow_reaches_exactly_one_word_past_the_slot(self):
+        prim = Primitive("stack", "ret", "direct", buffer_size=16, gap=4)
+        assert prim.slot == 20
+        assert prim.overflow_len == 24
+
+    def test_rejects_unsupported_shapes(self):
+        with pytest.raises(ValueError):
+            Primitive("data", "ret", "direct", buffer_size=16, gap=0)
+        with pytest.raises(ValueError):
+            Primitive("stack", "jmpbuf", "indirect", buffer_size=16, gap=0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Primitive("stack", "ret", "direct", buffer_size=10, gap=0)
+        with pytest.raises(ValueError):
+            Primitive("stack", "ret", "direct", buffer_size=4, gap=0)
+        with pytest.raises(ValueError):
+            Primitive("stack", "ret", "direct", buffer_size=16, gap=200)
+
+    def test_dict_round_trip(self):
+        prim = Primitive("data", "fnptr", "indirect", buffer_size=24, gap=12)
+        assert Primitive.from_dict(prim.to_dict()) == prim
+
+
+@pytest.mark.parametrize("shape", SHAPES,
+                         ids=["-".join(s) for s in SHAPES])
+@pytest.mark.parametrize("payload_mode", ["inject", "reuse"])
+def test_every_shape_exploits_and_twin_is_clean(shape, payload_mode):
+    prim = Primitive(*shape, buffer_size=24, gap=8)
+    case = _case_for(prim, payload_mode=payload_mode)
+    program, attack, benign = case.build()
+    assert len(attack) == len(benign) == SEG_SIZE
+
+    result, platform = _run_plain(program, attack)
+    assert (result.reason, result.exit_code) == ("halt", 0), \
+        f"{case.name}: exploit did not run to payload exit"
+    assert "X" in platform.console(), \
+        f"{case.name}: payload never executed on the plain VP"
+    assert "B" not in platform.console(), \
+        f"{case.name}: hijacked run still reached the clean epilogue"
+
+    result, platform = _run_plain(program, benign)
+    assert (result.reason, result.exit_code) == ("halt", 0)
+    assert platform.console() == "B", \
+        f"{case.name}: benign twin did not finish cleanly"
+
+
+def test_minimum_geometry_still_exploits():
+    prim = Primitive("stack", "ret", "direct",
+                     buffer_size=MIN_BUFFER, gap=0)
+    program, attack, _ = _case_for(prim, "reuse").build()
+    result, platform = _run_plain(program, attack)
+    assert "X" in platform.console()
+
+
+def test_multi_primitive_case_only_victim_attacks():
+    prims = [Primitive("stack", "ret", "direct", buffer_size=16, gap=0),
+             Primitive("data", "fnptr", "direct", buffer_size=16, gap=4)]
+    case = _case_for(prims[1], payload_mode="reuse",
+                     extra=[prims[0]], victim=1)
+    program, attack, benign = case.build()
+    assert len(attack) == 2 * SEG_SIZE
+
+    result, platform = _run_plain(program, attack)
+    assert "X" in platform.console()
+    result, platform = _run_plain(program, benign)
+    assert platform.console() == "B"
+
+
+def test_injected_payload_is_carried_in_the_input_bytes():
+    prim = Primitive("stack", "ret", "direct", buffer_size=16, gap=0)
+    case = _case_for(prim, payload_mode="inject")
+    program, attack, _ = case.build()
+    payload = attack[PAYLOAD_OFF:]
+    assert any(payload), "inject mode must ship code in the input"
+    # and the reuse variant must not
+    reuse_case = _case_for(prim, payload_mode="reuse")
+    _, reuse_attack, _ = reuse_case.build()
+    assert not any(reuse_attack[PAYLOAD_OFF:])
+
+
+def test_build_is_deterministic():
+    prim = Primitive("stack", "fnptr", "indirect", buffer_size=32, gap=8)
+    a = _case_for(prim).build()
+    b = _case_for(prim).build()
+    assert a[0].image == b[0].image
+    assert a[1] == b[1] and a[2] == b[2]
+
+
+def test_spec_hash_distinguishes_cases():
+    base = _case_for(Primitive("stack", "ret", "direct",
+                               buffer_size=16, gap=0))
+    other = _case_for(Primitive("stack", "ret", "direct",
+                                buffer_size=20, gap=0))
+    assert base.spec_hash != other.spec_hash
+    assert base.spec_hash == GeneratedAttack.from_dict(
+        base.to_dict()).spec_hash
