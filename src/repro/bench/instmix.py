@@ -114,11 +114,18 @@ def profile_platform(platform: Platform, name: str,
 
 
 def profile_workload(name: str, max_instructions: int = 150_000,
-                     obs=None) -> InstructionMix:
-    """Profile one registry workload (quick scale, plain VP)."""
+                     obs=None, jit=False) -> InstructionMix:
+    """Profile one registry workload (quick scale, plain VP).
+
+    ``jit`` builds the platform with the trace compiler attached — the
+    single-step driver never gives it a full block to run, but the
+    profiler channel still exercises the jit-on code paths, which is
+    what the CI smoke leg is after.
+    """
     from repro.bench.workloads import WORKLOADS
 
-    platform = WORKLOADS[name].make_platform("quick", dift=False, obs=obs)
+    platform = WORKLOADS[name].make_platform("quick", dift=False, obs=obs,
+                                             jit=jit)
     return profile_platform(platform, name, max_instructions)
 
 

@@ -99,7 +99,8 @@ class Workload:
     def make_config(self, scale: str, dift: bool, obs=None,
                     dift_mode: str = "full",
                     seed: Optional[int] = None,
-                    engine_mode: str = RAISE) -> "tuple[Program, PlatformConfig]":
+                    engine_mode: str = RAISE,
+                    jit=False) -> "tuple[Program, PlatformConfig]":
         """Build the guest program and its :class:`PlatformConfig`."""
         program = self.build(scale)
         policy = self.policy(program) if dift else None
@@ -107,16 +108,18 @@ class Workload:
         if seed is not None:
             kwargs.setdefault("seed", seed)
         config = PlatformConfig(policy=policy, engine_mode=engine_mode,
-                                obs=obs, dift_mode=dift_mode, **kwargs)
+                                obs=obs, dift_mode=dift_mode, jit=jit,
+                                **kwargs)
         return program, config
 
     def make_platform(self, scale: str, dift: bool, obs=None,
                       dift_mode: str = "full",
                       seed: Optional[int] = None,
-                      engine_mode: str = RAISE) -> Platform:
+                      engine_mode: str = RAISE,
+                      jit=False) -> Platform:
         program, config = self.make_config(
             scale, dift, obs=obs, dift_mode=dift_mode, seed=seed,
-            engine_mode=engine_mode)
+            engine_mode=engine_mode, jit=jit)
         platform = Platform.from_config(config)
         platform.load(program)
         self.externals(platform, scale)

@@ -29,10 +29,15 @@ from the snapshot instead of re-booting per job.  Axis semantics:
   ``dift_mode`` axis is meaningless, so those jobs collapse to a single
   ``dift_mode="none"`` job instead of one per mode;
 * ``dift_mode`` — ``"full"`` or ``"demand"``;
-* ``seed`` — the platform seed (drives sensor data).
+* ``seed`` — the platform seed (drives sensor data);
+* ``jit`` — ``false``/``true``: run with the trace-compiled fast path.
+  Host-side execution strategy only — it changes neither the simulated
+  machine nor the warm-start snapshot key, so jit-on and jit-off jobs
+  share boot snapshots.
 
 Every job gets a stable id ``<workload>.<policy>.<dift_mode>.s<seed>``
-(suffixed ``.i<N>`` for duplicate ``include`` entries), which is the
+(suffixed ``.jit`` when the trace compiler is on, and ``.i<N>`` for
+duplicate ``include`` entries), which is the
 sort key of the campaign report — so two runs of the same matrix
 produce records in the same order regardless of worker count.
 """
@@ -69,6 +74,7 @@ class JobSpec:
     dift_mode: str = "full"            # "full" / "demand" / "none"
     seed: int = 0
     scale: str = "quick"
+    jit: bool = False                  # run with the trace compiler on
     max_instructions: Optional[int] = None
     timeout: float = 120.0             # wall-clock seconds per attempt
     retries: int = 1                   # extra attempts after a crash
@@ -87,10 +93,10 @@ class JobSpec:
 
 
 #: job fields settable from ``defaults`` / ``include`` entries
-_JOB_FIELDS = ("workload", "policy", "dift_mode", "seed", "scale",
+_JOB_FIELDS = ("workload", "policy", "dift_mode", "seed", "scale", "jit",
                "max_instructions", "timeout", "retries", "backoff",
                "inject")
-_AXIS_FIELDS = ("workload", "policy", "dift_mode", "seed")
+_AXIS_FIELDS = ("workload", "policy", "dift_mode", "seed", "jit")
 
 
 def _validate_job(entry: dict, where: str) -> None:
@@ -129,6 +135,8 @@ def _validate_job(entry: dict, where: str) -> None:
             f"not {entry['scale']!r}")
     if not isinstance(entry.get("seed", 0), int):
         raise MatrixError(f"{where}: seed must be an integer")
+    if not isinstance(entry.get("jit", False), bool):
+        raise MatrixError(f"{where}: jit must be a boolean")
     inject = entry.get("inject")
     if inject is not None and inject not in INJECT_KINDS:
         kind, _, count = inject.partition(":")
@@ -139,8 +147,13 @@ def _validate_job(entry: dict, where: str) -> None:
 
 
 def _job_id(entry: dict) -> str:
-    return (f"{entry['workload']}.{entry.get('policy', 'default')}"
-            f".{entry.get('dift_mode', 'full')}.s{entry.get('seed', 0)}")
+    job_id = (f"{entry['workload']}.{entry.get('policy', 'default')}"
+              f".{entry.get('dift_mode', 'full')}.s{entry.get('seed', 0)}")
+    if entry.get("jit", False):
+        # suffix only when on, so pre-jit matrices keep their job ids
+        # (and hence their report sort order and baselines)
+        job_id += ".jit"
+    return job_id
 
 
 def _normalize(entry: dict) -> dict:

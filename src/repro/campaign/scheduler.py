@@ -102,7 +102,10 @@ def _prepare_warm_snapshots(specs: List[JobSpec], snapshot_dir: str,
 
     Jobs sharing (workload, policy, dift_mode, seed, scale) fork from
     one instruction-zero snapshot — boot and stimulus preparation run
-    once per configuration instead of once per job.  The snapshot is
+    once per configuration instead of once per job.  ``jit`` is
+    deliberately *not* part of the key: the trace compiler never travels
+    in snapshots, so compiled and interpreted jobs share the same boot
+    image (the worker re-enables it at restore).  The snapshot is
     taken before any guest instruction retires and no SystemC process
     has started, so a restored platform is indistinguishable from a
     freshly booted one.

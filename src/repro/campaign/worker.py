@@ -95,12 +95,13 @@ def execute_job(spec: JobSpec, attempt: int) -> dict:
         platform = Platform.restore(
             spec.snapshot, obs=Observability(),
             program=workload.build(spec.scale),
-            externals=workload.restore_externals(spec.scale))
+            externals=workload.restore_externals(spec.scale),
+            jit=spec.jit)
     else:
         platform = workload.make_platform(
             spec.scale, dift, obs=Observability(),
             dift_mode=spec.dift_mode if dift else "full",
-            seed=spec.seed, engine_mode=RECORD)
+            seed=spec.seed, engine_mode=RECORD, jit=spec.jit)
     started = time.perf_counter()
     result = platform.run(max_instructions=spec.max_instructions)
     wall = time.perf_counter() - started

@@ -116,7 +116,8 @@ def _cmd_run(args) -> int:
     obs = _make_obs(args)
     config = PlatformConfig(policy=policy,
                             engine_mode=RECORD if args.record else RAISE,
-                            obs=obs, dift_mode=args.dift_mode)
+                            obs=obs, dift_mode=args.dift_mode,
+                            jit=args.jit)
     platform = Platform.from_config(config)
     platform.load(program)
     if args.uart_input:
@@ -419,7 +420,8 @@ def _cmd_replay(args) -> int:
     results = run_replay_suite(workloads=args.workloads or None,
                                modes=args.modes,
                                pause_at=args.pause_at,
-                               max_instructions=args.max_instructions)
+                               max_instructions=args.max_instructions,
+                               jit=args.jit)
     print(format_report(results))
     return 0 if all(r.equivalent for r in results) else 1
 
@@ -479,6 +481,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="DIFT execution mode: 'demand' skips tag "
                         "bookkeeping while the machine holds no taint "
                         "(identical detections, lower overhead)")
+    p.add_argument("--jit", action="store_true",
+                   help="enable the trace-compiled fast path (identical "
+                        "simulation results, higher MIPS)")
     _add_obs_options(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -643,6 +648,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pause-at", type=int, default=9000, metavar="N",
                    help="snapshot point (instructions retired)")
     p.add_argument("--max-instructions", type=int, default=60000)
+    p.add_argument("--jit", action="store_true",
+                   help="run every leg with the trace compiler on "
+                        "(proves the trace cache is derived state)")
     p.set_defaults(fn=_cmd_replay)
 
     return parser

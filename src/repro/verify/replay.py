@@ -58,7 +58,13 @@ class ReplayComparison:
 
 
 def final_state(platform, result) -> dict:
-    """The replay-relevant final state of a finished simulation."""
+    """The replay-relevant final state of a finished simulation.
+
+    ``jit.*`` metrics are quarantined alongside host timings: the trace
+    cache is discarded at snapshot restore, so a resumed run legitimately
+    recompiles — compilation counters are host-side execution-strategy
+    state, not simulated state.
+    """
     return {
         "reason": result.reason,
         "exit_code": result.exit_code,
@@ -67,21 +73,24 @@ def final_state(platform, result) -> dict:
         "violations": [str(v) for v in result.violations],
         "metrics": {name: value
                     for name, value in platform.obs.snapshot().items()
-                    if not is_timing_metric(name)},
+                    if not is_timing_metric(name)
+                    and not name.startswith("jit.")},
     }
 
 
-def _make_platform(workload, mode: str, scale: str, seed: int):
+def _make_platform(workload, mode: str, scale: str, seed: int,
+                   jit: bool = False):
     from repro.obs import Observability
 
     dift = mode != "plain"
     return workload.make_platform(
         scale, dift, obs=Observability(),
-        dift_mode=mode if dift else "full", seed=seed)
+        dift_mode=mode if dift else "full", seed=seed, jit=jit)
 
 
 def _resume_child(conn, snapshot_path: str, workload_name: str, scale: str,
-                  max_instructions: Optional[int]) -> None:
+                  max_instructions: Optional[int],
+                  jit: bool = False) -> None:
     """Fresh-process entry point: restore, finish, ship the final state."""
     from repro.bench.workloads import get_workload
     from repro.obs import Observability
@@ -92,7 +101,7 @@ def _resume_child(conn, snapshot_path: str, workload_name: str, scale: str,
         platform = Platform.restore(
             snapshot_path, obs=Observability(),
             program=workload.build(scale),
-            externals=workload.restore_externals(scale))
+            externals=workload.restore_externals(scale), jit=jit)
         result = platform.run(max_instructions=max_instructions)
         conn.send(final_state(platform, result))
     except BaseException as exc:   # report, never hang the parent
@@ -103,14 +112,16 @@ def _resume_child(conn, snapshot_path: str, workload_name: str, scale: str,
 
 def _resume_in_fresh_process(snapshot_path: str, workload_name: str,
                              scale: str,
-                             max_instructions: Optional[int]) -> dict:
+                             max_instructions: Optional[int],
+                             jit: bool = False) -> dict:
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
     recv, send = ctx.Pipe(duplex=False)
     process = ctx.Process(
         target=_resume_child,
-        args=(send, snapshot_path, workload_name, scale, max_instructions),
+        args=(send, snapshot_path, workload_name, scale, max_instructions,
+              jit),
         daemon=True)
     process.start()
     send.close()
@@ -131,11 +142,16 @@ def verify_replay(workload_name: str, mode: str = "full",
                   pause_at: int = DEFAULT_PAUSE_AT, scale: str = "quick",
                   max_instructions: Optional[int] = DEFAULT_MAX_INSTRUCTIONS,
                   seed: int = 0,
-                  snapshot_path: Optional[str] = None) -> ReplayComparison:
+                  snapshot_path: Optional[str] = None,
+                  jit: bool = False) -> ReplayComparison:
     """Straight run vs pause-snapshot-resume(fresh process), compared.
 
     ``snapshot_path`` keeps the intermediate snapshot file (for CI
     artifacts); when omitted, a temporary file is used and removed.
+    ``jit`` runs every leg (reference, interrupted, resumed) with the
+    trace compiler on — the resumed platform rebuilds its trace cache
+    from scratch, so equivalence here proves the cache really is
+    derived state.
     """
     from repro.bench.workloads import get_workload
 
@@ -144,11 +160,11 @@ def verify_replay(workload_name: str, mode: str = "full",
             f"unknown replay mode {mode!r}; expected one of {REPLAY_MODES}")
     workload = get_workload(workload_name)
 
-    reference = _make_platform(workload, mode, scale, seed)
+    reference = _make_platform(workload, mode, scale, seed, jit=jit)
     ref_result = reference.run(max_instructions=max_instructions)
     ref_state = final_state(reference, ref_result)
 
-    interrupted = _make_platform(workload, mode, scale, seed)
+    interrupted = _make_platform(workload, mode, scale, seed, jit=jit)
     interrupted.run(pause_at=pause_at, max_instructions=max_instructions)
     paused_at = interrupted.total_instructions
 
@@ -162,7 +178,7 @@ def verify_replay(workload_name: str, mode: str = "full",
     try:
         interrupted.save_snapshot(snapshot_path)
         resumed_state = _resume_in_fresh_process(
-            snapshot_path, workload_name, scale, max_instructions)
+            snapshot_path, workload_name, scale, max_instructions, jit=jit)
     finally:
         if cleanup:
             try:
@@ -188,13 +204,15 @@ def run_replay_suite(workloads: Optional[Sequence[str]] = None,
                      scale: str = "quick",
                      max_instructions: Optional[int]
                      = DEFAULT_MAX_INSTRUCTIONS,
-                     seed: int = 0) -> List[ReplayComparison]:
+                     seed: int = 0,
+                     jit: bool = False) -> List[ReplayComparison]:
     """Replay-verify every registered workload under every mode."""
     from repro.bench.workloads import workload_names
 
     names = list(workloads) if workloads is not None else workload_names()
     return [verify_replay(name, mode, pause_at=pause_at, scale=scale,
-                          max_instructions=max_instructions, seed=seed)
+                          max_instructions=max_instructions, seed=seed,
+                          jit=jit)
             for name in names
             for mode in modes]
 

@@ -53,6 +53,13 @@ class PlatformConfig:
     seed: int = DEFAULT_SEED
     obs: object = None
     dift_mode: str = "full"
+    #: Trace compiler: ``False`` off, ``True`` on with the default
+    #: hotness threshold, or an ``int`` to set the threshold directly.
+    #: Excluded from serialization like ``obs``: compiled and
+    #: interpreted runs are the same simulated machine (the differential
+    #: suite holds them to identical snapshots), so jit-ness is a
+    #: host-side execution strategy, not a simulation parameter.
+    jit: object = False
 
     # ------------------------------------------------------------------ #
     # serialization (shared by snapshot headers and campaign records)
@@ -75,9 +82,10 @@ class PlatformConfig:
         }
 
     @classmethod
-    def from_json(cls, data: dict, obs=None) -> "PlatformConfig":
-        """Inverse of :meth:`to_json`; ``obs`` is re-attached by the
-        caller since it never travels through JSON."""
+    def from_json(cls, data: dict, obs=None, jit=False) -> "PlatformConfig":
+        """Inverse of :meth:`to_json`; ``obs`` and ``jit`` are
+        re-attached by the caller since they never travel through
+        JSON."""
         policy_data = data.get("policy")
         return cls(
             policy=(policy_from_dict(policy_data)
@@ -91,6 +99,7 @@ class PlatformConfig:
             seed=data["seed"],
             obs=obs,
             dift_mode=data["dift_mode"],
+            jit=jit,
         )
 
     def __repr__(self) -> str:

@@ -53,6 +53,22 @@ FAULT = "fault"       # unhandled guest fault with no trap handler
 # Cpu.run().
 RETAINT = "retaint"
 
+# Internal: wfi retired with an interrupt pending but globally disabled.
+# The interpreter loops return it so the JIT dispatcher can tell this
+# early quantum end apart from a genuinely exhausted budget; the
+# _run_plain/_run_dift wrappers translate it back to QUANTUM before it
+# reaches any caller.  Never escapes Cpu.run().
+_IRQWAIT = "irqwait"
+
+# Internal: a taken backward branch landed on a compiled superblock
+# entry.  The interpreter returns early so the JIT dispatcher can run
+# the block immediately instead of waiting for a chunk boundary to line
+# up with the entry PC (which for many loop lengths never happens).
+# Only emitted while dispatching (the block dictionaries are bound in
+# the loop prologue exactly when a JitEngine is attached); swallowed by
+# JitEngine._dispatch / _interp_only.  Never escapes Cpu.run().
+_BLOCKHIT = "blockhit"
+
 # DIFT execution modes
 DIFT_FULL = "full"     # every instruction pays the tag bookkeeping
 DIFT_DEMAND = "demand" # fast path while the machine is provably clean
@@ -88,6 +104,12 @@ class Cpu(Module):
         self.pc = 0
         self.csr = CsrFile(bottom_tag=bottom)
         self._decode_cache: Dict[int, D.Decoded] = {}
+        #: words decoded from scratch (cache misses); feeds the
+        #: cpu.decode_cache.misses gauge
+        self.decode_misses = 0
+
+        # trace compiler; attached by the platform via attach_jit()
+        self._jit = None
 
         # DMI into RAM; set by the platform via attach_ram()
         self.ram: bytearray = bytearray(0)
@@ -147,6 +169,14 @@ class Cpu(Module):
         self.ram_end = base + len(data)
         self.ram = data
         self.ram_tags = tags
+
+    def attach_jit(self, jit) -> None:
+        """Attach a :class:`repro.vp.jit.JitEngine` (platform wiring).
+
+        The run-loop wrappers dispatch through it; detach by passing
+        ``None`` (the debugger does, to regain per-instruction
+        visibility)."""
+        self._jit = jit
 
     def attach_obs(self, obs) -> None:
         """Attach an :class:`~repro.obs.Observability` sink.
@@ -210,6 +240,7 @@ class Cpu(Module):
             "csr": self.csr.state_dict(),
             "decode_cache": {str(word): list(entry)
                              for word, entry in self._decode_cache.items()},
+            "decode_misses": self.decode_misses,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -223,6 +254,7 @@ class Cpu(Module):
         self._decode_cache = {int(word): tuple(entry)
                               for word, entry
                               in state["decode_cache"].items()}
+        self.decode_misses = state.get("decode_misses", 0)
         self._update_irq()
 
     # ------------------------------------------------------------------ #
@@ -447,6 +479,7 @@ class Cpu(Module):
                 if d is None:
                     d = decode(word)
                     cache[word] = d
+                    self.decode_misses += 1
                 op = d[0]
             stepped, reason = run1(1)
             executed += stepped
@@ -456,9 +489,40 @@ class Cpu(Module):
                 break
         return executed, reason
 
-    # ---- plain VP -------------------------------------------------------- #
+    # ---- trace-dispatch wrappers ----------------------------------------- #
+    #
+    # _run_plain/_run_dift keep their historical names and contracts —
+    # everything upstream (_run_core, _run_demand, tests) calls them —
+    # but are now thin prologues that route through the trace compiler
+    # when one is attached.  The interpreter bodies moved to
+    # _interp_plain/_interp_dift; the JIT dispatcher calls those
+    # directly and interleaves compiled superblocks.
 
     def _run_plain(self, n: int) -> Tuple[int, str]:
+        jit = self._jit
+        if jit is not None:
+            return jit.run_plain(n)
+        executed, reason = self._interp_plain(n)
+        if reason == _IRQWAIT:
+            reason = QUANTUM
+        return executed, reason
+
+    def _run_dift(self, n: int) -> Tuple[int, str]:
+        jit = self._jit
+        if jit is not None and self._live is None:
+            # DIFT blocks fuse full-mode propagation only; demand mode
+            # (dirty or disabled) needs the interpreter's liveness
+            # bookkeeping, and its clean phase runs plain blocks via
+            # _run_plain instead.
+            return jit.run_dift(n)
+        executed, reason = self._interp_dift(n)
+        if reason == _IRQWAIT:
+            reason = QUANTUM
+        return executed, reason
+
+    # ---- plain VP -------------------------------------------------------- #
+
+    def _interp_plain(self, n: int) -> Tuple[int, str]:
         regs = self.regs
         ram = self.ram
         ram_base = self.ram_base
@@ -473,6 +537,22 @@ class Cpu(Module):
         # demand mode only: watch MMIO for taint entering a clean machine
         live = self._live
         bottom = self._bottom
+        # trace compiler hooks: code-line stores invalidate superblocks,
+        # taken backward branches feed the hotness profiler and yield to
+        # the dispatcher when they land on a compiled block entry
+        jit = self._jit
+        if jit is not None:
+            jcl = jit.code_lines
+            jhot = jit.hot_plain
+            jready = jit.ready_plain
+            jthreshold = jit.threshold
+            jblocks = jit.blocks_plain
+        else:
+            jcl = None
+            jhot = None
+            jready = None
+            jthreshold = 0
+            jblocks = None
 
         while executed < n:
             if self._take_irq:
@@ -496,6 +576,7 @@ class Cpu(Module):
             if d is None:
                 d = decode(word)
                 cache[word] = d
+                self.decode_misses += 1
             op = d[0]
             executed += 1
             next_pc = pc + 4
@@ -518,15 +599,57 @@ class Cpu(Module):
                         taken = sa < sb if op == D.BLT else sa >= sb
                     if taken:
                         next_pc = (pc + d[4]) & _MASK32
+                        if jhot is not None and d[4] < 0:
+                            # taken backward branch: canonical loop
+                            # header — count it toward compilation
+                            c = jhot.get(next_pc, 0)
+                            if c >= 0:
+                                c += 1
+                                jhot[next_pc] = c
+                                if c == jthreshold:
+                                    jready.append(next_pc)
+                            if next_pc in jblocks:
+                                self.pc = next_pc
+                                csr.instret += executed
+                                csr.cycle += executed
+                                return executed, _BLOCKHIT
                 elif op == D.JAL:
                     if d[1]:
                         regs[d[1]] = next_pc
                     next_pc = (pc + d[4]) & _MASK32
+                    # backward jumps are loop closers; linking jumps are
+                    # calls — both name stable, re-visited entry points
+                    if jhot is not None and (d[4] < 0 or d[1]):
+                        c = jhot.get(next_pc, 0)
+                        if c >= 0:
+                            c += 1
+                            jhot[next_pc] = c
+                            if c == jthreshold:
+                                jready.append(next_pc)
+                        if next_pc in jblocks:
+                            self.pc = next_pc
+                            csr.instret += executed
+                            csr.cycle += executed
+                            return executed, _BLOCKHIT
                 elif op == D.JALR:
                     target = (regs[d[2]] + d[4]) & 0xFFFFFFFE
                     if d[1]:
                         regs[d[1]] = next_pc
                     next_pc = target
+                    if jhot is not None and d[1]:
+                        # indirect call: the target (a function entry)
+                        # is as stable as a direct call's
+                        c = jhot.get(next_pc, 0)
+                        if c >= 0:
+                            c += 1
+                            jhot[next_pc] = c
+                            if c == jthreshold:
+                                jready.append(next_pc)
+                        if next_pc in jblocks:
+                            self.pc = next_pc
+                            csr.instret += executed
+                            csr.cycle += executed
+                            return executed, _BLOCKHIT
                 elif op == D.LUI:
                     if d[1]:
                         regs[d[1]] = d[4]
@@ -597,6 +720,9 @@ class Cpu(Module):
                     else:
                         ram[o] = value & 0xFF
                         ram[o + 1] = (value >> 8) & 0xFF
+                    if jcl and (o >> 4 in jcl
+                                or (o + size - 1) >> 4 in jcl):
+                        jit.invalidate_write(o, size)
                 else:
                     self.pc = pc
                     try:
@@ -722,7 +848,11 @@ class Cpu(Module):
                 csr.instret += executed
                 csr.cycle += executed
                 if self.csr[CSR.MIP] & self.csr[CSR.MIE]:
-                    return executed, QUANTUM
+                    # pending but globally disabled: end the quantum so
+                    # the kernel can advance time.  _IRQWAIT (not
+                    # QUANTUM) so the JIT dispatcher knows the budget
+                    # was not exhausted; wrappers translate it back.
+                    return executed, _IRQWAIT
                 return executed, WFI
 
             elif op <= D.CSRRCI:  # CSR group
@@ -751,7 +881,7 @@ class Cpu(Module):
 
     # ---- VP+ (DIFT) -------------------------------------------------------- #
 
-    def _run_dift(self, n: int) -> Tuple[int, str]:
+    def _interp_dift(self, n: int) -> Tuple[int, str]:
         dift = self.dift
         assert dift is not None
         regs = self.regs
@@ -779,6 +909,22 @@ class Cpu(Module):
         # so reclaiming the clean state scans dirty pages, not all of RAM
         live = self._live
         dirty = live.dirty_pages if live is not None else None
+        # trace compiler hooks.  SMC invalidation is armed whenever a
+        # JIT is attached (demand-dirty stores must invalidate the clean
+        # path's plain blocks too); hotness profiling only feeds the
+        # dispatcher that actually runs DIFT blocks (full mode).
+        jit = self._jit
+        jcl = jit.code_lines if jit is not None else None
+        if jit is not None and live is None:
+            jhot = jit.hot_dift
+            jready = jit.ready_dift
+            jthreshold = jit.threshold
+            jblocks = jit.blocks_dift
+        else:
+            jhot = None
+            jready = None
+            jthreshold = 0
+            jblocks = None
 
         while executed < n:
             if self._take_irq:
@@ -819,6 +965,7 @@ class Cpu(Module):
             if d is None:
                 d = decode(word)
                 cache[word] = d
+                self.decode_misses += 1
             op = d[0]
             executed += 1
             next_pc = pc + 4
@@ -852,11 +999,39 @@ class Cpu(Module):
                         taken = sa < sb if op == D.BLT else sa >= sb
                     if taken:
                         next_pc = (pc + d[4]) & _MASK32
+                        if jhot is not None and d[4] < 0:
+                            # taken backward branch: canonical loop
+                            # header — count it toward compilation
+                            c = jhot.get(next_pc, 0)
+                            if c >= 0:
+                                c += 1
+                                jhot[next_pc] = c
+                                if c == jthreshold:
+                                    jready.append(next_pc)
+                            if next_pc in jblocks:
+                                self.pc = next_pc
+                                csr.instret += executed
+                                csr.cycle += executed
+                                return executed, _BLOCKHIT
                 elif op == D.JAL:
                     if d[1]:
                         regs[d[1]] = next_pc
                         tags[d[1]] = bottom
                     next_pc = (pc + d[4]) & _MASK32
+                    # backward jumps are loop closers; linking jumps are
+                    # calls — both name stable, re-visited entry points
+                    if jhot is not None and (d[4] < 0 or d[1]):
+                        c = jhot.get(next_pc, 0)
+                        if c >= 0:
+                            c += 1
+                            jhot[next_pc] = c
+                            if c == jthreshold:
+                                jready.append(next_pc)
+                        if next_pc in jblocks:
+                            self.pc = next_pc
+                            csr.instret += executed
+                            csr.cycle += executed
+                            return executed, _BLOCKHIT
                 elif op == D.JALR:
                     rs1 = d[2]
                     # --- indirect-jump target clearance --- #
@@ -871,6 +1046,20 @@ class Cpu(Module):
                         regs[d[1]] = next_pc
                         tags[d[1]] = bottom
                     next_pc = target
+                    if jhot is not None and d[1]:
+                        # indirect call: the target (a function entry)
+                        # is as stable as a direct call's
+                        c = jhot.get(next_pc, 0)
+                        if c >= 0:
+                            c += 1
+                            jhot[next_pc] = c
+                            if c == jthreshold:
+                                jready.append(next_pc)
+                        if next_pc in jblocks:
+                            self.pc = next_pc
+                            csr.instret += executed
+                            csr.cycle += executed
+                            return executed, _BLOCKHIT
                 elif op == D.LUI:
                     if d[1]:
                         regs[d[1]] = d[4]
@@ -965,6 +1154,9 @@ class Cpu(Module):
                     if dirty is not None and t != bottom:
                         dirty.add(o >> 12)
                         dirty.add((o + size - 1) >> 12)
+                    if jcl and (o >> 4 in jcl
+                                or (o + size - 1) >> 4 in jcl):
+                        jit.invalidate_write(o, size)
                 else:
                     self.pc = pc
                     try:
@@ -1100,7 +1292,11 @@ class Cpu(Module):
                 csr.instret += executed
                 csr.cycle += executed
                 if self.csr[CSR.MIP] & self.csr[CSR.MIE]:
-                    return executed, QUANTUM
+                    # pending but globally disabled: end the quantum so
+                    # the kernel can advance time.  _IRQWAIT (not
+                    # QUANTUM) so the JIT dispatcher knows the budget
+                    # was not exhausted; wrappers translate it back.
+                    return executed, _IRQWAIT
                 return executed, WFI
 
             elif op <= D.CSRRCI:

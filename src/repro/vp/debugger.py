@@ -59,6 +59,12 @@ class Debugger:
         # the debugger drives the CPU itself; the platform's own CPU
         # process must not race it when we tick the kernel
         platform.detach_cpu_process()
+        # single-stepping must observe every PC — detach the trace
+        # compiler so compiled blocks cannot skip over breakpoints or
+        # coalesce the per-step taint-watch windows
+        if platform.jit is not None:
+            platform.jit.flush("debugger")
+            self.cpu.attach_jit(None)
 
     # ------------------------------------------------------------------ #
     # configuration

@@ -1,0 +1,385 @@
+"""Trace-compiled fast path for the ISS (``repro.vp.jit``).
+
+Layered on the interpreter without changing its semantics: hot
+straight-line runs (superblocks) are detected by two cooperating
+profilers, compiled once into specialized Python closures, and
+dispatched from thin wrappers around the ``Cpu`` run loops.  Compiled
+and interpreted runs are required to be indistinguishable — same
+architectural state, same DIFT verdicts, same ``repro.snapshot/1``
+documents — which the differential suite (``tests/test_jit_diff.py``)
+enforces across the workload registry.
+
+Hotness is profiled on two channels:
+
+* the interpreter counts taken backward branches (the canonical loop
+  header signal) and queues entries that cross the threshold on a
+  ``ready`` list the dispatcher drains;
+* the dispatcher itself counts the PCs it returns to between blocks,
+  which catches successors of compiled blocks (fall-through paths,
+  call targets) without per-instruction overhead.
+
+Invalidation is filtered at 16-byte *line* granularity: any store into
+a line containing compiled code — from generated code, either
+interpreter loop, or a bus master writing RAM through the memory
+module — drops every block on that line.  Lines are fine enough that
+data living next to code (the common layout: RAM starts at 0, .data
+directly follows .text) does not shoot down unrelated blocks, yet
+coarse enough that the hot-path filter stays one set lookup.  Lines
+that thrash (genuine self-modifying code) are blacklisted from
+recompilation.  Snapshot restore and debugger attach flush the whole
+cache: the trace cache is *derived* state, deliberately excluded from
+``repro.snapshot/1``, and is rebuilt by re-profiling after restore.
+
+A demand-mode RETAINT handover needs no invalidation: clean-path
+(plain) blocks are simply not dispatched while the machine is dirty —
+``Cpu._run_dift`` only routes through the JIT when no
+:class:`~repro.dift.liveness.TaintLiveness` is attached — and the
+blocks themselves stay valid because code-page writes during the dirty
+phase still hit the interpreter's SMC hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.vp.cpu import _BLOCKHIT, _IRQWAIT, QUANTUM
+from repro.vp.jit.builder import MAX_BLOCK_LEN, MIN_BLOCK_LEN, scan_superblock
+from repro.vp.jit.codegen import Superblock, compile_block
+
+__all__ = ["JitEngine", "JitStats", "Superblock", "DEFAULT_THRESHOLD",
+           "MIN_BLOCK_LEN", "MAX_BLOCK_LEN"]
+
+#: executions of an entry PC before it is compiled
+DEFAULT_THRESHOLD = 16
+#: instructions handed to the interpreter per cold stretch before the
+#: dispatcher looks for blocks again
+DISPATCH_CHUNK = 256
+#: kind-1 exits that retired nothing before a block is dropped and its
+#: entry blacklisted (always-MMIO or always-violating first instruction)
+BARREN_LIMIT = 8
+#: invalidations of one 16-byte line before it is blacklisted from
+#: compilation (genuine self-modifying code would otherwise thrash)
+LINE_BLACKLIST_AFTER = 8
+
+
+class JitStats:
+    """Cumulative counters exported as ``jit.*`` lazy gauges."""
+
+    __slots__ = ("compiled", "compile_failed", "invalidated_blocks",
+                 "invalidation_writes", "flushes", "dropped",
+                 "block_execs", "trace_instructions", "side_exits",
+                 "smc_exits")
+
+    def __init__(self) -> None:
+        self.compiled = 0
+        self.compile_failed = 0
+        self.invalidated_blocks = 0
+        self.invalidation_writes = 0
+        self.flushes = 0
+        self.dropped = 0
+        self.block_execs = 0
+        self.trace_instructions = 0
+        self.side_exits = 0
+        self.smc_exits = 0
+
+
+class JitEngine:
+    """Superblock cache + profiler + dispatcher for one :class:`Cpu`.
+
+    Two independent block caches are kept: *plain* blocks (no tag
+    bookkeeping — used by the plain VP and the demand-mode clean path)
+    and *dift* blocks (tag propagation fused in — full mode only).
+    Both share the ``code_lines`` set, so a store from either world
+    invalidates the other's blocks too.
+    """
+
+    def __init__(self, cpu, threshold: int = DEFAULT_THRESHOLD):
+        if threshold < 1:
+            raise ValueError(f"jit threshold must be >= 1, got {threshold}")
+        self.cpu = cpu
+        self.threshold = threshold
+        self.chunk = DISPATCH_CHUNK
+        self.stats = JitStats()
+
+        self.blocks_plain: Dict[int, Superblock] = {}
+        self.blocks_dift: Dict[int, Superblock] = {}
+        # entry pc -> execution count; -1 marks "never compile this"
+        self.hot_plain: Dict[int, int] = {}
+        self.hot_dift: Dict[int, int] = {}
+        # entries the interpreter's backward-branch profiler promoted
+        self.ready_plain: List[int] = []
+        self.ready_dift: List[int] = []
+
+        # RAM-offset 16-byte lines containing compiled code.  Mutated
+        # strictly in place: generated closures and the interpreter
+        # loops bind this exact set object.
+        self.code_lines: Set[int] = set()
+        self._line_blocks: Dict[int, Set[Superblock]] = {}
+        self._line_invalidations: Dict[int, int] = {}
+        self._no_compile: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # run-loop entry points (called from Cpu._run_plain / _run_dift)
+    # ------------------------------------------------------------------ #
+
+    def run_plain(self, n: int) -> Tuple[int, str]:
+        cpu = self.cpu
+        if cpu.regs[0]:
+            # generated code folds x0 reads to literal 0; a hand-crafted
+            # state violating the invariant must interpret (the
+            # interpreter *reads* regs[0] verbatim)
+            return self._interp_only(n, cpu._interp_plain)
+        return self._dispatch(n, cpu._interp_plain, self.blocks_plain,
+                              self.hot_plain, self.ready_plain,
+                              self._compile_plain)
+
+    def run_dift(self, n: int) -> Tuple[int, str]:
+        cpu = self.cpu
+        if cpu.regs[0] or cpu.tags[0] != cpu._bottom:
+            return self._interp_only(n, cpu._interp_dift)
+        return self._dispatch(n, cpu._interp_dift, self.blocks_dift,
+                              self.hot_dift, self.ready_dift,
+                              self._compile_dift)
+
+    @staticmethod
+    def _interp_only(n: int,
+                     interp: Callable[[int], Tuple[int, str]],
+                     ) -> Tuple[int, str]:
+        """Interpret ``n`` instructions, swallowing the internal
+        sentinels the interpreter emits for the dispatcher's benefit."""
+        executed = 0
+        reason = QUANTUM
+        while executed < n:
+            stepped, reason = interp(n - executed)
+            executed += stepped
+            if reason != _BLOCKHIT:
+                break
+            reason = QUANTUM
+        if reason == _IRQWAIT:
+            reason = QUANTUM
+        return executed, reason
+
+    def _dispatch(self, n: int, interp: Callable[[int], Tuple[int, str]],
+                  blocks: Dict[int, Superblock], hot: Dict[int, int],
+                  ready: List[int],
+                  compile_one: Callable[[int], Optional[Superblock]],
+                  ) -> Tuple[int, str]:
+        """Alternate compiled blocks and bounded interpreter stretches.
+
+        Quantum accounting: blocks do not touch ``instret``/``cycle``
+        and the interpreter's per-call bumps are rolled back, with one
+        combined bump at dispatch exit — so a CSR instruction reading
+        ``instret`` mid-quantum sees exactly what it sees under the
+        interpreter (the value at the last run-loop entry).
+        """
+        cpu = self.cpu
+        csr = cpu.csr
+        stats = self.stats
+        threshold = self.threshold
+        chunk = self.chunk
+        executed = 0
+        reason = QUANTUM
+        while executed < n:
+            remaining = n - executed
+            if remaining >= MIN_BLOCK_LEN and not cpu._take_irq:
+                if ready:
+                    for entry in ready:
+                        if compile_one(entry) is None:
+                            hot[entry] = -1
+                    del ready[:]
+                pc = cpu.pc
+                blk = blocks.get(pc)
+                if blk is None:
+                    c = hot.get(pc)
+                    if c is None:
+                        hot[pc] = 1
+                    elif c >= 0:
+                        c += 1
+                        hot[pc] = c
+                        if c >= threshold:
+                            blk = compile_one(pc)
+                            if blk is None:
+                                hot[pc] = -1
+                if blk is not None and blk.length <= remaining:
+                    stepped, kind = blk.fn(cpu, remaining)
+                    if stepped:
+                        executed += stepped
+                        stats.block_execs += 1
+                        stats.trace_instructions += stepped
+                    if kind == 0:
+                        blk.completes += 1
+                        continue
+                    blk.sidexits += 1
+                    if kind == 2:
+                        stats.smc_exits += 1
+                        continue
+                    stats.side_exits += 1
+                    if not stepped:
+                        blk.barren += 1
+                        if blk.barren >= BARREN_LIMIT:
+                            self._drop(blk)
+                            hot[blk.entry] = -1
+                    # fall through to the interpreter for progress
+            asked = n - executed
+            if asked > chunk:
+                asked = chunk
+            stepped, reason = interp(asked)
+            if stepped:
+                # roll back the interpreter's epilogue bump; one
+                # combined bump happens at dispatch exit
+                csr.instret -= stepped
+                csr.cycle -= stepped
+                executed += stepped
+            if reason == _BLOCKHIT:
+                # a taken backward branch landed on a compiled entry:
+                # loop straight back so the block runs now instead of
+                # waiting for a chunk boundary to line up with it
+                continue
+            if reason != QUANTUM:
+                break
+        csr.instret += executed
+        csr.cycle += executed
+        if reason == _IRQWAIT or reason == _BLOCKHIT:
+            # wfi with a pending-but-disabled interrupt ends the quantum
+            # early, exactly as the interpreter's top-level return does;
+            # a block hit on the budget's last instruction is just an
+            # exhausted quantum
+            reason = QUANTUM
+        return executed, reason
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+
+    def _compile_plain(self, entry: int) -> Optional[Superblock]:
+        return self._compile(entry, self.blocks_plain, False)
+
+    def _compile_dift(self, entry: int) -> Optional[Superblock]:
+        return self._compile(entry, self.blocks_dift, True)
+
+    def _compile(self, entry: int, blocks: Dict[int, Superblock],
+                 dift: bool) -> Optional[Superblock]:
+        blk = blocks.get(entry)
+        if blk is not None:
+            return blk
+        instrs, terminated = scan_superblock(self.cpu, entry)
+        if instrs is None:
+            self.stats.compile_failed += 1
+            return None
+        last_pc = instrs[-1][0]
+        base = self.cpu.ram_base
+        lo_line = (entry - base) >> 4
+        hi_line = (last_pc + 3 - base) >> 4
+        no_compile = self._no_compile
+        if any(line in no_compile for line in range(lo_line, hi_line + 1)):
+            self.stats.compile_failed += 1
+            return None
+        blk = compile_block(self.cpu, self.code_lines,
+                            self.invalidate_write, instrs, terminated,
+                            dift)
+        if blk is None:  # pragma: no cover - defensive
+            self.stats.compile_failed += 1
+            return None
+        blocks[entry] = blk
+        for line in blk.lines:
+            self.code_lines.add(line)
+            self._line_blocks.setdefault(line, set()).add(blk)
+        self.stats.compiled += 1
+        return blk
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+
+    def invalidate_write(self, offset: int, size: int) -> None:
+        """A store touched [offset, offset+size) and one of those lines
+        holds compiled code.  Called from generated code and from the
+        interpreter store paths."""
+        self.stats.invalidation_writes += 1
+        lo = offset >> 4
+        hi = (offset + size - 1) >> 4
+        self._invalidate_line(lo)
+        if hi != lo:
+            self._invalidate_line(hi)
+
+    def notify_write(self, offset: int, length: int) -> None:
+        """A bus master (DMA, TLM write, loader) wrote RAM [offset,
+        offset+length).  Cheap no-op unless the range overlaps code."""
+        code_lines = self.code_lines
+        if not code_lines or length <= 0:
+            return
+        lo = offset >> 4
+        hi = (offset + length - 1) >> 4
+        if hi - lo >= len(code_lines):
+            # huge write (DMA of megabytes): walk the code set instead
+            hits = sorted(ln for ln in code_lines if lo <= ln <= hi)
+        else:
+            hits = [ln for ln in range(lo, hi + 1) if ln in code_lines]
+        for line in hits:
+            self.stats.invalidation_writes += 1
+            self._invalidate_line(line)
+
+    def _invalidate_line(self, line: int) -> None:
+        affected = self._line_blocks.get(line)
+        if not affected:
+            return
+        count = self._line_invalidations.get(line, 0) + 1
+        self._line_invalidations[line] = count
+        if count >= LINE_BLACKLIST_AFTER:
+            self._no_compile.add(line)
+        for blk in list(affected):
+            self._drop(blk)
+
+    def _drop(self, blk: Superblock) -> None:
+        blocks = self.blocks_dift if blk.dift else self.blocks_plain
+        if blocks.get(blk.entry) is blk:
+            del blocks[blk.entry]
+        hot = self.hot_dift if blk.dift else self.hot_plain
+        hot.pop(blk.entry, None)
+        for line in blk.lines:
+            owners = self._line_blocks.get(line)
+            if owners is not None:
+                owners.discard(blk)
+                if not owners:
+                    del self._line_blocks[line]
+                    self.code_lines.discard(line)
+        self.stats.invalidated_blocks += 1
+
+    def flush(self, reason: str = "") -> None:
+        """Discard every compiled block and all profiling state.
+
+        Used on snapshot restore / program load (the trace cache is
+        derived state, rebuilt by re-profiling) and on debugger attach
+        (breakpoints need per-instruction visibility)."""
+        self.blocks_plain.clear()
+        self.blocks_dift.clear()
+        self.hot_plain.clear()
+        self.hot_dift.clear()
+        del self.ready_plain[:]
+        del self.ready_dift[:]
+        self.code_lines.clear()
+        self._line_blocks.clear()
+        self._line_invalidations.clear()
+        self._no_compile.clear()
+        self.stats.flushes += 1
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def live_blocks(self) -> int:
+        return len(self.blocks_plain) + len(self.blocks_dift)
+
+    def trace_ratio(self) -> float:
+        """Fraction of retired instructions executed from compiled code."""
+        total = self.cpu.csr.instret
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.stats.trace_instructions / total)
+
+    def __repr__(self) -> str:
+        return (f"JitEngine(threshold={self.threshold}, "
+                f"blocks={self.live_blocks}, "
+                f"compiled={self.stats.compiled}, "
+                f"trace={self.stats.trace_instructions})")

@@ -1,0 +1,77 @@
+"""Superblock discovery over the decode cache.
+
+A superblock is a straight-line run of instructions starting at a hot
+entry PC and ending at the first control transfer (branch / jal / jalr,
+which is *included* as the block terminator) or at the first
+instruction the block cannot carry (system/CSR instructions, or a word
+the decode cache has never seen).
+
+The scan reads decoded tuples **only** from ``cpu._decode_cache`` and
+never decodes on its own: every instruction a block compiles has
+already been interpreted at least once (that is what made it hot), so
+stopping at the first uncached word provably keeps the decode-cache
+population — and with it the ``cpu.decode_cache.*`` gauges and the
+snapshot's ``decode_cache`` section — byte-identical between compiled
+and interpreted runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vp import decode as D
+
+#: blocks shorter than this are not worth a dispatch round-trip
+MIN_BLOCK_LEN = 2
+#: generated-source cap; also bounds worst-case compile latency
+MAX_BLOCK_LEN = 64
+
+#: control-transfer opcodes that terminate (and are included in) a block
+_TERMINATORS = frozenset(
+    (D.JAL, D.JALR, D.BEQ, D.BNE, D.BLT, D.BGE, D.BLTU, D.BGEU))
+
+
+def scan_superblock(
+        cpu, entry: int, max_len: int = MAX_BLOCK_LEN,
+) -> Tuple[Optional[List[Tuple[int, tuple]]], bool]:
+    """Scan forward from ``entry``; returns ``(instrs, terminated)``.
+
+    ``instrs`` is a list of ``(pc, decoded)`` pairs or ``None`` when no
+    compilable block exists at ``entry`` (too short, misaligned, or the
+    first word is unknown).  ``terminated`` tells whether the block ends
+    in a control transfer (last element) or falls through.
+    """
+    if entry & 3:
+        return None, False
+    cache = cpu._decode_cache
+    ram = cpu.ram
+    base = cpu.ram_base
+    end = cpu.ram_end
+    frombytes = int.from_bytes
+    pc = entry
+    instrs: List[Tuple[int, tuple]] = []
+    terminated = False
+    while len(instrs) < max_len:
+        if pc < base or pc + 4 > end:
+            break
+        off = pc - base
+        word = frombytes(ram[off:off + 4], "little")
+        d = cache.get(word)
+        if d is None:
+            # never interpreted: compiling it would grow the decode
+            # cache differently from an interpreted run
+            break
+        op = d[0]
+        if op in _TERMINATORS:
+            instrs.append((pc, d))
+            terminated = True
+            break
+        if op >= D.ECALL:
+            # ecall/ebreak/mret/wfi/csr/illegal: cold, stateful paths
+            # the interpreter owns
+            break
+        instrs.append((pc, d))
+        pc += 4
+    if len(instrs) < MIN_BLOCK_LEN:
+        return None, False
+    return instrs, terminated

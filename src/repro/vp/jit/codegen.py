@@ -1,0 +1,535 @@
+"""Python source generation for superblocks.
+
+Each superblock is compiled once into a specialized closure::
+
+    fn(cpu, limit) -> (count, exit_kind)
+
+with registers hoisted into locals, the decoded tuple's constants
+folded into the source, one writeback per exit, and — for DIFT blocks —
+tag propagation fused inline.  Exit kinds:
+
+* ``0`` — block complete: ``cpu.pc`` points at the successor, ``count``
+  instructions retired.
+* ``1`` — side exit *before* an instruction: ``cpu.pc`` points at that
+  instruction, ``count`` covers only the instructions before it, and the
+  interpreter re-executes from there (MMIO access, bounds fault, a DIFT
+  clearance that needs ``check_execution``, or a failed fetch guard with
+  ``count == 0``).  Nothing of the exiting instruction has retired, so
+  interpretation from ``cpu.pc`` is exact.
+* ``2`` — self-modifying-code exit *after* a store into a code line: the
+  store has fully retired (``count`` includes it), the block has already
+  called the invalidation hook, and ``cpu.pc`` points at the successor.
+
+Blocks whose terminator jumps back to their own entry are compiled in
+looping form: the body re-enters locally (``while True``) until the
+branch falls out or the remaining quantum budget cannot fit another
+iteration, which is what buys the >=3x on tight loops — one dispatch,
+one writeback, thousands of retired instructions.
+
+Correctness notes (the differential suite enforces all of these):
+
+* Generated code never decodes and never touches ``cpu._decode_cache``;
+  the builder only accepted words already in the cache, so cache
+  population — and the ``cpu.decode_cache.*`` gauges and snapshot
+  section — match interpreted runs exactly.
+* The DIFT fetch guard side-exits whenever any byte tag under the block
+  is not lattice bottom.  ``flow[bottom][req]`` is True by lattice
+  construction (bottom reaches every class), so an all-bottom range is
+  exactly the case where the interpreter's per-instruction fetch check
+  passes without calling ``check_execution``.  The guard is re-checked
+  only at block entry: the tags under the block can change mid-block
+  only through the block's own stores, and those take the SMC exit.
+* Clearance checks are compiled as raw ``flow`` lookups that side-exit
+  on failure; the interpreter then repeats the lookup and performs the
+  ``check_execution`` bookkeeping (``checks_performed``, violation
+  records, RAISE-mode exceptions) with identical arguments.
+* The caller guarantees ``regs[0] == 0`` (and ``tags[0] == bottom`` for
+  DIFT blocks), so x0 operands fold to literals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vp import decode as D
+from repro.vp.cpu import _muldiv
+
+_MASK32 = 0xFFFFFFFF
+
+
+class Superblock:
+    """A compiled superblock plus its dispatch bookkeeping."""
+
+    __slots__ = ("entry", "length", "dift", "loop", "fn", "lines",
+                 "source", "completes", "sidexits", "barren")
+
+    def __init__(self, entry: int, length: int, dift: bool, loop: bool,
+                 fn, lines: Tuple[int, ...], source: str):
+        self.entry = entry
+        self.length = length
+        self.dift = dift
+        self.loop = loop
+        self.fn = fn
+        self.lines = lines     # 16-byte RAM lines holding the block's code
+        self.source = source
+        self.completes = 0     # exits with kind 0
+        self.sidexits = 0      # exits with kind 1 or 2
+        self.barren = 0        # kind-1 exits that retired nothing
+
+    def __repr__(self) -> str:
+        kind = "dift" if self.dift else "plain"
+        shape = "loop" if self.loop else "line"
+        return (f"Superblock({self.entry:#010x}, len={self.length}, "
+                f"{kind}, {shape})")
+
+
+def compile_block(cpu, code_lines, invalidate_write, instrs,
+                  terminated: bool, dift: bool) -> Optional[Superblock]:
+    """Compile ``instrs`` (from the builder) into a :class:`Superblock`.
+
+    Returns ``None`` for shapes the generator does not support (none
+    exist today for builder-approved blocks; the escape hatch keeps a
+    decode-table drift from turning into a miscompile).
+    """
+    entry = instrs[0][0]
+    length = len(instrs)
+    last_pc, last_d = instrs[-1]
+    base = cpu.ram_base
+    end = cpu.ram_end
+    bottom = cpu._bottom
+    fetch_req = cpu._fetch_req if dift else None
+    branch_req = cpu._branch_req if dift else None
+    memaddr_req = cpu._memaddr_req if dift else None
+
+    loop = False
+    if terminated:
+        top_op = last_d[0]
+        if top_op == D.JAL or D.BEQ <= top_op <= D.BGEU:
+            loop = ((last_pc + last_d[4]) & _MASK32) == entry
+
+    # ---- register read/write sets ---------------------------------- #
+    reads: set = set()
+    writes: set = set()
+    for __, d in instrs:
+        op, rd, rs1, rs2, __imm = d
+        if op in (D.LUI, D.AUIPC, D.JAL):
+            if rd:
+                writes.add(rd)
+        elif op == D.JALR:
+            if rs1:
+                reads.add(rs1)
+            if rd:
+                writes.add(rd)
+        elif D.BEQ <= op <= D.BGEU:
+            if rs1:
+                reads.add(rs1)
+            if rs2:
+                reads.add(rs2)
+        elif op <= D.LHU:  # loads
+            if rs1:
+                reads.add(rs1)
+            if rd:
+                writes.add(rd)
+        elif op <= D.SW:  # stores
+            if rs1:
+                reads.add(rs1)
+            if rs2:
+                reads.add(rs2)
+        elif op <= D.SRAI:  # imm ALU + shifts
+            if rs1:
+                reads.add(rs1)
+            if rd:
+                writes.add(rd)
+        elif op <= D.REMU:  # reg ALU + muldiv
+            if rs1:
+                reads.add(rs1)
+            if rs2:
+                reads.add(rs2)
+            if rd:
+                writes.add(rd)
+        elif op == D.FENCE:
+            pass
+        else:  # pragma: no cover - builder never passes these through
+            return None
+    hoisted = sorted(reads | writes)
+    wb_regs = sorted(writes)
+
+    # ---- expression helpers ---------------------------------------- #
+    def rx(j: int) -> str:
+        return "0" if j == 0 else f"r{j}"
+
+    def tx(j: int) -> str:
+        return str(bottom) if j == 0 else f"t{j}"
+
+    def signed(expr: str, tmp: str) -> Tuple[List[str], str]:
+        if expr == "0":
+            return [], "0"
+        return ([f"{tmp} = {expr} - 0x100000000 "
+                 f"if {expr} >= 0x80000000 else {expr}"], tmp)
+
+    def addr_expr(rs1: int, imm: int) -> str:
+        if rs1 == 0:
+            return str(imm & _MASK32)
+        if imm == 0:
+            return rx(rs1)
+        return f"({rx(rs1)} + {imm}) & 0xFFFFFFFF"
+
+    off_name = "a" if base == 0 else "o"
+
+    def offs(k: int) -> str:
+        return off_name if k == 0 else f"{off_name} + {k}"
+
+    wb_lines: List[str] = [f"regs[{j}] = r{j}" for j in wb_regs]
+    if dift:
+        wb_lines += [f"tags[{j}] = t{j}" for j in wb_regs]
+
+    lines: List[str] = []
+
+    def cnt(i: int) -> str:
+        if not loop:
+            return str(i)
+        return "n" if i == 0 else f"n + {i}"
+
+    def emit(ind: int, text: str) -> None:
+        lines.append("    " * ind + text)
+
+    def emit_side_exit(ind: int, pc_i: int, count_expr: str) -> None:
+        for ln in wb_lines:
+            emit(ind, ln)
+        emit(ind, f"cpu.pc = {pc_i}")
+        emit(ind, f"return {count_expr}, 1")
+
+    # ---- prologue --------------------------------------------------- #
+    emit(0, "def block(cpu, limit, fb=FB, md=MD, cp=CP, iv=IV, "
+            "lb=LB, fl=FL):")
+    if dift:
+        emit(1, "mt = cpu.ram_tags")
+        if fetch_req is not None:
+            lo = entry - base
+            hi = last_pc + 4 - base
+            emit(1, f"if mt.count({bottom}, {lo}, {hi}) != {hi - lo}:")
+            emit(2, "return 0, 1")
+        emit(1, "tags = cpu.tags")
+    emit(1, "regs = cpu.regs")
+    emit(1, "ram = cpu.ram")
+    for j in hoisted:
+        emit(1, f"r{j} = regs[{j}]")
+    if dift:
+        for j in hoisted:
+            emit(1, f"t{j} = tags[{j}]")
+
+    body = 1
+    if loop:
+        emit(1, "n = 0")
+        emit(1, "while True:")
+        body = 2
+
+    # ---- straight-line instructions -------------------------------- #
+    straight = instrs[:-1] if terminated else instrs
+
+    for i, (pc, d) in enumerate(straight):
+        op, rd, rs1, rs2, imm = d
+        emit(body, f"# [{cnt(i)}] {pc:#010x} {D.OP_NAMES[op]}")
+
+        if op == D.LUI:
+            if rd:
+                emit(body, f"r{rd} = {imm}")
+                if dift:
+                    emit(body, f"t{rd} = {bottom}")
+
+        elif op == D.AUIPC:
+            if rd:
+                emit(body, f"r{rd} = {(pc + imm) & _MASK32}")
+                if dift:
+                    emit(body, f"t{rd} = {bottom}")
+
+        elif op <= D.LHU:  # loads
+            if memaddr_req is not None:
+                emit(body, f"if not fl[{tx(rs1)}][{memaddr_req}]:")
+                emit_side_exit(body + 1, pc, cnt(i))
+            size = 4 if op == D.LW else (2 if op in (D.LH, D.LHU) else 1)
+            emit(body, f"a = {addr_expr(rs1, imm)}")
+            guard = (f"a > {end - size}" if base == 0
+                     else f"a < {base} or a > {end - size}")
+            emit(body, f"if {guard}:")
+            emit_side_exit(body + 1, pc, cnt(i))
+            if base:
+                emit(body, f"o = a - {base}")
+            if rd:
+                if op == D.LW:
+                    emit(body, f'r{rd} = fb(ram[{offs(0)}:{offs(4)}], '
+                               f'"little")')
+                elif op == D.LBU:
+                    emit(body, f"r{rd} = ram[{offs(0)}]")
+                elif op == D.LB:
+                    emit(body, f"v = ram[{offs(0)}]")
+                    emit(body, f"r{rd} = v + 0xFFFFFF00 "
+                               f"if v >= 0x80 else v")
+                elif op == D.LHU:
+                    emit(body, f"r{rd} = ram[{offs(0)}] | "
+                               f"(ram[{offs(1)}] << 8)")
+                else:  # LH
+                    emit(body, f"v = ram[{offs(0)}] | "
+                               f"(ram[{offs(1)}] << 8)")
+                    emit(body, f"r{rd} = v + 0xFFFF0000 "
+                               f"if v >= 0x8000 else v")
+                if dift:
+                    if op == D.LW:
+                        emit(body, f"t{rd} = lb[lb[lb[mt[{offs(0)}]]"
+                                   f"[mt[{offs(1)}]]][mt[{offs(2)}]]]"
+                                   f"[mt[{offs(3)}]]")
+                    elif op in (D.LB, D.LBU):
+                        emit(body, f"t{rd} = mt[{offs(0)}]")
+                    else:
+                        emit(body, f"t{rd} = lb[mt[{offs(0)}]]"
+                                   f"[mt[{offs(1)}]]")
+
+        elif op <= D.SW:  # stores
+            if memaddr_req is not None:
+                emit(body, f"if not fl[{tx(rs1)}][{memaddr_req}]:")
+                emit_side_exit(body + 1, pc, cnt(i))
+            size = 4 if op == D.SW else (1 if op == D.SB else 2)
+            emit(body, f"a = {addr_expr(rs1, imm)}")
+            guard = (f"a > {end - size}" if base == 0
+                     else f"a < {base} or a > {end - size}")
+            emit(body, f"if {guard}:")
+            emit_side_exit(body + 1, pc, cnt(i))
+            if base:
+                emit(body, f"o = a - {base}")
+            v = rx(rs2)
+            if op == D.SW:
+                if rs2:
+                    emit(body, f'ram[{offs(0)}:{offs(4)}] = '
+                               f'{v}.to_bytes(4, "little")')
+                else:
+                    emit(body, f'ram[{offs(0)}:{offs(4)}] = '
+                               f'b"\\x00\\x00\\x00\\x00"')
+            elif op == D.SB:
+                emit(body, f"ram[{offs(0)}] = "
+                           + ("0" if not rs2 else f"{v} & 0xFF"))
+            else:  # SH
+                if rs2:
+                    emit(body, f"ram[{offs(0)}] = {v} & 0xFF")
+                    emit(body, f"ram[{offs(1)}] = ({v} >> 8) & 0xFF")
+                else:
+                    emit(body, f"ram[{offs(0)}] = 0")
+                    emit(body, f"ram[{offs(1)}] = 0")
+            if dift:
+                for k in range(size):
+                    emit(body, f"mt[{offs(k)}] = {tx(rs2)}")
+            if size == 1:
+                line_test = f"({offs(0)}) >> 4 in cp"
+            else:
+                line_test = (f"({offs(0)}) >> 4 in cp or "
+                             f"({offs(size - 1)}) >> 4 in cp")
+            emit(body, f"if cp and ({line_test}):")
+            for ln in wb_lines:
+                emit(body + 1, ln)
+            emit(body + 1, f"cpu.pc = {pc + 4}")
+            emit(body + 1, f"iv({off_name}, {size})")
+            emit(body + 1, f"return {cnt(i + 1)}, 2")
+
+        elif op <= D.ANDI:  # immediate ALU
+            if rd:
+                a = rx(rs1)
+                if op == D.ADDI:
+                    if rs1 == 0:
+                        expr = str(imm & _MASK32)
+                    elif imm == 0:
+                        expr = a
+                    else:
+                        expr = f"({a} + {imm}) & 0xFFFFFFFF"
+                elif op == D.ANDI:
+                    expr = f"{a} & {imm & _MASK32}"
+                elif op == D.ORI:
+                    expr = f"{a} | {imm & _MASK32}"
+                elif op == D.XORI:
+                    expr = f"{a} ^ {imm & _MASK32}"
+                elif op == D.SLTIU:
+                    expr = f"1 if {a} < {imm & _MASK32} else 0"
+                else:  # SLTI
+                    pre, sa = signed(a, "sx")
+                    for ln in pre:
+                        emit(body, ln)
+                    expr = f"1 if {sa} < {imm} else 0"
+                if expr != f"r{rd}":
+                    emit(body, f"r{rd} = {expr}")
+                if dift and (rs1 == 0 or rd != rs1):
+                    emit(body, f"t{rd} = {tx(rs1)}")
+
+        elif op <= D.SRAI:  # immediate shifts
+            if rd:
+                a = rx(rs1)
+                if op == D.SLLI:
+                    expr = f"({a} << {imm}) & 0xFFFFFFFF"
+                elif op == D.SRLI:
+                    expr = f"{a} >> {imm}"
+                else:  # SRAI
+                    pre, sa = signed(a, "sx")
+                    for ln in pre:
+                        emit(body, ln)
+                    expr = f"({sa} >> {imm}) & 0xFFFFFFFF"
+                emit(body, f"r{rd} = {expr}")
+                if dift and (rs1 == 0 or rd != rs1):
+                    emit(body, f"t{rd} = {tx(rs1)}")
+
+        elif op <= D.AND:  # register ALU
+            if rd:
+                a = rx(rs1)
+                b = rx(rs2)
+                if op == D.ADD:
+                    expr = f"({a} + {b}) & 0xFFFFFFFF"
+                elif op == D.SUB:
+                    expr = f"({a} - {b}) & 0xFFFFFFFF"
+                elif op == D.AND:
+                    expr = f"{a} & {b}"
+                elif op == D.OR:
+                    expr = f"{a} | {b}"
+                elif op == D.XOR:
+                    expr = f"{a} ^ {b}"
+                elif op == D.SLL:
+                    expr = f"({a} << ({b} & 31)) & 0xFFFFFFFF"
+                elif op == D.SRL:
+                    expr = f"{a} >> ({b} & 31)"
+                elif op == D.SRA:
+                    pre, sa = signed(a, "sx")
+                    for ln in pre:
+                        emit(body, ln)
+                    expr = f"({sa} >> ({b} & 31)) & 0xFFFFFFFF"
+                elif op == D.SLTU:
+                    expr = f"1 if {a} < {b} else 0"
+                else:  # SLT
+                    pre, sa = signed(a, "sx")
+                    for ln in pre:
+                        emit(body, ln)
+                    pre, sb = signed(b, "sy")
+                    for ln in pre:
+                        emit(body, ln)
+                    expr = f"1 if {sa} < {sb} else 0"
+                emit(body, f"r{rd} = {expr}")
+                if dift:
+                    emit(body, f"t{rd} = lb[{tx(rs1)}][{tx(rs2)}]")
+
+        elif op <= D.REMU:  # M extension
+            if rd:
+                if op == D.MUL:
+                    emit(body, f"r{rd} = ({rx(rs1)} * {rx(rs2)}) "
+                               f"& 0xFFFFFFFF")
+                else:
+                    emit(body, f"r{rd} = md({op}, {rx(rs1)}, {rx(rs2)})")
+                if dift:
+                    emit(body, f"t{rd} = lb[{tx(rs1)}][{tx(rs2)}]")
+
+        elif op == D.FENCE:
+            pass
+
+        else:  # pragma: no cover - builder never passes these through
+            return None
+
+    # ---- terminator / epilogue ------------------------------------- #
+    def emit_writeback(ind: int) -> None:
+        for ln in wb_lines:
+            emit(ind, ln)
+
+    if not terminated:
+        emit(body, f"# fall-through at {last_pc + 4:#010x}")
+        emit_writeback(body)
+        emit(body, f"cpu.pc = {last_pc + 4}")
+        emit(body, f"return {length}, 0")
+    else:
+        op, rd, rs1, rs2, imm = last_d
+        i = length - 1
+        emit(body, f"# [{cnt(i)}] {last_pc:#010x} {D.OP_NAMES[op]}")
+
+        if op == D.JAL:
+            target = (last_pc + imm) & _MASK32
+            if rd:
+                emit(body, f"r{rd} = {last_pc + 4}")
+                if dift:
+                    emit(body, f"t{rd} = {bottom}")
+            if loop:
+                emit(body, f"n += {length}")
+                emit(body, f"if n + {length} <= limit:")
+                emit(body + 1, "continue")
+                emit_writeback(body)
+                emit(body, f"cpu.pc = {target}")
+                emit(body, "return n, 0")
+            else:
+                emit_writeback(body)
+                emit(body, f"cpu.pc = {target}")
+                emit(body, f"return {length}, 0")
+
+        elif op == D.JALR:
+            if branch_req is not None:
+                emit(body, f"if not fl[{tx(rs1)}][{branch_req}]:")
+                emit_side_exit(body + 1, last_pc, cnt(i))
+            if rs1 == 0:
+                emit(body, f"tgt = {imm & 0xFFFFFFFE}")
+            else:
+                emit(body, f"tgt = ({rx(rs1)} + {imm}) & 0xFFFFFFFE")
+            if rd:
+                emit(body, f"r{rd} = {last_pc + 4}")
+                if dift:
+                    emit(body, f"t{rd} = {bottom}")
+            emit_writeback(body)
+            emit(body, "cpu.pc = tgt")
+            emit(body, f"return {length}, 0")
+
+        else:  # conditional branch
+            taken = (last_pc + imm) & _MASK32
+            fall = last_pc + 4
+            if branch_req is not None:
+                emit(body, f"if not fl[lb[{tx(rs1)}][{tx(rs2)}]]"
+                           f"[{branch_req}]:")
+                emit_side_exit(body + 1, last_pc, cnt(i))
+            a = rx(rs1)
+            b = rx(rs2)
+            if op == D.BEQ:
+                cond = f"{a} == {b}"
+            elif op == D.BNE:
+                cond = f"{a} != {b}"
+            elif op == D.BLTU:
+                cond = f"{a} < {b}"
+            elif op == D.BGEU:
+                cond = f"{a} >= {b}"
+            else:
+                pre, sa = signed(a, "sx")
+                for ln in pre:
+                    emit(body, ln)
+                pre, sb = signed(b, "sy")
+                for ln in pre:
+                    emit(body, ln)
+                cond = (f"{sa} < {sb}" if op == D.BLT
+                        else f"{sa} >= {sb}")
+            if loop:
+                emit(body, f"tk = {cond}")
+                emit(body, f"n += {length}")
+                emit(body, f"if tk and n + {length} <= limit:")
+                emit(body + 1, "continue")
+                emit_writeback(body)
+                emit(body, f"cpu.pc = {taken} if tk else {fall}")
+                emit(body, "return n, 0")
+            else:
+                emit_writeback(body)
+                emit(body, f"cpu.pc = {taken} if {cond} else {fall}")
+                emit(body, f"return {length}, 0")
+
+    # ---- compile ---------------------------------------------------- #
+    source = "\n".join(lines) + "\n"
+    flavor = "dift" if dift else "plain"
+    namespace = {
+        "FB": int.from_bytes,
+        "MD": _muldiv,
+        "CP": code_lines,
+        "IV": invalidate_write,
+        "LB": cpu.dift.lub if dift else None,
+        "FL": cpu.dift.flow if dift else None,
+    }
+    code = compile(source, f"<jit:{flavor}:{entry:#010x}>", "exec")
+    exec(code, namespace)
+
+    lo_line = (entry - base) >> 4
+    hi_line = (last_pc + 3 - base) >> 4
+    lines16 = tuple(range(lo_line, hi_line + 1))
+    return Superblock(entry, length, dift, loop, namespace["block"],
+                      lines16, source)

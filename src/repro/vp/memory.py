@@ -37,10 +37,19 @@ class Memory(Module):
         # tags are written outside the ISS hot loop (TLM/DMA writes,
         # loader classification, host-side pokes)
         self._taint_listener = None
+        # trace-compiler hook: called as fn(offset, length) whenever
+        # *data* bytes are written outside the ISS hot loop, so compiled
+        # code pages stay coherent with DMA and host-side writes (the
+        # ISS store paths check code pages inline instead)
+        self._write_listener = None
 
     def set_taint_listener(self, fn) -> None:
         """Register a callback observing every non-ISS tag write."""
         self._taint_listener = fn
+
+    def set_write_listener(self, fn) -> None:
+        """Register a callback observing every non-ISS data write."""
+        self._write_listener = fn
 
     def transport(self, trans: GenericPayload, delay: SimTime) -> SimTime:
         """TLM blocking transport (payload address is memory-local)."""
@@ -55,6 +64,8 @@ class Memory(Module):
                 trans.tags[:] = self.tags[address:address + length]
         else:
             self.data[address:address + length] = trans.data
+            if self._write_listener is not None:
+                self._write_listener(address, length)
             if self.tags is not None:
                 if trans.tags is not None:
                     self.tags[address:address + length] = trans.tags
@@ -76,6 +87,8 @@ class Memory(Module):
     def load(self, offset: int, blob: bytes, tag: Optional[int] = None) -> None:
         """Copy ``blob`` into memory; optionally tag the written bytes."""
         self.data[offset:offset + len(blob)] = blob
+        if self._write_listener is not None:
+            self._write_listener(offset, len(blob))
         if self.tags is not None and tag is not None:
             self.tags[offset:offset + len(blob)] = bytes([tag]) * len(blob)
             if self._taint_listener is not None:
@@ -88,6 +101,8 @@ class Memory(Module):
                    tag: Optional[int] = None) -> None:
         self.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(
             4, "little")
+        if self._write_listener is not None:
+            self._write_listener(offset, 4)
         if self.tags is not None and tag is not None:
             self.tags[offset:offset + 4] = bytes([tag]) * 4
             if self._taint_listener is not None:

@@ -40,6 +40,7 @@ from repro.sysc.tlm import Router
 from repro.vp import cpu as cpu_mod
 from repro.vp.config import PlatformConfig
 from repro.vp.cpu import Cpu
+from repro.vp.jit import DEFAULT_THRESHOLD, JitEngine
 from repro.vp.loader import load_program
 from repro.vp.memory import Memory
 from repro.vp.peripherals import (
@@ -154,6 +155,21 @@ class Platform:
         self.cpu.attach_ram(RAM_BASE, self.memory.data, self.memory.tags)
         self.cpu.ecall_handler = _default_ecall
 
+        self.jit: Optional[JitEngine] = None
+        if config.jit:
+            # True → default threshold; an int sets it directly (bool is
+            # an int subclass, so the isinstance order matters)
+            if isinstance(config.jit, bool):
+                threshold = DEFAULT_THRESHOLD
+            else:
+                threshold = int(config.jit)
+            self.jit = JitEngine(self.cpu, threshold=threshold)
+            self.cpu.attach_jit(self.jit)
+            # host-side writes into RAM (DMA, loader, debugger pokes)
+            # bypass the CPU store paths; the listener keeps compiled
+            # code pages coherent with them
+            self.memory.set_write_listener(self._on_memory_write)
+
         live = self.cpu.liveness
         if live is not None:
             if self.engine.default_tag != self.engine.bottom_tag:
@@ -261,17 +277,34 @@ class Platform:
                              lambda: self.kernel.delta_count)
         metrics.set_gauge_fn("tlm.transactions_routed",
                              lambda: self.router.transactions_routed)
-        # Every retired instruction is one decode-cache lookup; every
-        # cache entry was exactly one miss — hit/miss falls out of
-        # instret and the cache size with zero hot-loop cost.
+        # Every retired instruction is one decode-cache lookup.  Misses
+        # are counted by the CPU itself (a cleared or partially warmed
+        # cache makes them diverge from the entry count, so ``len`` is
+        # not a substitute); hits fall out of instret minus misses.
         metrics.set_gauge_fn("cpu.decode_cache.entries",
                              lambda: len(self.cpu._decode_cache))
         metrics.set_gauge_fn("cpu.decode_cache.misses",
-                             lambda: len(self.cpu._decode_cache))
+                             lambda: self.cpu.decode_misses)
         metrics.set_gauge_fn(
             "cpu.decode_cache.hits",
             lambda: max(0, self.cpu.csr.instret
-                        - len(self.cpu._decode_cache)))
+                        - self.cpu.decode_misses))
+        jit = self.jit
+        if jit is not None:
+            metrics.set_gauge_fn("jit.blocks.compiled",
+                                 lambda: jit.stats.compiled)
+            metrics.set_gauge_fn("jit.blocks.live",
+                                 lambda: jit.live_blocks)
+            metrics.set_gauge_fn("jit.invalidations",
+                                 lambda: jit.stats.invalidated_blocks)
+            metrics.set_gauge_fn("jit.flushes",
+                                 lambda: jit.stats.flushes)
+            metrics.set_gauge_fn("jit.exec.blocks",
+                                 lambda: jit.stats.block_execs)
+            metrics.set_gauge_fn("jit.exec.trace_instructions",
+                                 lambda: jit.stats.trace_instructions)
+            metrics.set_gauge_fn("jit.exec.trace_ratio",
+                                 lambda: jit.trace_ratio())
         engine = self.engine
         if engine is not None:
             engine.attach_obs(obs)
@@ -294,6 +327,10 @@ class Platform:
                                      lambda: live.reclaims)
                 metrics.set_gauge_fn("shadow.tainted_pages",
                                      self._tainted_pages)
+
+    def _on_memory_write(self, offset: int, length: int) -> None:
+        """Memory write listener: invalidate compiled code the write hits."""
+        self.jit.notify_write(offset, length)
 
     def _on_memory_taint(self, offset: int, length: int, tags) -> None:
         """Memory taint listener (demand mode): filter bottom-only writes."""
@@ -364,6 +401,8 @@ class Platform:
         self.program = program
         self.cpu.reset(program.entry)
         self.cpu.regs[2] = STACK_TOP  # sp
+        if self.jit is not None:
+            self.jit.flush("load")
 
     # ------------------------------------------------------------------ #
     # execution
@@ -595,21 +634,29 @@ class Platform:
         if document.get("obs") is not None and self.obs is not None:
             self.obs.metrics.load_state_dict(document["obs"])
         self.program = program
+        if self.jit is not None:
+            # the trace cache is host-side derived state and never
+            # travels in snapshots; rebuild from scratch so a restored
+            # run re-profiles against the restored RAM image
+            self.jit.flush("restore")
 
     @classmethod
     def restore(cls, source, obs=None, program: Optional[Program] = None,
-                externals=None) -> "Platform":
+                externals=None, jit=False) -> "Platform":
         """Rebuild a platform from a snapshot file (or loaded document).
 
         The embedded :class:`PlatformConfig` drives construction;
         ``externals`` is an optional ``callable(platform)`` run before
         state load to re-attach non-kernel models the snapshot carries.
+        ``jit`` enables the trace compiler on the rebuilt platform — it
+        never travels in snapshots, so it is re-requested per restore.
         """
         if isinstance(source, str):
             document = state_mod.load_document(source)
         else:
             document = state_mod.check_schema(source)
-        config = PlatformConfig.from_json(document["config"], obs=obs)
+        config = PlatformConfig.from_json(document["config"], obs=obs,
+                                          jit=jit)
         platform = cls(config)
         if externals is not None:
             externals(platform)

@@ -1,0 +1,261 @@
+"""Differential tests for the trace-compiled fast path (``repro.vp.jit``).
+
+The trace compiler is an *execution strategy*, not a semantic feature:
+with it on, every observable of a simulation — architectural state,
+console bytes, DIFT violations, simulated time, snapshot documents —
+must be byte-identical to the plain interpreter.  This suite proves that
+across the whole workload registry and all three DIFT configurations,
+on the committed attack corpus, and under self-modifying code, plus the
+config plumbing and the decode-cache gauges the same PR fixed.
+
+A deliberately low compile threshold (``JIT_THRESHOLD``) makes even the
+short tier-1 budgets compile and dispatch real superblocks, so the
+differential is never vacuous.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workloads import get_workload, workload_names
+from repro.campaign.worker import is_timing_metric
+from repro.gen.corpus import corpus_files, load_case
+from repro.obs import Observability
+from repro.state import diff_documents
+from repro.vp.config import PlatformConfig
+from repro.vp.jit import DEFAULT_THRESHOLD
+from repro.vp.platform import Platform
+from tests.conftest import run_guest
+
+#: low enough that tier-1 budgets reach compilation, high enough that the
+#: profiler (not the dispatcher) still does the discovery work
+JIT_THRESHOLD = 4
+
+#: instruction budget per leg: crosses several CPU quanta (4096) and at
+#: least one platform quantum (8192) so dispatch/interp handover happens
+BUDGET = 30_000
+
+#: (dift, dift_mode) legs mirrored from the replay suite
+MODES = [("plain", False, "full"),
+         ("full", True, "full"),
+         ("demand", True, "demand")]
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def _doc_diff(doc_off: dict, doc_on: dict):
+    """Snapshot-document diff minus the legitimately-divergent leaves.
+
+    Host timings (``wall``/``mips``/``seconds``) differ by construction,
+    and the ``jit.*`` gauges only exist on the jit-on platform — both are
+    host-side observability, not simulated state, and get the same
+    quarantine the replay verifier applies.
+    """
+    mismatches = []
+    for line in diff_documents(doc_off, doc_on):
+        path = line.split(": ", 1)[0]
+        if is_timing_metric(path) or ".jit." in path:
+            continue
+        mismatches.append(line)
+    return mismatches
+
+
+def _run_pair(name: str, dift: bool, dift_mode: str):
+    """The same workload twice — interpreter-only and trace-compiled."""
+    pair = []
+    for jit in (False, JIT_THRESHOLD):
+        platform = get_workload(name).make_platform(
+            "quick", dift, obs=Observability(), dift_mode=dift_mode,
+            seed=0, jit=jit)
+        result = platform.run(max_instructions=BUDGET)
+        pair.append((platform, result))
+    return pair
+
+
+@pytest.mark.parametrize("mode,dift,dift_mode",
+                         MODES, ids=[m[0] for m in MODES])
+@pytest.mark.parametrize("name", workload_names())
+def test_jit_is_observably_identical(name, mode, dift, dift_mode):
+    """Registry x {plain, full, demand}: identical snapshot documents."""
+    (p_off, r_off), (p_on, r_on) = _run_pair(name, dift, dift_mode)
+    assert r_on.reason == r_off.reason
+    assert r_on.exit_code == r_off.exit_code
+    assert p_on.total_instructions == p_off.total_instructions
+    assert p_on.console() == p_off.console()
+    assert [str(v) for v in r_on.violations] == \
+        [str(v) for v in r_off.violations]
+    mismatches = _doc_diff(p_off.snapshot_document(),
+                           p_on.snapshot_document())
+    assert not mismatches, \
+        f"{name}/{mode}: jit-on snapshot diverged: {mismatches[:8]}"
+
+
+def test_jit_differential_is_not_vacuous():
+    """The equality sweep means nothing if no block ever runs."""
+    (_, _), (p_on, _) = _run_pair("dhrystone", False, "full")
+    jit = p_on.jit
+    assert jit is not None
+    assert jit.stats.compiled > 0, "no superblock compiled within budget"
+    assert jit.stats.block_execs > 0, "compiled blocks never dispatched"
+    assert jit.stats.trace_instructions > 0
+    metrics = p_on.obs.snapshot()
+    assert metrics["jit.blocks.compiled"] == jit.stats.compiled
+    assert metrics["jit.exec.blocks"] == jit.stats.block_execs
+    assert 0.0 < metrics["jit.exec.trace_ratio"] <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# attack corpus under the fast path
+# ---------------------------------------------------------------------------
+
+_CASE_FILES = [os.path.basename(p) for p in corpus_files(CORPUS_DIR)]
+
+
+@pytest.mark.parametrize("filename", _CASE_FILES)
+def test_jit_attack_corpus_detection_identical(filename):
+    """Every committed attack detects identically with the jit on.
+
+    A fast path that dropped a DIFT propagation would show up here first:
+    the attack's violation record, stop reason, and final snapshot all
+    have to match the interpreter run bit for bit.
+    """
+    case = load_case(os.path.join(CORPUS_DIR, filename))
+    program, attack, _ = case.build()
+    policy = case.policy(program)
+    runs = []
+    for jit in (False, JIT_THRESHOLD):
+        platform = Platform.from_config(PlatformConfig(
+            policy=policy, engine_mode="record", dift_mode="full", jit=jit))
+        platform.load(program)
+        platform.uart.feed(attack)
+        result = platform.run(max_instructions=200_000)
+        runs.append((platform, result))
+    (p_off, r_off), (p_on, r_on) = runs
+    assert r_on.detected == r_off.detected
+    assert [str(v) for v in r_on.violations] == \
+        [str(v) for v in r_off.violations]
+    mismatches = _doc_diff(p_off.snapshot_document(),
+                           p_on.snapshot_document())
+    assert not mismatches, f"{filename}: {mismatches[:8]}"
+
+
+# ---------------------------------------------------------------------------
+# self-modifying code invalidates compiled traces
+# ---------------------------------------------------------------------------
+
+# addi a0, a0, 2 — the word the guest writes over ``patchme`` below
+_PATCH_WORD = 0x00250513
+
+_SMC_SOURCE = """
+.text
+main:
+    li a0, 0
+    li t3, 2            # two phases over the same loop
+    li t4, 0            # patched-yet flag
+phase:
+    li t0, 300          # long enough that phase 1 is compiled AND
+loop:                   # dispatched before the patch store runs
+patchme:
+    addi a0, a0, 1      # phase 2 executes this as addi a0, a0, 2
+    addi t0, t0, -1
+    bnez t0, loop
+    bnez t4, patched
+    li t4, 1
+    li t1, 0x00250513
+    la t2, patchme
+    sw t1, 0(t2)        # store straight into compiled code
+patched:
+    addi t3, t3, -1
+    bnez t3, phase
+    ret                 # a0 = 300*1 + 300*2 = 900
+"""
+
+
+def test_jit_self_modifying_code():
+    """A store into a compiled line retires the stale trace.
+
+    If invalidation missed, phase 2 would keep running the old closure
+    (``+1`` per iteration) and finish with a0 at 600 instead of 900 —
+    the differential against the interpreter catches exactly that.
+    """
+    from repro.sw import runtime
+
+    source = runtime.program(_SMC_SOURCE)
+    result_off, p_off = run_guest(source)
+    result_on, p_on = run_guest(source, jit=JIT_THRESHOLD)
+    assert result_on.exit_code == result_off.exit_code
+    assert p_on.total_instructions == p_off.total_instructions
+    jit = p_on.jit
+    assert jit.stats.invalidated_blocks > 0, \
+        "store into compiled code did not invalidate any block"
+    # the patched loop is hot again in phase 2 and recompiles
+    assert jit.stats.compiled >= 2
+    mismatches = _doc_diff(p_off.snapshot_document(),
+                           p_on.snapshot_document())
+    assert not mismatches, mismatches[:8]
+
+
+# ---------------------------------------------------------------------------
+# configuration plumbing
+# ---------------------------------------------------------------------------
+
+def test_jit_config_threshold_plumbing():
+    p_default = Platform.from_config(PlatformConfig(jit=True))
+    assert p_default.jit is not None
+    assert p_default.jit.threshold == DEFAULT_THRESHOLD
+
+    p_custom = Platform.from_config(PlatformConfig(jit=3))
+    assert p_custom.jit.threshold == 3
+
+    p_off = Platform.from_config(PlatformConfig(jit=False))
+    assert p_off.jit is None
+
+
+def test_jit_is_host_side_and_not_serialized():
+    """``jit`` never enters the config document: snapshots written with
+    the fast path on restore cleanly anywhere, and turning it on cannot
+    change a config hash or campaign snapshot key."""
+    config = PlatformConfig(jit=7)
+    document = config.to_json()
+    assert "jit" not in document
+    restored = PlatformConfig.from_json(document)
+    assert restored.jit is False
+    restored_on = PlatformConfig.from_json(document, jit=True)
+    assert restored_on.jit is True
+
+
+# ---------------------------------------------------------------------------
+# decode-cache gauges (regression: misses used to alias entries)
+# ---------------------------------------------------------------------------
+
+def test_decode_cache_miss_gauge_is_a_real_counter():
+    """``cpu.decode_cache.misses`` counts decodes, not cache size.
+
+    The gauge was once registered with the same ``len(cache)`` lambda as
+    ``entries``, which is indistinguishable on a cold cache (every entry
+    cost exactly one miss).  Clearing the cache mid-run separates them:
+    re-decoding the same words grows the counter but not the dict.
+    """
+    platform = get_workload("simple-sensor").make_platform(
+        "quick", False, obs=Observability(), seed=0)
+    platform.run(pause_at=3_000, max_instructions=BUDGET)
+
+    snap = platform.obs.snapshot()
+    entries = snap["cpu.decode_cache.entries"]
+    misses = snap["cpu.decode_cache.misses"]
+    assert entries > 0
+    # cold cache: every distinct word missed exactly once on first fetch
+    assert misses == entries
+
+    platform.cpu._decode_cache.clear()
+    platform.run(pause_at=6_000, max_instructions=BUDGET)
+
+    snap = platform.obs.snapshot()
+    assert snap["cpu.decode_cache.misses"] > snap["cpu.decode_cache.entries"], \
+        "misses gauge still tracks cache size, not actual decode misses"
+    # hits = executed - misses stays consistent and non-negative
+    assert 0 <= snap["cpu.decode_cache.hits"]
+    assert (snap["cpu.decode_cache.hits"] + snap["cpu.decode_cache.misses"]
+            >= platform.total_instructions)

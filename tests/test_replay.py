@@ -52,6 +52,27 @@ class TestReplayEquivalence:
             verify_replay("qsort", "turbo")
 
 
+class TestReplayWithJit:
+    """The trace cache is derived state: a resumed run recompiles from
+    scratch and still converges on the same final state."""
+
+    @pytest.mark.parametrize("mode", REPLAY_MODES)
+    def test_dhrystone_replays_identically_under_jit(self, mode):
+        # dhrystone is the registry's most jit-friendly workload, so the
+        # resumed leg provably re-enters compiled code before finishing
+        comparison = verify_replay("dhrystone", mode, pause_at=PAUSE_AT,
+                                   max_instructions=BUDGET, jit=True)
+        assert comparison.equivalent, comparison.mismatches
+        assert comparison.paused_at >= PAUSE_AT
+
+    def test_jit_suite_leg_runs(self):
+        results = run_replay_suite(workloads=["qsort"], modes=["full"],
+                                   pause_at=PAUSE_AT,
+                                   max_instructions=BUDGET, jit=True)
+        assert len(results) == 1
+        assert results[0].equivalent, results[0].mismatches
+
+
 class TestWarmStart:
     MATRIX = {
         "schema": "repro.campaign.matrix/1",
