@@ -1,0 +1,102 @@
+"""Decoupled-monitor overhead characterization (``repro.dift.monitor``).
+
+Measures the asynchronous event-stream monitor against the inline full
+engine on two registry workloads chosen to bracket its envelope:
+
+* ``simple-sensor`` — taint-heavy: every sensor frame enters tainted and
+  propagates through the filter arithmetic, so the monitor consumes a
+  dense stream of tagged loads and MMIO packets.  This is the case the
+  decoupling is *for* — the run-ahead core never touches tag state.
+* ``qsort`` — clean: no taint sources fire, so the stream is almost
+  pure ``step`` packets and the measurement isolates the emit/consume
+  plumbing cost itself.
+
+Each workload runs three ways — inline full, decoupled (quantum-end
+drains), and decoupled-strict (per-instruction drains, paper-exact trap
+timing) — and every leg asserts identical retired-instruction counts
+and console output against the inline reference: a monitor that
+diverged would be measuring a different program.  The decoupled legs'
+wall times are the ``data.seconds`` quantities gated by
+``check_regression.py``.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.bench.workloads import WORKLOADS
+
+_ROUNDS = 3
+
+#: (full budget, quick budget) in retired instructions
+_BUDGETS = (120_000, 20_000)
+
+#: mode key -> (dift_mode, record suffix)
+_MODES = (("inline", "full"),
+          ("async", "decoupled"),
+          ("strict", "decoupled-strict"))
+
+_WORKLOAD_NAMES = ("simple-sensor", "qsort")
+
+
+def _run_once(workload, dift_mode, budget):
+    platform = workload.make_platform("quick", True, dift_mode=dift_mode,
+                                      seed=0)
+    started = perf_counter()
+    result = platform.run(max_instructions=budget)
+    elapsed = perf_counter() - started
+    return platform, result, elapsed
+
+
+def _best_of(workload, dift_mode, budget, rounds=_ROUNDS):
+    best = None
+    for __ in range(rounds):
+        platform, result, elapsed = _run_once(workload, dift_mode, budget)
+        if best is None or elapsed < best[2]:
+            best = (platform, result, elapsed)
+    return best
+
+
+@pytest.mark.parametrize("name", _WORKLOAD_NAMES)
+def test_monitor_overhead(benchmark, name, quick, bench_json):
+    benchmark.group = "monitor"
+    budget = _BUDGETS[1 if quick else 0]
+    workload = WORKLOADS[name]
+
+    legs = {}
+    for key, dift_mode in _MODES:
+        if key == "async":
+            # the headline leg carries the pytest-benchmark timing
+            legs[key] = benchmark.pedantic(
+                _best_of, args=(workload, dift_mode, budget),
+                rounds=1, iterations=1)
+        else:
+            legs[key] = _best_of(workload, dift_mode, budget)
+
+    p_ref, r_ref, t_ref = legs["inline"]
+    for key, __ in _MODES[1:]:
+        platform, result, __ = legs[key]
+        assert result.instructions == r_ref.instructions, \
+            f"{name}/{key}: retired {result.instructions} " \
+            f"!= inline {r_ref.instructions}"
+        assert platform.console() == p_ref.console()
+        assert [str(v) for v in result.violations] \
+            == [str(v) for v in r_ref.violations]
+        assert not platform.monitor.fifo, \
+            f"{name}/{key}: monitor left packets queued"
+        assert platform.monitor.events_consumed >= result.instructions
+
+    for key, __ in _MODES:
+        platform, result, elapsed = legs[key]
+        # overhead relative to the inline-full reference; > 1 is slower
+        overhead = elapsed / t_ref
+        monitor = platform.monitor
+        benchmark.extra_info[f"{key}_overhead"] = round(overhead, 3)
+        bench_json(f"monitor_{key}_{name}",
+                   {"workload": name, "mode": key,
+                    "instructions": result.instructions,
+                    "seconds": elapsed,
+                    "overhead_vs_inline": round(overhead, 3),
+                    "events_consumed": (monitor.events_consumed
+                                        if monitor else 0),
+                    "drains": monitor.drains if monitor else 0})

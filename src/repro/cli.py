@@ -17,6 +17,8 @@ Commands
 ``campaign``     parallel simulation campaigns (``run`` / ``report``)
 ``snapshot``     checkpoint/restore (``save`` / ``resume`` / ``diff``)
 ``replay``       snapshot-resume replay-equivalence verification
+``reanalyze``    replay a recorded event stream offline (new policies,
+                 no guest re-run)
 """
 
 from __future__ import annotations
@@ -114,10 +116,14 @@ def _cmd_run(args) -> int:
         program = assemble(handle.read(), base=args.base)
     policy = _load_policy(args.policy)
     obs = _make_obs(args)
+    # stream recording needs a record-mode engine (a raise-mode engine
+    # would truncate the stream before its final packets)
+    record = args.record or args.record_events is not None
     config = PlatformConfig(policy=policy,
-                            engine_mode=RECORD if args.record else RAISE,
+                            engine_mode=RECORD if record else RAISE,
                             obs=obs, dift_mode=args.dift_mode,
-                            jit=args.jit)
+                            jit=args.jit,
+                            record_events=args.record_events)
     platform = Platform.from_config(config)
     platform.load(program)
     if args.uart_input:
@@ -131,6 +137,11 @@ def _cmd_run(args) -> int:
         print(f"uart: {platform.console()!r}")
     for violation in result.violations:
         print(f"violation: {violation}")
+    if args.record_events is not None:
+        # terminal stops already sealed it; budget/idle stops seal here
+        platform.finish_recording()
+        print(f"event stream: {args.record_events} "
+              f"({platform._recorder.count} packets)")
     _write_obs(obs, args)
     return 1 if result.violations else 0
 
@@ -426,6 +437,48 @@ def _cmd_replay(args) -> int:
     return 0 if all(r.equivalent for r in results) else 1
 
 
+def _cmd_reanalyze(args) -> int:
+    from repro.dift.events import StreamError
+    from repro.dift.monitor import reanalyze_stream
+
+    try:
+        override = _load_policy(args.policy)
+        result = reanalyze_stream(args.stream, policy=override)
+    except (OSError, StreamError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cfg = result.header["config"]
+    recorded_name = (cfg["policy"] or {}).get("name", "policy")
+    policy_name = result.engine.policy.name
+    print(f"{args.stream}: {result.events} packets, "
+          f"guest ram {cfg['ram_size']} bytes, recorded policy "
+          f"{recorded_name!r}")
+    print(f"re-analysis under {policy_name!r}: "
+          f"{result.engine.checks_performed} checks, "
+          f"{len(result.violations)} violations, "
+          f"{result.monitor.events_consumed} events consumed")
+    for violation in result.violations:
+        print(f"violation: {violation}")
+    if args.json:
+        document = {
+            "stream": args.stream,
+            "schema": result.header["schema"],
+            "policy": policy_name,
+            "recorded_policy": recorded_name,
+            "events": result.events,
+            "checks_performed": result.engine.checks_performed,
+            "violations": [
+                {"kind": v.kind, "tag": v.tag, "required": v.required,
+                 "unit": v.unit, "pc": v.pc, "context": v.context}
+                for v in result.violations],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report: {args.json}")
+    return 1 if result.violations else 0
+
+
 def _cmd_campaign_report(args) -> int:
     from repro.campaign import aggregate, load_jsonl, render_markdown
     from repro.campaign.report import find_jsonl
@@ -476,11 +529,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-instructions", type=int, default=None)
     p.add_argument("--record", action="store_true",
                    help="record violations instead of raising")
-    p.add_argument("--dift-mode", choices=("full", "demand"),
+    p.add_argument("--dift-mode",
+                   choices=("full", "demand", "decoupled",
+                            "decoupled-strict"),
                    default="full",
                    help="DIFT execution mode: 'demand' skips tag "
                         "bookkeeping while the machine holds no taint "
-                        "(identical detections, lower overhead)")
+                        "(identical detections, lower overhead); "
+                        "'decoupled' runs tag propagation on an "
+                        "asynchronous monitor fed by an instruction "
+                        "event stream (violations surface at quantum "
+                        "boundaries); 'decoupled-strict' drains the "
+                        "stream per instruction for paper-exact trap "
+                        "timing")
+    p.add_argument("--record-events", metavar="FILE",
+                   help="write the instruction event stream to FILE as "
+                        "a repro.dift.events/1 artifact for offline "
+                        "re-analysis (implies --record; needs a policy)")
     p.add_argument("--jit", action="store_true",
                    help="enable the trace-compiled fast path (identical "
                         "simulation results, higher MIPS)")
@@ -495,7 +560,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_table2)
 
     p = sub.add_parser("casestudy", help="run the Section VI-A case study")
-    p.add_argument("--dift-mode", choices=("full", "demand"),
+    p.add_argument("--dift-mode",
+                   choices=("full", "demand", "decoupled",
+                            "decoupled-strict"),
                    default="full",
                    help="DIFT execution mode for every scenario platform")
     _add_obs_options(p)
@@ -608,7 +675,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--plain", action="store_true",
                     help="with --workload: run without DIFT")
-    sp.add_argument("--dift-mode", choices=("full", "demand"),
+    sp.add_argument("--dift-mode",
+                    choices=("full", "demand", "decoupled",
+                             "decoupled-strict"),
                     default="full")
     sp.add_argument("--policy", metavar="FILE",
                     help="with --source: JSON policy file (enables DIFT)")
@@ -642,8 +711,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", nargs="*", metavar="NAME",
                    help="bench-registry workloads (default: all)")
     p.add_argument("--modes", nargs="*",
-                   choices=("plain", "full", "demand"),
-                   default=["plain", "full", "demand"],
+                   choices=("plain", "full", "demand", "decoupled"),
+                   default=["plain", "full", "demand", "decoupled"],
                    help="engine/DIFT variants to sweep")
     p.add_argument("--pause-at", type=int, default=9000, metavar="N",
                    help="snapshot point (instructions retired)")
@@ -652,6 +721,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every leg with the trace compiler on "
                         "(proves the trace cache is derived state)")
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser(
+        "reanalyze",
+        help="replay a recorded repro.dift.events/1 stream offline")
+    p.add_argument("stream", help="event-stream file from --record-events")
+    p.add_argument("--policy", metavar="FILE",
+                   help="JSON policy to re-analyze under (must share the "
+                        "recorded policy's class list; default: the "
+                        "recorded policy, reproducing the live run)")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write a machine-readable report to FILE")
+    p.set_defaults(fn=_cmd_reanalyze)
 
     return parser
 

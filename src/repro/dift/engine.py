@@ -86,6 +86,18 @@ class DiftEngine:
         self._metrics = None
         self._tracer = None
         self._m_lub = None
+        # event-stream recording hook (see repro.dift.monitor); None keeps
+        # check_flow free of an extra call on un-recorded runs
+        self._check_recorder = None
+
+    def set_check_recorder(self, fn) -> None:
+        """Install a hook called on every :meth:`check_flow` entry.
+
+        ``fn(tag, required, unit, context, pc)`` fires *before* the flow
+        test — sink checks are recorded whether they pass or fail, so an
+        offline replay re-performs the same checks the live run did.
+        """
+        self._check_recorder = fn
 
     def attach_obs(self, obs) -> None:
         """Attach an :class:`~repro.obs.Observability` sink.
@@ -146,6 +158,8 @@ class DiftEngine:
         ``False`` in record mode.
         """
         self.checks_performed += 1
+        if self._check_recorder is not None:
+            self._check_recorder(tag, required, unit, context, pc)
         if self.flow[tag][required]:
             return True
         self._violation("clearance", tag, required, unit, pc, context)

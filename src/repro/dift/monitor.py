@@ -1,0 +1,525 @@
+"""Decoupled DIFT monitor: tag propagation as an event-stream consumer.
+
+The gem5 monitoring-core exemplars (``dift_full.c``) and Wahab et al.'s
+hardware-assisted ARM ecosystem run DIFT on a *separate core* fed by an
+instruction-event FIFO.  :class:`DiftMonitor` reproduces that
+architecture in the VP: the ISS (``dift_mode="decoupled"``) executes the
+guest *architecturally only* — register and CSR tags stay untouched —
+and pushes one packet per retired instruction into a FIFO; the monitor
+drains the FIFO, replaying tag propagation and the three
+execution-clearance checks of paper Section V-B2 against its own shadow
+state, byte-for-byte the semantics of the inline ``Cpu._interp_dift``
+loop.
+
+Two synchronization disciplines:
+
+* **async** (default): the FIFO is drained at quantum-end boundaries.
+  The core may run architecturally ahead of a violation, but *all* tag
+  state is monitor-owned, so on a violating run the shadow state freezes
+  at exactly the inline stopping point — violation sets, register/CSR
+  tags and the RAM shadow are differentially asserted identical to
+  inline full DIFT.
+* **strict**: the core blocks on the FIFO after every packet, restoring
+  paper-exact trap timing (same trap PC, same retired-instruction
+  count) at the cost of a drain per instruction.
+
+The only points where the core must *wait* for the monitor even in
+async mode are MMIO accesses: a bus transaction has irreversible
+peripheral side effects, so the fetch/mem-addr clearance checks that
+inline mode performs *before* the transaction are run core-side against
+a fully drained monitor (``mmio_syncs`` counts them).  Live-mode drains
+therefore skip those checks for MMIO packets; offline replay (no core
+around) performs them itself.
+
+The same consumer replays recorded ``repro.dift.events/1`` streams
+offline — :func:`reanalyze_stream` — against the recorded policy or any
+policy sharing its class numbering, without re-running the guest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.dift.engine import RECORD, DiftEngine, ViolationRecord
+from repro.dift.events import (
+    EV_FAULT_ACCESS,
+    EV_LOAD,
+    EV_MMIO_LOAD,
+    EV_MMIO_STORE,
+    EV_SINK,
+    EV_STEP,
+    EV_STORE,
+    EV_TAINT,
+    EV_TAINT_FILL,
+    EV_TRAP,
+    read_stream,
+)
+from repro.dift.shadow import ShadowTags
+from repro.policy.serialize import policy_from_dict
+from repro.vp import csr as CSR
+from repro.vp import decode as D
+from repro.vp.csr import CsrFile
+
+#: FIFO depth histogram buckets (events pending at drain time).
+FIFO_DEPTH_BUCKETS = (1, 64, 512, 4096, 16384, 65536)
+
+
+class DiftMonitor:
+    """Consumes instruction events, owning all DIFT tag state.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`DiftEngine` performing checks (shared with the
+        platform when live; fresh when replaying offline).
+    store:
+        Per-byte RAM tag store, indexable by offset.  Live this is the
+        platform memory's ``tags`` bytearray (the monitor is the sole
+        ISS-side writer); offline it is a :class:`ShadowTags`.
+    ram_base:
+        Guest address of ``store[0]``.
+    strict:
+        Record-keeping only (the *core* decides when to block); stored
+        so snapshots and ``repr`` can report the discipline.
+    live:
+        True when fed by a running core (MMIO checks were done
+        core-side; taint/sink packets are already reflected in shared
+        state).  False for offline stream replay, where the monitor
+        performs every check and applies every packet itself.
+    recorder:
+        Optional :class:`~repro.dift.events.EventWriter`; every consumed
+        packet is written through, making the live FIFO double as the
+        on-disk artifact.
+    """
+
+    def __init__(self, engine: DiftEngine, store, ram_base: int = 0,
+                 strict: bool = False, live: bool = True, recorder=None):
+        self.engine = engine
+        self.store = store
+        self.ram_base = ram_base
+        self.strict = strict
+        self.live = live
+        self.recorder = recorder
+        self.fifo: List[Tuple] = []
+        bottom = engine.bottom_tag
+        self._bottom = bottom
+        self.reg_tags: List[int] = [bottom] * 32
+        self.csr_tags: Dict[int, int] = {}
+        # static CSR semantics oracle (known set / read-only predicate);
+        # never written, so it cannot drift from the core's CsrFile
+        self._csr_probe = CsrFile(bottom_tag=bottom)
+        self._cache: Dict[int, D.Decoded] = {}
+        self.events_consumed = 0
+        self.stopped = False
+        self.fatal_unit = ""
+        self.drains = 0
+        self.mmio_syncs = 0
+        execution = engine.policy.execution
+        self._fetch_req: Optional[int] = None
+        self._branch_req: Optional[int] = None
+        self._memaddr_req: Optional[int] = None
+        if execution.fetch is not None:
+            self._fetch_req = engine.policy.tag_of(execution.fetch)
+        if execution.branch is not None:
+            self._branch_req = engine.policy.tag_of(execution.branch)
+        if execution.mem_addr is not None:
+            self._memaddr_req = engine.policy.tag_of(execution.mem_addr)
+        # observability (None = disabled, zero-cost)
+        self._m_depth = None
+        self._m_wall = None
+
+    def attach_obs(self, obs) -> None:
+        """Attach metrics: FIFO depth and drain latency histograms."""
+        from repro.obs.metrics import QUANTUM_WALL_US_BUCKETS
+        self._m_depth = obs.metrics.histogram("monitor.fifo_depth",
+                                              FIFO_DEPTH_BUCKETS)
+        self._m_wall = obs.metrics.histogram("monitor.drain_wall_us",
+                                             QUANTUM_WALL_US_BUCKETS)
+
+    # ------------------------------------------------------------------ #
+    # producer-side entry points
+    # ------------------------------------------------------------------ #
+
+    def drain(self) -> int:
+        """Consume every pending packet; returns the number applied.
+
+        Empty drains return without touching counters or metrics, so
+        defensive drains (snapshot, taint-ordering guards) leave no
+        trace a replayed run would have to reproduce.  When a check
+        turns fatal the violating packet is still recorded (it is the
+        last packet of the inline stream too) and the run-ahead
+        remainder of the FIFO is discarded unrecorded.
+        """
+        fifo = self.fifo
+        if not fifo:
+            return 0
+        if self.stopped:
+            del fifo[:]
+            return 0
+        started = perf_counter() if self._m_wall is not None else 0.0
+        if self._m_depth is not None:
+            self._m_depth.observe(len(fifo))
+        recorder = self.recorder
+        applied = 0
+        n = 0
+        depth = len(fifo)
+        while n < depth:
+            ev = fifo[n]
+            n += 1
+            wire = self._apply(ev)
+            if recorder is not None:
+                recorder.write(wire)
+            self.events_consumed += 1
+            applied += 1
+            if self.stopped:
+                break
+        del fifo[:]
+        self.drains += 1
+        if self._m_wall is not None:
+            self._m_wall.observe((perf_counter() - started) * 1e6)
+        return applied
+
+    def note_taint(self, offset: int, length: int, tags) -> None:
+        """Memory taint listener: record a non-ISS tag write, in order.
+
+        Drains first: any queued instruction packets predate this write,
+        and their stores must land in the shadow before the new tags
+        (live they already share the store, but the recorded stream must
+        carry the same order).  ``tags`` is an int (uniform fill) or a
+        per-byte sequence, matching :meth:`Memory.set_taint_listener`.
+        """
+        self.drain()
+        if isinstance(tags, int):
+            self.fifo.append((EV_TAINT_FILL, offset, length, tags))
+        else:
+            self.fifo.append((EV_TAINT, offset, bytes(tags)))
+
+    def halt_consume(self, fatal_unit: str) -> None:
+        """Core-side fatal stop (MMIO clearance check failed).
+
+        The core already performed and recorded the check; the queued
+        packets — ending with the parity packet for the violating
+        instruction — are written through unapplied so the recorded
+        stream stays byte-identical to an inline run, and the monitor
+        freezes.
+        """
+        if self.recorder is not None:
+            self.recorder.write_many(self.fifo)
+        del self.fifo[:]
+        self.stopped = True
+        self.fatal_unit = fatal_unit
+
+    # ------------------------------------------------------------------ #
+    # packet application
+    # ------------------------------------------------------------------ #
+
+    def _stop(self, unit: str) -> None:
+        self.stopped = True
+        self.fatal_unit = unit
+
+    def _apply(self, ev: Tuple) -> Tuple:
+        """Apply one packet; returns the packet to record (the fetch
+        parity rewrite is the only transformation)."""
+        t = ev[0]
+        if t <= EV_FAULT_ACCESS:
+            return self._apply_instr(ev)
+        if t == EV_TRAP:
+            if self._branch_req is not None:
+                htag = self.csr_tags.get(CSR.MTVEC, self._bottom)
+                if not self.engine.flow[htag][self._branch_req]:
+                    if not self.engine.check_execution(
+                            "branch", htag, self._branch_req, ev[1]):
+                        self._stop("branch")
+                        return ev
+            self.csr_tags[CSR.MEPC] = self._bottom
+            return ev
+        if t == EV_TAINT_FILL:
+            if not self.live:
+                self.store.fill_range(ev[1], ev[2], ev[3])
+            return ev
+        if t == EV_TAINT:
+            if not self.live:
+                self.store.set_range(ev[1], ev[2])
+            return ev
+        if t == EV_SINK:
+            if not self.live:
+                __, unit, tag, required, context, pc = ev
+                if self.engine.policy.has_sink(unit):
+                    self.engine.check_sink(unit, tag, context, pc)
+                else:
+                    self.engine.check_flow(tag, required, unit, context, pc)
+            return ev
+        raise ValueError(f"monitor cannot apply event type {t}")
+
+    def _apply_instr(self, ev: Tuple) -> Tuple:
+        t = ev[0]
+        pc = ev[1]
+        word = ev[2]
+        engine = self.engine
+        lub = engine.lub
+        flow = engine.flow
+        bottom = self._bottom
+        store = self.store
+        rt = self.reg_tags
+        # MMIO packets: the live core already ran fetch/mem-addr checks
+        # against a drained monitor before transacting; offline there is
+        # no core, so the monitor performs them here.
+        mmio = t >= EV_MMIO_LOAD
+        checks = not mmio or not self.live
+
+        if checks and self._fetch_req is not None:
+            fetch_req = self._fetch_req
+            off = pc - self.ram_base
+            tsum = (store[off] | store[off + 1] | store[off + 2]
+                    | store[off + 3])
+            if tsum or bottom != 0:
+                itag = lub[lub[lub[store[off]][store[off + 1]]]
+                           [store[off + 2]]][store[off + 3]]
+                if not flow[itag][fetch_req]:
+                    if not engine.check_execution("fetch", itag, fetch_req,
+                                                  pc):
+                        self._stop("fetch")
+                        # inline mode never decodes a fetch-rejected
+                        # instruction, so its stream carries a bare step
+                        # packet here; rewrite for byte identity
+                        return (EV_STEP, pc, word)
+
+        d = self._cache.get(word)
+        if d is None:
+            d = D.decode(word)
+            self._cache[word] = d
+        op = d[0]
+        branch_req = self._branch_req
+        memaddr_req = self._memaddr_req
+
+        if mmio:
+            if checks and memaddr_req is not None:
+                rtag = rt[d[2]]
+                if not flow[rtag][memaddr_req]:
+                    if not engine.check_execution("mem-addr", rtag,
+                                                  memaddr_req, pc):
+                        self._stop("mem-addr")
+                        return ev
+            if t == EV_MMIO_LOAD and d[1]:
+                rt[d[1]] = ev[4]
+            return ev
+
+        if op <= D.BGEU:
+            if op >= D.BEQ:
+                if branch_req is not None:
+                    ctag = lub[rt[d[2]]][rt[d[3]]]
+                    if not flow[ctag][branch_req]:
+                        if not engine.check_execution("branch", ctag,
+                                                      branch_req, pc):
+                            self._stop("branch")
+                            return ev
+            elif op == D.JALR:
+                rtag = rt[d[2]]
+                if branch_req is not None and not flow[rtag][branch_req]:
+                    if not engine.check_execution("branch", rtag,
+                                                  branch_req, pc):
+                        self._stop("branch")
+                        return ev
+                if d[1]:
+                    rt[d[1]] = bottom
+            else:  # JAL / LUI / AUIPC
+                if d[1]:
+                    rt[d[1]] = bottom
+
+        elif op <= D.LHU:  # RAM load (MMIO loads returned above)
+            rtag = rt[d[2]]
+            if memaddr_req is not None and not flow[rtag][memaddr_req]:
+                if not engine.check_execution("mem-addr", rtag, memaddr_req,
+                                              pc):
+                    self._stop("mem-addr")
+                    return ev
+            if t != EV_LOAD:
+                raise ValueError(
+                    f"step packet at pc={pc:#010x} carries a load opcode")
+            o = ev[3] - self.ram_base
+            if op == D.LW:
+                tag = lub[lub[lub[store[o]][store[o + 1]]]
+                          [store[o + 2]]][store[o + 3]]
+            elif op in (D.LH, D.LHU):
+                tag = lub[store[o]][store[o + 1]]
+            else:  # LB / LBU
+                tag = store[o]
+            if d[1]:
+                rt[d[1]] = tag
+
+        elif op <= D.SW:  # RAM store
+            rtag = rt[d[2]]
+            if memaddr_req is not None and not flow[rtag][memaddr_req]:
+                if not engine.check_execution("mem-addr", rtag, memaddr_req,
+                                              pc):
+                    self._stop("mem-addr")
+                    return ev
+            if t != EV_STORE:
+                raise ValueError(
+                    f"step packet at pc={pc:#010x} carries a store opcode")
+            tag = rt[d[3]]
+            o = ev[3] - self.ram_base
+            if op == D.SW:
+                store[o] = tag
+                store[o + 1] = tag
+                store[o + 2] = tag
+                store[o + 3] = tag
+            elif op == D.SB:
+                store[o] = tag
+            else:  # SH
+                store[o] = tag
+                store[o + 1] = tag
+
+        elif op <= D.SRAI:  # immediate ALU + shifts: copy rs1 tag
+            if d[1]:
+                rt[d[1]] = rt[d[2]]
+
+        elif op <= D.REMU:  # register ALU + M extension: LUB
+            if d[1]:
+                rt[d[1]] = lub[rt[d[2]]][rt[d[3]]]
+
+        elif op == D.MRET:
+            if branch_req is not None:
+                etag = self.csr_tags.get(CSR.MEPC, bottom)
+                if not flow[etag][branch_req]:
+                    if not engine.check_execution("branch", etag, branch_req,
+                                                  pc):
+                        self._stop("branch")
+                        return ev
+
+        elif D.CSRRW <= op <= D.CSRRCI:
+            self._apply_csr(d)
+
+        # FENCE / ECALL / EBREAK / WFI / ILLEGAL: no tag effects
+        return ev
+
+    def _apply_csr(self, d: D.Decoded) -> None:
+        """Mirror of ``Cpu._exec_csr`` tag bookkeeping."""
+        op, rd, rs1, __, csr_addr = d
+        if not self._csr_probe.known(csr_addr):
+            return  # illegal-CSR fault: no tag effects
+        bottom = self._bottom
+        old_tag = self.csr_tags.get(csr_addr, bottom)
+        if op in (D.CSRRW, D.CSRRS, D.CSRRC):
+            src_tag = self.reg_tags[rs1]
+        else:
+            src_tag = bottom
+        if op in (D.CSRRW, D.CSRRWI):
+            new_tag = src_tag
+            write = True
+        else:
+            new_tag = self.engine.lub[old_tag][src_tag]
+            write = rs1 != 0
+        if write:
+            if csr_addr >= 0xC00 or csr_addr in (CSR.MHARTID, CSR.MISA):
+                return  # read-only: illegal-write fault, no tag effects
+            self.csr_tags[csr_addr] = new_tag
+        if rd:
+            self.reg_tags[rd] = old_tag
+
+    # ------------------------------------------------------------------ #
+    # inspection / checkpoint
+    # ------------------------------------------------------------------ #
+
+    def csr_tag(self, csr_addr: int) -> int:
+        return self.csr_tags.get(csr_addr, self._bottom)
+
+    def csr_tag_values(self):
+        """Explicitly written CSR tags (mirror of ``CsrFile.tag_values``)."""
+        return self.csr_tags.values()
+
+    def state_dict(self) -> dict:
+        return {
+            "reg_tags": list(self.reg_tags),
+            "csr_tags": {str(addr): tag
+                         for addr, tag in self.csr_tags.items()},
+            "events_consumed": self.events_consumed,
+            "stopped": self.stopped,
+            "fatal_unit": self.fatal_unit,
+            "drains": self.drains,
+            "mmio_syncs": self.mmio_syncs,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        # in-place restore: any queued packets belong to the pre-restore
+        # timeline (snapshots are taken against a drained monitor)
+        del self.fifo[:]
+        self.reg_tags = list(state["reg_tags"])
+        self.csr_tags = {int(addr): tag
+                         for addr, tag in state["csr_tags"].items()}
+        self.events_consumed = state["events_consumed"]
+        self.stopped = state["stopped"]
+        self.fatal_unit = state["fatal_unit"]
+        self.drains = state["drains"]
+        self.mmio_syncs = state["mmio_syncs"]
+
+    def __repr__(self) -> str:
+        mode = "strict" if self.strict else "async"
+        return (f"DiftMonitor({mode}, live={self.live}, "
+                f"consumed={self.events_consumed}, "
+                f"stopped={self.stopped})")
+
+
+# ---------------------------------------------------------------------- #
+# offline re-analysis
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class ReanalysisResult:
+    """Outcome of replaying a recorded event stream."""
+
+    header: dict
+    events: int
+    engine: DiftEngine
+    monitor: DiftMonitor
+
+    @property
+    def violations(self) -> List[ViolationRecord]:
+        return self.engine.violations
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.engine.violations)
+
+
+def reanalyze_stream(path: str, policy=None,
+                     engine_mode: str = RECORD) -> ReanalysisResult:
+    """Replay a recorded ``repro.dift.events/1`` stream offline.
+
+    With ``policy=None`` the stream is analyzed under its recorded
+    policy, reproducing the live run's violations exactly.  An override
+    ``policy`` evaluates the same guest execution under different rules
+    — it must share the recorded policy's class list (tags travel as
+    numeric indices), but clearance requirements, sink assignments and
+    flow relations are free to differ.  Two caveats travel with the
+    format: the initial RAM classification and all peripheral-internal
+    flows (recorded ``sink`` packets, MMIO read tags) are those of the
+    *recorded* policy's machine.
+    """
+    header, events = read_stream(path)
+    cfg = header["config"]
+    policy_data = cfg.get("policy")
+    if policy_data is None:
+        raise ValueError(f"{path}: stream was recorded without a policy")
+    recorded = policy_from_dict(policy_data)
+    if policy is None:
+        policy = recorded
+    else:
+        want = list(recorded.lattice.classes)
+        have = list(policy.lattice.classes)
+        if want != have:
+            raise ValueError(
+                f"re-analysis policy classes {have!r} do not match the "
+                f"recorded stream's tag numbering {want!r}")
+    engine = DiftEngine(policy, mode=engine_mode)
+    # the guest ran on the *recorded* machine: its memory started at the
+    # recorded policy's default classification
+    store = ShadowTags(cfg["ram_size"], fill=recorded.default_tag())
+    monitor = DiftMonitor(engine, store,
+                          ram_base=header.get("ram_base", 0), live=False)
+    monitor.fifo.extend(events)
+    monitor.drain()
+    return ReanalysisResult(header=header, events=len(events),
+                            engine=engine, monitor=monitor)

@@ -114,6 +114,12 @@ class ShadowTags:
             return  # clean page stays clean
         self._materialize(page)[index & _PAGE_MASK] = tag
 
+    # The decoupled DIFT monitor indexes its tag store per byte
+    # (DMI-style); these aliases let a ShadowTags (offline replay) and a
+    # flat bytearray (live RAM shadow) serve the same code path.
+    __getitem__ = get
+    __setitem__ = set
+
     # ------------------------------------------------------------------ #
     # ranges
     # ------------------------------------------------------------------ #

@@ -29,8 +29,9 @@ from typing import List, Optional, Sequence
 from repro.campaign.worker import is_timing_metric
 from repro.state import diff_documents
 
-#: engine/DIFT variants the suite sweeps: the plain VP plus both DIFT modes
-REPLAY_MODES = ("plain", "full", "demand")
+#: engine/DIFT variants the suite sweeps: the plain VP plus the DIFT
+#: modes (inline full, demand-driven, and the decoupled async monitor)
+REPLAY_MODES = ("plain", "full", "demand", "decoupled")
 
 #: suite defaults: deep enough to cross several quanta and at least one
 #: sensor frame, small enough to keep the full sweep in CI budgets

@@ -60,6 +60,12 @@ class PlatformConfig:
     #: suite holds them to identical snapshots), so jit-ness is a
     #: host-side execution strategy, not a simulation parameter.
     jit: object = False
+    #: Event-stream recording: a path the platform writes the
+    #: ``repro.dift.events/1`` stream to, or ``None``.  Excluded from
+    #: serialization like ``obs``/``jit`` — a recorded and an unrecorded
+    #: run are the same simulated machine (and the stream header itself
+    #: must not embed the output path it is being written to).
+    record_events: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # serialization (shared by snapshot headers and campaign records)
@@ -82,10 +88,11 @@ class PlatformConfig:
         }
 
     @classmethod
-    def from_json(cls, data: dict, obs=None, jit=False) -> "PlatformConfig":
-        """Inverse of :meth:`to_json`; ``obs`` and ``jit`` are
-        re-attached by the caller since they never travel through
-        JSON."""
+    def from_json(cls, data: dict, obs=None, jit=False,
+                  record_events=None) -> "PlatformConfig":
+        """Inverse of :meth:`to_json`; ``obs``, ``jit`` and
+        ``record_events`` are re-attached by the caller since they never
+        travel through JSON."""
         policy_data = data.get("policy")
         return cls(
             policy=(policy_from_dict(policy_data)
@@ -100,6 +107,7 @@ class PlatformConfig:
             obs=obs,
             dift_mode=data["dift_mode"],
             jit=jit,
+            record_events=record_events,
         )
 
     def __repr__(self) -> str:

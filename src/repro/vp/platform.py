@@ -30,7 +30,15 @@ from typing import Dict, List, Optional
 
 from repro import state as state_mod
 from repro.asm.assembler import Program
-from repro.dift.engine import DiftEngine, ViolationRecord
+from repro.dift.engine import RECORD, DiftEngine, ViolationRecord
+from repro.dift.events import (
+    EV_SINK,
+    EV_TAINT,
+    EV_TAINT_FILL,
+    EventWriter,
+    make_header,
+)
+from repro.dift.monitor import DiftMonitor
 from repro.policy.policy import SecurityPolicy
 from repro.state import SnapshotError
 from repro.sysc.event import Event
@@ -155,8 +163,57 @@ class Platform:
         self.cpu.attach_ram(RAM_BASE, self.memory.data, self.memory.tags)
         self.cpu.ecall_handler = _default_ecall
 
+        decoupled = config.dift_mode in (cpu_mod.DIFT_DECOUPLED,
+                                         cpu_mod.DIFT_DECOUPLED_STRICT)
+        if decoupled and self.engine is None:
+            raise ValueError(
+                f"dift_mode={config.dift_mode!r} requires a security policy")
+        if config.record_events is not None:
+            if self.engine is None:
+                raise ValueError(
+                    "record_events requires a security policy (the stream "
+                    "header embeds it for offline re-analysis)")
+            if config.engine_mode != RECORD:
+                raise ValueError(
+                    "record_events requires engine_mode='record': a "
+                    "raise-mode engine aborts the faulting quantum "
+                    "mid-instruction and would truncate the stream before "
+                    "its final packets")
+            if config.dift_mode == cpu_mod.DIFT_DEMAND:
+                raise ValueError(
+                    "record_events is incompatible with dift_mode='demand' "
+                    "(both claim the memory taint listener); record with "
+                    "'full' or a decoupled mode")
+
+        self.monitor: Optional[DiftMonitor] = None
+        self._recorder: Optional[EventWriter] = None
+        if config.record_events is not None:
+            header = make_header(config, extra={"ram_base": RAM_BASE})
+            self._recorder = EventWriter(config.record_events, header)
+        if decoupled:
+            strict = config.dift_mode == cpu_mod.DIFT_DECOUPLED_STRICT
+            self.monitor = DiftMonitor(self.engine, self.memory.tags,
+                                       ram_base=RAM_BASE, strict=strict,
+                                       live=True, recorder=self._recorder)
+            self.cpu.attach_monitor(self.monitor, strict=strict)
+            # The monitor is the sole ISS-side tag writer; host-side tag
+            # writes (loader classification, DMA) order through it —
+            # wired before load() so the loader's writes are captured.
+            self.memory.set_taint_listener(self.monitor.note_taint)
+        elif self._recorder is not None:
+            # inline-full recording: the CPU appends packets to a plain
+            # queue that _cpu_process pumps into the writer per quantum
+            self.cpu.set_event_queue([])
+            self.memory.set_taint_listener(self._record_taint)
+        if self._recorder is not None:
+            self.engine.set_check_recorder(self._record_check)
+
         self.jit: Optional[JitEngine] = None
-        if config.jit:
+        # The trace compiler folds tag propagation into compiled blocks,
+        # which neither emits packets nor routes tag writes through the
+        # monitor — recording and decoupled runs silently fall back to
+        # the interpreter (same machine, host-side strategy only).
+        if config.jit and not decoupled and config.record_events is None:
             # True → default threshold; an int sets it directly (bool is
             # an int subclass, so the isinstance order matters)
             if isinstance(config.jit, bool):
@@ -327,10 +384,33 @@ class Platform:
                                      lambda: live.reclaims)
                 metrics.set_gauge_fn("shadow.tainted_pages",
                                      self._tainted_pages)
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.attach_obs(obs)
+            metrics.set_gauge_fn("monitor.events_consumed",
+                                 lambda: monitor.events_consumed)
+            metrics.set_gauge_fn("monitor.drains",
+                                 lambda: monitor.drains)
+            metrics.set_gauge_fn("monitor.mmio_syncs",
+                                 lambda: monitor.mmio_syncs)
 
     def _on_memory_write(self, offset: int, length: int) -> None:
         """Memory write listener: invalidate compiled code the write hits."""
         self.jit.notify_write(offset, length)
+
+    def _record_taint(self, offset: int, length: int, tags) -> None:
+        """Memory taint listener (inline recording): queue the tag write
+        so an offline monitor replays loader/DMA classification."""
+        queue = self.cpu._emitq
+        if isinstance(tags, int):
+            queue.append((EV_TAINT_FILL, offset, length, tags))
+        else:
+            queue.append((EV_TAINT, offset, bytes(tags)))
+
+    def _record_check(self, tag, required, unit, context, pc) -> None:
+        """Engine check recorder: queue every peripheral clearance check
+        (pass or fail) so offline re-analysis re-performs it."""
+        self.cpu._emitq.append((EV_SINK, unit, tag, required, context, pc))
 
     def _on_memory_taint(self, offset: int, length: int, tags) -> None:
         """Memory taint listener (demand mode): filter bottom-only writes."""
@@ -349,7 +429,11 @@ class Platform:
 
     def _tagged_regs(self) -> int:
         bottom = self.engine.bottom_tag
-        return sum(1 for tag in self.cpu.tags if tag != bottom)
+        # in decoupled modes the monitor owns the register tags (the
+        # core's own tag file stays at bottom)
+        tags = (self.monitor.reg_tags if self.monitor is not None
+                else self.cpu.tags)
+        return sum(1 for tag in tags if tag != bottom)
 
     def _tagged_mem_bytes(self) -> int:
         # Spread is measured against the policy *default* classification:
@@ -459,6 +543,18 @@ class Platform:
                 quantum = min(quantum, remaining)
             executed, reason = cpu.run(quantum)
             self.total_instructions += executed
+            if self.monitor is not None:
+                # quantum-end synchronization: the monitor consumes the
+                # whole FIFO here, so async violations surface at this
+                # boundary (the core may have run ahead architecturally)
+                self.monitor.drain()
+                if self.monitor.stopped:
+                    reason = cpu_mod.SECURITY
+            elif self._recorder is not None:
+                queue = cpu._emitq
+                if queue:
+                    self._recorder.write_many(queue)
+                    del queue[:]
             if reason == cpu_mod.WFI:
                 self._await_irq = True
             elif reason in (cpu_mod.HALT, cpu_mod.EBREAK, cpu_mod.FAULT,
@@ -494,6 +590,12 @@ class Platform:
         host = _time.perf_counter() - started
         if not self.stop_reason:
             self.stop_reason = "time-limit" if max_time else "idle"
+        if self.stop_reason in (cpu_mod.HALT, cpu_mod.EBREAK,
+                                cpu_mod.FAULT, cpu_mod.SECURITY):
+            # the guest cannot continue: seal the stream now.  Paused /
+            # budget / time-limit stops leave it open for further runs
+            # (call finish_recording() explicitly when done).
+            self.finish_recording()
         if self.obs is not None:
             metrics = self.obs.metrics
             metrics.gauge("run.wall_seconds").set(host)
@@ -509,6 +611,30 @@ class Platform:
             exit_code=self.cpu.exit_code,
             violations=list(self.engine.violations) if self.engine else [],
         )
+
+    def finish_recording(self) -> Optional[str]:
+        """Flush pending events and seal the recorded stream (idempotent).
+
+        Writes the terminal ``EV_END`` packet, making the stream a valid
+        ``repro.dift.events/1`` artifact.  Called automatically when a
+        run ends terminally (halt/ebreak/fault/security); call it
+        explicitly after a budget, pause or time-limit stop once no
+        further quanta will run.  Returns the stream path, or ``None``
+        if this platform is not recording.
+        """
+        recorder = self._recorder
+        if recorder is None:
+            return None
+        if not recorder.closed:
+            if self.monitor is not None:
+                self.monitor.drain()
+            else:
+                queue = self.cpu._emitq
+                if queue:
+                    recorder.write_many(queue)
+                    del queue[:]
+            recorder.close()
+        return recorder.path
 
     # ------------------------------------------------------------------ #
     # checkpoint / restore (repro.state)
@@ -526,6 +652,12 @@ class Platform:
         run (warm-start boot snapshots), after a ``pause_at`` stop, or
         after any completed run.
         """
+        if self.monitor is not None:
+            # quantum boundaries leave the FIFO empty by construction;
+            # drain defensively so the snapshot never carries pending
+            # packets (an empty drain leaves no bookkeeping trace, so
+            # replay determinism is preserved)
+            self.monitor.drain()
         kernel_state = self.kernel.state_dict(self._snapshot_events())
         # A paused CPU parks on the private resume event.  Record it at
         # the *front* of the runnable list instead: on resume it must
@@ -556,6 +688,8 @@ class Platform:
         }
         if self.engine is not None:
             modules["engine"] = self.engine.state_dict()
+        if self.monitor is not None:
+            modules["monitor"] = self.monitor.state_dict()
         live = self.cpu.liveness
         if live is not None:
             modules["liveness"] = live.state_dict()
@@ -598,6 +732,10 @@ class Platform:
         if ("engine" in modules) != (self.engine is not None):
             raise SnapshotError(
                 "snapshot and platform disagree on DIFT instrumentation")
+        if ("monitor" in modules) != (self.monitor is not None):
+            raise SnapshotError(
+                "snapshot and platform disagree on decoupled monitoring "
+                "(dift_mode mismatch)")
         self.cpu.load_state_dict(modules["cpu"])
         self.memory.load_state_dict(modules["memory"])
         self.router.load_state_dict(modules["router"])
@@ -611,6 +749,10 @@ class Platform:
         self.clint.load_state_dict(modules["clint0"])
         if self.engine is not None:
             self.engine.load_state_dict(modules["engine"])
+        if self.monitor is not None:
+            # after memory: the monitor's live store aliases memory.tags,
+            # which the memory restore refilled in place
+            self.monitor.load_state_dict(modules["monitor"])
         live = self.cpu.liveness
         if live is not None and "liveness" in modules:
             live.load_state_dict(modules["liveness"])
@@ -678,7 +820,12 @@ class Platform:
 
     def __repr__(self) -> str:
         if self.is_dift:
-            mode = "VP+d" if self.dift_mode == cpu_mod.DIFT_DEMAND else "VP+"
+            if self.dift_mode == cpu_mod.DIFT_DEMAND:
+                mode = "VP+d"
+            elif self.monitor is not None:
+                mode = "VP+ms" if self.monitor.strict else "VP+m"
+            else:
+                mode = "VP+"
         else:
             mode = "VP"
         return f"Platform({mode}, instret={self.cpu.csr.instret})"

@@ -187,6 +187,61 @@ class TestObservabilityCli:
                    for e in tdoc["traceEvents"])
 
 
+class TestReanalyzeCli:
+    @pytest.fixture
+    def policy_file(self, guest_file, tmp_path):
+        from repro.asm import assemble
+        program = assemble(GUEST)
+        key = program.symbol("key")
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({
+            "ifp": "ifp1",
+            "default_class": "LC",
+            "sinks": {"uart0.tx": "LC"},
+            "regions": [[key, key + 1, "HC"]],
+        }))
+        return path
+
+    def test_record_and_reanalyze(self, guest_file, policy_file, tmp_path,
+                                  capsys):
+        stream = tmp_path / "run.ev"
+        report = tmp_path / "report.json"
+        # --record-events implies --record; the guest leaks the HC key
+        assert main(["run", str(guest_file), "--policy", str(policy_file),
+                     "--dift-mode", "decoupled",
+                     "--record-events", str(stream)]) == 1
+        assert "event stream" in capsys.readouterr().out
+        assert main(["reanalyze", str(stream),
+                     "--json", str(report)]) == 1
+        out = capsys.readouterr().out
+        assert "1 violations" in out and "flow HC -> LC" in out
+        doc = json.loads(report.read_text())
+        assert doc["violations"][0]["unit"] == "uart0.tx"
+        assert doc["events"] > 0
+
+    def test_reanalyze_under_override_policy(self, guest_file, policy_file,
+                                             tmp_path, capsys):
+        stream = tmp_path / "run.ev"
+        assert main(["run", str(guest_file), "--policy", str(policy_file),
+                     "--record-events", str(stream)]) == 1
+        relaxed = tmp_path / "relaxed.json"
+        relaxed.write_text(json.dumps({
+            "ifp": "ifp1",
+            "default_class": "LC",
+            "sinks": {"uart0.tx": "HC"},
+        }))
+        capsys.readouterr()
+        assert main(["reanalyze", str(stream),
+                     "--policy", str(relaxed)]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_reanalyze_rejects_corrupt_stream(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ev"
+        bad.write_bytes(b"not a stream")
+        assert main(["reanalyze", str(bad)]) == 2
+        assert "byte offset" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

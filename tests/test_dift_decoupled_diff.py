@@ -1,0 +1,331 @@
+"""Differential tests: the decoupled DIFT monitor must equal inline full.
+
+The decoupled monitor (``dift_mode="decoupled"``) consumes an
+instruction-event stream asynchronously, so on *violating* runs the core
+legitimately runs ahead of the detection — but every piece of **tag
+state is monitor-owned** and freezes at the violation.  The contract,
+mode by mode:
+
+* ``decoupled-strict`` drains the FIFO per instruction: full equality
+  with inline full DIFT — violations (including trap PCs), register/CSR
+  tags, RAM shadow, console, instruction counts.
+* ``decoupled`` (async) on clean runs: same full equality (nothing to
+  run ahead of).  On violating runs: identical violation sets and
+  identical final tag state; architectural run-ahead (console, instret)
+  is allowed and the stop reason still reports ``security``.
+
+Offline re-analysis closes the loop: a stream recorded live replays to
+the same violations and the same tag state without re-running the guest.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.bench.table1 import code_injection_policy
+from repro.bench.workloads import TABLE2_ORDER, WORKLOADS
+from repro.casestudy import immobilizer as cs
+from repro.dift.engine import RECORD
+from repro.dift.monitor import reanalyze_stream
+from repro.gen.corpus import corpus_files, load_case
+from repro.sw import immobilizer as immo_sw
+from repro.sw import wk_suite
+from repro.vp.config import PlatformConfig
+from repro.vp.platform import Platform
+
+#: identical instruction budget for every leg of a differential pair
+_BENCH_CAP = 120_000
+_ATTACK_CAP = 200_000
+
+_CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+_CORPUS_CASES = sorted(os.path.basename(p)
+                       for p in corpus_files(_CORPUS_DIR))
+
+
+def _tag_state(platform, result):
+    """Tag state + violations: what async mode must always agree on.
+
+    Register/CSR tags come from the monitor when one exists (the core's
+    own tag file stays at bottom in decoupled modes); the RAM shadow is
+    shared — the live monitor's store *is* ``memory.tags``.
+    """
+    monitor = platform.monitor
+    return {
+        "violations": tuple(
+            (v.kind, v.tag, v.required, v.unit, v.pc, v.context)
+            for v in result.violations),
+        "reg_tags": tuple(monitor.reg_tags if monitor
+                          else platform.cpu.tags),
+        "csr_tags": tuple(monitor.csr_tag_values() if monitor
+                          else platform.cpu.csr.tag_values()),
+        "mem_digest": hashlib.sha256(bytes(platform.memory.tags))
+        .hexdigest(),
+    }
+
+
+def _full_state(platform, result):
+    """Everything strict mode (and async mode on clean runs) must match."""
+    state = _tag_state(platform, result)
+    state.update({
+        "instructions": result.instructions,
+        "reason": result.reason,
+        "exit": result.exit_code,
+        "console": platform.console(),
+    })
+    return state
+
+
+def _assert_identical(full, decoupled, what):
+    for key in full:
+        assert full[key] == decoupled[key], \
+            f"{what} diverged from inline full mode on {key!r}"
+
+
+# --------------------------------------------------------------------- #
+# immobilizer case study (Section VI-A)
+# --------------------------------------------------------------------- #
+
+_SCENARIOS = {
+    "protocol": (b"c", "fixed", False),
+    "dump-vulnerable": (b"d", "vulnerable", False),
+    "dump-fixed": (b"dq", "fixed", False),
+    "attack1-direct-pin": (b"1", "fixed", False),
+    "attack2-branch-on-pin": (b"2", "fixed", False),
+    "attack3-overwrite-pin": (b"3" + bytes(16) + b"c", "fixed", False),
+    "entropy-baseline-policy": (b"4c", "fixed", False),
+    "entropy-per-byte-policy": (b"4c", "fixed", True),
+}
+
+
+def _run_immobilizer(commands, variant, per_byte, dift_mode):
+    program = immo_sw.build(variant=variant, n_challenges=2)
+    policy = (cs.per_byte_policy if per_byte else cs.baseline_policy)(
+        program)
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD,
+        aes_declassify_to="(LC,LI)", dift_mode=dift_mode))
+    platform.load(program)
+    engine = cs.EngineEcu(platform.can_bus, cs.PIN, n_challenges=2)
+    platform.uart.feed(commands)
+    engine.start()
+    result = platform.run(max_instructions=3_000_000)
+    return platform, result
+
+
+@pytest.mark.parametrize("scenario", sorted(_SCENARIOS))
+def test_immobilizer_scenarios(scenario):
+    commands, variant, per_byte = _SCENARIOS[scenario]
+    full_p, full_r = _run_immobilizer(commands, variant, per_byte, "full")
+    strict_p, strict_r = _run_immobilizer(commands, variant, per_byte,
+                                          "decoupled-strict")
+    _assert_identical(_full_state(full_p, full_r),
+                      _full_state(strict_p, strict_r), "strict")
+    async_p, async_r = _run_immobilizer(commands, variant, per_byte,
+                                        "decoupled")
+    if full_r.detected:
+        _assert_identical(_tag_state(full_p, full_r),
+                          _tag_state(async_p, async_r), "async")
+        assert async_r.reason == full_r.reason
+    else:
+        _assert_identical(_full_state(full_p, full_r),
+                          _full_state(async_p, async_r), "async")
+
+
+# --------------------------------------------------------------------- #
+# Wilander–Kamkar attack suite (Section VI-B / Table I)
+# --------------------------------------------------------------------- #
+
+_APPLICABLE = [spec.number for spec in wk_suite.SPECS if spec.applicable]
+
+
+def _run_attack(number, dift_mode):
+    program, attacker_input = wk_suite.build_attack(number)
+    policy = code_injection_policy(program)
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD, dift_mode=dift_mode))
+    platform.load(program)
+    platform.uart.feed(attacker_input)
+    result = platform.run(max_instructions=_ATTACK_CAP)
+    return platform, result
+
+
+@pytest.mark.parametrize("number", _APPLICABLE)
+def test_wk_attacks(number):
+    full_p, full_r = _run_attack(number, "full")
+    assert full_r.detected
+    # strict: full equality, trap PCs included (the violation tuples
+    # carry the exact faulting PC)
+    strict_p, strict_r = _run_attack(number, "decoupled-strict")
+    _assert_identical(_full_state(full_p, full_r),
+                      _full_state(strict_p, strict_r), "strict")
+    assert strict_r.detected
+    # async: identical violations and tag state at the sync boundary
+    async_p, async_r = _run_attack(number, "decoupled")
+    _assert_identical(_tag_state(full_p, full_r),
+                      _tag_state(async_p, async_r), "async")
+    assert async_r.detected
+    assert async_r.reason == full_r.reason
+
+
+# --------------------------------------------------------------------- #
+# Table II workloads (all clean under the benchmark policy)
+# --------------------------------------------------------------------- #
+
+def _run_bench(name, dift_mode):
+    platform = WORKLOADS[name].make_platform("quick", dift=True,
+                                             dift_mode=dift_mode,
+                                             engine_mode=RECORD)
+    result = platform.run(max_instructions=_BENCH_CAP)
+    return platform, result
+
+
+@pytest.mark.parametrize("name", TABLE2_ORDER)
+@pytest.mark.parametrize("dift_mode", ("decoupled", "decoupled-strict"))
+def test_table2_workloads_identical(name, dift_mode):
+    full_p, full_r = _run_bench(name, "full")
+    dec_p, dec_r = _run_bench(name, dift_mode)
+    _assert_identical(_full_state(full_p, full_r),
+                      _full_state(dec_p, dec_r), dift_mode)
+
+
+# --------------------------------------------------------------------- #
+# committed attack corpus (tests/corpus)
+# --------------------------------------------------------------------- #
+
+def _run_corpus_case(case, dift_mode):
+    program, attack_input, _benign = case.build()
+    policy = case.policy(program)
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD, dift_mode=dift_mode))
+    platform.load(program)
+    platform.uart.feed(attack_input)
+    result = platform.run(max_instructions=_ATTACK_CAP)
+    return platform, result
+
+
+@pytest.mark.parametrize("filename", _CORPUS_CASES)
+def test_corpus_cases(filename):
+    case = load_case(os.path.join(_CORPUS_DIR, filename))
+    full_p, full_r = _run_corpus_case(case, "full")
+    strict_p, strict_r = _run_corpus_case(case, "decoupled-strict")
+    _assert_identical(_full_state(full_p, full_r),
+                      _full_state(strict_p, strict_r), "strict")
+    async_p, async_r = _run_corpus_case(case, "decoupled")
+    if full_r.detected:
+        _assert_identical(_tag_state(full_p, full_r),
+                          _tag_state(async_p, async_r), "async")
+        assert async_r.detected
+    else:
+        _assert_identical(_full_state(full_p, full_r),
+                          _full_state(async_p, async_r), "async")
+
+
+# --------------------------------------------------------------------- #
+# monitor bookkeeping
+# --------------------------------------------------------------------- #
+
+def test_monitor_consumes_every_retired_instruction():
+    platform, result = _run_bench("qsort", "decoupled")
+    monitor = platform.monitor
+    assert monitor is not None and not monitor.stopped
+    # one instruction packet per retired instruction, plus taint packets
+    # from the loader's region classification
+    assert monitor.events_consumed >= result.instructions
+    assert monitor.drains > 0
+    assert not monitor.fifo, "FIFO not empty after a finished run"
+
+
+def test_decoupled_requires_policy():
+    with pytest.raises(ValueError, match="policy"):
+        Platform.from_config(PlatformConfig(dift_mode="decoupled"))
+
+
+def test_jit_is_silently_disabled_in_decoupled_mode():
+    platform = WORKLOADS["qsort"].make_platform(
+        "quick", dift=True, dift_mode="decoupled", engine_mode=RECORD,
+        jit=True)
+    assert platform.jit is None
+    assert platform.monitor is not None
+
+
+# --------------------------------------------------------------------- #
+# offline re-analysis
+# --------------------------------------------------------------------- #
+
+def _record_attack(number, dift_mode, path):
+    program, attacker_input = wk_suite.build_attack(number)
+    policy = code_injection_policy(program)
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD, dift_mode=dift_mode,
+        record_events=path))
+    platform.load(program)
+    platform.uart.feed(attacker_input)
+    result = platform.run(max_instructions=_ATTACK_CAP)
+    platform.finish_recording()
+    return platform, result
+
+
+class TestReanalysis:
+    def test_reproduces_live_violations_and_tags(self, tmp_path):
+        path = str(tmp_path / "wk3.ev")
+        platform, result = _record_attack(3, "full", path)
+        offline = reanalyze_stream(path)
+        live = tuple((v.kind, v.tag, v.required, v.unit, v.pc, v.context)
+                     for v in result.violations)
+        replayed = tuple((v.kind, v.tag, v.required, v.unit, v.pc,
+                          v.context) for v in offline.violations)
+        assert replayed == live and offline.detected
+        assert tuple(offline.monitor.reg_tags) == tuple(platform.cpu.tags)
+        store = offline.monitor.store
+        assert (hashlib.sha256(store.get_range(0, store.size)).hexdigest()
+                == hashlib.sha256(bytes(platform.memory.tags)).hexdigest())
+
+    def test_decoupled_stream_reanalyzes_identically(self, tmp_path):
+        inline = str(tmp_path / "inline.ev")
+        dec = str(tmp_path / "dec.ev")
+        _record_attack(9, "full", inline)
+        _record_attack(9, "decoupled", dec)
+        first = reanalyze_stream(inline)
+        second = reanalyze_stream(dec)
+        assert ([str(v) for v in first.violations]
+                == [str(v) for v in second.violations])
+        assert first.events == second.events
+
+    def test_second_policy_without_rerunning_guest(self, tmp_path):
+        """The headline feature: evaluate a *different* policy against a
+        recorded execution.  Stripping the fetch clearance requirement
+        from the code-injection policy must clear the wk3 detection."""
+        path = str(tmp_path / "wk3.ev")
+        program, _ = wk_suite.build_attack(3)
+        _record_attack(3, "full", path)
+        from repro.policy.serialize import policy_from_dict, policy_to_dict
+
+        relaxed_data = policy_to_dict(code_injection_policy(program))
+        relaxed_data["name"] = "relaxed"
+        relaxed_data["execution"] = {}
+        offline = reanalyze_stream(path,
+                                   policy=policy_from_dict(relaxed_data))
+        assert not offline.detected
+
+    def test_mismatched_class_list_rejected(self, tmp_path):
+        path = str(tmp_path / "wk3.ev")
+        _record_attack(3, "full", path)
+        other = cs.baseline_policy(immo_sw.build(n_challenges=1))
+        with pytest.raises(ValueError, match="class"):
+            reanalyze_stream(path, policy=other)
+
+    def test_recording_modes_validated(self, tmp_path):
+        path = str(tmp_path / "x.ev")
+        program, _ = wk_suite.build_attack(3)
+        policy = code_injection_policy(program)
+        with pytest.raises(ValueError, match="record"):
+            Platform.from_config(PlatformConfig(
+                policy=policy, record_events=path))  # raise-mode engine
+        with pytest.raises(ValueError, match="demand"):
+            Platform.from_config(PlatformConfig(
+                policy=policy, engine_mode=RECORD, dift_mode="demand",
+                record_events=path))
+        with pytest.raises(ValueError, match="policy"):
+            Platform.from_config(PlatformConfig(
+                engine_mode=RECORD, record_events=path))

@@ -1,0 +1,278 @@
+"""Tests for the ``repro.dift.events/1`` stream codec.
+
+Three layers: packet-level round-trip properties over randomized event
+sequences, file-level writer/reader behaviour including truncation and
+corruption rejection (always naming the byte offset), and the
+cross-mode guarantee — an inline-full run and a decoupled run of the
+same guest record byte-identical streams.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dift import events as ev
+from repro.dift.engine import RECORD
+from repro.dift.events import (
+    EV_END,
+    EV_LOAD,
+    EV_MMIO_LOAD,
+    EV_SINK,
+    EV_STEP,
+    EV_TAINT,
+    EV_TAINT_FILL,
+    EV_TRAP,
+    EventWriter,
+    StreamError,
+    decode_event,
+    encode_event,
+    encode_header,
+    event_name,
+    make_header,
+    read_stream,
+)
+from repro.vp.config import PlatformConfig
+
+# ---------------------------------------------------------------------- #
+# randomized event strategies
+# ---------------------------------------------------------------------- #
+
+_u32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+_u8 = st.integers(min_value=0, max_value=0xFF)
+_i32 = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+_text = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    max_size=40)
+
+_events = st.one_of(
+    st.tuples(st.just(ev.EV_STEP), _u32, _u32),
+    st.tuples(st.just(ev.EV_LOAD), _u32, _u32, _u32),
+    st.tuples(st.just(ev.EV_STORE), _u32, _u32, _u32),
+    st.tuples(st.just(ev.EV_MMIO_LOAD), _u32, _u32, _u32, _u8),
+    st.tuples(st.just(ev.EV_MMIO_STORE), _u32, _u32, _u32),
+    st.tuples(st.just(ev.EV_FAULT_ACCESS), _u32, _u32, _u32),
+    st.tuples(st.just(ev.EV_TRAP), _u32, _u32),
+    st.tuples(st.just(ev.EV_TAINT_FILL), _u32, _u32, _u8),
+    st.tuples(st.just(ev.EV_TAINT), _u32, st.binary(max_size=64)),
+    st.tuples(st.just(ev.EV_SINK), _text, _u8, _u8, _text, _i32),
+)
+
+
+def _header():
+    return make_header(PlatformConfig(), extra={"ram_base": 0})
+
+
+class TestPacketRoundTrip:
+    @given(st.lists(_events, max_size=30))
+    def test_sequence_round_trips(self, events):
+        blob = b"".join(encode_event(e) for e in events)
+        pos, decoded = 0, []
+        while pos < len(blob):
+            event, pos = decode_event(blob, pos)
+            decoded.append(event)
+        assert decoded == list(events)
+        assert pos == len(blob)
+
+    @given(_events)
+    def test_single_event_is_self_delimiting(self, event):
+        blob = encode_event(event)
+        decoded, end = decode_event(blob + b"\xff trailing", 0)
+        assert decoded == event
+        assert end == len(blob)
+
+    @given(_events, st.integers(min_value=0, max_value=200))
+    def test_base_offsets_error_reports(self, event, base):
+        """Any strict prefix must be rejected with an absolute offset."""
+        blob = encode_event(event)
+        truncated = blob[:-1]
+        with pytest.raises(StreamError) as err:
+            pos = 0
+            while pos < len(truncated):
+                _, pos = decode_event(truncated, pos, base=base)
+        assert err.value.offset == base + len(truncated)
+        assert f"byte offset {base + len(truncated)}" in str(err.value)
+
+    def test_unknown_type_rejected_at_its_offset(self):
+        blob = encode_event((ev.EV_STEP, 1, 2)) + bytes([0x7F])
+        pos = 0
+        _, pos = decode_event(blob, pos)
+        with pytest.raises(StreamError) as err:
+            decode_event(blob, pos)
+        assert err.value.offset == pos
+        assert "unknown packet type 127" in str(err.value)
+
+    def test_event_names(self):
+        assert event_name(EV_STEP) == "step"
+        assert event_name(EV_END) == "end"
+        assert event_name(99) == "unknown(99)"
+
+
+class TestHeader:
+    def test_dift_mode_is_scrubbed(self):
+        header = make_header(PlatformConfig(dift_mode="decoupled"))
+        assert "dift_mode" not in header["config"]
+        same = make_header(PlatformConfig(dift_mode="full"))
+        assert encode_header(header) == encode_header(same)
+
+    def test_encoding_is_deterministic(self):
+        blob = encode_header(_header())
+        assert blob.endswith(b"\n")
+        assert blob == encode_header(_header())
+        # one line of JSON: parseable, sorted, compact
+        parsed = json.loads(blob.decode("utf-8"))
+        assert parsed["schema"] == ev.SCHEMA
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        events = [(EV_STEP, 0, 0x13), (EV_LOAD, 4, 0x83, 0x100),
+                  (EV_TAINT, 8, b"\x01\x02"), (EV_TRAP, 0x40, 11),
+                  (EV_SINK, "uart0.tx", 2, 0, "byte=0x41", -1)]
+        writer = EventWriter(path, _header())
+        writer.write(events[0])
+        writer.write_many(events[1:])
+        assert writer.count == len(events)
+        writer.close()
+        assert writer.closed
+        header, decoded = read_stream(path)
+        assert decoded == events
+        assert header["config"]["ram_size"] == PlatformConfig().ram_size
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        writer = EventWriter(path, _header())
+        writer.close()
+        writer.close()
+        _, decoded = read_stream(path)
+        assert decoded == []
+
+    def test_truncated_stream_names_offset(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        writer = EventWriter(path, _header())
+        writer.write_many([(EV_STEP, i, 0x13) for i in range(5)])
+        writer.close()
+        blob = open(path, "rb").read()
+        cut = str(tmp_path / "cut.ev")
+        with open(cut, "wb") as handle:
+            handle.write(blob[:-3])
+        with pytest.raises(StreamError) as err:
+            read_stream(cut)
+        assert err.value.offset == len(blob) - 3
+        assert f"byte offset {len(blob) - 3}" in str(err.value)
+
+    def test_missing_terminal_packet(self, tmp_path):
+        """A clean cut right between packets is still truncation: the
+        terminal EV_END is missing."""
+        path = str(tmp_path / "s.ev")
+        writer = EventWriter(path, _header())
+        writer.write((EV_STEP, 0, 0x13))
+        writer.close()
+        blob = open(path, "rb").read()
+        end_size = len(encode_event((EV_END, 1)))
+        cut = str(tmp_path / "cut.ev")
+        with open(cut, "wb") as handle:
+            handle.write(blob[:-end_size])
+        with pytest.raises(StreamError, match="missing terminal"):
+            read_stream(cut)
+
+    def test_unterminated_header(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        with open(path, "wb") as handle:
+            handle.write(b'{"schema": "repro.dift.events/1"')
+        with pytest.raises(StreamError) as err:
+            read_stream(path)
+        assert err.value.offset == 32
+
+    def test_corrupt_header_json(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        with open(path, "wb") as handle:
+            handle.write(b"not json\n")
+        with pytest.raises(StreamError) as err:
+            read_stream(path)
+        assert err.value.offset == 0
+
+    def test_wrong_schema(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        with open(path, "wb") as handle:
+            handle.write(b'{"schema": "other/1", "config": {}}\n')
+        with pytest.raises(StreamError, match="schema"):
+            read_stream(path)
+
+    def test_data_after_terminal_packet(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        writer = EventWriter(path, _header())
+        writer.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\x00")
+        with pytest.raises(StreamError, match="after terminal"):
+            read_stream(path)
+
+    def test_terminal_count_mismatch(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        header_blob = encode_header(_header())
+        with open(path, "wb") as handle:
+            handle.write(header_blob)
+            handle.write(encode_event((EV_STEP, 0, 0x13)))
+            handle.write(encode_event((EV_END, 7)))
+        with pytest.raises(StreamError, match="count"):
+            read_stream(path)
+
+    def test_corrupt_packet_type_offset(self, tmp_path):
+        path = str(tmp_path / "s.ev")
+        writer = EventWriter(path, _header())
+        writer.write((EV_TAINT_FILL, 0, 4, 1))
+        writer.close()
+        blob = bytearray(open(path, "rb").read())
+        header_len = blob.index(b"\n") + 1
+        blob[header_len] = 0x63  # overwrite the first packet's type byte
+        bad = str(tmp_path / "bad.ev")
+        with open(bad, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(StreamError) as err:
+            read_stream(bad)
+        assert err.value.offset == header_len
+
+
+# ---------------------------------------------------------------------- #
+# cross-mode byte identity
+# ---------------------------------------------------------------------- #
+
+def _record(dift_mode: str, path: str) -> bytes:
+    from repro.bench.table1 import code_injection_policy
+    from repro.sw import wk_suite
+    from repro.vp.platform import Platform
+
+    program, attacker_input = wk_suite.build_attack(3)
+    policy = code_injection_policy(program)
+    platform = Platform.from_config(PlatformConfig(
+        policy=policy, engine_mode=RECORD, dift_mode=dift_mode,
+        record_events=path))
+    platform.load(program)
+    platform.uart.feed(attacker_input)
+    platform.run(max_instructions=200_000)
+    platform.finish_recording()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestCrossModeByteIdentity:
+    def test_inline_and_decoupled_streams_identical(self, tmp_path):
+        """The stream is a property of the guest execution, not of the
+        DIFT execution strategy: all three recording modes must emit
+        byte-identical artifacts for the same guest (including the
+        violating tail — the attack ends in a fatal fetch check)."""
+        inline = _record("full", str(tmp_path / "inline.ev"))
+        async_ = _record("decoupled", str(tmp_path / "async.ev"))
+        strict = _record("decoupled-strict", str(tmp_path / "strict.ev"))
+        assert inline == async_
+        assert inline == strict
+        header, events = read_stream(str(tmp_path / "inline.ev"))
+        assert events, "stream recorded no events"
+        assert "dift_mode" not in header["config"]
+        # the stream carries the attack's fatal sink/trap context
+        types = {event[0] for event in events}
+        assert EV_LOAD in types and EV_MMIO_LOAD in types
+        assert EV_TAINT_FILL in types or EV_TAINT in types
