@@ -143,15 +143,30 @@ def render_markdown(rows, threshold: float) -> str:
     return "\n".join(lines) + "\n"
 
 
-def update_baselines(baseline_dir: str, current_dir: str) -> int:
+def update_baselines(baseline_dir: str, current_dir: str):
+    """Make the baselines mirror the current run; returns (copied,
+    pruned-filenames).
+
+    Pruning matters as much as copying: a stale baseline for a deleted
+    benchmark would fail every future gate run as MISSING, so --update
+    removes BENCH_*.json files the current run no longer produces.
+    """
     os.makedirs(baseline_dir, exist_ok=True)
     copied = 0
+    fresh = set()
     for entry in sorted(os.listdir(current_dir)):
         if entry.startswith("BENCH_") and entry.endswith(".json"):
             shutil.copyfile(os.path.join(current_dir, entry),
                             os.path.join(baseline_dir, entry))
+            fresh.add(entry)
             copied += 1
-    return copied
+    pruned = []
+    for entry in sorted(os.listdir(baseline_dir)):
+        if (entry.startswith("BENCH_") and entry.endswith(".json")
+                and entry not in fresh):
+            os.unlink(os.path.join(baseline_dir, entry))
+            pruned.append(entry)
+    return copied, pruned
 
 
 def main(argv=None) -> int:
@@ -183,8 +198,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.update:
-        copied = update_baselines(args.baseline, args.current)
+        copied, pruned = update_baselines(args.baseline, args.current)
         print(f"updated {copied} baseline records in {args.baseline}")
+        for entry in pruned:
+            print(f"pruned stale baseline {entry} "
+                  "(no longer produced by the current run)")
         return 0
 
     baseline = load_records(args.baseline)

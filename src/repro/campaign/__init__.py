@@ -1,22 +1,45 @@
-"""Parallel simulation campaigns: matrix → worker pool → report.
+"""Parallel simulation campaigns: matrix → workers → report, as a service.
 
 The paper sweeps binaries × policies × modes by hand; this package
 industrializes that batch workload.  A declarative JSON matrix
-(:mod:`repro.campaign.matrix`) expands to jobs, a process-per-job
-scheduler (:mod:`repro.campaign.scheduler`) runs them with crash
-isolation, per-job wall-clock timeouts and bounded retry, and the
-results aggregate into versioned reports
-(:mod:`repro.campaign.report`, schema ``repro.campaign/1``).
+(:mod:`repro.campaign.matrix`) expands to jobs; three interchangeable
+execution paths run them to :class:`~repro.campaign.result.JobResult`
+records:
+
+* the in-process, process-per-job pool (:mod:`repro.campaign.scheduler`)
+  with crash isolation, per-job wall-clock timeouts and bounded retry;
+* socket-attached workers pulling from a broker
+  (:mod:`repro.campaign.service`, ``repro worker --connect``), same
+  scheduling guarantees one network hop away;
+* the content-addressed result cache (:mod:`repro.campaign.cache`),
+  which replays previously simulated jobs without booting anything.
+
+All three produce byte-identical ``repro.campaign/1`` aggregates
+outside the quarantined ``timing`` section
+(:mod:`repro.campaign.report`).
 
 CLI::
 
     python -m repro campaign run --matrix campaign.json \\
-        --jobs 4 --out results/
+        --jobs 4 --out results/ --cache-dir ~/.cache/repro
+    python -m repro campaign run --matrix campaign.json \\
+        --listen 0.0.0.0:7421 --out results/     # workers pull jobs
+    python -m repro worker --connect broker-host:7421
+    python -m repro serve --port 8437 --local-workers 2
     python -m repro campaign report --results results/
 """
 
 from __future__ import annotations
 
+from repro.campaign.cache import (
+    CACHE_SCHEMA,
+    CacheError,
+    ResultCache,
+    cacheable,
+    job_key,
+    open_cache,
+    resolve_cache_dir,
+)
 from repro.campaign.matrix import (
     MATRIX_SCHEMA,
     JobSpec,
@@ -26,33 +49,68 @@ from repro.campaign.matrix import (
     load_matrix,
     parse_matrix,
 )
+from repro.campaign.proto import PROTO_SCHEMA, FrameBuffer, ProtocolError
 from repro.campaign.report import (
     CAMPAIGN_SCHEMA,
     aggregate,
+    completed_ids,
     deterministic_view,
     load_jsonl,
     render_markdown,
     write_outputs,
 )
-from repro.campaign.scheduler import CampaignResult, run_campaign
-from repro.campaign.worker import JOB_SCHEMA, execute_job
+from repro.campaign.result import JOB_SCHEMA, JobResult, coerce_record
+from repro.campaign.scheduler import (
+    CampaignResult,
+    prepare_warm_snapshots,
+    run_campaign,
+)
+from repro.campaign.service import (
+    SERVICE_SCHEMA,
+    Broker,
+    CampaignService,
+    run_campaign_distributed,
+    run_worker,
+    serve,
+)
+from repro.campaign.worker import execute_job
 
 __all__ = [
     "JobSpec",
+    "JobResult",
     "Matrix",
     "MatrixError",
     "CampaignResult",
+    "ResultCache",
+    "CacheError",
+    "Broker",
+    "CampaignService",
+    "FrameBuffer",
+    "ProtocolError",
     "MATRIX_SCHEMA",
     "CAMPAIGN_SCHEMA",
     "JOB_SCHEMA",
+    "CACHE_SCHEMA",
+    "PROTO_SCHEMA",
+    "SERVICE_SCHEMA",
     "load_matrix",
     "parse_matrix",
     "full_matrix",
     "run_campaign",
+    "run_campaign_distributed",
+    "run_worker",
+    "serve",
     "execute_job",
+    "prepare_warm_snapshots",
     "aggregate",
+    "completed_ids",
     "deterministic_view",
     "load_jsonl",
     "render_markdown",
     "write_outputs",
+    "coerce_record",
+    "cacheable",
+    "job_key",
+    "open_cache",
+    "resolve_cache_dir",
 ]

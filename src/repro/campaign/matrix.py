@@ -21,7 +21,10 @@ every product job whose fields all match; ``include`` entries append
 explicit extra jobs (with ``defaults`` applied).  A top-level
 ``"warm_start": true`` makes the scheduler boot each distinct platform
 configuration once, snapshot it at instruction zero, and fork every job
-from the snapshot instead of re-booting per job.  Axis semantics:
+from the snapshot instead of re-booting per job; ``"cache": false``
+opts the whole campaign out of the content-addressed result cache even
+when one is configured (``--cache-dir`` / ``$REPRO_CACHE``).  Axis
+semantics:
 
 * ``workload`` — a :mod:`repro.bench.workloads` registry name;
 * ``policy`` — ``"default"`` runs the workload's own security policy
@@ -188,6 +191,9 @@ class Matrix:
     #: boot/prepare each distinct platform configuration once, snapshot
     #: it at instruction zero, and fork every job from the snapshot
     warm_start: bool = False
+    #: consult the content-addressed result cache (when one is
+    #: configured); matrices that must re-simulate set this to false
+    cache: bool = True
 
     def jobs(self) -> List[JobSpec]:
         specs: Dict[str, JobSpec] = {}
@@ -223,7 +229,7 @@ def parse_matrix(document: dict, source: str = "<memory>") -> Matrix:
             f"{source}: unsupported matrix schema {schema!r} "
             f"(expected {MATRIX_SCHEMA!r})")
     unknown = set(document) - {"schema", "defaults", "axes", "include",
-                               "exclude", "warm_start"}
+                               "exclude", "warm_start", "cache"}
     if unknown:
         raise MatrixError(
             f"{source}: unknown top-level key(s) {sorted(unknown)}")
@@ -254,8 +260,12 @@ def parse_matrix(document: dict, source: str = "<memory>") -> Matrix:
     warm_start = document.get("warm_start", False)
     if not isinstance(warm_start, bool):
         raise MatrixError(f"{source}: 'warm_start' must be a boolean")
+    cache = document.get("cache", True)
+    if not isinstance(cache, bool):
+        raise MatrixError(f"{source}: 'cache' must be a boolean")
     return Matrix(axes=axes, defaults=defaults, include=include,
-                  exclude=exclude, source=source, warm_start=warm_start)
+                  exclude=exclude, source=source, warm_start=warm_start,
+                  cache=cache)
 
 
 def load_matrix(path: str) -> Matrix:

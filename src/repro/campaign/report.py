@@ -1,21 +1,34 @@
 """Campaign reports: versioned JSONL records, aggregate, markdown.
 
-Three artifacts per campaign, all derived from the same job records:
+Three artifacts per campaign, all derived from the same
+:class:`~repro.campaign.result.JobResult` records:
 
 * ``campaign.jsonl`` — one ``repro.campaign.job/1`` record per line, in
-  job-id order (worker count never reorders the file);
+  job-id order (worker count never reorders the file).  While a
+  campaign is *running* the CLI appends records in completion order;
+  the sorted rewrite happens at the end — an interrupted campaign
+  therefore leaves a valid (unordered, possibly torn-last-line) JSONL
+  that ``--resume`` reads back tolerantly;
 * ``aggregate.json`` — the ``repro.campaign/1`` summary.  Everything
   outside its ``"timing"`` key is deterministic: two runs of the same
-  matrix agree byte-for-byte there regardless of ``--jobs``;
+  matrix agree byte-for-byte there regardless of ``--jobs``, of whether
+  results came from the in-process pool, socket-attached workers or the
+  result cache;
 * the markdown summary table (``campaign report``).
+
+Legacy plain-dict records are still accepted everywhere (with a
+:class:`DeprecationWarning`) for one release; see
+:func:`repro.campaign.result.coerce_record`.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional
+import sys
+from typing import Dict, Iterable, List, Optional, Set
 
+from repro.campaign.result import JobResult, coerce_record
 from repro.obs.metrics import merge_snapshots
 
 CAMPAIGN_SCHEMA = "repro.campaign/1"
@@ -24,16 +37,28 @@ JSONL_NAME = "campaign.jsonl"
 AGGREGATE_NAME = "aggregate.json"
 
 
-def write_jsonl(path: str, records: List[dict]) -> str:
+def _coerced(records: Iterable) -> List[JobResult]:
+    return [coerce_record(record) for record in records]
+
+
+def write_jsonl(path: str, records: List) -> str:
     """Write records (sorted by job id) as one JSON object per line."""
-    ordered = sorted(records, key=lambda r: r["job"]["job_id"])
+    ordered = sorted(_coerced(records), key=lambda r: r.job.job_id)
     with open(path, "w") as handle:
         for record in ordered:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.write(json.dumps(record.to_json(), sort_keys=True)
+                         + "\n")
     return path
 
 
-def load_jsonl(path: str) -> List[dict]:
+def load_jsonl(path: str, tolerant: bool = False) -> List[JobResult]:
+    """Read a campaign JSONL back into :class:`JobResult` records.
+
+    ``tolerant`` skips unparseable lines instead of raising — the resume
+    path uses it because a campaign killed mid-write (the kill -9 case)
+    legitimately leaves a torn final line; every intact record before it
+    is still a completed job.
+    """
     records = []
     with open(path) as handle:
         for n, line in enumerate(handle, start=1):
@@ -41,10 +66,25 @@ def load_jsonl(path: str) -> List[dict]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{n}: not valid JSON: {exc}")
+                records.append(JobResult.from_json(json.loads(line)))
+            except (json.JSONDecodeError, ValueError) as exc:
+                if tolerant:
+                    print(f"warning: {path}:{n}: skipping unreadable "
+                          f"record ({exc})", file=sys.stderr)
+                    continue
+                raise ValueError(f"{path}:{n}: not a valid job record: "
+                                 f"{exc}")
     return records
+
+
+def completed_ids(records: Iterable) -> Set[str]:
+    """Job ids with any terminal record — the resume 'done' set.
+
+    Every recorded status counts: ``crashed`` means retries were already
+    exhausted and ``timeout`` is deliberately never retried (PR 3's
+    contract), so re-running either would just repeat the failure.
+    """
+    return {record.job.job_id for record in _coerced(records)}
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:
@@ -56,28 +96,28 @@ def _quantile(sorted_values: List[float], q: float) -> float:
     return sorted_values[rank]
 
 
-def aggregate(records: List[dict],
+def aggregate(records: List,
               wall_seconds: Optional[float] = None) -> dict:
     """Fold job records into the ``repro.campaign/1`` summary document."""
-    ordered = sorted(records, key=lambda r: r["job"]["job_id"])
+    ordered = sorted(_coerced(records), key=lambda r: r.job.job_id)
     by_status: Dict[str, List[str]] = {}
     violations_by_policy: Dict[str, int] = {}
     instructions = 0
     snapshots = []
     latencies = []
+    cache_hits = 0
     for record in ordered:
-        job = record["job"]
-        by_status.setdefault(record["status"], []).append(job["job_id"])
-        if record["status"] in ("ok", "failed"):
-            policy = job["policy"]
+        by_status.setdefault(record.status, []).append(record.job.job_id)
+        if record.cached:
+            cache_hits += 1
+        if record.ran:
+            policy = record.job.policy
             violations_by_policy[policy] = (
-                violations_by_policy.get(policy, 0)
-                + record.get("violations", 0))
-            instructions += record.get("instructions", 0)
-            snapshots.append(record.get("metrics", {}))
-            timing = record.get("timing", {})
-            if "wall_seconds" in timing:
-                latencies.append(timing["wall_seconds"])
+                violations_by_policy.get(policy, 0) + record.violations)
+            instructions += record.instructions
+            snapshots.append(record.metrics)
+            if not record.cached and "wall_seconds" in record.timing:
+                latencies.append(record.timing["wall_seconds"])
     latencies.sort()
     completed = sum(len(ids) for status, ids in by_status.items()
                     if status in ("ok", "failed"))
@@ -101,6 +141,10 @@ def aggregate(records: List[dict],
             "throughput_jobs_per_s": (
                 completed / wall_seconds
                 if wall_seconds else None),
+            # host-side provenance, quarantined with the other timings:
+            # a fully-cached re-run and a fresh run agree everywhere
+            # outside "timing", including when this count differs
+            "jobs.cache_hits": cache_hits,
         },
     }
     return document
@@ -112,7 +156,7 @@ def deterministic_view(document: dict) -> dict:
             if key != "timing"}
 
 
-def write_outputs(out_dir: str, records: List[dict],
+def write_outputs(out_dir: str, records: List,
                   wall_seconds: Optional[float] = None) -> dict:
     """Write ``campaign.jsonl`` + ``aggregate.json`` into ``out_dir``."""
     os.makedirs(out_dir, exist_ok=True)
@@ -131,12 +175,13 @@ def find_jsonl(results: str) -> str:
     return results
 
 
-def render_markdown(records: List[dict],
+def render_markdown(records: List,
                     document: Optional[dict] = None) -> str:
     """Markdown summary: per-job table plus the aggregate section."""
+    records = _coerced(records)
     if document is None:
         document = aggregate(records)
-    ordered = sorted(records, key=lambda r: r["job"]["job_id"])
+    ordered = sorted(records, key=lambda r: r.job.job_id)
     lines = [
         "# Campaign report",
         "",
@@ -145,17 +190,20 @@ def render_markdown(records: List[dict],
         "|---|---|---|---|---:|---|---:|---:|---:|---:|",
     ]
     for record in ordered:
-        job = record["job"]
-        wall = record.get("timing", {}).get("wall_seconds")
-        if wall is not None:
-            tail = (f"{record.get('instructions', 0):,} "
-                    f"| {record.get('violations', 0)} | {wall:.2f} |")
+        job = record.job
+        wall = record.timing.get("wall_seconds")
+        if record.cached:
+            tail = (f"{record.instructions:,} "
+                    f"| {record.violations} | cached |")
+        elif wall is not None:
+            tail = (f"{record.instructions:,} "
+                    f"| {record.violations} | {wall:.2f} |")
         else:
             tail = "- | - | - |"
         lines.append(
-            f"| {job['job_id']} | {job['workload']} | {job['policy']} "
-            f"| {job['dift_mode']} | {job['seed']} | {record['status']} "
-            f"| {record.get('attempts', 1)} | {tail}")
+            f"| {job.job_id} | {job.workload} | {job.policy} "
+            f"| {job.dift_mode} | {job.seed} | {record.status} "
+            f"| {record.attempts} | {tail}")
     jobs = document["jobs"]
     timing = document.get("timing", {})
     lines += [
@@ -172,6 +220,10 @@ def render_markdown(records: List[dict],
                      in document["violations_by_policy"].items())
            or "none"),
     ]
+    hits = timing.get("jobs.cache_hits")
+    if hits:
+        lines.append(f"- result-cache hits: {hits} of {jobs['total']} "
+                     "jobs served without a simulation")
     p50 = timing.get("job_latency_p50_s")
     p95 = timing.get("job_latency_p95_s")
     if p50 is not None:
@@ -183,11 +235,11 @@ def render_markdown(records: List[dict],
     if jobs["not_ok"]:
         lines += ["", "## Jobs needing attention", ""]
         for record in ordered:
-            if record["status"] == "ok":
+            if record.status == "ok":
                 continue
-            error = record.get("error", {})
-            lines.append(f"- `{record['job']['job_id']}` "
-                         f"({record['status']}): "
-                         f"{error.get('type', record.get('reason', '?'))}"
+            error = record.error or {}
+            lines.append(f"- `{record.job.job_id}` "
+                         f"({record.status}): "
+                         f"{error.get('type', record.reason or '?')}"
                          f" — {error.get('message', '')}".rstrip(" —"))
     return "\n".join(lines) + "\n"

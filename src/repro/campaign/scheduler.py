@@ -29,14 +29,12 @@ import os
 import time
 from multiprocessing import connection as _mp_connection
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.campaign.matrix import JobSpec
+from repro.campaign.result import JOB_STATUSES, JobResult
 from repro.campaign.worker import child_main
-
-#: statuses a job record can end with
-JOB_STATUSES = ("ok", "failed", "crashed", "timeout")
 
 _LOG_TAIL_LINES = 20
 
@@ -73,19 +71,22 @@ class _Running:
 class CampaignResult:
     """Everything :func:`run_campaign` produced, in job-id order."""
 
-    records: List[dict]
+    records: List[JobResult]
     wall_seconds: float
+    #: how many records were served from the result cache (no simulator
+    #: boot happened for these)
+    cache_hits: int = 0
 
     @property
     def status_counts(self) -> Dict[str, int]:
         counts = {status: 0 for status in JOB_STATUSES}
         for record in self.records:
-            counts[record["status"]] += 1
+            counts[record.status] += 1
         return counts
 
     @property
     def all_ok(self) -> bool:
-        return all(r["status"] == "ok" for r in self.records)
+        return all(r.status == "ok" for r in self.records)
 
 
 @dataclass
@@ -96,8 +97,8 @@ class _Pending:
     history: List[dict] = field(default_factory=list)
 
 
-def _prepare_warm_snapshots(specs: List[JobSpec], snapshot_dir: str,
-                            note: Callable[[str], None]) -> List[JobSpec]:
+def prepare_warm_snapshots(specs: List[JobSpec], snapshot_dir: str,
+                           note: Callable[[str], None]) -> List[JobSpec]:
     """Boot each distinct platform configuration once and snapshot it.
 
     Jobs sharing (workload, policy, dift_mode, seed, scale) fork from
@@ -146,7 +147,10 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
                  retries: Optional[int] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  poll_interval: float = 0.05,
-                 warm_start: bool = False) -> CampaignResult:
+                 warm_start: bool = False,
+                 cache=None,
+                 on_record: Optional[Callable[[JobResult], None]] = None,
+                 ) -> CampaignResult:
     """Run every spec to a terminal status; never raises for job failures.
 
     ``timeout`` / ``retries`` override the per-spec values when given
@@ -156,7 +160,18 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
     the records of failed jobs).  ``warm_start`` boots each distinct
     platform configuration once in the parent, snapshots it at
     instruction zero, and has every worker resume from the snapshot.
+
+    ``cache`` (a :class:`repro.campaign.cache.ResultCache`) is consulted
+    *before* any platform boots: jobs whose content key has a stored
+    record are served from disk (``timing.cached`` marks them), and
+    fresh ok/failed results of cacheable jobs are stored back.  A fully
+    cached campaign runs zero simulations and boots zero snapshots.
+    ``on_record`` is invoked once per terminal record as it lands
+    (cache hits first, then completions in finish order) — the CLI
+    streams the JSONL through it so an interrupted campaign can resume.
     """
+    from repro.campaign.cache import consult
+
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     if not specs:
@@ -175,13 +190,19 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
 
     ctx = _mp_context()
     note = progress or (lambda message: None)
-    if warm_start:
-        specs = _prepare_warm_snapshots(list(specs), log_dir, note)
+    emit = on_record or (lambda record: None)
+    started = time.perf_counter()
+
+    records: Dict[str, JobResult] = {}
+    hits, specs, cache_keys = consult(cache, list(specs), note)
+    for record in hits:
+        records[record.job.job_id] = record
+        emit(record)
+    if warm_start and specs:
+        specs = prepare_warm_snapshots(specs, log_dir, note)
     pending = deque(_Pending(spec, 0) for spec in specs)
     delayed: List[_Pending] = []
     running: List[_Running] = []
-    records: Dict[str, dict] = {}
-    started = time.perf_counter()
 
     def effective_timeout(spec: JobSpec) -> float:
         return timeout if timeout is not None else spec.timeout
@@ -210,13 +231,20 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
             history=item.history))
         note(f"start {spec.job_id} (attempt {item.attempt})")
 
-    def finalize(job: _Running, record: dict) -> None:
-        record.setdefault("job", job.spec.to_dict())
-        record["attempts"] = job.attempt + 1
-        if record["status"] != "ok":
-            record.setdefault("log_tail", _log_tail(job.log_path))
-        records[job.spec.job_id] = record
-        note(f"done  {job.spec.job_id}: {record['status']}")
+    def finalize(job: _Running, payload: dict) -> None:
+        payload.setdefault("job", job.spec.to_dict())
+        record = replace(
+            JobResult.from_json(payload),
+            attempts=job.attempt + 1,
+            retried_errors=tuple(job.history),
+            log_tail=(tuple(_log_tail(job.log_path))
+                      if payload["status"] != "ok" else ()))
+        if (cache is not None and record.ran
+                and record.job.job_id in cache_keys):
+            cache.put(cache_keys[record.job.job_id], record)
+        records[record.job.job_id] = record
+        emit(record)
+        note(f"done  {record.job.job_id}: {record.status}")
 
     def reap(job: _Running) -> None:
         """Process one finished/expired worker; requeue when retryable."""
@@ -245,8 +273,6 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
                                     ready_at=time.perf_counter() + delay,
                                     history=job.history))
             return
-        if job.history:
-            payload["retried_errors"] = job.history
         finalize(job, payload)
 
     def kill(job: _Running) -> None:
@@ -303,4 +329,5 @@ def run_campaign(specs: List[JobSpec], jobs: int = 1,
         _tmp.cleanup()
     return CampaignResult(
         records=[records[job_id] for job_id in sorted(records)],
-        wall_seconds=time.perf_counter() - started)
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=len(hits))

@@ -30,8 +30,7 @@ from contextlib import redirect_stderr, redirect_stdout
 from typing import Tuple
 
 from repro.campaign.matrix import JobSpec
-
-JOB_SCHEMA = "repro.campaign.job/1"
+from repro.campaign.result import JOB_SCHEMA, JobResult
 
 #: hard-death exit code (distinguishable from interpreter crashes)
 DIE_EXIT_CODE = 13
@@ -77,7 +76,7 @@ def _apply_injection(spec: JobSpec, attempt: int) -> None:
             f"(attempt {attempt} of {count} injected failures)")
 
 
-def execute_job(spec: JobSpec, attempt: int) -> dict:
+def execute_job(spec: JobSpec, attempt: int) -> JobResult:
     """Run one job to completion in the current process."""
     from repro.bench.workloads import get_workload
     from repro.dift.engine import RECORD
@@ -111,21 +110,20 @@ def execute_job(spec: JobSpec, attempt: int) -> dict:
         ok = (result.reason == "budget"
               or (result.reason == "halt" and result.exit_code == 0))
     deterministic, timing = split_timing_metrics(platform.obs.snapshot())
-    return {
-        "schema": JOB_SCHEMA,
-        "job": spec.to_dict(),
-        "status": "ok" if ok else "failed",
-        "reason": result.reason,
-        "exit_code": result.exit_code,
-        "instructions": result.instructions,
-        "violations": len(result.violations),
-        "metrics": deterministic,
-        "timing": {
+    return JobResult(
+        job=spec,
+        status="ok" if ok else "failed",
+        reason=result.reason,
+        exit_code=result.exit_code,
+        instructions=result.instructions,
+        violations=len(result.violations),
+        metrics=deterministic,
+        timing={
             "wall_seconds": wall,
             "mips": result.mips,
             "metrics": timing,
         },
-    }
+    )
 
 
 def child_main(conn, spec_dict: dict, attempt: int, log_path: str) -> None:
@@ -139,20 +137,19 @@ def child_main(conn, spec_dict: dict, attempt: int, log_path: str) -> None:
     with open(log_path, "w", buffering=1) as log, \
             redirect_stdout(log), redirect_stderr(log):
         try:
-            payload = execute_job(spec, attempt)
+            payload = execute_job(spec, attempt).to_json()
         except BaseException as exc:   # isolation boundary: report, never leak
             traceback.print_exc()
             tail = traceback.format_exc().splitlines()[-8:]
-            payload = {
-                "schema": JOB_SCHEMA,
-                "job": spec.to_dict(),
-                "status": "crashed",
-                "error": {
+            payload = JobResult(
+                job=spec,
+                status="crashed",
+                error={
                     "type": type(exc).__name__,
                     "message": str(exc),
                     "traceback_tail": tail,
                 },
-            }
+            ).to_json()
         try:
             conn.send(payload)
         finally:

@@ -15,6 +15,8 @@ Commands
 ``fuzz``         adversarial attack-corpus generation + differential oracles
 ``policyfuzz``   policy stress-fuzzing of the immobilizer firmware
 ``campaign``     parallel simulation campaigns (``run`` / ``report``)
+``worker``       attach to a campaign broker and pull jobs over TCP
+``serve``        campaign-as-a-service: the HTTP submission API
 ``snapshot``     checkpoint/restore (``save`` / ``resume`` / ``diff``)
 ``replay``       snapshot-resume replay-equivalence verification
 ``reanalyze``    replay a recorded event stream offline (new policies,
@@ -27,7 +29,8 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
 
 from repro.asm import assemble, disassemble
 from repro.dift.engine import RAISE, RECORD
@@ -65,13 +68,94 @@ def _load_policy(path: Optional[str]):
         return policy_from_dict(json.load(handle))
 
 
+# --------------------------------------------------------------------- #
+# shared output-destination handling
+#
+# One idiom across every command: file-valued flags (--output, --json,
+# --metrics-out, ...) accept '-' for stdout; directory-valued flags
+# (--out) never do.  Destinations are validated *before* any expensive
+# work — the export is the last step of a potentially minutes-long run.
+# --------------------------------------------------------------------- #
+
+#: the shared flags add_output_args() knows how to attach
+_OUTPUT_FLAGS = {
+    "output": (("-o", "--output"), "FILE",
+               "write here instead of stdout ('-' = stdout)"),
+    "json": (("--json",), "FILE",
+             "also write a machine-readable JSON report to FILE "
+             "('-' = stdout)"),
+    "metrics_out": (("--metrics-out",), "FILE",
+                    "write a metrics-snapshot JSON to FILE "
+                    "('-' = stdout)"),
+    "trace_out": (("--trace-out",), "FILE",
+                  "write a Chrome trace_event JSON to FILE "
+                  "(open in chrome://tracing / Perfetto; '-' = stdout)"),
+    "out_dir": (("--out",), "DIR", "output directory"),
+}
+
+
+def add_output_args(parser, *names, **overrides) -> None:
+    """Attach shared output flags; ``<name>_help``/``<name>_default``
+    keyword overrides customize a flag for one command."""
+    for name in names:
+        flags, metavar, help_text = _OUTPUT_FLAGS[name]
+        parser.add_argument(
+            *flags, metavar=metavar,
+            dest="out" if name == "out_dir" else name,
+            default=overrides.get(f"{name}_default"),
+            help=overrides.get(f"{name}_help", help_text))
+
+
+def resolve_outputs(args, files=(), dirs=()) -> dict:
+    """Validate every output destination up front; returns name->path.
+
+    ``files`` entries may be '-' (stdout) but their parent directory
+    must exist; ``dirs`` entries reject '-' (a directory cannot be
+    stdout) and are created later by the command itself.
+    """
+    resolved = {}
+    for name in files:
+        path = getattr(args, name, None)
+        if path and path != "-":
+            parent = os.path.dirname(path) or "."
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"error: output directory {parent!r} does not exist")
+        resolved[name] = path
+    for name in dirs:
+        dest = "out" if name == "out_dir" else name
+        path = getattr(args, dest, None)
+        if path == "-":
+            raise SystemExit(
+                "error: this flag names a directory; '-' (stdout) is "
+                "not valid here")
+        resolved[name] = path
+    return resolved
+
+
+@contextmanager
+def open_output(path: Optional[str]):
+    """A writable text handle for ``path``; None or '-' yields stdout."""
+    if path is None or path == "-":
+        yield sys.stdout
+    else:
+        with open(path, "w") as handle:
+            yield handle
+
+
+def _parse_hostport(value: str,
+                    default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = default_host, value
+    if not port.isdigit():
+        raise SystemExit(f"error: expected HOST:PORT, got {value!r}")
+    return host or default_host, int(port)
+
+
 def _add_obs_options(parser) -> None:
     """Observability options shared by the simulating commands."""
-    parser.add_argument("--metrics-out", metavar="FILE",
-                        help="write a metrics-snapshot JSON to FILE")
-    parser.add_argument("--trace-out", metavar="FILE",
-                        help="write a Chrome trace_event JSON to FILE "
-                             "(open in chrome://tracing / Perfetto)")
+    add_output_args(parser, "metrics_out", "trace_out")
     parser.add_argument("--obs-level", choices=("quantum", "instruction"),
                         default="quantum",
                         help="metric granularity; 'instruction' adds "
@@ -84,14 +168,7 @@ def _make_obs(args):
     """Build an Observability from CLI flags, or None if none requested."""
     if not (args.metrics_out or args.trace_out):
         return None
-    # Fail on an unwritable destination *before* simulating, not after —
-    # the export is the last step of a potentially minutes-long run.
-    for path in (args.metrics_out, args.trace_out):
-        if path:
-            parent = os.path.dirname(path) or "."
-            if not os.path.isdir(parent):
-                raise SystemExit(
-                    f"error: output directory {parent!r} does not exist")
+    resolve_outputs(args, files=("metrics_out", "trace_out"))
     from repro.obs import Observability
 
     return Observability(trace=args.trace_out is not None,
@@ -103,12 +180,14 @@ def _write_obs(obs, args) -> None:
         return
     if args.metrics_out:
         obs.write_metrics(args.metrics_out)
-        print(f"metrics: {args.metrics_out}")
+        if args.metrics_out != "-":
+            print(f"metrics: {args.metrics_out}")
     if args.trace_out:
         obs.write_trace(args.trace_out)
-        print(f"trace: {args.trace_out} "
-              f"({len(obs.tracer.events())} events, "
-              f"{obs.tracer.dropped} dropped)")
+        if args.trace_out != "-":
+            print(f"trace: {args.trace_out} "
+                  f"({len(obs.tracer.events())} events, "
+                  f"{obs.tracer.dropped} dropped)")
 
 
 def _cmd_run(args) -> int:
@@ -188,12 +267,12 @@ def _cmd_report(args) -> int:
 
     results = generate(scale=args.scale)
     markdown = render_markdown(results)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(markdown)
+    resolve_outputs(args, files=("output",))
+    with open_output(args.output) as handle:
+        handle.write(markdown if markdown.endswith("\n")
+                     else markdown + "\n")
+    if args.output and args.output != "-":
         print(f"wrote {args.output}")
-    else:
-        print(markdown)
     ok = (results["table1"]["missed"] == 0
           and results["casestudy"]["all_as_expected"]
           and results["verification"]["fuzz_sound"]
@@ -249,6 +328,7 @@ def _cmd_fuzz(args) -> int:
     from repro.gen import generate_corpus, run_case, save_case, shrink
     from repro.gen.corpus import case_document, default_corpus_dir, dump_case
 
+    resolve_outputs(args, dirs=("out_dir",))
     cases = generate_corpus(args.seed, args.count)
     distinct = {case.spec_hash for case in cases}
     digest = hashlib.sha256()
@@ -286,10 +366,15 @@ def _cmd_fuzz(args) -> int:
 def _cmd_campaign_run(args) -> int:
     from repro.campaign import (
         MatrixError,
+        completed_ids,
+        load_jsonl,
         load_matrix,
         run_campaign,
+        run_campaign_distributed,
         write_outputs,
     )
+    from repro.campaign.cache import CacheError, open_cache
+    from repro.campaign.report import JSONL_NAME
 
     try:
         matrix = load_matrix(args.matrix)
@@ -297,27 +382,129 @@ def _cmd_campaign_run(args) -> int:
     except MatrixError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    resolve_outputs(args, dirs=("out_dir",))
+    try:
+        cache = open_cache(args.cache_dir,
+                           disabled=args.no_cache or not matrix.cache)
+    except CacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     os.makedirs(args.out, exist_ok=True)
+    jsonl_path = os.path.join(args.out, JSONL_NAME)
+
+    total = len(specs)
+    prior = []
+    if args.resume is not None:
+        resume_path = (jsonl_path if args.resume == "auto"
+                       else args.resume)
+        if os.path.exists(resume_path):
+            # any terminal record counts as done: crashed already
+            # exhausted its retries, timeout is deliberately final
+            wanted = {spec.job_id for spec in specs}
+            prior = [record
+                     for record in load_jsonl(resume_path, tolerant=True)
+                     if record.job.job_id in wanted]
+            done = completed_ids(prior)
+            specs = [spec for spec in specs if spec.job_id not in done]
+            print(f"resume: {len(done)} of {total} jobs already "
+                  f"recorded in {resume_path}; {len(specs)} left to run")
+        else:
+            print(f"resume: no prior results at {resume_path}; "
+                  "running the full matrix")
+
     progress = None if args.quiet else print
-    result = run_campaign(specs, jobs=args.jobs,
-                          log_dir=os.path.join(args.out, "logs"),
-                          timeout=args.timeout, retries=args.retries,
-                          progress=progress,
-                          warm_start=matrix.warm_start or args.warm_start)
-    document = write_outputs(args.out, result.records,
-                             wall_seconds=result.wall_seconds)
-    counts = result.status_counts
+    warm = matrix.warm_start or args.warm_start
+    records = list(prior)
+    wall = 0.0
+    cache_hits = 0
+    if specs:
+        # stream every terminal record to the JSONL as it lands so an
+        # interrupted campaign can --resume from whatever finished
+        with open(jsonl_path, "w", buffering=1) as stream:
+            def emit(record) -> None:
+                stream.write(json.dumps(record.to_json(),
+                                        sort_keys=True) + "\n")
+
+            for record in prior:
+                emit(record)
+            if args.listen:
+                host, port = _parse_hostport(args.listen)
+                result = run_campaign_distributed(
+                    specs, host=host, port=port,
+                    timeout=args.timeout, retries=args.retries,
+                    warm_start=warm, cache=cache,
+                    on_record=emit, progress=progress)
+            else:
+                result = run_campaign(
+                    specs, jobs=args.jobs,
+                    log_dir=os.path.join(args.out, "logs"),
+                    timeout=args.timeout, retries=args.retries,
+                    progress=progress, warm_start=warm,
+                    cache=cache, on_record=emit)
+        records += result.records
+        wall = result.wall_seconds
+        cache_hits = result.cache_hits
+
+    document = write_outputs(args.out, records, wall_seconds=wall)
+    counts = document["jobs"]["by_status"]
     summary = ", ".join(f"{counts[status]} {status}"
                         for status in ("ok", "failed", "crashed", "timeout")
-                        if counts[status])
-    print(f"campaign: {len(result.records)} jobs in "
-          f"{result.wall_seconds:.2f}s with --jobs {args.jobs}: {summary}")
+                        if counts.get(status))
+    mode_note = (f"--listen {args.listen}" if args.listen
+                 else f"--jobs {args.jobs}")
+    print(f"campaign: {len(records)} jobs in "
+          f"{wall:.2f}s with {mode_note}: {summary}")
+    if cache is not None:
+        print(f"cache: {cache_hits} of {len(records)} jobs served from "
+              f"{cache.root}")
+    if prior:
+        print(f"resume: {len(prior)} records carried over")
     print(f"results: {args.out}/campaign.jsonl, {args.out}/aggregate.json")
     for job_id in document["jobs"]["not_ok"]:
         print(f"  not ok: {job_id}")
-    if args.strict and not result.all_ok:
+    if args.strict and any(not record.ok for record in records):
         print("error: --strict and not every job is ok", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.campaign import run_worker
+
+    host, port = _parse_hostport(args.connect)
+    progress = None if args.quiet else print
+    try:
+        stats = run_worker(host, port, name=args.name,
+                           heartbeat=args.heartbeat,
+                           connect_timeout=args.connect_timeout,
+                           once=args.once, progress=progress)
+    except ConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    by_status = ", ".join(f"{count} {status}" for status, count
+                          in stats["by_status"].items()) or "none"
+    print(f"worker: {stats['jobs']} jobs ({by_status})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.campaign import serve
+    from repro.campaign.cache import CacheError, open_cache
+
+    try:
+        cache = open_cache(args.cache_dir, disabled=args.no_cache)
+    except CacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        serve(host=args.host, port=args.port,
+              worker_host=args.worker_host, worker_port=args.worker_port,
+              cache=cache, local_workers=args.local_workers,
+              data_dir=args.data_dir, progress=print)
+    except KeyboardInterrupt:
+        # a second Ctrl-C while the first is already shutting things
+        # down: serve()'s finally block has run, nothing left to do
+        pass
     return 0
 
 
@@ -441,6 +628,7 @@ def _cmd_reanalyze(args) -> int:
     from repro.dift.events import StreamError
     from repro.dift.monitor import reanalyze_stream
 
+    resolve_outputs(args, files=("json",))
     try:
         override = _load_policy(args.policy)
         result = reanalyze_stream(args.stream, policy=override)
@@ -472,10 +660,11 @@ def _cmd_reanalyze(args) -> int:
                  "unit": v.unit, "pc": v.pc, "context": v.context}
                 for v in result.violations],
         }
-        with open(args.json, "w") as handle:
+        with open_output(args.json) as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"report: {args.json}")
+        if args.json != "-":
+            print(f"report: {args.json}")
     return 1 if result.violations else 0
 
 
@@ -493,12 +682,11 @@ def _cmd_campaign_report(args) -> int:
         print(f"error: no job records in {path}", file=sys.stderr)
         return 2
     markdown = render_markdown(records, aggregate(records))
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(markdown)
+    resolve_outputs(args, files=("output",))
+    with open_output(args.output) as handle:
+        handle.write(markdown)
+    if args.output and args.output != "-":
         print(f"wrote {args.output}")
-    else:
-        print(markdown)
     return 0
 
 
@@ -574,7 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report",
                        help="run every experiment, emit a markdown report")
     p.add_argument("--scale", choices=("quick", "full"), default="quick")
-    p.add_argument("-o", "--output")
+    add_output_args(p, "output")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("differential",
@@ -595,8 +783,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "identical corpus byte-for-byte (default 0)")
     p.add_argument("--count", type=int, default=50, metavar="N",
                    help="distinct cases to generate (default 50)")
-    p.add_argument("--out", metavar="DIR",
-                   help="also write every generated case file to DIR")
+    add_output_args(p, "out_dir",
+                    out_dir_help="also write every generated case "
+                                 "file to DIR")
     p.add_argument("--corpus-dir", metavar="DIR",
                    help="where shrunk minimal repros of failing cases "
                         "are committed (default: tests/corpus)")
@@ -630,9 +819,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-job wall-clock timeout override (seconds)")
     cp.add_argument("--retries", type=int, default=None, metavar="N",
                     help="retry-after-crash override")
-    cp.add_argument("--out", default="campaign-out", metavar="DIR",
-                    help="output directory (JSONL, aggregate, worker "
-                         "logs; default campaign-out)")
+    add_output_args(cp, "out_dir",
+                    out_dir_default="campaign-out",
+                    out_dir_help="output directory (JSONL, aggregate, "
+                                 "worker logs; default campaign-out)")
     cp.add_argument("--strict", action="store_true",
                     help="exit 1 unless every job ended ok")
     cp.add_argument("--quiet", action="store_true",
@@ -642,15 +832,79 @@ def build_parser() -> argparse.ArgumentParser:
                          "snapshot it, and fork every job from the "
                          "snapshot (same as \"warm_start\": true in the "
                          "matrix file)")
+    cp.add_argument("--cache-dir", metavar="DIR",
+                    help="content-addressed result cache: jobs already "
+                         "simulated under the same binary/config/seed "
+                         "are served from here instead of re-running "
+                         "(default: $REPRO_CACHE; off when neither is "
+                         "set)")
+    cp.add_argument("--no-cache", action="store_true",
+                    help="ignore any configured result cache")
+    cp.add_argument("--resume", nargs="?", const="auto", default=None,
+                    metavar="JSONL",
+                    help="treat jobs already recorded in JSONL (default: "
+                         "<out>/campaign.jsonl) as done and run only the "
+                         "rest; tolerates the torn last line an "
+                         "interrupted campaign leaves behind")
+    cp.add_argument("--listen", metavar="HOST:PORT",
+                    help="run as a broker on HOST:PORT instead of a "
+                         "local pool: jobs are pulled by 'repro worker "
+                         "--connect' processes (possibly on other "
+                         "machines); blocks until the matrix drains")
     cp.set_defaults(fn=_cmd_campaign_run)
 
     cp = csub.add_parser(
         "report", help="render a markdown summary from campaign results")
     cp.add_argument("--results", required=True, metavar="PATH",
                     help="campaign output directory or campaign.jsonl")
-    cp.add_argument("-o", "--output", metavar="FILE",
-                    help="write the markdown here instead of stdout")
+    add_output_args(cp, "output",
+                    output_help="write the markdown here instead of "
+                                "stdout ('-' = stdout)")
     cp.set_defaults(fn=_cmd_campaign_report)
+
+    p = sub.add_parser(
+        "worker",
+        help="attach to a campaign broker and pull jobs over TCP")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="broker address (campaign run --listen / serve)")
+    p.add_argument("--name", metavar="NAME",
+                   help="worker name in broker logs "
+                        "(default: <host>-<pid>)")
+    p.add_argument("--heartbeat", type=float, default=2.0, metavar="S",
+                   help="liveness heartbeat interval (default 2s)")
+    p.add_argument("--connect-timeout", type=float, default=30.0,
+                   metavar="S",
+                   help="keep retrying the initial connection this long "
+                        "(default 30s)")
+    p.add_argument("--once", action="store_true",
+                   help="exit after the first completed job")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="campaign-as-a-service: HTTP submission API over a broker")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="HTTP bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8437,
+                   help="HTTP port (default 8437)")
+    p.add_argument("--worker-host", default="127.0.0.1", metavar="HOST",
+                   help="interface the broker listens on for workers")
+    p.add_argument("--worker-port", type=int, default=0, metavar="PORT",
+                   help="broker port workers connect to (default: "
+                        "ephemeral, printed at startup)")
+    p.add_argument("--local-workers", type=int, default=0, metavar="N",
+                   help="also spawn N worker processes in-house")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed result cache shared by every "
+                        "submitted campaign (default: $REPRO_CACHE)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore any configured result cache")
+    p.add_argument("--data-dir", metavar="DIR",
+                   help="broker scratch space for warm-start snapshots "
+                        "(default: a temporary directory)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "snapshot", help="checkpoint/restore (save / resume / diff)")

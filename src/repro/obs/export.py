@@ -52,7 +52,15 @@ def bench_record(name: str, payload: Dict[str, Any],
 
 
 def write_json(path: str, document: Dict[str, Any]) -> str:
-    """Write ``document`` as pretty-printed JSON; returns ``path``."""
+    """Write ``document`` as pretty-printed JSON; returns ``path``.
+
+    ``"-"`` writes to stdout instead of a file — the CLI-wide output
+    convention (``--metrics-out -`` pipes a snapshot into ``jq``).
+    """
+    if path == "-":
+        json.dump(document, sys.stdout, indent=2, sort_keys=False)
+        sys.stdout.write("\n")
+        return path
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=False)
         handle.write("\n")

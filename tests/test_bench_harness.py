@@ -217,3 +217,39 @@ class TestRegressionGate:
         _write_bench(tmp_path / "cur", "alpha", 0.04)
         assert gate.main(["--baseline", str(tmp_path / "base"),
                           "--current", str(tmp_path / "cur")]) == 0
+
+    def test_update_copies_current_over_baselines(self, gate, tmp_path):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 2.0)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur"),
+                          "--update"]) == 0
+        stored = json.loads(
+            (tmp_path / "base" / "BENCH_alpha.json").read_text())
+        assert stored["data"]["seconds"] == 2.0
+
+    def test_update_prunes_stale_baselines(self, gate, tmp_path, capsys):
+        # beta was deleted from the suite: --update must remove its
+        # baseline, or every later gate run fails it as MISSING
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        _write_bench(tmp_path / "base", "beta", 1.0)
+        _write_bench(tmp_path / "cur", "alpha", 1.0)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur"),
+                          "--update"]) == 0
+        assert not (tmp_path / "base" / "BENCH_beta.json").exists()
+        assert (tmp_path / "base" / "BENCH_alpha.json").exists()
+        assert "pruned stale baseline BENCH_beta.json" in (
+            capsys.readouterr().out)
+        # and the refreshed baselines now gate clean
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur")]) == 0
+
+    def test_update_ignores_non_bench_files(self, gate, tmp_path):
+        _write_bench(tmp_path / "base", "alpha", 1.0)
+        (tmp_path / "base" / "README.md").write_text("keep me\n")
+        _write_bench(tmp_path / "cur", "alpha", 1.0)
+        assert gate.main(["--baseline", str(tmp_path / "base"),
+                          "--current", str(tmp_path / "cur"),
+                          "--update"]) == 0
+        assert (tmp_path / "base" / "README.md").exists()

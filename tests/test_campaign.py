@@ -136,13 +136,13 @@ class TestScheduler:
         result = run_campaign(specs, jobs=2, log_dir=str(tmp_path))
         assert result.all_ok
         assert result.status_counts["ok"] == 2
-        ids = [r["job"]["job_id"] for r in result.records]
+        ids = [r.job.job_id for r in result.records]
         assert ids == sorted(ids)
         for record in result.records:
-            assert record["schema"] == "repro.campaign.job/1"
-            assert record["attempts"] == 1
-            assert record["instructions"] > 0
-            assert "cpu.instructions" in record["metrics"]
+            assert record.to_json()["schema"] == "repro.campaign.job/1"
+            assert record.attempts == 1
+            assert record.instructions > 0
+            assert "cpu.instructions" in record.metrics
         # per-attempt worker logs land in log_dir
         assert (tmp_path / "primes.default.full.s0.a0.log").exists()
 
@@ -150,59 +150,59 @@ class TestScheduler:
         specs = [make_spec("boom", inject="crash", retries=1, backoff=0.01),
                  make_spec("fine")]
         result = run_campaign(specs, jobs=2, log_dir=str(tmp_path))
-        by_id = {r["job"]["job_id"]: r for r in result.records}
+        by_id = {r.job.job_id: r for r in result.records}
         crashed = by_id["boom"]
-        assert crashed["status"] == "crashed"
-        assert crashed["error"]["type"] == "InjectedFailure"
+        assert crashed.status == "crashed"
+        assert crashed.error["type"] == "InjectedFailure"
         assert any("InjectedFailure" in line
-                   for line in crashed["error"]["traceback_tail"])
-        assert crashed["attempts"] == 2          # initial + 1 retry
-        assert len(crashed["retried_errors"]) == 1
-        assert crashed["log_tail"]               # traceback landed in the log
+                   for line in crashed.error["traceback_tail"])
+        assert crashed.attempts == 2             # initial + 1 retry
+        assert len(crashed.retried_errors) == 1
+        assert crashed.log_tail                  # traceback landed in the log
         # the neighbour is unaffected and the campaign itself never raises
-        assert by_id["fine"]["status"] == "ok"
+        assert by_id["fine"].status == "ok"
 
     def test_hard_death_is_contained(self, tmp_path):
         specs = [make_spec("dead", inject="die", retries=0),
                  make_spec("fine")]
         result = run_campaign(specs, jobs=2, log_dir=str(tmp_path))
-        by_id = {r["job"]["job_id"]: r for r in result.records}
+        by_id = {r.job.job_id: r for r in result.records}
         dead = by_id["dead"]
-        assert dead["status"] == "crashed"
-        assert dead["error"]["type"] == "WorkerDied"
-        assert dead["error"]["exitcode"] == DIE_EXIT_CODE
+        assert dead.status == "crashed"
+        assert dead.error["type"] == "WorkerDied"
+        assert dead.error["exitcode"] == DIE_EXIT_CODE
         assert any("injected hard death" in line
-                   for line in dead["log_tail"])
-        assert by_id["fine"]["status"] == "ok"
+                   for line in dead.log_tail)
+        assert by_id["fine"].status == "ok"
 
     def test_hang_hits_timeout_without_retry(self, tmp_path):
         specs = [make_spec("stuck", inject="hang", timeout=1.0, retries=3),
                  make_spec("fine")]
         result = run_campaign(specs, jobs=2, log_dir=str(tmp_path))
-        by_id = {r["job"]["job_id"]: r for r in result.records}
+        by_id = {r.job.job_id: r for r in result.records}
         stuck = by_id["stuck"]
-        assert stuck["status"] == "timeout"
-        assert stuck["error"]["type"] == "JobTimeout"
-        assert stuck["attempts"] == 1            # hangs are never retried
-        assert by_id["fine"]["status"] == "ok"
+        assert stuck.status == "timeout"
+        assert stuck.error["type"] == "JobTimeout"
+        assert stuck.attempts == 1               # hangs are never retried
+        assert by_id["fine"].status == "ok"
 
     def test_flaky_job_retries_then_succeeds(self, tmp_path):
         specs = [make_spec("flaky", inject="flaky:2", retries=2,
                            backoff=0.01)]
         result = run_campaign(specs, jobs=1, log_dir=str(tmp_path))
         record = result.records[0]
-        assert record["status"] == "ok"
-        assert record["attempts"] == 3           # 2 injected failures + 1
-        assert len(record["retried_errors"]) == 2
+        assert record.status == "ok"
+        assert record.attempts == 3              # 2 injected failures + 1
+        assert len(record.retried_errors) == 2
         assert all(e["type"] == "InjectedFailure"
-                   for e in record["retried_errors"])
+                   for e in record.retried_errors)
 
     def test_retries_exhausted_stays_crashed(self, tmp_path):
         specs = [make_spec("flaky", inject="flaky:5", retries=1,
                            backoff=0.01)]
         result = run_campaign(specs, jobs=1, log_dir=str(tmp_path))
-        assert result.records[0]["status"] == "crashed"
-        assert result.records[0]["attempts"] == 2
+        assert result.records[0].status == "crashed"
+        assert result.records[0].attempts == 2
 
     def test_rejects_duplicate_ids_and_bad_pool(self):
         spec = make_spec("a")
@@ -215,7 +215,8 @@ class TestScheduler:
 
 
 def _strip_host_timing(record):
-    return {k: v for k, v in record.items() if k != "timing"}
+    doc = record.to_json()
+    return {k: v for k, v in doc.items() if k != "timing"}
 
 
 class TestDeterminism:
@@ -266,8 +267,8 @@ class TestReport:
         doc = write_outputs(str(tmp_path), result.records,
                             wall_seconds=result.wall_seconds)
         loaded = load_jsonl(str(tmp_path / JSONL_NAME))
-        assert [r["job"]["job_id"] for r in loaded] == ["boom",
-                                                        "primes.default.full.s0"]
+        assert [r.job.job_id for r in loaded] == ["boom",
+                                                  "primes.default.full.s0"]
         on_disk = json.loads((tmp_path / "aggregate.json").read_text())
         assert on_disk == json.loads(json.dumps(doc))  # json-clean
         assert on_disk["jobs"]["by_status"] == {"crashed": 1, "ok": 1}

@@ -110,6 +110,106 @@ class TestCampaignRun:
         assert flaky["retried_errors"][0]["type"] == "InjectedFailure"
 
 
+class TestCacheAndResumeFlags:
+    def test_second_run_is_served_from_the_cache(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        cache_dir = tmp_path / "cache"
+        for out in ("first", "second"):
+            assert main(["campaign", "run", "--matrix", matrix,
+                         "--jobs", "2", "--out", str(tmp_path / out),
+                         "--cache-dir", str(cache_dir), "--quiet"]) == 0
+        text = capsys.readouterr().out
+        assert "cache: 0 of 2 jobs served" in text
+        assert "cache: 2 of 2 jobs served" in text
+        records = [json.loads(line) for line in
+                   (tmp_path / "second" / "campaign.jsonl")
+                   .read_text().splitlines()]
+        assert all(r["timing"].get("cached") for r in records)
+        # cache provenance is quarantined: aggregates agree byte-for-byte
+        first = json.loads(
+            (tmp_path / "first" / "aggregate.json").read_text())
+        second = json.loads(
+            (tmp_path / "second" / "aggregate.json").read_text())
+        first.pop("timing"), second.pop("timing")
+        assert first == second
+        # and the cached run booted zero simulators (no worker logs)
+        assert not any((tmp_path / "second" / "logs").iterdir())
+
+    def test_no_cache_flag_disables_the_cache(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(tmp_path / "out"),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--no-cache", "--quiet"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_matrix_can_opt_out_of_caching(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix(cache=False))
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(tmp_path / "out"),
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--quiet"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_resume_skips_completed_jobs(self, tmp_path, capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        out = tmp_path / "out"
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(out), "--quiet"]) == 0
+        first = (out / "aggregate.json").read_text()
+        capsys.readouterr()
+        # resuming a finished campaign re-runs nothing
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(out), "--resume",
+                     "--quiet"]) == 0
+        text = capsys.readouterr().out
+        assert "resume: 2 of 2 jobs already recorded" in text
+        assert "2 records carried over" in text
+        second = (out / "aggregate.json").read_text()
+        assert (json.loads(first)["jobs"]
+                == json.loads(second)["jobs"])
+
+    def test_resume_without_prior_results_runs_everything(self, tmp_path,
+                                                          capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(tmp_path / "out"),
+                     "--resume", "--quiet"]) == 0
+        assert "no prior results" in capsys.readouterr().out
+
+
+class TestOutputFlagConventions:
+    """'-' means stdout for file outputs and is rejected for dirs."""
+
+    def test_out_dir_rejects_stdout(self, tmp_path):
+        matrix = write_matrix(tmp_path, small_matrix())
+        with pytest.raises(SystemExit, match="directory"):
+            main(["campaign", "run", "--matrix", matrix, "--out", "-"])
+
+    def test_report_output_into_missing_dir_fails_early(self, tmp_path,
+                                                        capsys):
+        matrix = write_matrix(tmp_path, small_matrix())
+        out = tmp_path / "out"
+        assert main(["campaign", "run", "--matrix", matrix,
+                     "--jobs", "2", "--out", str(out), "--quiet"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["campaign", "report", "--results", str(out),
+                  "-o", str(tmp_path / "nope" / "report.md")])
+
+
+class TestWorkerCli:
+    def test_connect_requires_host_port(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["worker", "--connect", "nonsense"])
+
+    def test_unreachable_broker_exits_two(self, capsys):
+        code = main(["worker", "--connect", "127.0.0.1:1",
+                     "--connect-timeout", "0.3", "--quiet"])
+        assert code == 2
+        assert "could not reach broker" in capsys.readouterr().err
+
+
 class TestCampaignReport:
     @pytest.fixture
     def results_dir(self, tmp_path, capsys):
@@ -136,6 +236,13 @@ class TestCampaignReport:
         assert "wrote" in capsys.readouterr().out
         assert "# Campaign report" in target.read_text()
 
+    def test_report_dash_writes_to_stdout(self, results_dir, capsys):
+        assert main(["campaign", "report", "--results",
+                     str(results_dir), "-o", "-"]) == 0
+        text = capsys.readouterr().out
+        assert "# Campaign report" in text
+        assert "wrote" not in text
+
     def test_report_missing_results(self, tmp_path, capsys):
         code = main(["campaign", "report", "--results",
                      str(tmp_path / "void")])
@@ -147,4 +254,4 @@ class TestCampaignReport:
         bad.write_text('{"ok": 1}\n{broken\n')
         code = main(["campaign", "report", "--results", str(bad)])
         assert code == 2
-        assert "not valid JSON" in capsys.readouterr().err
+        assert "not a valid job record" in capsys.readouterr().err

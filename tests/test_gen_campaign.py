@@ -68,22 +68,22 @@ class TestExecuteJob:
             seed=0, scale="quick", max_instructions=200_000)
 
     def test_attack_with_dift_is_ok_because_detected(self):
-        payload = execute_job(self._spec("attack", "default"), attempt=0)
-        assert payload["status"] == "ok", payload
-        assert payload["reason"] == "security"
-        assert payload["violations"] >= 1
+        record = execute_job(self._spec("attack", "default"), attempt=0)
+        assert record.status == "ok", record
+        assert record.reason == "security"
+        assert record.violations >= 1
 
     def test_attack_without_dift_is_ok_because_payload_ran(self):
-        payload = execute_job(self._spec("attack", "none"), attempt=0)
-        assert payload["status"] == "ok", payload
-        assert payload["reason"] == "halt"
+        record = execute_job(self._spec("attack", "none"), attempt=0)
+        assert record.status == "ok", record
+        assert record.reason == "halt"
 
     def test_benign_with_dift_is_ok_and_silent(self):
         for dift_mode in ("full", "demand"):
-            payload = execute_job(
+            record = execute_job(
                 self._spec("benign", "default", dift_mode), attempt=0)
-            assert payload["status"] == "ok", payload
-            assert payload["violations"] == 0
+            assert record.status == "ok", record
+            assert record.violations == 0
 
 
 class TestMatrix:

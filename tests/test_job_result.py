@@ -1,0 +1,128 @@
+"""Tests for the :class:`JobResult` value type — the one shape a job
+outcome takes across scheduler, wire protocol, cache and JSONL — and
+its one-release deprecated dict shim."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.campaign import JobResult, JobSpec, coerce_record
+from repro.campaign.result import JOB_SCHEMA
+
+
+def spec(job_id="primes.default.full.s0", **kwargs):
+    kwargs.setdefault("workload", "primes")
+    return JobSpec(job_id=job_id, **kwargs)
+
+
+def ok_result(**kwargs):
+    kwargs.setdefault("job", spec())
+    kwargs.setdefault("status", "ok")
+    kwargs.setdefault("reason", "completed")
+    kwargs.setdefault("exit_code", 0)
+    kwargs.setdefault("instructions", 1234)
+    kwargs.setdefault("metrics", {"cpu.instructions": 1234})
+    kwargs.setdefault("timing", {"run.wall_seconds": 0.5})
+    return JobResult(**kwargs)
+
+
+class TestRoundTrip:
+    def test_ok_record_round_trips(self):
+        record = ok_result()
+        document = record.to_json()
+        assert document["schema"] == JOB_SCHEMA
+        json.dumps(document)                       # JSON-clean
+        assert JobResult.from_json(document) == record
+
+    def test_crashed_record_omits_run_fields(self):
+        record = JobResult(
+            job=spec(), status="crashed",
+            error={"type": "Boom", "message": "kaput"},
+            attempts=2, retried_errors=({"type": "Boom"},),
+            log_tail=("Traceback", "Boom: kaput"))
+        document = record.to_json()
+        # a job that never simulated carries no simulation fields
+        for key in ("reason", "exit_code", "instructions", "metrics"):
+            assert key not in document
+        assert JobResult.from_json(document) == record
+
+    def test_derived_views(self):
+        assert ok_result().ok and ok_result().ran
+        failed = ok_result(status="failed", reason="violation")
+        assert failed.ran and not failed.ok
+        crashed = JobResult(job=spec(), status="crashed")
+        assert not crashed.ran and not crashed.ok
+        assert not crashed.cached
+        assert ok_result(timing={"cached": True}).cached
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError, match="unknown job status"):
+            JobResult(job=spec(), status="exploded")
+
+    def test_from_json_requires_job_and_status(self):
+        with pytest.raises(ValueError, match="'job' and 'status'"):
+            JobResult.from_json({"ok": 1})
+
+    def test_from_json_rejects_foreign_schema(self):
+        document = dict(ok_result().to_json(), schema="other.thing/9")
+        with pytest.raises(ValueError, match="schema"):
+            JobResult.from_json(document)
+
+    def test_from_json_rejects_non_objects(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            JobResult.from_json([1, 2, 3])
+
+    def test_rebind_marks_cached_and_drops_run_provenance(self):
+        record = ok_result(log_tail=("old log",),
+                           retried_errors=({"type": "Flaky"},))
+        target = spec("primes.default.full.s0.i1")
+        bound = record.rebind(target)
+        assert bound.job is target
+        assert bound.cached
+        assert bound.timing["cached"] is True
+        # the producing run's provenance does not describe this run
+        assert bound.log_tail == ()
+        assert bound.retried_errors == ()
+        # the deterministic payload is untouched
+        assert bound.metrics == record.metrics
+        assert bound.instructions == record.instructions
+
+
+class TestDictShim:
+    def test_getitem_warns_and_matches_to_json(self):
+        record = ok_result()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            assert record["status"] == "ok"
+        with pytest.warns(DeprecationWarning):
+            assert record["job"]["job_id"] == "primes.default.full.s0"
+
+    def test_get_contains_keys_warn(self):
+        record = ok_result()
+        with pytest.warns(DeprecationWarning):
+            assert record.get("nonesuch", 42) == 42
+        with pytest.warns(DeprecationWarning):
+            assert "metrics" in record
+        with pytest.warns(DeprecationWarning):
+            assert "status" in record.keys()
+
+    def test_attribute_access_stays_silent(self):
+        record = ok_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert record.status == "ok"
+            assert record.job.job_id == "primes.default.full.s0"
+            assert record.to_json()["status"] == "ok"
+
+    def test_coerce_record_passes_jobresult_through(self):
+        record = ok_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert coerce_record(record) is record
+
+    def test_coerce_record_converts_legacy_dicts_with_warning(self):
+        document = ok_result().to_json()
+        with pytest.warns(DeprecationWarning, match="JobResult"):
+            back = coerce_record(document)
+        assert isinstance(back, JobResult)
+        assert back == ok_result()

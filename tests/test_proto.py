@@ -1,0 +1,151 @@
+"""Tests for the broker/worker wire protocol: length-prefixed JSON
+frames, the incremental decoder, and the versioned handshake."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.campaign.proto import (
+    MAX_FRAME,
+    PROTO_SCHEMA,
+    FrameBuffer,
+    ProtocolError,
+    check_handshake,
+    hello,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "job", "spec": {"job_id": "a"}, "attempt": 1}
+        buffer = FrameBuffer()
+        assert buffer.feed(pack_frame(message)) == [message]
+
+    def test_byte_at_a_time_feed(self):
+        message = {"type": "heartbeat", "job_id": "x"}
+        frame = pack_frame(message)
+        buffer = FrameBuffer()
+        out = []
+        for index in range(len(frame)):
+            out.extend(buffer.feed(frame[index:index + 1]))
+        assert out == [message]
+
+    def test_many_frames_in_one_read(self):
+        messages = [{"type": "request"}, {"type": "heartbeat"},
+                    {"type": "result", "record": {"status": "ok"}}]
+        blob = b"".join(pack_frame(m) for m in messages)
+        assert FrameBuffer().feed(blob) == messages
+
+    def test_partial_frame_yields_nothing_until_complete(self):
+        frame = pack_frame({"type": "request"})
+        buffer = FrameBuffer()
+        assert buffer.feed(frame[:5]) == []
+        assert buffer.feed(frame[5:]) == [{"type": "request"}]
+
+    def test_pushback_preserves_order(self):
+        first, second = {"type": "request"}, {"type": "heartbeat"}
+        buffer = FrameBuffer()
+        got = buffer.feed(pack_frame(first) + pack_frame(second))
+        buffer.pushback(got[1:])
+        assert buffer.feed(pack_frame({"type": "shutdown"})) == [
+            second, {"type": "shutdown"}]
+
+    def test_oversized_length_prefix_rejected(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            FrameBuffer().feed(header)
+
+    def test_oversized_outgoing_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="refusing to send"):
+            pack_frame({"type": "artifact", "data": "x" * (MAX_FRAME + 1)})
+
+    def test_non_json_payload_rejected(self):
+        frame = struct.pack(">I", 4) + b"\xff\xfe\x00\x01"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            FrameBuffer().feed(frame)
+
+    def test_untyped_message_rejected(self):
+        frame = struct.pack(">I", 9) + b'{"a": 12}'
+        with pytest.raises(ProtocolError, match="typed message"):
+            FrameBuffer().feed(frame)
+
+
+class TestSocketIO:
+    def test_send_and_recv_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "request"})
+            send_frame(left, {"type": "heartbeat"})
+            buffer = FrameBuffer()
+            # both frames arrive in one recv; the second is pushed back
+            assert recv_frame(right, buffer, timeout=5.0) == {
+                "type": "request"}
+            assert recv_frame(right, buffer, timeout=5.0) == {
+                "type": "heartbeat"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_returns_none_on_clean_close(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right, FrameBuffer(), timeout=5.0) is None
+        finally:
+            right.close()
+
+    def test_recv_timeout_propagates(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(socket.timeout):
+                recv_frame(right, FrameBuffer(), timeout=0.05)
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_reassembles_split_frames(self):
+        left, right = socket.socketpair()
+        frame = pack_frame({"type": "job", "attempt": 0})
+        try:
+            def dribble():
+                for index in range(len(frame)):
+                    left.sendall(frame[index:index + 1])
+            thread = threading.Thread(target=dribble)
+            thread.start()
+            assert recv_frame(right, FrameBuffer(), timeout=5.0) == {
+                "type": "job", "attempt": 0}
+            thread.join()
+        finally:
+            left.close()
+            right.close()
+
+
+class TestHandshake:
+    def test_hello_carries_the_protocol_version(self):
+        message = hello("worker-1")
+        assert message == {"type": "hello", "proto": PROTO_SCHEMA,
+                           "name": "worker-1"}
+        assert check_handshake(message, "hello") is message
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ProtocolError, match="expected a 'welcome'"):
+            check_handshake({"type": "job"}, "welcome")
+
+    def test_version_mismatch_rejected(self):
+        stale = {"type": "welcome", "proto": "repro.campaign.proto/0"}
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            check_handshake(stale, "welcome")
+
+    def test_closed_connection_rejected(self):
+        with pytest.raises(ProtocolError, match="mid-handshake"):
+            check_handshake(None, "welcome")
+
+    def test_error_message_surfaces_the_reason(self):
+        with pytest.raises(ProtocolError, match="not today"):
+            check_handshake({"type": "error", "message": "not today"},
+                            "welcome")

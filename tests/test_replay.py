@@ -112,7 +112,7 @@ class TestWarmStart:
                               log_dir=str(tmp_path / "share"),
                               warm_start=True)
         assert result.all_ok
-        paths = {record["job"]["snapshot"] for record in result.records}
+        paths = {record.job.snapshot for record in result.records}
         assert len(result.records) == 2
         assert len(paths) == 1
         assert None not in paths
@@ -132,4 +132,4 @@ class TestWarmStart:
 
     def test_cold_jobs_carry_no_snapshot(self, tmp_path):
         cold = self._run(tmp_path, False, "cold")
-        assert all(r["job"]["snapshot"] is None for r in cold.records)
+        assert all(r.job.snapshot is None for r in cold.records)

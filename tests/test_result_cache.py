@@ -1,0 +1,196 @@
+"""Tests for the content-addressed result cache: job identity keys, the
+on-disk store, discovery, and the scheduler's zero-boot cache-hit path."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CacheError,
+    JobSpec,
+    ResultCache,
+    aggregate,
+    cacheable,
+    deterministic_view,
+    job_key,
+    open_cache,
+    resolve_cache_dir,
+    run_campaign,
+)
+from repro.campaign.cache import CACHE_ENV, CACHE_SCHEMA, consult
+from repro.campaign.result import JobResult
+
+
+def spec(job_id="primes.default.full.s0", **kwargs):
+    kwargs.setdefault("workload", "primes")
+    kwargs.setdefault("max_instructions", 20_000)
+    kwargs.setdefault("timeout", 60.0)
+    return JobSpec(job_id=job_id, **kwargs)
+
+
+class TestJobKey:
+    def test_key_is_stable_and_hex(self):
+        first, second = job_key(spec()), job_key(spec())
+        assert first == second
+        assert len(first) == 64
+        int(first, 16)
+
+    def test_presentation_and_scheduling_fields_ignored(self):
+        base = job_key(spec())
+        assert job_key(spec(job_id="renamed.i7")) == base
+        assert job_key(spec(timeout=5.0, retries=9, backoff=3.0)) == base
+        assert job_key(spec(snapshot="warm.json")) == base
+
+    @pytest.mark.parametrize("changes", [
+        {"seed": 1},
+        {"policy": "none", "dift_mode": "none"},
+        {"dift_mode": "demand"},
+        {"max_instructions": 10_000},
+        {"jit": True},
+        {"workload": "qsort"},
+    ])
+    def test_simulation_identity_fields_change_the_key(self, changes):
+        assert job_key(spec(**changes)) != job_key(spec())
+
+    def test_injected_jobs_are_never_cacheable(self):
+        assert cacheable(spec())
+        assert not cacheable(spec(inject="crash"))
+        assert not cacheable(spec(inject="flaky:2"))
+
+
+def stored_result(the_spec):
+    return JobResult(job=the_spec, status="ok", reason="completed",
+                     exit_code=0, instructions=42,
+                     metrics={"cpu.instructions": 42},
+                     timing={"wall_seconds": 1.0})
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        record = stored_result(spec())
+        key = job_key(spec())
+        path = cache.put(key, record)
+        assert os.path.exists(path)
+        assert cache.get(key) == record
+        assert len(cache) == 1
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.get("ab" * 32) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = job_key(spec())
+        cache.put(key, stored_result(spec()))
+        with open(cache.path(key), "w") as handle:
+            handle.write("{torn")
+        assert cache.get(key) is None
+
+    def test_foreign_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        key = "cd" * 32
+        os.makedirs(os.path.dirname(cache.path(key)), exist_ok=True)
+        with open(cache.path(key), "w") as handle:
+            json.dump({"schema": "something.else/1", "key": key}, handle)
+        assert cache.get(key) is None
+
+    def test_version_file_guards_the_layout(self, tmp_path):
+        root = tmp_path / "cache"
+        ResultCache(str(root))
+        assert (root / "VERSION").read_text().strip() == CACHE_SCHEMA
+        ResultCache(str(root))              # same layout: fine
+        (root / "VERSION").write_text("repro.campaign.cache/999\n")
+        with pytest.raises(CacheError, match="refusing to mix"):
+            ResultCache(str(root))
+
+    def test_discovery_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        assert resolve_cache_dir() is None
+        assert open_cache() is None
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir() == str(tmp_path / "env")
+        assert resolve_cache_dir(str(tmp_path / "cli")) == str(
+            tmp_path / "cli")
+        assert resolve_cache_dir(str(tmp_path / "cli"),
+                                 disabled=True) is None
+        cache = open_cache()
+        assert cache is not None and cache.root == str(tmp_path / "env")
+
+    def test_consult_partitions_hits_and_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        hit_spec = spec()
+        miss_spec = spec("qsort.default.full.s0", workload="qsort")
+        inject_spec = spec("boom", inject="crash")
+        cache.put(job_key(hit_spec), stored_result(hit_spec))
+        hits, misses, keys = consult(
+            cache, [hit_spec, miss_spec, inject_spec])
+        assert [h.job.job_id for h in hits] == [hit_spec.job_id]
+        assert all(h.cached for h in hits)
+        assert [m.job_id for m in misses] == [miss_spec.job_id,
+                                              inject_spec.job_id]
+        # injected jobs never get a content key, so they are never stored
+        assert set(keys) == {hit_spec.job_id, miss_spec.job_id}
+
+    def test_consult_without_a_cache_is_all_misses(self):
+        hits, misses, keys = consult(None, [spec()])
+        assert hits == [] and keys == {}
+        assert [m.job_id for m in misses] == [spec().job_id]
+
+
+class TestCampaignCachePath:
+    """End to end: the second run of a matrix boots zero simulators."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        cache = ResultCache(str(tmp_path_factory.mktemp("cache")))
+        specs = [spec(),
+                 spec("primes.default.demand.s0", dift_mode="demand"),
+                 spec("qsort.default.full.s0", workload="qsort")]
+        cold_logs = tmp_path_factory.mktemp("cold-logs")
+        warm_logs = tmp_path_factory.mktemp("warm-logs")
+        cold = run_campaign(specs, jobs=2, cache=cache,
+                            log_dir=str(cold_logs))
+        warm = run_campaign(specs, jobs=2, cache=cache,
+                            log_dir=str(warm_logs))
+        return cold, warm, warm_logs
+
+    def test_second_run_is_fully_cached(self, runs):
+        cold, warm, _ = runs
+        assert cold.cache_hits == 0
+        assert warm.cache_hits == len(warm.records) == 3
+        assert all(r.cached for r in warm.records)
+        assert not any(r.cached for r in cold.records)
+
+    def test_cached_run_boots_zero_simulators(self, runs):
+        _, warm, warm_logs = runs
+        # the scheduler writes one log per launched attempt; a fully
+        # cached campaign launches nothing
+        assert list(warm_logs.iterdir()) == []
+        doc = aggregate(warm.records, wall_seconds=warm.wall_seconds)
+        assert doc["timing"]["jobs.cache_hits"] == 3
+
+    def test_aggregates_identical_outside_timing(self, runs):
+        cold, warm, _ = runs
+        view = lambda result: json.dumps(
+            deterministic_view(aggregate(result.records)), sort_keys=True)
+        assert view(cold) == view(warm)
+
+    def test_cached_records_identical_outside_timing(self, runs):
+        cold, warm, _ = runs
+        strip = lambda r: {k: v for k, v in r.to_json().items()
+                           if k != "timing"}
+        assert ([strip(r) for r in cold.records]
+                == [strip(r) for r in warm.records])
+
+    def test_injected_jobs_bypass_the_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        specs = [spec("boom", inject="crash", retries=0, backoff=0.01)]
+        first = run_campaign(specs, jobs=1, cache=cache,
+                             log_dir=str(tmp_path / "logs"))
+        assert first.records[0].status == "crashed"
+        assert len(cache) == 0
+        again = run_campaign(specs, jobs=1, cache=cache,
+                             log_dir=str(tmp_path / "logs2"))
+        assert again.cache_hits == 0
