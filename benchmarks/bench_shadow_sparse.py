@@ -11,6 +11,19 @@ Three access patterns over a RAM-sized :class:`ShadowTags` store:
   store degrades to flat storage plus page bookkeeping, which must stay
   within a small constant factor of a plain ``bytearray``.
 
+Two further scenarios exercise the hierarchical summary layer:
+
+* **dense-taint-after** — presence predicates (``any_tainted`` +
+  ``lub_range``) on a store *left* densely tainted.  The acceptance
+  criterion is asserted in-benchmark: the summary (line words plus the
+  uniform-page hint) must keep the dense case within 1.2x of the
+  sparse case instead of degrading to a per-byte scan;
+* **taint-churn** — a :class:`TaintLiveness` reclaim loop over a
+  workload that repeatedly taints and clears a few hot pages.  The
+  pruning reclaim's scan count is deterministic, so the benchmark
+  asserts it exactly: proportional to the pages actually tainted, not
+  to every page ever dirtied.
+
 Each pattern also records the materialized-page footprint so the memory
 side of the copy-on-taint claim is in the JSON record, not just the
 timing.
@@ -20,6 +33,7 @@ from time import perf_counter
 
 import pytest
 
+from repro.dift.liveness import TaintLiveness
 from repro.dift.shadow import PAGE_SIZE, ShadowTags
 from repro.policy import builders
 
@@ -102,3 +116,127 @@ def test_shadow_pattern(benchmark, bench_json, quick, pattern):
                 "size": size, "page_size": PAGE_SIZE,
                 "materialized_pages": materialized,
                 "total_pages": shadow.page_count})
+
+
+def test_shadow_dense_taint_after(benchmark, bench_json, quick):
+    """Predicates on a densely tainted store vs a sparsely tainted one.
+
+    Without the summary layer ``any_tainted``/``lub_range`` on a fully
+    tainted store degrade to per-byte scans; with it both stores answer
+    from the hierarchy (maybe bitmap, line words, uniform-page hint), so
+    dense must stay within 1.2x of sparse — asserted here, not just
+    recorded.
+    """
+    benchmark.group = "shadow-sparse"
+    size = _QUICK_SIZE if quick else _SIZE
+    rounds = 3 if quick else 10
+    lub_table, bottom, tainted = _lattice()
+
+    sparse = ShadowTags(size, fill=bottom)
+    stride = size // 8
+    for buffer in range(8):
+        sparse.fill_range(buffer * stride, 64, tainted)
+    dense = ShadowTags(size, fill=bottom)
+    dense.fill_range(0, size, tainted)
+
+    def predicates(shadow):
+        hit = shadow.any_tainted(0, shadow.size)
+        return hit, shadow.lub_range(0, shadow.size, lub_table, bottom)
+
+    def best_of(shadow, repeats=5):
+        best = float("inf")
+        for __ in range(repeats):
+            t0 = perf_counter()
+            for __r in range(rounds):
+                predicates(shadow)
+            best = min(best, perf_counter() - t0)
+        return best
+
+    assert predicates(sparse) == (True, tainted)  # warm-up + sanity
+    assert predicates(dense) == (True, tainted)
+    sparse_s = best_of(sparse)
+    benchmark.pedantic(predicates, args=(dense,), rounds=1, iterations=1)
+    dense_s = best_of(dense)
+
+    assert dense_s <= sparse_s * 1.2 + 0.005, (
+        f"dense predicates {dense_s:.6f}s vs sparse {sparse_s:.6f}s: "
+        f"summary failed to keep the dense case O(summary)")
+    benchmark.extra_info.update(sparse_seconds=sparse_s,
+                                dense_seconds=dense_s)
+    bench_json("shadow_dense_taint_after",
+               {"pattern": "dense-taint-after", "seconds": dense_s,
+                "sparse_seconds": sparse_s,
+                "ratio": dense_s / sparse_s if sparse_s else 0.0,
+                "size": size, "rounds": rounds})
+
+
+class _ChurnCsr:
+    def tag_values(self):
+        return []
+
+
+class _ChurnCpu:
+    """Minimal hart for TaintLiveness: 32 regs, no CSRs, flat RAM shadow."""
+
+    def __init__(self, pages):
+        self.tags = [0] * 32
+        self.csr = _ChurnCsr()
+        self.ram_tags = bytearray(pages * PAGE_SIZE)
+
+
+def _churn(pages, rounds, hot, tag):
+    """Taint/clear ``hot`` pages per round, reclaiming in between."""
+    cpu = _ChurnCpu(pages)
+    live = TaintLiveness(0)
+    live.note_memory_taint(0, pages * PAGE_SIZE)  # everything once dirty
+    for __ in range(rounds):
+        for page in range(hot):
+            cpu.ram_tags[page * PAGE_SIZE] = tag
+        live.note_memory_taint(0, hot * PAGE_SIZE)
+        live.try_reclaim(cpu)                     # fails: taint present
+        for page in range(hot):
+            cpu.ram_tags[page * PAGE_SIZE] = 0
+        live.try_reclaim(cpu)                     # succeeds: back clean
+    return live
+
+
+def test_shadow_taint_churn(benchmark, bench_json, quick):
+    """Reclaim scan cost tracks the *tainted* page count, not history.
+
+    The first reclaim pays one scan per ever-dirtied page and prunes the
+    clean ones; every later round only rescans the hot set.  The counter
+    is deterministic, so the proportionality claim is an exact equality,
+    not a timing heuristic.
+    """
+    benchmark.group = "shadow-sparse"
+    pages = 64 if quick else 1024
+    rounds = 20 if quick else 200
+    hot = 4
+
+    started = perf_counter()
+    live = benchmark.pedantic(_churn, args=(pages, rounds, hot, 2),
+                              rounds=1, iterations=1)
+    elapsed = perf_counter() - started
+    for __ in range(2):
+        t0 = perf_counter()
+        live = _churn(pages, rounds, hot, 2)
+        elapsed = min(elapsed, perf_counter() - t0)
+
+    # round 1: one scan hits the taint, then a full verify-and-prune
+    # pass; every later round scans 1 (hit) + hot (verify) pages
+    expect = (1 + pages) + (rounds - 1) * (1 + hot)
+    assert live.pages_scanned == expect, (
+        f"pages_scanned {live.pages_scanned} != expected {expect}: "
+        f"reclaim is rescanning pruned pages")
+    naive = 2 * rounds * pages  # a non-pruning reclaim rescans all, twice
+    assert live.pages_scanned * 4 < naive
+    assert live.reclaims == rounds
+
+    benchmark.extra_info.update(pages_scanned=live.pages_scanned,
+                                naive_pages=naive)
+    bench_json("shadow_taint_churn",
+               {"pattern": "taint-churn", "seconds": elapsed,
+                "pages": pages, "rounds": rounds, "hot_pages": hot,
+                "pages_scanned": live.pages_scanned,
+                "naive_pages_scanned": naive,
+                "reclaims": live.reclaims})

@@ -59,7 +59,7 @@ from repro.campaign.report import (
     render_markdown,
     write_outputs,
 )
-from repro.campaign.result import JOB_SCHEMA, JobResult, coerce_record
+from repro.campaign.result import JOB_SCHEMA, JobResult
 from repro.campaign.scheduler import (
     CampaignResult,
     prepare_warm_snapshots,
@@ -108,7 +108,6 @@ __all__ = [
     "load_jsonl",
     "render_markdown",
     "write_outputs",
-    "coerce_record",
     "cacheable",
     "job_key",
     "open_cache",

@@ -16,9 +16,8 @@ Three artifacts per campaign, all derived from the same
   result cache;
 * the markdown summary table (``campaign report``).
 
-Legacy plain-dict records are still accepted everywhere (with a
-:class:`DeprecationWarning`) for one release; see
-:func:`repro.campaign.result.coerce_record`.
+Every entry point takes :class:`JobResult` records; on-disk documents
+come back through :func:`load_jsonl` / :meth:`JobResult.from_json`.
 """
 
 from __future__ import annotations
@@ -28,7 +27,7 @@ import os
 import sys
 from typing import Dict, Iterable, List, Optional, Set
 
-from repro.campaign.result import JobResult, coerce_record
+from repro.campaign.result import JobResult
 from repro.obs.metrics import merge_snapshots
 
 CAMPAIGN_SCHEMA = "repro.campaign/1"
@@ -37,13 +36,9 @@ JSONL_NAME = "campaign.jsonl"
 AGGREGATE_NAME = "aggregate.json"
 
 
-def _coerced(records: Iterable) -> List[JobResult]:
-    return [coerce_record(record) for record in records]
-
-
-def write_jsonl(path: str, records: List) -> str:
+def write_jsonl(path: str, records: List[JobResult]) -> str:
     """Write records (sorted by job id) as one JSON object per line."""
-    ordered = sorted(_coerced(records), key=lambda r: r.job.job_id)
+    ordered = sorted(records, key=lambda r: r.job.job_id)
     with open(path, "w") as handle:
         for record in ordered:
             handle.write(json.dumps(record.to_json(), sort_keys=True)
@@ -84,7 +79,7 @@ def completed_ids(records: Iterable) -> Set[str]:
     exhausted and ``timeout`` is deliberately never retried (PR 3's
     contract), so re-running either would just repeat the failure.
     """
-    return {record.job.job_id for record in _coerced(records)}
+    return {record.job.job_id for record in records}
 
 
 def _quantile(sorted_values: List[float], q: float) -> float:
@@ -96,10 +91,10 @@ def _quantile(sorted_values: List[float], q: float) -> float:
     return sorted_values[rank]
 
 
-def aggregate(records: List,
+def aggregate(records: List[JobResult],
               wall_seconds: Optional[float] = None) -> dict:
     """Fold job records into the ``repro.campaign/1`` summary document."""
-    ordered = sorted(_coerced(records), key=lambda r: r.job.job_id)
+    ordered = sorted(records, key=lambda r: r.job.job_id)
     by_status: Dict[str, List[str]] = {}
     violations_by_policy: Dict[str, int] = {}
     instructions = 0
@@ -175,10 +170,9 @@ def find_jsonl(results: str) -> str:
     return results
 
 
-def render_markdown(records: List,
+def render_markdown(records: List[JobResult],
                     document: Optional[dict] = None) -> str:
     """Markdown summary: per-job table plus the aggregate section."""
-    records = _coerced(records)
     if document is None:
         document = aggregate(records)
     ordered = sorted(records, key=lambda r: r.job.job_id)

@@ -12,16 +12,13 @@ status carries; now the shape is written down once.
 ``to_json`` emits the historical ``repro.campaign.job/1`` document
 unchanged: optional fields are omitted rather than null (a crashed
 record has no ``metrics``, an ok record has no ``error``), so reports
-produced before and after the redesign stay byte-compatible.
-
-A dict-style access shim (``record["status"]``, ``record.get(...)``,
-``"error" in record``) is kept for one release and emits a
-:class:`DeprecationWarning`; use the attributes instead.
+produced before and after the redesign stay byte-compatible.  Use the
+attributes in code and :meth:`JobResult.from_json` for on-disk records;
+the transitional dict-style access shim has been removed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Tuple
 
@@ -31,15 +28,6 @@ JOB_SCHEMA = "repro.campaign.job/1"
 
 #: statuses a job record can end with
 JOB_STATUSES = ("ok", "failed", "crashed", "timeout")
-
-_SHIM_WARNING = (
-    "dict-style access to campaign job results is deprecated; use the "
-    "JobResult attributes (record.status, record.job.job_id, ...) or "
-    "record.to_json() for the wire document")
-
-
-def _shim_warn() -> None:
-    warnings.warn(_SHIM_WARNING, DeprecationWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -163,39 +151,3 @@ class JobResult:
         return replace(self, job=spec,
                        timing={**dict(self.timing), "cached": True},
                        retried_errors=(), log_tail=())
-
-    # ------------------------------------------------------------------ #
-    # deprecated dict shim (one release)
-    # ------------------------------------------------------------------ #
-
-    def __getitem__(self, key):
-        _shim_warn()
-        return self.to_json()[key]
-
-    def get(self, key, default=None):
-        _shim_warn()
-        return self.to_json().get(key, default)
-
-    def __contains__(self, key) -> bool:
-        _shim_warn()
-        return key in self.to_json()
-
-    def keys(self):
-        _shim_warn()
-        return self.to_json().keys()
-
-
-def coerce_record(record) -> JobResult:
-    """Accept a :class:`JobResult` or (deprecated) a legacy plain dict.
-
-    The dict path is the read-side half of the one-release shim: old
-    callers that built ``repro.campaign.job/1`` dicts by hand keep
-    working, with a :class:`DeprecationWarning` pointing at the type.
-    """
-    if isinstance(record, JobResult):
-        return record
-    warnings.warn(
-        "passing plain-dict job records to repro.campaign is deprecated; "
-        "construct a JobResult (or JobResult.from_json(record))",
-        DeprecationWarning, stacklevel=3)
-    return JobResult.from_json(record)

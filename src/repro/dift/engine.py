@@ -82,6 +82,9 @@ class DiftEngine:
         # patterns are few (mostly uniform), so the table stays tiny; the
         # size bound guards against adversarial tag churn.
         self._lub_bytes_memo: dict = {}
+        # lub_translation memo: uniform tag -> 256-entry translate table
+        # (bounded by the lattice size, so no cap needed)
+        self._lub_translation_memo: dict = {}
         # observability; None keeps the checks free of metric lookups
         self._metrics = None
         self._tracer = None
@@ -143,6 +146,25 @@ class DiftEngine:
             if len(memo) < 4096:
                 memo[key] = acc
         return acc
+
+    def lub_translation(self, value: Tag) -> bytes:
+        """256-entry ``x -> lub(x, value)`` table for bulk tag merges.
+
+        A uniform source tag (the common DMA/TLM payload) turns a
+        per-byte LUB fold over a destination span into one C-speed
+        ``bytes.translate`` — this is the table that makes it possible.
+        Entries outside the lattice map to themselves (they cannot occur
+        in a validated store).  Memoized per tag; the memo is derived
+        state and never serialized.
+        """
+        table = self._lub_translation_memo.get(value)
+        if table is None:
+            lub = self.lub
+            n = len(lub)
+            table = bytes(lub[x][value] if x < n else x
+                          for x in range(256))
+            self._lub_translation_memo[value] = table
+        return table
 
     # ------------------------------------------------------------------ #
     # checking

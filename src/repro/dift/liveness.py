@@ -58,8 +58,9 @@ class TaintLiveness:
 
     __slots__ = (
         "bottom", "clean", "dirty_pages", "fast_steps", "slow_steps",
-        "reclaims", "reclaim_attempts", "disabled", "disabled_reason",
-        "_backoff", "_quanta_since_check",
+        "reclaims", "reclaim_attempts", "pages_scanned",
+        "reclaim_skipped_pages", "disabled", "disabled_reason",
+        "_backoff", "_quanta_since_check", "_dirty_high_water",
     )
 
     def __init__(self, bottom_tag: int):
@@ -76,10 +77,18 @@ class TaintLiveness:
         self.reclaims = 0
         #: reclaim scans performed (successful or not)
         self.reclaim_attempts = 0
+        #: page scans (one C-speed ``count`` each) across all reclaims
+        self.pages_scanned = 0
+        #: page scans avoided because an earlier reclaim pruned the page
+        #: after verifying it clean (the summary layer's win, cumulative)
+        self.reclaim_skipped_pages = 0
         self.disabled = False
         self.disabled_reason = ""
         self._backoff = 1
         self._quanta_since_check = 0
+        # Peak dirty-set size since the machine was last clean: the
+        # baseline a flat (non-pruning) reclaim would keep re-scanning.
+        self._dirty_high_water = 0
 
     # ------------------------------------------------------------------ #
     # invalidation (clean -> tainted)
@@ -107,6 +116,8 @@ class TaintLiveness:
             self.dirty_pages.add(first)
         else:
             self.dirty_pages.update(range(first, last + 1))
+        if len(self.dirty_pages) > self._dirty_high_water:
+            self._dirty_high_water = len(self.dirty_pages)
         self.clean = False
         self._backoff = 1
         self._quanta_since_check = 0
@@ -134,8 +145,14 @@ class TaintLiveness:
 
         Register and CSR scans are O(32) / O(#written CSRs); each dirty
         page is one C-speed ``bytearray.count`` over :data:`PAGE_SIZE`
-        bytes, so the scan cost is proportional to the *spread* of the
-        taint, not to RAM size.
+        bytes.  The dirty set is the level-1 presence summary over the
+        flat RAM shadow, and reclaim scans *prune* it: a page verified
+        all-bottom is dropped (the ISS store path and the memory taint
+        listener re-add it on any later taint write), the scan stops at
+        the first page still holding taint.  Amortized over a churning
+        workload the scan cost is therefore proportional to the pages
+        that are *actually* tainted, not to every page ever dirtied —
+        ``reclaim_skipped_pages`` counts the avoided rescans.
         """
         if self.disabled:
             return False
@@ -148,19 +165,32 @@ class TaintLiveness:
             if tag != bottom:
                 return False
         mtags = cpu.ram_tags
+        if mtags is not None:
+            self.reclaim_skipped_pages += max(
+                0, self._dirty_high_water - len(self.dirty_pages))
         if mtags is not None and self.dirty_pages:
             size = len(mtags)
-            for page in self.dirty_pages:
+            verified_clean = []
+            tainted = False
+            for page in sorted(self.dirty_pages):
                 start = page << _PAGE_SHIFT
                 end = min(start + PAGE_SIZE, size)
                 if start >= size:
+                    verified_clean.append(page)
                     continue
+                self.pages_scanned += 1
                 if mtags.count(bottom, start, end) != end - start:
-                    return False
+                    tainted = True
+                    break
+                verified_clean.append(page)
+            self.dirty_pages.difference_update(verified_clean)
+            if tainted:
+                return False
         self.dirty_pages.clear()
         self.clean = True
         self.reclaims += 1
         self._backoff = 1
+        self._dirty_high_water = 0
         return True
 
     # ------------------------------------------------------------------ #
@@ -175,10 +205,13 @@ class TaintLiveness:
             "slow_steps": self.slow_steps,
             "reclaims": self.reclaims,
             "reclaim_attempts": self.reclaim_attempts,
+            "pages_scanned": self.pages_scanned,
+            "reclaim_skipped_pages": self.reclaim_skipped_pages,
             "disabled": self.disabled,
             "disabled_reason": self.disabled_reason,
             "backoff": self._backoff,
             "quanta_since_check": self._quanta_since_check,
+            "dirty_high_water": self._dirty_high_water,
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -188,10 +221,14 @@ class TaintLiveness:
         self.slow_steps = state["slow_steps"]
         self.reclaims = state["reclaims"]
         self.reclaim_attempts = state["reclaim_attempts"]
+        self.pages_scanned = state.get("pages_scanned", 0)
+        self.reclaim_skipped_pages = state.get("reclaim_skipped_pages", 0)
         self.disabled = state["disabled"]
         self.disabled_reason = state["disabled_reason"]
         self._backoff = state["backoff"]
         self._quanta_since_check = state["quanta_since_check"]
+        self._dirty_high_water = state.get("dirty_high_water",
+                                           len(self.dirty_pages))
 
     def __repr__(self) -> str:
         state = ("disabled" if self.disabled

@@ -56,7 +56,7 @@ from repro.dift.events import (
     EV_TRAP,
     read_stream,
 )
-from repro.dift.shadow import ShadowTags
+from repro.dift.shadow import ShadowTags, shadow_digest
 from repro.policy.serialize import policy_from_dict
 from repro.vp import csr as CSR
 from repro.vp import decode as D
@@ -454,6 +454,22 @@ class DiftMonitor:
         self.fatal_unit = state["fatal_unit"]
         self.drains = state["drains"]
         self.mmio_syncs = state["mmio_syncs"]
+
+    def shadow_digest(self) -> str:
+        """Canonical digest of the monitor's RAM shadow.
+
+        Live (flat ``bytearray``) and offline (:class:`ShadowTags`)
+        stores of the same run produce the same digest, so a recorded
+        stream's re-analysis can be checked against the live machine
+        without materializing either store flat: the offline store walks
+        its presence summary (O(tainted pages)), the live one pays one
+        C-speed ``count`` per page.  The digest's background is the
+        store's own (an offline store keeps the *recorded* policy's
+        default classification even under an override engine).
+        """
+        fill = (self.store.fill if isinstance(self.store, ShadowTags)
+                else self.engine.default_tag)
+        return shadow_digest(self.store, fill)
 
     def __repr__(self) -> str:
         mode = "strict" if self.strict else "async"

@@ -45,12 +45,21 @@ class GenericPayload:
     the target).  ``tags`` — when present — has one security tag per data
     byte and travels in both directions alongside ``data``; a plain
     (non-DIFT) platform leaves it ``None`` and pays no cost.
+
+    ``merge_tags`` asks a write's target to fold the payload tags into
+    its existing ones with the lattice LUB (``dst = lub(dst, src)``)
+    instead of overwriting — the conservative choice for engines that
+    scatter into buffers whose prior classification must survive (e.g. a
+    DMA gather over a partially tainted destination).  Targets without
+    tag state ignore it; the memory updates ``tags`` in place to the
+    merged result so the initiator sees what actually landed.
     """
 
     command: str = READ
     address: int = 0
     data: bytearray = field(default_factory=bytearray)
     tags: Optional[bytearray] = None
+    merge_tags: bool = False
     response: str = INCOMPLETE
 
     @property
@@ -78,12 +87,14 @@ class GenericPayload:
 
     @classmethod
     def make_write(cls, address: int, data: bytes,
-                   tags: Optional[bytes] = None) -> "GenericPayload":
+                   tags: Optional[bytes] = None,
+                   merge_tags: bool = False) -> "GenericPayload":
         return cls(
             command=WRITE,
             address=address,
             data=bytearray(data),
             tags=bytearray(tags) if tags is not None else None,
+            merge_tags=merge_tags,
         )
 
 

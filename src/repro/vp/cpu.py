@@ -966,7 +966,13 @@ class Cpu(Module):
         # decoupled runs of the same guest record byte-identical streams)
         emitq = self._emitq
         # demand mode only: record which RAM pages receive non-bottom tags
-        # so reclaiming the clean state scans dirty pages, not all of RAM
+        # so reclaiming the clean state scans dirty pages, not all of RAM.
+        # The dirty set is the level-1 presence summary over the flat RAM
+        # shadow (see repro.dift.shadow's hierarchy): reclaim scans prune
+        # it, and this store path is the re-taint edge that makes the
+        # pruning sound — every non-bottom store re-adds its page.  The
+        # per-instruction cost stays a bare set.add; nothing here may
+        # grow into a summary update.
         live = self._live
         dirty = live.dirty_pages if live is not None else None
         # trace compiler hooks.  SMC invalidation is armed whenever a

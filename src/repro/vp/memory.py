@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import BusError
 from repro.state import decode_sparse_pages, encode_sparse_pages
 from repro.sysc.kernel import Kernel
 from repro.sysc.module import Module
@@ -42,6 +43,11 @@ class Memory(Module):
         # code pages stay coherent with DMA and host-side writes (the
         # ISS store paths check code pages inline instead)
         self._write_listener = None
+        # merge-tags support (``GenericPayload.merge_tags``): the raw
+        # LUB table plus the engine's memoized uniform-tag translate
+        # tables; None until the platform wires an engine in
+        self._lub = None
+        self._lub_translation = None
 
     def set_taint_listener(self, fn) -> None:
         """Register a callback observing every non-ISS tag write."""
@@ -50,6 +56,17 @@ class Memory(Module):
     def set_write_listener(self, fn) -> None:
         """Register a callback observing every non-ISS data write."""
         self._write_listener = fn
+
+    def set_lub_table(self, lub_table, translation_fn) -> None:
+        """Enable merge-tags writes (``dst = lub(dst, src)``).
+
+        ``lub_table`` is the engine's raw dense table; ``translation_fn``
+        maps a uniform tag to a 256-entry translate table (see
+        :meth:`repro.dift.engine.DiftEngine.lub_translation`) so the
+        common uniform-source burst merges at C speed.
+        """
+        self._lub = lub_table
+        self._lub_translation = translation_fn
 
     def transport(self, trans: GenericPayload, delay: SimTime) -> SimTime:
         """TLM blocking transport (payload address is memory-local)."""
@@ -67,7 +84,30 @@ class Memory(Module):
             if self._write_listener is not None:
                 self._write_listener(address, length)
             if self.tags is not None:
-                if trans.tags is not None:
+                if trans.tags is not None and trans.merge_tags and length:
+                    if self._lub is None:
+                        raise BusError(
+                            "merge-tags write but no LUB table attached "
+                            "(Memory.set_lub_table)", address)
+                    src = bytes(trans.tags)
+                    if src.count(src[0]) == length:
+                        # uniform source (the common DMA burst): one
+                        # C-speed translate over the destination span
+                        table = self._lub_translation(src[0])
+                        merged = bytes(
+                            self.tags[address:address + length]
+                        ).translate(table)
+                    else:
+                        lub = self._lub
+                        dst = self.tags
+                        merged = bytes(
+                            lub[dst[address + i]][s]
+                            for i, s in enumerate(src))
+                    self.tags[address:address + length] = merged
+                    trans.tags[:] = merged
+                    if self._taint_listener is not None:
+                        self._taint_listener(address, length, merged)
+                elif trans.tags is not None:
                     self.tags[address:address + length] = trans.tags
                     if self._taint_listener is not None:
                         self._taint_listener(address, length, trans.tags)

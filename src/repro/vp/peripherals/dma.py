@@ -11,8 +11,16 @@ Register map::
     0x00  SRC    (rw) source bus address
     0x04  DST    (rw) destination bus address
     0x08  LEN    (rw) bytes to copy
-    0x0C  CTRL   (write) 1 = start
+    0x0C  CTRL   (write) bit0 = start, bit1 = merge tags
     0x10  STATUS (read) bit0 = busy, bit1 = done
+
+CTRL bit 1 selects **merge mode**: destination tags become
+``lub(dst, src)`` instead of being overwritten, so a DMA gather into a
+partially classified buffer cannot *launder* taint away — the write
+payloads carry ``merge_tags`` and the memory folds them with the
+engine's LUB (at C speed for the uniform-tag bursts DMA produces, see
+``Memory.set_lub_table``).  Data bytes are always copied verbatim; the
+bit only changes tag semantics and is latched per transfer at start.
 
 The copy runs in a SystemC thread, transferring a burst per bus cycle and
 raising its interrupt on completion.
@@ -57,6 +65,7 @@ class DmaController(MmioPeripheral):
         self.len = 0
         self.busy = False
         self.done = False
+        self.merge = False
         self.transfers_completed = 0
         self._start_pending = False
         # transfer cursor, held as instance state (not generator locals)
@@ -116,7 +125,8 @@ class DmaController(MmioPeripheral):
             return False
         write = GenericPayload.make_write(
             self._cur_dst, bytes(read.data),
-            bytes(read.tags) if read.tags is not None else None)
+            bytes(read.tags) if read.tags is not None else None,
+            merge_tags=self.merge and read.tags is not None)
         self.router.b_transport(write, SimTime(0))
         if not write.ok():
             return False
@@ -136,6 +146,7 @@ class DmaController(MmioPeripheral):
             "len": self.len,
             "busy": self.busy,
             "done": self.done,
+            "merge": self.merge,
             "transfers_completed": self.transfers_completed,
             "start_pending": self._start_pending,
             "cur_src": self._cur_src,
@@ -149,6 +160,7 @@ class DmaController(MmioPeripheral):
         self.len = state["len"]
         self.busy = state["busy"]
         self.done = state["done"]
+        self.merge = state.get("merge", False)
         self.transfers_completed = state["transfers_completed"]
         self._start_pending = state["start_pending"]
         self._cur_src = state["cur_src"]
@@ -179,5 +191,6 @@ class DmaController(MmioPeripheral):
         elif offset == LEN:
             self.len = value
         elif offset == CTRL and value & 1 and not self.busy:
+            self.merge = bool(value & 2)
             self._start_pending = True
             self._start_event.notify()

@@ -155,6 +155,11 @@ class Platform:
 
         self.memory = Memory(self.kernel, "ram", config.ram_size,
                              tagged=tagged, default_tag=default_tag)
+        if tagged:
+            # enable merge-tags writes (DMA merge mode, peripherals that
+            # fold into a destination instead of overwriting it)
+            self.memory.set_lub_table(self.engine.lub,
+                                      self.engine.lub_translation)
         self.cpu = Cpu(self.kernel, "cpu0", dift=self.engine,
                        clock_period=config.clock_period,
                        quantum=config.quantum,
@@ -382,8 +387,16 @@ class Platform:
                                      lambda: live.slow_steps)
                 metrics.set_gauge_fn("dift.reclaims",
                                      lambda: live.reclaims)
+                metrics.set_gauge_fn("dift.reclaim_skipped_pages",
+                                     lambda: live.reclaim_skipped_pages)
                 metrics.set_gauge_fn("shadow.tainted_pages",
                                      self._tainted_pages)
+                # level-1 summary cardinality over the flat RAM shadow:
+                # pages the liveness layer currently tracks as
+                # maybe-tainted (the live analogue of ShadowTags'
+                # materialized-page count)
+                metrics.set_gauge_fn("shadow.materialized_pages",
+                                     lambda: len(live.dirty_pages))
         monitor = self.monitor
         if monitor is not None:
             monitor.attach_obs(obs)

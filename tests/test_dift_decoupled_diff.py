@@ -280,6 +280,11 @@ class TestReanalysis:
         store = offline.monitor.store
         assert (hashlib.sha256(store.get_range(0, store.size)).hexdigest()
                 == hashlib.sha256(bytes(platform.memory.tags)).hexdigest())
+        # same comparison without materializing either store flat: the
+        # canonical digest walks the offline store's presence summary
+        from repro.dift.shadow import shadow_digest
+        assert offline.monitor.shadow_digest() == shadow_digest(
+            platform.memory.tags, platform.engine.default_tag)
 
     def test_decoupled_stream_reanalyzes_identically(self, tmp_path):
         inline = str(tmp_path / "inline.ev")

@@ -1,13 +1,12 @@
 """Tests for the :class:`JobResult` value type — the one shape a job
-outcome takes across scheduler, wire protocol, cache and JSONL — and
-its one-release deprecated dict shim."""
+outcome takes across scheduler, wire protocol, cache and JSONL."""
 
 import json
 import warnings
 
 import pytest
 
-from repro.campaign import JobResult, JobSpec, coerce_record
+from repro.campaign import JobResult, JobSpec
 from repro.campaign.result import JOB_SCHEMA
 
 
@@ -89,22 +88,16 @@ class TestRoundTrip:
         assert bound.instructions == record.instructions
 
 
-class TestDictShim:
-    def test_getitem_warns_and_matches_to_json(self):
+class TestNoDictShim:
+    def test_dict_style_access_is_gone(self):
+        """The one-release shim from the JobResult redesign is removed:
+        a record is not a mapping, and nothing warns — it just fails."""
         record = ok_result()
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            assert record["status"] == "ok"
-        with pytest.warns(DeprecationWarning):
-            assert record["job"]["job_id"] == "primes.default.full.s0"
-
-    def test_get_contains_keys_warn(self):
-        record = ok_result()
-        with pytest.warns(DeprecationWarning):
-            assert record.get("nonesuch", 42) == 42
-        with pytest.warns(DeprecationWarning):
-            assert "metrics" in record
-        with pytest.warns(DeprecationWarning):
-            assert "status" in record.keys()
+        with pytest.raises(TypeError):
+            record["status"]
+        assert not hasattr(record, "keys")
+        with pytest.raises(TypeError):
+            "status" in record  # no __contains__, no iteration
 
     def test_attribute_access_stays_silent(self):
         record = ok_result()
@@ -114,15 +107,6 @@ class TestDictShim:
             assert record.job.job_id == "primes.default.full.s0"
             assert record.to_json()["status"] == "ok"
 
-    def test_coerce_record_passes_jobresult_through(self):
-        record = ok_result()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert coerce_record(record) is record
-
-    def test_coerce_record_converts_legacy_dicts_with_warning(self):
-        document = ok_result().to_json()
-        with pytest.warns(DeprecationWarning, match="JobResult"):
-            back = coerce_record(document)
-        assert isinstance(back, JobResult)
-        assert back == ok_result()
+    def test_coerce_record_export_removed(self):
+        import repro.campaign
+        assert not hasattr(repro.campaign, "coerce_record")

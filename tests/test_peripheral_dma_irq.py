@@ -1,6 +1,9 @@
 """Tests for the DMA controller, CLINT timer and PLIC."""
 
+import pytest
+
 from repro.dift.engine import DiftEngine
+from repro.errors import BusError
 from repro.policy import SecurityPolicy, builders
 from repro.sysc import GenericPayload, Kernel, Router, SimTime
 from repro.vp.csr import MIP_MEIP, MIP_MTIP
@@ -110,6 +113,59 @@ class TestDma:
         kernel.run(until=SimTime.us(1))
         assert read(dma, dma_regs.STATUS) & 2
         assert raised
+
+
+class TestDmaMergeMode:
+    def test_merge_mode_cannot_launder_taint(self):
+        """CTRL bit 1: destination tags become lub(dst, src), so a DMA
+        gather of public data into a secret buffer keeps it secret."""
+        kernel, memory, dma, __, engine = make_dma(tagged=True)
+        memory.set_lub_table(engine.lub, engine.lub_translation)
+        hc = engine.lattice.tag_of(HC)
+        lc = engine.lattice.tag_of(LC)
+        memory.load(0x100, b"\x0a\x0b\x0c\x0d")  # public source (lc)
+        memory.fill_tags(0x200, 4, hc)           # secret destination
+        write(dma, dma_regs.SRC, 0x100)
+        write(dma, dma_regs.DST, 0x200)
+        write(dma, dma_regs.LEN, 4)
+        write(dma, dma_regs.CTRL, 3)             # start | merge
+        kernel.run(until=SimTime.us(10))
+        assert memory.read_block(0x200, 4) == b"\x0a\x0b\x0c\x0d"
+        assert [memory.tag_of(0x200 + i) for i in range(4)] == [hc] * 4
+        # contrast: a plain overwrite copy *does* launder the tags
+        write(dma, dma_regs.CTRL, 1)
+        kernel.run(until=SimTime.us(20))
+        assert [memory.tag_of(0x200 + i) for i in range(4)] == [lc] * 4
+
+    def test_merge_latched_per_transfer(self):
+        kernel, memory, dma, __, engine = make_dma(tagged=True)
+        memory.set_lub_table(engine.lub, engine.lub_translation)
+        write(dma, dma_regs.CTRL, 3)
+        assert dma.merge
+        kernel.run(until=SimTime.us(1))
+        write(dma, dma_regs.CTRL, 1)
+        assert not dma.merge
+
+    def test_merge_mixed_source_tags_fold_per_byte(self):
+        kernel, memory, dma, __, engine = make_dma(tagged=True)
+        memory.set_lub_table(engine.lub, engine.lub_translation)
+        hc = engine.lattice.tag_of(HC)
+        lc = engine.lattice.tag_of(LC)
+        payload = GenericPayload.make_write(
+            0x40, b"\x01\x02", bytes([lc, hc]), merge_tags=True)
+        memory.tsock.b_transport(payload, SimTime(0))
+        assert payload.ok()
+        assert [memory.tag_of(0x40), memory.tag_of(0x41)] == [lc, hc]
+        # the payload sees the merged tags (what actually landed)
+        assert bytes(payload.tags) == bytes([lc, hc])
+
+    def test_merge_without_lub_table_is_a_bus_error(self):
+        kernel, memory, dma, __, engine = make_dma(tagged=True)
+        hc = engine.lattice.tag_of(HC)
+        payload = GenericPayload.make_write(
+            0x40, b"\x01", bytes([hc]), merge_tags=True)
+        with pytest.raises(BusError, match="merge-tags"):
+            memory.tsock.b_transport(payload, SimTime(0))
 
 
 class TestClint:

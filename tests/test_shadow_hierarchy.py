@@ -1,0 +1,336 @@
+"""Tests for the hierarchical taint-metadata layer over ``ShadowTags``.
+
+Three angles:
+
+* a hypothesis **differential suite**: random interleavings of every
+  mutating operation run against a naive dense ``bytearray`` reference;
+  the sparse store must give identical answers *and* satisfy every
+  summary invariant (``check_summary``) after each operation;
+* **snapshot** round-trips proving the summary is derived state — it is
+  rebuilt after restore, never serialized;
+* unit tests for the bulk DMA-sized ops (``clear_range``,
+  ``lub_into_range``), ``shadow_digest`` and the liveness reclaim
+  pruning counters.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dift.liveness import TaintLiveness
+from repro.dift.shadow import (LINE_SIZE, PAGE_SIZE, ShadowTags,
+    shadow_digest)
+from repro.policy.builders import ifp3
+
+_LATTICE = ifp3()
+_LUB = _LATTICE.lub_table
+_N = len(_LUB)
+
+#: Two full pages plus a short, line-misaligned final page so every
+#: boundary case (page seam, partial line, short page) is in play.
+_SIZE = 2 * PAGE_SIZE + 3 * LINE_SIZE + 7
+
+
+# ---------------------------------------------------------------------- #
+# dense reference model
+# ---------------------------------------------------------------------- #
+
+def _ref_apply(ref, op):
+    kind = op[0]
+    if kind == "set":
+        _, index, tag = op
+        ref[index] = tag
+    elif kind == "set_range":
+        _, start, tags = op
+        ref[start:start + len(tags)] = bytes(tags)
+    elif kind == "fill_range":
+        _, start, length, tag = op
+        ref[start:start + length] = bytes([tag]) * length
+    elif kind == "clear_range":
+        _, start, length, fill = op
+        ref[start:start + length] = bytes([fill]) * length
+    elif kind == "lub_into":
+        _, start, src = op
+        for i, s in enumerate(src):
+            ref[start + i] = _LUB[ref[start + i]][s]
+    else:  # pragma: no cover - strategy bug
+        raise AssertionError(kind)
+
+
+def _shadow_apply(shadow, op):
+    kind = op[0]
+    if kind == "set":
+        shadow.set(op[1], op[2])
+    elif kind == "set_range":
+        shadow.set_range(op[1], op[2])
+    elif kind == "fill_range":
+        shadow.fill_range(op[1], op[2], op[3])
+    elif kind == "clear_range":
+        shadow.clear_range(op[1], op[2])
+    elif kind == "lub_into":
+        shadow.lub_into_range(op[1], op[2], _LUB)
+
+
+def _ref_lub(ref, start, length, initial=0):
+    acc = initial
+    for t in ref[start:start + length]:
+        acc = _LUB[acc][t]
+    return acc
+
+
+@st.composite
+def _window(draw, max_len=3 * LINE_SIZE):
+    length = draw(st.integers(0, max_len))
+    start = draw(st.integers(0, _SIZE - length))
+    return start, length
+
+
+@st.composite
+def _operation(draw, fill):
+    kind = draw(st.sampled_from(
+        ["set", "set_range", "fill_range", "clear_range", "lub_into"]))
+    tag = st.integers(0, _N - 1)
+    if kind == "set":
+        return ("set", draw(st.integers(0, _SIZE - 1)), draw(tag))
+    start, length = draw(_window())
+    if kind == "set_range":
+        return ("set_range", start,
+                draw(st.lists(tag, min_size=length, max_size=length)))
+    if kind == "fill_range":
+        return ("fill_range", start, length, draw(tag))
+    if kind == "clear_range":
+        return ("clear_range", start, length, fill)
+    return ("lub_into", start,
+            draw(st.lists(tag, min_size=length, max_size=length)))
+
+
+class TestDifferential:
+    """Sparse store vs dense reference under random op interleavings."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), fill=st.sampled_from([0, 2]))
+    def test_matches_dense_reference(self, data, fill):
+        shadow = ShadowTags(_SIZE, fill=fill)
+        ref = bytearray([fill]) * _SIZE
+        ops = data.draw(st.lists(_operation(fill), min_size=1, max_size=10))
+        for op in ops:
+            _shadow_apply(shadow, op)
+            _ref_apply(ref, op)
+            shadow.check_summary()
+            start, length = data.draw(_window())
+            assert shadow.get_range(start, length) == \
+                bytes(ref[start:start + length])
+            assert shadow.any_tainted(start, length) == \
+                (ref.count(fill, start, start + length) != length)
+            assert shadow.lub_range(start, length, _LUB) == \
+                _ref_lub(ref, start, length)
+            window = ref[start:start + length]
+            assert shadow.uniform(start, length) == \
+                (length == 0 or window.count(window[0]) == length)
+        # whole-store agreement once the dust settles
+        assert shadow.get_range(0, _SIZE) == bytes(ref)
+        n_pages = (_SIZE + PAGE_SIZE - 1) // PAGE_SIZE
+        tainted = {p for p in range(n_pages)
+                   if ref.count(fill, p * PAGE_SIZE,
+                                min((p + 1) * PAGE_SIZE, _SIZE))
+                   != min(PAGE_SIZE, _SIZE - p * PAGE_SIZE)}
+        assert shadow.tainted_pages() == len(tainted)
+        assert set(shadow.dump(sparse=True)) == tainted
+        assert shadow_digest(shadow, fill) == shadow_digest(ref, fill)
+        shadow.check_summary()
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_snapshot_round_trip_rebuilds_summary(self, data):
+        shadow = ShadowTags(_SIZE)
+        ref = bytearray(_SIZE)
+        for op in data.draw(st.lists(_operation(0), min_size=1,
+                                     max_size=6)):
+            _shadow_apply(shadow, op)
+            _ref_apply(ref, op)
+        state = shadow.state_dict()
+        # The summary is derived state: only the sparse pages travel.
+        assert set(state) == {"size", "fill", "pages"}
+        restored = ShadowTags(_SIZE)
+        restored.load_state_dict(state)
+        # Restored pages come back stale and are rebuilt on demand.
+        assert all(restored._summary[int(k)] is None for k in state["pages"])
+        assert restored.get_range(0, _SIZE) == bytes(ref)
+        assert restored.tainted_pages() == shadow.tainted_pages()
+        restored.check_summary()
+        assert restored.state_dict() == state
+
+
+# ---------------------------------------------------------------------- #
+# bulk ops
+# ---------------------------------------------------------------------- #
+
+class TestBulkOps:
+    def test_clear_range_whole_page_drops_storage(self):
+        shadow = ShadowTags(4 * PAGE_SIZE)
+        shadow.fill_range(0, 2 * PAGE_SIZE, 3)
+        assert shadow.materialized_pages == 2
+        shadow.clear_range(0, PAGE_SIZE)
+        assert shadow.materialized_pages == 1
+        assert shadow.tainted_pages() == 1
+        shadow.check_summary()
+
+    def test_clear_range_partial_page(self):
+        shadow = ShadowTags(PAGE_SIZE, fill=1)
+        shadow.fill_range(0, PAGE_SIZE, 2)
+        shadow.clear_range(100, 200)
+        assert shadow.get_range(90, 220) == \
+            bytes([2] * 10 + [1] * 200 + [2] * 10)
+        assert shadow.any_tainted(100, 200) is False
+        shadow.check_summary()
+
+    def test_lub_into_uniform_source(self):
+        shadow = ShadowTags(256)
+        shadow.fill_range(0, 256, 1)
+        shadow.lub_into_range(0, bytes([2]) * 256, _LUB)
+        expect = _LUB[1][2]
+        assert shadow.get_range(0, 256) == bytes([expect]) * 256
+        shadow.check_summary()
+
+    def test_lub_into_mixed_source(self):
+        shadow = ShadowTags(64)
+        shadow.set_range(0, [0, 1, 2, 3])
+        src = [3, 2, 1, 0]
+        shadow.lub_into_range(0, src, _LUB)
+        assert shadow.get_range(0, 4) == \
+            bytes(_LUB[d][s] for d, s in zip([0, 1, 2, 3], src))
+        shadow.check_summary()
+
+    def test_lub_into_clean_page_stays_clean(self):
+        # lub(fill, fill) == fill: the merge must not materialize pages
+        shadow = ShadowTags(4 * PAGE_SIZE)
+        shadow.lub_into_range(0, bytes(2 * PAGE_SIZE), _LUB)
+        assert shadow.materialized_pages == 0
+        assert not shadow.any_tainted(0, shadow.size)
+        shadow.check_summary()
+
+    def test_lub_into_bounds_checked(self):
+        shadow = ShadowTags(8)
+        with pytest.raises(IndexError):
+            shadow.lub_into_range(6, [1, 1, 1], _LUB)
+
+
+# ---------------------------------------------------------------------- #
+# canonical digest
+# ---------------------------------------------------------------------- #
+
+class TestShadowDigest:
+    def test_sparse_and_flat_agree(self):
+        shadow = ShadowTags(3 * PAGE_SIZE, fill=1)
+        flat = bytearray([1]) * (3 * PAGE_SIZE)
+        for index, tag in ((5, 3), (PAGE_SIZE + 7, 2), (2 * PAGE_SIZE, 3)):
+            shadow.set(index, tag)
+            flat[index] = tag
+        assert shadow_digest(shadow, 1) == shadow_digest(flat, 1)
+
+    def test_clean_stores_agree(self):
+        assert shadow_digest(ShadowTags(PAGE_SIZE), 0) == \
+            shadow_digest(bytearray(PAGE_SIZE), 0)
+
+    def test_distinguishes_page_position(self):
+        a = ShadowTags(2 * PAGE_SIZE)
+        b = ShadowTags(2 * PAGE_SIZE)
+        a.set(0, 3)
+        b.set(PAGE_SIZE, 3)
+        assert shadow_digest(a, 0) != shadow_digest(b, 0)
+
+    def test_fill_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            shadow_digest(ShadowTags(16, fill=1), 0)
+
+
+# ---------------------------------------------------------------------- #
+# liveness reclaim pruning
+# ---------------------------------------------------------------------- #
+
+class _FakeCsr:
+    def tag_values(self):
+        return []
+
+
+class _FakeCpu:
+    def __init__(self, bottom=0, ram_pages=4):
+        self.tags = [bottom] * 32
+        self.csr = _FakeCsr()
+        self.ram_tags = bytearray([bottom]) * (PAGE_SIZE * ram_pages)
+
+
+class TestReclaimPruning:
+    def test_clean_prefix_pruned_scan_stops_at_taint(self):
+        cpu = _FakeCpu()
+        live = TaintLiveness(0)
+        live.note_memory_taint(0, 4 * PAGE_SIZE)  # pages 0..3 dirty
+        cpu.ram_tags[3 * PAGE_SIZE + 10] = 2      # only page 3 tainted
+        assert not live.try_reclaim(cpu)
+        # pages 0..2 verified clean and pruned; page 3 stopped the scan
+        assert live.dirty_pages == {3}
+        assert live.pages_scanned == 4
+
+    def test_skipped_pages_counts_pruning_win(self):
+        cpu = _FakeCpu()
+        live = TaintLiveness(0)
+        live.note_memory_taint(0, 4 * PAGE_SIZE)
+        cpu.ram_tags[3 * PAGE_SIZE] = 2
+        live.try_reclaim(cpu)
+        assert live.reclaim_skipped_pages == 0  # first scan skips nothing
+        live.try_reclaim(cpu)
+        # a flat reclaim would have rescanned all 4 dirtied pages; the
+        # pruned set holds 1, so 3 rescans were avoided
+        assert live.reclaim_skipped_pages == 3
+        assert live.pages_scanned == 5
+
+    def test_successful_reclaim_resets_high_water(self):
+        cpu = _FakeCpu()
+        live = TaintLiveness(0)
+        live.note_memory_taint(0, 4 * PAGE_SIZE)
+        cpu.ram_tags[PAGE_SIZE] = 2
+        assert not live.try_reclaim(cpu)
+        cpu.ram_tags[PAGE_SIZE] = 0
+        assert live.try_reclaim(cpu)
+        assert live.clean and not live.dirty_pages
+        # a fresh taint epoch starts from a zero baseline
+        live.note_memory_taint(0, PAGE_SIZE)
+        assert live.try_reclaim(cpu)
+        assert live.reclaim_skipped_pages == 1  # only the earlier epoch's
+
+    def test_retaint_readds_pruned_page(self):
+        cpu = _FakeCpu()
+        live = TaintLiveness(0)
+        live.note_memory_taint(0, 2 * PAGE_SIZE)
+        cpu.ram_tags[PAGE_SIZE] = 2
+        live.try_reclaim(cpu)
+        assert live.dirty_pages == {1}
+        # the pruned page 0 is re-tainted: the listener must re-add it
+        cpu.ram_tags[5] = 2
+        live.note_memory_taint(5, 1)
+        assert not live.try_reclaim(cpu)
+        assert 0 in live.dirty_pages
+
+    def test_pages_past_ram_size_dropped_without_scan(self):
+        cpu = _FakeCpu(ram_pages=2)
+        live = TaintLiveness(0)
+        live.note_memory_taint(0, 1)
+        live.dirty_pages.add(100)  # stale page from a larger config
+        live._dirty_high_water = 2
+        assert live.try_reclaim(cpu)
+        assert live.pages_scanned == 1  # page 100 dropped, never counted
+
+    def test_counters_round_trip(self):
+        cpu = _FakeCpu()
+        live = TaintLiveness(0)
+        live.note_memory_taint(0, 4 * PAGE_SIZE)
+        cpu.ram_tags[2 * PAGE_SIZE] = 2
+        live.try_reclaim(cpu)
+        live.try_reclaim(cpu)
+        state = live.state_dict()
+        other = TaintLiveness(0)
+        other.load_state_dict(state)
+        assert other.pages_scanned == live.pages_scanned
+        assert other.reclaim_skipped_pages == live.reclaim_skipped_pages
+        assert other._dirty_high_water == live._dirty_high_water
+        assert other.state_dict() == state
